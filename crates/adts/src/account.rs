@@ -1,0 +1,172 @@
+//! The atomic bank account of §5.1.
+
+use crate::{expect_int, object_for_protocol};
+use atomicity_core::{AtomicObject, Txn, TxnError, TxnManager};
+use atomicity_spec::specs::BankAccountSpec;
+use atomicity_spec::{op, ObjectId, Value};
+use std::sync::Arc;
+
+/// The outcome of a withdrawal: the operation terminates normally or
+/// abnormally (§5.1), it does not error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WithdrawOutcome {
+    /// The requested sum was withdrawn.
+    Withdrawn,
+    /// The balance was too small; nothing changed.
+    InsufficientFunds,
+}
+
+impl WithdrawOutcome {
+    /// Whether the withdrawal succeeded.
+    pub fn is_withdrawn(self) -> bool {
+        matches!(self, WithdrawOutcome::Withdrawn)
+    }
+}
+
+/// An atomic bank account: `deposit`, `withdraw`, `balance`.
+///
+/// Under the dynamic and hybrid protocols, concurrent withdrawals are
+/// admitted whenever the balance covers every order of the outstanding
+/// requests — the concurrency gain over commutativity-based locking that
+/// §5.1 demonstrates.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol};
+/// use atomicity_adts::{AtomicAccount, WithdrawOutcome};
+/// use atomicity_spec::ObjectId;
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let acct = AtomicAccount::new(ObjectId::new(1), &mgr);
+/// let t = mgr.begin();
+/// acct.deposit(&t, 10)?;
+/// assert_eq!(acct.withdraw(&t, 4)?, WithdrawOutcome::Withdrawn);
+/// assert_eq!(acct.withdraw(&t, 40)?, WithdrawOutcome::InsufficientFunds);
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+#[derive(Clone)]
+pub struct AtomicAccount {
+    id: ObjectId,
+    obj: Arc<dyn AtomicObject>,
+}
+
+impl AtomicAccount {
+    /// Creates an account with balance 0 under the manager's protocol.
+    pub fn new(id: ObjectId, mgr: &TxnManager) -> Self {
+        Self::with_initial(id, mgr, 0)
+    }
+
+    /// Creates an account with a given initial balance.
+    pub fn with_initial(id: ObjectId, mgr: &TxnManager, balance: i64) -> Self {
+        AtomicAccount {
+            id,
+            obj: object_for_protocol(id, BankAccountSpec::with_initial(balance), mgr),
+        }
+    }
+
+    /// The account's object identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Deposits `amount` (non-negative).
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only; see
+    /// [`AtomicObject::invoke`](atomicity_core::AtomicObject::invoke).
+    pub fn deposit(&self, txn: &Txn, amount: i64) -> Result<(), TxnError> {
+        self.obj.invoke(txn, op("deposit", [amount])).map(|_| ())
+    }
+
+    /// Withdraws `amount`, terminating normally or with
+    /// [`WithdrawOutcome::InsufficientFunds`].
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only (deadlock, timestamp conflict, …).
+    pub fn withdraw(&self, txn: &Txn, amount: i64) -> Result<WithdrawOutcome, TxnError> {
+        let v = self.obj.invoke(txn, op("withdraw", [amount]))?;
+        Ok(if v == Value::ok() {
+            WithdrawOutcome::Withdrawn
+        } else {
+            WithdrawOutcome::InsufficientFunds
+        })
+    }
+
+    /// The current balance as seen by `txn`.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn balance(&self, txn: &Txn) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("balance", [] as [i64; 0]))?;
+        expect_int(v, self.id)
+    }
+}
+
+impl std::fmt::Debug for AtomicAccount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicAccount")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::{is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
+    use atomicity_spec::SystemSpec;
+
+    fn spec() -> SystemSpec {
+        SystemSpec::new().with_object(ObjectId::new(1), BankAccountSpec::new())
+    }
+
+    #[test]
+    fn basic_flow_under_all_protocols() {
+        for protocol in [Protocol::Dynamic, Protocol::Static, Protocol::Hybrid] {
+            let mgr = TxnManager::new(protocol);
+            let acct = AtomicAccount::new(ObjectId::new(1), &mgr);
+            let t = mgr.begin();
+            acct.deposit(&t, 10).unwrap();
+            assert_eq!(acct.withdraw(&t, 4).unwrap(), WithdrawOutcome::Withdrawn);
+            assert_eq!(
+                acct.withdraw(&t, 7).unwrap(),
+                WithdrawOutcome::InsufficientFunds
+            );
+            assert_eq!(acct.balance(&t).unwrap(), 6);
+            mgr.commit(t).unwrap();
+            let h = mgr.history();
+            let ok = match protocol {
+                Protocol::Dynamic => is_dynamic_atomic(&h, &spec()),
+                Protocol::Static => is_static_atomic(&h, &spec()),
+                Protocol::Hybrid => is_hybrid_atomic(&h, &spec()),
+            };
+            assert!(ok, "{protocol:?} history fails its property");
+        }
+    }
+
+    #[test]
+    fn initial_balance() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = AtomicAccount::with_initial(ObjectId::new(1), &mgr, 50);
+        let t = mgr.begin();
+        assert_eq!(acct.balance(&t).unwrap(), 50);
+        mgr.commit(t).unwrap();
+    }
+
+    #[test]
+    fn clone_shares_the_object() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = AtomicAccount::new(ObjectId::new(1), &mgr);
+        let acct2 = acct.clone();
+        let t = mgr.begin();
+        acct.deposit(&t, 5).unwrap();
+        assert_eq!(acct2.balance(&t).unwrap(), 5);
+        mgr.commit(t).unwrap();
+    }
+}

@@ -1,0 +1,174 @@
+//! The atomic bounded buffer.
+
+use crate::{expect_int, object_for_protocol};
+use atomicity_core::{AtomicObject, Txn, TxnError, TxnManager};
+use atomicity_spec::specs::BoundedBufferSpec;
+use atomicity_spec::{op, ObjectId, Value};
+use std::sync::Arc;
+
+/// The outcome of a `put`: stored, or rejected because the buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PutOutcome {
+    /// The element was stored.
+    Stored,
+    /// The buffer was full; nothing changed.
+    Full,
+}
+
+impl PutOutcome {
+    /// Whether the element was stored.
+    pub fn is_stored(self) -> bool {
+        matches!(self, PutOutcome::Stored)
+    }
+}
+
+/// An atomic bounded buffer: `put` (capacity-checked), `take`
+/// (non-deterministic removal), `count`.
+///
+/// The producer-side mirror of [`crate::AtomicAccount`]: under the
+/// dynamic and hybrid engines, concurrent `put`s are admitted exactly
+/// when the remaining capacity covers all of them in every order.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol};
+/// use atomicity_adts::{AtomicBuffer, PutOutcome};
+/// use atomicity_spec::ObjectId;
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let buf = AtomicBuffer::with_capacity(ObjectId::new(1), &mgr, 2);
+/// let t = mgr.begin();
+/// assert_eq!(buf.put(&t, 7)?, PutOutcome::Stored);
+/// assert_eq!(buf.put(&t, 8)?, PutOutcome::Stored);
+/// assert_eq!(buf.put(&t, 9)?, PutOutcome::Full);
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+#[derive(Clone)]
+pub struct AtomicBuffer {
+    id: ObjectId,
+    obj: Arc<dyn AtomicObject>,
+}
+
+impl AtomicBuffer {
+    /// Creates a buffer with the given capacity under the manager's
+    /// protocol.
+    pub fn with_capacity(id: ObjectId, mgr: &TxnManager, capacity: u32) -> Self {
+        AtomicBuffer {
+            id,
+            obj: object_for_protocol(id, BoundedBufferSpec::with_capacity(capacity), mgr),
+        }
+    }
+
+    /// The buffer's object identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Stores `element`, or reports [`PutOutcome::Full`].
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only (deadlock, timestamp conflict, …).
+    pub fn put(&self, txn: &Txn, element: i64) -> Result<PutOutcome, TxnError> {
+        let v = self.obj.invoke(txn, op("put", [element]))?;
+        Ok(if v == Value::ok() {
+            PutOutcome::Stored
+        } else {
+            PutOutcome::Full
+        })
+    }
+
+    /// Removes and returns *some* element, or `None` when empty.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn take(&self, txn: &Txn) -> Result<Option<i64>, TxnError> {
+        let v = self.obj.invoke(txn, op("take", [] as [i64; 0]))?;
+        Ok(match v {
+            Value::Nil => None,
+            other => Some(expect_int(other, self.id)?),
+        })
+    }
+
+    /// The number of buffered elements.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn count(&self, txn: &Txn) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("count", [] as [i64; 0]))?;
+        expect_int(v, self.id)
+    }
+}
+
+impl std::fmt::Debug for AtomicBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBuffer")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::is_dynamic_atomic;
+    use atomicity_spec::SystemSpec;
+
+    #[test]
+    fn concurrent_puts_with_room_are_admitted() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let buf = AtomicBuffer::with_capacity(ObjectId::new(1), &mgr, 4);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        assert_eq!(buf.put(&a, 1).unwrap(), PutOutcome::Stored);
+        assert_eq!(buf.put(&b, 2).unwrap(), PutOutcome::Stored); // concurrent
+        mgr.commit(b).unwrap();
+        mgr.commit(a).unwrap();
+        let spec =
+            SystemSpec::new().with_object(ObjectId::new(1), BoundedBufferSpec::with_capacity(4));
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn tight_capacity_blocks_until_commit() {
+        // Capacity 1: the second put must wait for the first to resolve,
+        // then observe full.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let buf = Arc::new(AtomicBuffer::with_capacity(ObjectId::new(1), &mgr, 1));
+        let a = mgr.begin();
+        assert_eq!(buf.put(&a, 1).unwrap(), PutOutcome::Stored);
+        let buf2 = Arc::clone(&buf);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let b = mgr2.begin();
+            let out = buf2.put(&b, 2).unwrap();
+            mgr2.commit(b).unwrap();
+            out
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        mgr.commit(a).unwrap();
+        assert_eq!(h.join().unwrap(), PutOutcome::Full);
+        let spec =
+            SystemSpec::new().with_object(ObjectId::new(1), BoundedBufferSpec::with_capacity(1));
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn take_round_trip_all_protocols() {
+        for protocol in [Protocol::Dynamic, Protocol::Static, Protocol::Hybrid] {
+            let mgr = TxnManager::new(protocol);
+            let buf = AtomicBuffer::with_capacity(ObjectId::new(1), &mgr, 3);
+            let t = mgr.begin();
+            buf.put(&t, 5).unwrap();
+            assert_eq!(buf.count(&t).unwrap(), 1);
+            assert_eq!(buf.take(&t).unwrap(), Some(5));
+            assert_eq!(buf.take(&t).unwrap(), None);
+            mgr.commit(t).unwrap();
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Typed atomic abstract data types over the atomicity engines.
+//!
+//! Each type here wraps one of the engines from [`atomicity_core`] behind
+//! a strongly-typed interface: [`AtomicCounter`], [`AtomicSet`],
+//! [`AtomicQueue`], [`AtomicAccount`], [`AtomicMap`], [`AtomicRegister`],
+//! [`AtomicBuffer`], and the non-deterministic [`AtomicSemiqueue`]. Constructors select the
+//! engine matching the manager's [`atomicity_core::Protocol`] — the
+//! paper's rule that every object in a system satisfies the *same* local
+//! atomicity property (§4) is thus upheld by construction.
+//!
+//! # Example
+//!
+//! ```
+//! use atomicity_core::{TxnManager, Protocol};
+//! use atomicity_adts::AtomicAccount;
+//! use atomicity_spec::ObjectId;
+//!
+//! let mgr = TxnManager::new(Protocol::Hybrid);
+//! let acct = AtomicAccount::new(ObjectId::new(1), &mgr);
+//! let t = mgr.begin();
+//! acct.deposit(&t, 100)?;
+//! assert_eq!(acct.balance(&t)?, 100);
+//! mgr.commit(t)?;
+//! # Ok::<(), atomicity_core::TxnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod account;
+mod buffer;
+mod counter;
+mod map;
+mod queue;
+mod register;
+mod semiqueue;
+mod set;
+
+pub use account::{AtomicAccount, WithdrawOutcome};
+pub use buffer::{AtomicBuffer, PutOutcome};
+pub use counter::AtomicCounter;
+pub use map::AtomicMap;
+pub use queue::AtomicQueue;
+pub use register::AtomicRegister;
+pub use semiqueue::AtomicSemiqueue;
+pub use set::AtomicSet;
+
+use atomicity_core::{
+    AtomicObject, DynamicObject, HybridObject, Protocol, StaticObject, TxnError, TxnManager,
+};
+use atomicity_spec::{ObjectId, SequentialSpec, Value};
+use std::sync::Arc;
+
+/// Builds an atomic object for `spec` using the engine that matches the
+/// manager's protocol.
+///
+/// This is the extension point for defining new atomic ADTs: implement a
+/// [`SequentialSpec`] and wrap the returned object behind typed methods.
+pub fn object_for_protocol<S: SequentialSpec>(
+    id: ObjectId,
+    spec: S,
+    mgr: &TxnManager,
+) -> Arc<dyn AtomicObject> {
+    match mgr.protocol() {
+        Protocol::Dynamic => DynamicObject::new(id, spec, mgr) as Arc<dyn AtomicObject>,
+        Protocol::Static => StaticObject::new(id, spec, mgr) as Arc<dyn AtomicObject>,
+        Protocol::Hybrid => HybridObject::new(id, spec, mgr) as Arc<dyn AtomicObject>,
+    }
+}
+
+/// Converts an engine result to `i64`, flagging impossible shapes.
+pub(crate) fn expect_int(value: Value, object: ObjectId) -> Result<i64, TxnError> {
+    value.as_int().ok_or_else(|| TxnError::ProtocolMismatch {
+        object,
+        detail: format!("expected integer result, got {value}"),
+    })
+}
+
+/// Converts an engine result to `bool`, flagging impossible shapes.
+pub(crate) fn expect_bool(value: Value, object: ObjectId) -> Result<bool, TxnError> {
+    value.as_bool().ok_or_else(|| TxnError::ProtocolMismatch {
+        object,
+        detail: format!("expected boolean result, got {value}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::op;
+    use atomicity_spec::specs::CounterSpec;
+
+    #[test]
+    fn object_for_protocol_matches_manager() {
+        for protocol in [Protocol::Dynamic, Protocol::Static, Protocol::Hybrid] {
+            let mgr = TxnManager::new(protocol);
+            let obj = object_for_protocol(ObjectId::new(1), CounterSpec::new(), &mgr);
+            let t = mgr.begin();
+            let v = obj.invoke(&t, op("increment", [] as [i64; 0])).unwrap();
+            assert_eq!(v, Value::from(1));
+            mgr.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn expect_helpers_reject_mismatches() {
+        let x = ObjectId::new(9);
+        assert_eq!(expect_int(Value::from(3), x).unwrap(), 3);
+        assert!(expect_int(Value::from(true), x).is_err());
+        assert!(expect_bool(Value::from(true), x).unwrap());
+        assert!(expect_bool(Value::from(1), x).is_err());
+    }
+}

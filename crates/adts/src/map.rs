@@ -1,0 +1,199 @@
+//! The atomic key/value map — substrate for multi-account workloads.
+
+use crate::{expect_int, object_for_protocol};
+use atomicity_core::{AtomicObject, Txn, TxnError, TxnManager};
+use atomicity_spec::specs::KvMapSpec;
+use atomicity_spec::{op, ObjectId, Value};
+use std::sync::Arc;
+
+/// An atomic map from integer keys to integer values: `put`, `get`,
+/// `remove`, `add` (read-modify-write increment), `size`, `sum`.
+///
+/// `add` is the commutative update the banking experiments rely on: two
+/// `add`s to any keys commute (their results are independent of order
+/// given the same base state **only when disjoint** — the engine checks
+/// the actual state), while `sum` is the full-scan audit of §4.3.3.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol};
+/// use atomicity_adts::AtomicMap;
+/// use atomicity_spec::ObjectId;
+///
+/// let mgr = TxnManager::new(Protocol::Hybrid);
+/// let m = AtomicMap::new(ObjectId::new(1), &mgr);
+/// let t = mgr.begin();
+/// m.put(&t, 1, 100)?;
+/// assert_eq!(m.add(&t, 1, -30)?, 70);
+/// assert_eq!(m.sum(&t)?, 70);
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+#[derive(Clone)]
+pub struct AtomicMap {
+    id: ObjectId,
+    obj: Arc<dyn AtomicObject>,
+}
+
+impl AtomicMap {
+    /// Creates an empty map under the manager's protocol.
+    pub fn new(id: ObjectId, mgr: &TxnManager) -> Self {
+        AtomicMap {
+            id,
+            obj: object_for_protocol(id, KvMapSpec::new(), mgr),
+        }
+    }
+
+    /// Creates a map with initial entries.
+    pub fn with_initial(
+        id: ObjectId,
+        mgr: &TxnManager,
+        entries: impl IntoIterator<Item = (i64, i64)>,
+    ) -> Self {
+        AtomicMap {
+            id,
+            obj: object_for_protocol(id, KvMapSpec::with_initial(entries), mgr),
+        }
+    }
+
+    /// The map's object identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Sets `key` to `value`, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only (deadlock, timestamp conflict, …).
+    pub fn put(&self, txn: &Txn, key: i64, value: i64) -> Result<Option<i64>, TxnError> {
+        let v = self.obj.invoke(txn, op("put", [key, value]))?;
+        self.optional_int(v)
+    }
+
+    /// Reads the value at `key`.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn get(&self, txn: &Txn, key: i64) -> Result<Option<i64>, TxnError> {
+        let v = self.obj.invoke(txn, op("get", [key]))?;
+        self.optional_int(v)
+    }
+
+    /// Removes `key`, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn remove(&self, txn: &Txn, key: i64) -> Result<Option<i64>, TxnError> {
+        let v = self.obj.invoke(txn, op("remove", [key]))?;
+        self.optional_int(v)
+    }
+
+    /// Adds `delta` to the value at `key` (missing keys count as 0),
+    /// returning the new value.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn add(&self, txn: &Txn, key: i64, delta: i64) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("add", [key, delta]))?;
+        expect_int(v, self.id)
+    }
+
+    /// The number of entries.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn size(&self, txn: &Txn) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("size", [] as [i64; 0]))?;
+        expect_int(v, self.id)
+    }
+
+    /// The sum of all values — the audit scan of §4.3.3.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn sum(&self, txn: &Txn) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("sum", [] as [i64; 0]))?;
+        expect_int(v, self.id)
+    }
+
+    fn optional_int(&self, v: Value) -> Result<Option<i64>, TxnError> {
+        Ok(match v {
+            Value::Nil => None,
+            other => Some(expect_int(other, self.id)?),
+        })
+    }
+}
+
+impl std::fmt::Debug for AtomicMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicMap").field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::{is_dynamic_atomic, is_hybrid_atomic};
+    use atomicity_spec::SystemSpec;
+
+    #[test]
+    fn crud_round_trip() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let m = AtomicMap::new(ObjectId::new(1), &mgr);
+        let t = mgr.begin();
+        assert_eq!(m.put(&t, 1, 10).unwrap(), None);
+        assert_eq!(m.get(&t, 1).unwrap(), Some(10));
+        assert_eq!(m.put(&t, 1, 20).unwrap(), Some(10));
+        assert_eq!(m.remove(&t, 1).unwrap(), Some(20));
+        assert_eq!(m.get(&t, 1).unwrap(), None);
+        mgr.commit(t).unwrap();
+    }
+
+    #[test]
+    fn adds_to_different_keys_run_concurrently() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let m = AtomicMap::with_initial(ObjectId::new(1), &mgr, [(1, 100), (2, 100)]);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        assert_eq!(m.add(&a, 1, 10).unwrap(), 110);
+        assert_eq!(m.add(&b, 2, -10).unwrap(), 90); // concurrent
+        mgr.commit(b).unwrap();
+        mgr.commit(a).unwrap();
+        let spec = SystemSpec::new().with_object(
+            ObjectId::new(1),
+            KvMapSpec::with_initial([(1, 100), (2, 100)]),
+        );
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn hybrid_audit_sum_is_consistent() {
+        // A transfer in flight must never be half-visible to the audit.
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let m = AtomicMap::with_initial(ObjectId::new(1), &mgr, [(1, 100), (2, 100)]);
+        let transfer = mgr.begin();
+        m.add(&transfer, 1, -40).unwrap();
+        let audit = mgr.begin_read_only();
+        assert_eq!(
+            m.sum(&audit).unwrap(),
+            200,
+            "audit must see a consistent total"
+        );
+        m.add(&transfer, 2, 40).unwrap();
+        mgr.commit(transfer).unwrap();
+        mgr.commit(audit).unwrap();
+        let spec = SystemSpec::new().with_object(
+            ObjectId::new(1),
+            KvMapSpec::with_initial([(1, 100), (2, 100)]),
+        );
+        assert!(is_hybrid_atomic(&mgr.history(), &spec));
+    }
+}

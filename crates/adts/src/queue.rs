@@ -1,0 +1,176 @@
+//! The atomic FIFO queue of §5.1.
+
+use crate::{expect_int, object_for_protocol};
+use atomicity_core::{AtomicObject, Txn, TxnError, TxnManager};
+use atomicity_spec::specs::FifoQueueSpec;
+use atomicity_spec::{op, ObjectId, Value};
+use std::sync::Arc;
+
+/// An atomic FIFO queue of integers: `enqueue`, `dequeue`, `front`, `len`.
+///
+/// `dequeue` and `front` return `None` on an empty queue. Under the
+/// dynamic and hybrid engines, *enqueues by different transactions
+/// interleave freely* — the concurrency the scheduler model of Figure 5-1
+/// cannot even express (§5.1).
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol};
+/// use atomicity_adts::AtomicQueue;
+/// use atomicity_spec::ObjectId;
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let q = AtomicQueue::new(ObjectId::new(1), &mgr);
+/// let t = mgr.begin();
+/// q.enqueue(&t, 7)?;
+/// assert_eq!(q.dequeue(&t)?, Some(7));
+/// assert_eq!(q.dequeue(&t)?, None);
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+#[derive(Clone)]
+pub struct AtomicQueue {
+    id: ObjectId,
+    obj: Arc<dyn AtomicObject>,
+}
+
+impl AtomicQueue {
+    /// Creates an empty queue under the manager's protocol.
+    pub fn new(id: ObjectId, mgr: &TxnManager) -> Self {
+        AtomicQueue {
+            id,
+            obj: object_for_protocol(id, FifoQueueSpec::new(), mgr),
+        }
+    }
+
+    /// The queue's object identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Appends `element` at the back.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only (deadlock, timestamp conflict, …).
+    pub fn enqueue(&self, txn: &Txn, element: i64) -> Result<(), TxnError> {
+        self.obj.invoke(txn, op("enqueue", [element])).map(|_| ())
+    }
+
+    /// Removes and returns the front element, or `None` when empty.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn dequeue(&self, txn: &Txn) -> Result<Option<i64>, TxnError> {
+        let v = self.obj.invoke(txn, op("dequeue", [] as [i64; 0]))?;
+        Ok(match v {
+            Value::Nil => None,
+            other => Some(expect_int(other, self.id)?),
+        })
+    }
+
+    /// Peeks at the front element without removing it.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn front(&self, txn: &Txn) -> Result<Option<i64>, TxnError> {
+        let v = self.obj.invoke(txn, op("front", [] as [i64; 0]))?;
+        Ok(match v {
+            Value::Nil => None,
+            other => Some(expect_int(other, self.id)?),
+        })
+    }
+
+    /// The number of queued elements.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn len(&self, txn: &Txn) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("len", [] as [i64; 0]))?;
+        expect_int(v, self.id)
+    }
+
+    /// Whether the queue is empty, as seen by `txn`.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn is_empty(&self, txn: &Txn) -> Result<bool, TxnError> {
+        Ok(self.len(txn)? == 0)
+    }
+}
+
+impl std::fmt::Debug for AtomicQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicQueue").field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::is_dynamic_atomic;
+    use atomicity_spec::SystemSpec;
+
+    #[test]
+    fn fifo_order_across_transactions() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let q = AtomicQueue::new(ObjectId::new(1), &mgr);
+        let t = mgr.begin();
+        q.enqueue(&t, 1).unwrap();
+        q.enqueue(&t, 2).unwrap();
+        mgr.commit(t).unwrap();
+        let t2 = mgr.begin();
+        assert_eq!(q.front(&t2).unwrap(), Some(1));
+        assert_eq!(q.dequeue(&t2).unwrap(), Some(1));
+        assert_eq!(q.dequeue(&t2).unwrap(), Some(2));
+        assert!(q.is_empty(&t2).unwrap());
+        mgr.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn paper_interleaved_enqueues() {
+        // The §5.1 counterexample, via the typed API.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let q = AtomicQueue::new(ObjectId::new(1), &mgr);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        q.enqueue(&a, 1).unwrap();
+        q.enqueue(&b, 1).unwrap();
+        q.enqueue(&a, 2).unwrap();
+        q.enqueue(&b, 2).unwrap();
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        let c = mgr.begin();
+        let drained: Vec<_> = (0..4).map(|_| q.dequeue(&c).unwrap().unwrap()).collect();
+        assert_eq!(drained, vec![1, 2, 1, 2]);
+        mgr.commit(c).unwrap();
+        let spec = SystemSpec::new().with_object(ObjectId::new(1), FifoQueueSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn dequeue_blocks_on_uncommitted_enqueuer_when_order_matters() {
+        // After a commits [1], b's uncommitted enqueue(9) and c's dequeue:
+        // dequeue -> 1 is valid in both orders (b's enqueue goes to the
+        // back), so it is admitted concurrently.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let q = AtomicQueue::new(ObjectId::new(1), &mgr);
+        let a = mgr.begin();
+        q.enqueue(&a, 1).unwrap();
+        mgr.commit(a).unwrap();
+        let b = mgr.begin();
+        q.enqueue(&b, 9).unwrap();
+        let c = mgr.begin();
+        assert_eq!(q.dequeue(&c).unwrap(), Some(1));
+        mgr.commit(c).unwrap();
+        mgr.commit(b).unwrap();
+        let spec = SystemSpec::new().with_object(ObjectId::new(1), FifoQueueSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+}

@@ -1,0 +1,145 @@
+//! The atomic semiqueue — the non-deterministic weak queue of
+//! [Weihl & Liskov 83].
+
+use crate::{expect_int, object_for_protocol};
+use atomicity_core::{AtomicObject, Txn, TxnError, TxnManager};
+use atomicity_spec::specs::SemiqueueSpec;
+use atomicity_spec::{op, ObjectId, Value};
+use std::sync::Arc;
+
+/// An atomic weak queue: `enq`, `deq` (returns *some* present element),
+/// `count`.
+///
+/// The paper argues that non-determinism is needed "to achieve a
+/// reasonable level of concurrency" (§1): because `deq` may return *any*
+/// present element, two dequeuing transactions can both be admitted
+/// concurrently whenever the queue holds enough elements — impossible for
+/// a FIFO queue, whose dequeue order is forced.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol};
+/// use atomicity_adts::AtomicSemiqueue;
+/// use atomicity_spec::ObjectId;
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let q = AtomicSemiqueue::new(ObjectId::new(1), &mgr);
+/// let t = mgr.begin();
+/// q.enq(&t, 7)?;
+/// assert_eq!(q.deq(&t)?, Some(7));
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+#[derive(Clone)]
+pub struct AtomicSemiqueue {
+    id: ObjectId,
+    obj: Arc<dyn AtomicObject>,
+}
+
+impl AtomicSemiqueue {
+    /// Creates an empty semiqueue under the manager's protocol.
+    pub fn new(id: ObjectId, mgr: &TxnManager) -> Self {
+        AtomicSemiqueue {
+            id,
+            obj: object_for_protocol(id, SemiqueueSpec::new(), mgr),
+        }
+    }
+
+    /// The semiqueue's object identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Adds `element`.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only (deadlock, timestamp conflict, …).
+    pub fn enq(&self, txn: &Txn, element: i64) -> Result<(), TxnError> {
+        self.obj.invoke(txn, op("enq", [element])).map(|_| ())
+    }
+
+    /// Removes and returns *some* element, or `None` when empty.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn deq(&self, txn: &Txn) -> Result<Option<i64>, TxnError> {
+        let v = self.obj.invoke(txn, op("deq", [] as [i64; 0]))?;
+        Ok(match v {
+            Value::Nil => None,
+            other => Some(expect_int(other, self.id)?),
+        })
+    }
+
+    /// The number of queued elements.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn count(&self, txn: &Txn) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("count", [] as [i64; 0]))?;
+        expect_int(v, self.id)
+    }
+}
+
+impl std::fmt::Debug for AtomicSemiqueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicSemiqueue")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::is_dynamic_atomic;
+    use atomicity_spec::SystemSpec;
+
+    #[test]
+    fn concurrent_dequeues_with_enough_elements() {
+        // Two distinct elements, two concurrent dequeuers: both admitted —
+        // the non-determinism pays off exactly as the paper promises.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let q = AtomicSemiqueue::new(ObjectId::new(1), &mgr);
+        let setup = mgr.begin();
+        q.enq(&setup, 1).unwrap();
+        q.enq(&setup, 2).unwrap();
+        mgr.commit(setup).unwrap();
+
+        let a = mgr.begin();
+        let b = mgr.begin();
+        let va = q.deq(&a).unwrap().unwrap();
+        let vb = q.deq(&b).unwrap().unwrap(); // concurrent, no blocking
+        assert_ne!(va, vb, "concurrent dequeues must take distinct elements");
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        let spec = SystemSpec::new().with_object(ObjectId::new(1), SemiqueueSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn empty_deq_is_none() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let q = AtomicSemiqueue::new(ObjectId::new(1), &mgr);
+        let t = mgr.begin();
+        assert_eq!(q.deq(&t).unwrap(), None);
+        mgr.commit(t).unwrap();
+    }
+
+    #[test]
+    fn count_tracks_multiset_size() {
+        let mgr = TxnManager::new(Protocol::Static);
+        let q = AtomicSemiqueue::new(ObjectId::new(1), &mgr);
+        let t = mgr.begin();
+        q.enq(&t, 5).unwrap();
+        q.enq(&t, 5).unwrap();
+        assert_eq!(q.count(&t).unwrap(), 2);
+        assert_eq!(q.deq(&t).unwrap(), Some(5));
+        assert_eq!(q.count(&t).unwrap(), 1);
+        mgr.commit(t).unwrap();
+    }
+}

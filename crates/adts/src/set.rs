@@ -1,0 +1,163 @@
+//! The atomic integer set of §2–§3.
+
+use crate::{expect_bool, expect_int, object_for_protocol};
+use atomicity_core::{AtomicObject, Txn, TxnError, TxnManager};
+use atomicity_spec::specs::IntSetSpec;
+use atomicity_spec::{op, ObjectId};
+use std::sync::Arc;
+
+/// An atomic set of integers: `insert`, `delete`, `member`, `size`.
+///
+/// The paper's running example object (§2–§3). Inserts and deletes of
+/// *different* elements commute, so the engines admit them concurrently;
+/// membership queries pin the queried element only.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol};
+/// use atomicity_adts::AtomicSet;
+/// use atomicity_spec::ObjectId;
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let set = AtomicSet::new(ObjectId::new(1), &mgr);
+/// let t = mgr.begin();
+/// set.insert(&t, 3)?;
+/// assert!(set.member(&t, 3)?);
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+#[derive(Clone)]
+pub struct AtomicSet {
+    id: ObjectId,
+    obj: Arc<dyn AtomicObject>,
+}
+
+impl AtomicSet {
+    /// Creates an empty set under the manager's protocol.
+    pub fn new(id: ObjectId, mgr: &TxnManager) -> Self {
+        AtomicSet {
+            id,
+            obj: object_for_protocol(id, IntSetSpec::new(), mgr),
+        }
+    }
+
+    /// Creates a set with initial members.
+    pub fn with_initial(
+        id: ObjectId,
+        mgr: &TxnManager,
+        elements: impl IntoIterator<Item = i64>,
+    ) -> Self {
+        AtomicSet {
+            id,
+            obj: object_for_protocol(id, IntSetSpec::with_initial(elements), mgr),
+        }
+    }
+
+    /// The set's object identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Inserts `element` (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only (deadlock, timestamp conflict, …).
+    pub fn insert(&self, txn: &Txn, element: i64) -> Result<(), TxnError> {
+        self.obj.invoke(txn, op("insert", [element])).map(|_| ())
+    }
+
+    /// Deletes `element` (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn delete(&self, txn: &Txn, element: i64) -> Result<(), TxnError> {
+        self.obj.invoke(txn, op("delete", [element])).map(|_| ())
+    }
+
+    /// Whether `element` is a member.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn member(&self, txn: &Txn, element: i64) -> Result<bool, TxnError> {
+        let v = self.obj.invoke(txn, op("member", [element]))?;
+        expect_bool(v, self.id)
+    }
+
+    /// The number of members.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn size(&self, txn: &Txn) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("size", [] as [i64; 0]))?;
+        expect_int(v, self.id)
+    }
+}
+
+impl std::fmt::Debug for AtomicSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicSet").field("id", &self.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::is_dynamic_atomic;
+    use atomicity_spec::SystemSpec;
+
+    #[test]
+    fn disjoint_inserts_run_concurrently() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let set = AtomicSet::new(ObjectId::new(1), &mgr);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        set.insert(&a, 1).unwrap();
+        set.insert(&b, 2).unwrap(); // admitted while a uncommitted
+        mgr.commit(b).unwrap();
+        mgr.commit(a).unwrap();
+        let t = mgr.begin();
+        assert_eq!(set.size(&t).unwrap(), 2);
+        mgr.commit(t).unwrap();
+        let spec = SystemSpec::new().with_object(ObjectId::new(1), IntSetSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn member_blocks_conflicting_insert() {
+        // member(3) -> false pins "3 absent": an insert(3) by another
+        // transaction would invalidate one order and must wait.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let set = Arc::new(AtomicSet::new(ObjectId::new(1), &mgr));
+        let a = mgr.begin();
+        assert!(!set.member(&a, 3).unwrap());
+        let set2 = Arc::clone(&set);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let b = mgr2.begin();
+            set2.insert(&b, 3).unwrap();
+            mgr2.commit(b).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        mgr.commit(a).unwrap();
+        h.join().unwrap();
+        let spec = SystemSpec::new().with_object(ObjectId::new(1), IntSetSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn with_initial_members() {
+        let mgr = TxnManager::new(Protocol::Static);
+        let set = AtomicSet::with_initial(ObjectId::new(1), &mgr, [5, 6]);
+        let t = mgr.begin();
+        assert!(set.member(&t, 5).unwrap());
+        assert!(!set.member(&t, 7).unwrap());
+        assert_eq!(set.size(&t).unwrap(), 2);
+        mgr.commit(t).unwrap();
+    }
+}

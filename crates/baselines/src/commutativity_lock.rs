@@ -1,0 +1,389 @@
+//! Commutativity-table locking (Schwarz & Spector 82).
+
+use crate::locks::ModeLock;
+use atomicity_core::{AtomicObject, HistoryLog, Participant, Txn, TxnError, TxnManager};
+use atomicity_spec::{
+    ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Weak};
+
+/// A static commutativity predicate over operations: `true` iff the two
+/// operations commute **in every state** — the state-independent relation
+/// the conventional locking protocols are built on.
+pub type Commutes = fn(&Operation, &Operation) -> bool;
+
+/// The §5.1 commutativity table for the bank account: only
+/// deposit/deposit and balance/balance pairs commute; `withdraw` conflicts
+/// with everything (its outcome is state-dependent), and `balance`
+/// conflicts with both mutators.
+pub fn bank_commutativity(p: &Operation, q: &Operation) -> bool {
+    matches!(
+        (p.name(), q.name()),
+        ("deposit", "deposit") | ("balance", "balance")
+    )
+}
+
+/// The FIFO-queue table: *nothing* commutes — `enqueue(1)` does not
+/// commute with `enqueue(2)` (§5.1), dequeues are order-sensitive, and
+/// observers conflict with mutators. Only identical-argument observers
+/// commute.
+pub fn queue_commutativity(p: &Operation, q: &Operation) -> bool {
+    matches!(
+        (p.name(), q.name()),
+        ("front", "front") | ("len", "len") | ("front", "len") | ("len", "front")
+    )
+}
+
+/// The integer-set table, argument-dependent: operations on *different*
+/// elements always commute; on the same element, insert/insert and
+/// delete/delete commute (idempotent), member/member commutes, but a
+/// mutator conflicts with an observer of the same element. `size`
+/// conflicts with every mutator.
+pub fn set_commutativity(p: &Operation, q: &Operation) -> bool {
+    let (pn, qn) = (p.name(), q.name());
+    if pn == "size" || qn == "size" {
+        return pn == "member" || qn == "member" || (pn == "size" && qn == "size");
+    }
+    match (p.int_arg(0), q.int_arg(0)) {
+        (Some(i), Some(j)) if i != j => true,
+        _ => matches!(
+            (pn, qn),
+            ("insert", "insert") | ("delete", "delete") | ("member", "member")
+        ),
+    }
+}
+
+/// An object protected by operation-level locks with a **static
+/// commutativity table**.
+///
+/// An invocation waits until its operation commutes (per the table) with
+/// every operation held by other active transactions; locks are held to
+/// commit (strict two-phase). This is the protocol of
+/// [Schwarz & Spector 82] / [Korth 81]: type-specific, but blind to the
+/// current state — so two `withdraw`s never run concurrently even when
+/// the balance covers both, which is exactly the §5.1 gap to dynamic
+/// atomicity.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol, AtomicObject};
+/// use atomicity_baselines::{CommutativityLockedObject, bank_commutativity};
+/// use atomicity_spec::specs::BankAccountSpec;
+/// use atomicity_spec::{op, ObjectId};
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let acct = CommutativityLockedObject::new(
+///     ObjectId::new(1), BankAccountSpec::new(), &mgr, bank_commutativity);
+/// let t = mgr.begin();
+/// acct.invoke(&t, op("deposit", [5]))?;
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+pub struct CommutativityLockedObject<S: SequentialSpec> {
+    id: ObjectId,
+    spec: S,
+    commutes: Commutes,
+    log: HistoryLog,
+    lock: ModeLock<Operation>,
+    state: Mutex<State<S>>,
+    self_ref: Weak<CommutativityLockedObject<S>>,
+}
+
+struct State<S: SequentialSpec> {
+    committed: Vec<S::State>,
+    intentions: BTreeMap<ActivityId, Vec<OpResult>>,
+}
+
+impl<S: SequentialSpec> CommutativityLockedObject<S> {
+    /// Creates the object with the given commutativity table.
+    pub fn new(id: ObjectId, spec: S, mgr: &TxnManager, commutes: Commutes) -> Arc<Self> {
+        let initial = vec![spec.initial()];
+        Arc::new_cyclic(|self_ref| CommutativityLockedObject {
+            id,
+            spec,
+            commutes,
+            log: mgr.log(),
+            lock: ModeLock::new(),
+            state: Mutex::new(State {
+                committed: initial,
+                intentions: BTreeMap::new(),
+            }),
+            self_ref: self_ref.clone(),
+        })
+    }
+
+    /// Number of transactions currently holding operation locks here.
+    pub fn holder_count(&self) -> usize {
+        self.lock.holder_count()
+    }
+
+    fn self_participant(&self) -> Arc<dyn Participant> {
+        self.self_ref
+            .upgrade()
+            .expect("CommutativityLockedObject used after its Arc was dropped")
+    }
+}
+
+impl<S: SequentialSpec> AtomicObject for CommutativityLockedObject<S> {
+    fn try_invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        txn.register(self.self_participant());
+        let me = txn.id();
+        let commutes = self.commutes;
+        if !self
+            .lock
+            .try_acquire(txn, operation.clone(), commutes)
+        {
+            return Err(TxnError::WouldBlock { object: self.id });
+        }
+        let v = self.execute_locked(me, operation.clone())?;
+        self.log.record_all([
+            Event::invoke(me, self.id, operation),
+            Event::respond(me, self.id, v.clone()),
+        ]);
+        Ok(v)
+    }
+
+    fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        txn.register(self.self_participant());
+        let me = txn.id();
+        // Validity pre-check so ill-typed operations leave no events.
+        {
+            let st = self.state.lock();
+            let empty = Vec::new();
+            let own = st.intentions.get(&me).unwrap_or(&empty);
+            let frontier = crate::replay(&self.spec, &st.committed, own);
+            let valid = frontier
+                .iter()
+                .any(|s| !self.spec.step(s, &operation).is_empty());
+            if !valid {
+                return Err(TxnError::InvalidOperation {
+                    object: self.id,
+                    operation: operation.to_string(),
+                });
+            }
+        }
+        self.log
+            .record(Event::invoke(me, self.id, operation.clone()));
+        let commutes = self.commutes;
+        self.lock
+            .acquire(txn, self.id, operation.clone(), commutes)?;
+        let mut st = self.state.lock();
+        let empty = Vec::new();
+        let own = st.intentions.get(&me).unwrap_or(&empty);
+        let frontier = crate::replay(&self.spec, &st.committed, own);
+        let mut candidates: Vec<Value> = Vec::new();
+        for s in &frontier {
+            for (v, _) in self.spec.step(s, &operation) {
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                }
+            }
+        }
+        debug_assert!(!candidates.is_empty(), "validity pre-check passed");
+        candidates.sort();
+        let v = candidates.remove(0);
+        st.intentions
+            .entry(me)
+            .or_default()
+            .push((operation, v.clone()));
+        self.log.record(Event::respond(me, self.id, v.clone()));
+        Ok(v)
+    }
+}
+
+impl<S: SequentialSpec> CommutativityLockedObject<S> {
+    fn execute_locked(&self, me: ActivityId, operation: Operation) -> Result<Value, TxnError> {
+        let mut st = self.state.lock();
+        let empty = Vec::new();
+        let own = st.intentions.get(&me).unwrap_or(&empty);
+        let frontier = crate::replay(&self.spec, &st.committed, own);
+        let mut candidates: Vec<Value> = Vec::new();
+        for s in &frontier {
+            for (v, _) in self.spec.step(s, &operation) {
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(TxnError::InvalidOperation {
+                object: self.id,
+                operation: operation.to_string(),
+            });
+        }
+        candidates.sort();
+        let v = candidates.remove(0);
+        st.intentions
+            .entry(me)
+            .or_default()
+            .push((operation, v.clone()));
+        Ok(v)
+    }
+}
+
+impl<S: SequentialSpec> Participant for CommutativityLockedObject<S> {
+    fn object_id(&self) -> ObjectId {
+        self.id
+    }
+
+    fn commit(&self, txn: ActivityId, ts: Option<Timestamp>) {
+        let mut st = self.state.lock();
+        if let Some(list) = st.intentions.remove(&txn) {
+            let next = crate::replay(&self.spec, &st.committed, &list);
+            if !next.is_empty() {
+                st.committed = next;
+            }
+        }
+        let event = match ts {
+            Some(t) => Event::commit_ts(txn, self.id, t),
+            None => Event::commit(txn, self.id),
+        };
+        self.log.record(event);
+        drop(st);
+        self.lock.release_all(txn);
+    }
+
+    fn abort(&self, txn: ActivityId) {
+        self.state.lock().intentions.remove(&txn);
+        self.log.record(Event::abort(txn, self.id));
+        self.lock.release_all(txn);
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for CommutativityLockedObject<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommutativityLockedObject")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::is_dynamic_atomic;
+    use atomicity_spec::specs::{BankAccountSpec, IntSetSpec};
+    use atomicity_spec::{op, SystemSpec};
+    use std::time::Duration;
+
+    fn x() -> ObjectId {
+        ObjectId::new(1)
+    }
+
+    #[test]
+    fn tables_match_the_paper() {
+        // §5.1: two deposits commute...
+        assert!(bank_commutativity(&op("deposit", [3]), &op("deposit", [5])));
+        // ...two withdraws do not...
+        assert!(!bank_commutativity(
+            &op("withdraw", [4]),
+            &op("withdraw", [3])
+        ));
+        // ...nor deposit with withdraw.
+        assert!(!bank_commutativity(
+            &op("deposit", [1]),
+            &op("withdraw", [3])
+        ));
+        // §5.1: enqueue(1) does not commute with enqueue(2).
+        assert!(!queue_commutativity(
+            &op("enqueue", [1]),
+            &op("enqueue", [2])
+        ));
+        // Set: different elements commute, same element mutator/observer
+        // conflicts.
+        assert!(set_commutativity(&op("insert", [1]), &op("member", [2])));
+        assert!(!set_commutativity(&op("insert", [1]), &op("member", [1])));
+        assert!(set_commutativity(&op("insert", [1]), &op("insert", [1])));
+        assert!(!set_commutativity(
+            &op("insert", [1]),
+            &op("size", [] as [i64; 0])
+        ));
+    }
+
+    #[test]
+    fn concurrent_deposits_admitted() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct =
+            CommutativityLockedObject::new(x(), BankAccountSpec::new(), &mgr, bank_commutativity);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        acct.invoke(&a, op("deposit", [5])).unwrap();
+        acct.invoke(&b, op("deposit", [7])).unwrap(); // concurrent
+        assert_eq!(acct.holder_count(), 2);
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn concurrent_withdrawals_blocked_despite_headroom() {
+        // Balance 10 covers both withdrawals, but the static table cannot
+        // know that: the second withdraw blocks — the paper's suboptimality
+        // demonstration.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct =
+            CommutativityLockedObject::new(x(), BankAccountSpec::new(), &mgr, bank_commutativity);
+        let setup = mgr.begin();
+        acct.invoke(&setup, op("deposit", [10])).unwrap();
+        mgr.commit(setup).unwrap();
+
+        let b = mgr.begin();
+        acct.invoke(&b, op("withdraw", [4])).unwrap();
+        let acct2 = Arc::clone(&acct);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let c = mgr2.begin();
+            let v = acct2.invoke(&c, op("withdraw", [3])).unwrap();
+            mgr2.commit(c).unwrap();
+            v
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(acct.holder_count(), 1, "second withdraw must be blocked");
+        mgr.commit(b).unwrap();
+        assert_eq!(h.join().unwrap(), Value::ok());
+    }
+
+    #[test]
+    fn try_invoke_respects_the_table() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct =
+            CommutativityLockedObject::new(x(), BankAccountSpec::new(), &mgr, bank_commutativity);
+        let a = mgr.begin();
+        acct.invoke(&a, op("deposit", [5])).unwrap();
+        let b = mgr.begin();
+        // Deposits commute: admitted without blocking.
+        assert!(acct.try_invoke(&b, op("deposit", [7])).is_ok());
+        // Withdraw conflicts with the held deposits: refused.
+        let err = acct.try_invoke(&b, op("withdraw", [1])).unwrap_err();
+        assert!(matches!(err, TxnError::WouldBlock { .. }));
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+    }
+
+    #[test]
+    fn set_operations_on_disjoint_elements_share() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let set = CommutativityLockedObject::new(x(), IntSetSpec::new(), &mgr, set_commutativity);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        set.invoke(&a, op("insert", [1])).unwrap();
+        set.invoke(&b, op("insert", [2])).unwrap();
+        set.invoke(&b, op("member", [3])).unwrap();
+        assert_eq!(set.holder_count(), 2);
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        let spec = SystemSpec::new().with_object(x(), IntSetSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+}

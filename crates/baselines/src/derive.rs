@@ -1,0 +1,285 @@
+//! Deriving commutativity tables from sequential specifications.
+//!
+//! The conventional protocols (§5.1) need a state-independent
+//! commutativity relation. Writing those tables by hand is error-prone —
+//! and the paper's §6 remark ("the locking protocols discussed earlier
+//! will be more than adequate as implementations of dynamic atomicity")
+//! presumes you *have* one. This module derives a table empirically: two
+//! operations are declared to commute iff, over a sampled set of reachable
+//! states, executing them in either order yields the same result pair and
+//! the same reachable state sets.
+//!
+//! The derivation is **conservative only with respect to the sampled
+//! states**: it is a prototyping aid, not a proof. The tests compare the
+//! derived tables to the hand-written ones from
+//! [`crate::bank_commutativity`] etc. on their respective domains.
+
+use atomicity_spec::{OpResult, Operation, SequentialSpec, Value};
+
+/// Samples states reachable from the initial state by applying up to
+/// `depth` operations drawn from `universe` (breadth-first, deduplicated,
+/// capped at `max_states`).
+pub fn sample_states<S: SequentialSpec>(
+    spec: &S,
+    universe: &[Operation],
+    depth: usize,
+    max_states: usize,
+) -> Vec<S::State> {
+    let mut states: Vec<S::State> = vec![spec.initial()];
+    let mut frontier: Vec<S::State> = states.clone();
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for op in universe {
+                for (_, s2) in spec.step(s, op) {
+                    if !states.contains(&s2) && !next.contains(&s2) {
+                        next.push(s2);
+                    }
+                }
+            }
+        }
+        for s in &next {
+            if states.len() >= max_states {
+                break;
+            }
+            states.push(s.clone());
+        }
+        if states.len() >= max_states || next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    states
+}
+
+/// All (result-pair, final-frontier) outcomes of running `p` then `q`
+/// from `state`, as a canonically ordered list.
+fn ordered_outcomes<S: SequentialSpec>(
+    spec: &S,
+    state: &S::State,
+    p: &Operation,
+    q: &Operation,
+) -> Vec<(Value, Value)> {
+    let mut outcomes = Vec::new();
+    for (vp, sp) in spec.step(state, p) {
+        for (vq, _) in spec.step(&sp, q) {
+            let pair = (vp.clone(), vq);
+            if !outcomes.contains(&pair) {
+                outcomes.push(pair);
+            }
+        }
+    }
+    outcomes.sort();
+    outcomes
+}
+
+/// Whether `p` and `q` commute **in every sampled state**: for each state,
+/// every (result-of-p, result-of-q) pair achievable in one order is
+/// achievable in the other, and the states reachable under matching
+/// results coincide.
+pub fn ops_commute<S: SequentialSpec>(
+    spec: &S,
+    states: &[S::State],
+    p: &Operation,
+    q: &Operation,
+) -> bool {
+    for state in states {
+        let pq = ordered_outcomes(spec, state, p, q);
+        let qp: Vec<(Value, Value)> = ordered_outcomes(spec, state, q, p)
+            .into_iter()
+            .map(|(vq, vp)| (vp, vq))
+            .collect();
+        let mut qp_sorted = qp;
+        qp_sorted.sort();
+        if pq != qp_sorted {
+            return false;
+        }
+        // Result pairs match; final states must too (under each pair).
+        for (vp, vq) in &pq {
+            let after_pq = replay_pair(spec, state, p, vp, q, vq);
+            let after_qp = replay_pair(spec, state, q, vq, p, vp);
+            if !same_state_set(&after_pq, &after_qp) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn replay_pair<S: SequentialSpec>(
+    spec: &S,
+    state: &S::State,
+    first: &Operation,
+    first_value: &Value,
+    second: &Operation,
+    second_value: &Value,
+) -> Vec<S::State> {
+    let ops: Vec<OpResult> = vec![
+        (first.clone(), first_value.clone()),
+        (second.clone(), second_value.clone()),
+    ];
+    spec.replay(state, &ops)
+}
+
+fn same_state_set<T: PartialEq>(a: &[T], b: &[T]) -> bool {
+    a.len() == b.len() && a.iter().all(|x| b.contains(x)) && b.iter().all(|x| a.contains(x))
+}
+
+/// A memoized derived commutativity table over a fixed operation universe.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_baselines::derive::DerivedTable;
+/// use atomicity_spec::specs::BankAccountSpec;
+/// use atomicity_spec::op;
+///
+/// let universe = vec![op("deposit", [5]), op("withdraw", [5])];
+/// let table = DerivedTable::derive(&BankAccountSpec::new(), &universe, 3, 64);
+/// assert!(table.commutes(&op("deposit", [5]), &op("deposit", [5])));
+/// assert!(!table.commutes(&op("withdraw", [5]), &op("withdraw", [5])));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DerivedTable {
+    universe: Vec<Operation>,
+    /// `matrix[i][j]` = ops `i` and `j` commute.
+    matrix: Vec<Vec<bool>>,
+}
+
+impl DerivedTable {
+    /// Derives the table for every pair in `universe`, sampling states to
+    /// `depth` (capped at `max_states`).
+    pub fn derive<S: SequentialSpec>(
+        spec: &S,
+        universe: &[Operation],
+        depth: usize,
+        max_states: usize,
+    ) -> Self {
+        let states = sample_states(spec, universe, depth, max_states);
+        let n = universe.len();
+        let mut matrix = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let c = ops_commute(spec, &states, &universe[i], &universe[j]);
+                matrix[i][j] = c;
+                matrix[j][i] = c;
+            }
+        }
+        DerivedTable {
+            universe: universe.to_vec(),
+            matrix,
+        }
+    }
+
+    /// Whether `p` and `q` commute per the derived table. Operations
+    /// outside the derivation universe conservatively conflict.
+    pub fn commutes(&self, p: &Operation, q: &Operation) -> bool {
+        match (self.index_of(p), self.index_of(q)) {
+            (Some(i), Some(j)) => self.matrix[i][j],
+            _ => false,
+        }
+    }
+
+    /// The fraction of operation pairs that commute (a coarse concurrency
+    /// potential metric for the type).
+    pub fn commuting_fraction(&self) -> f64 {
+        let n = self.universe.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let total = (n * n) as f64;
+        let yes = self.matrix.iter().flatten().filter(|&&c| c).count() as f64;
+        yes / total
+    }
+
+    fn index_of(&self, op: &Operation) -> Option<usize> {
+        self.universe.iter().position(|u| u == op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::op;
+    use atomicity_spec::specs::{BankAccountSpec, FifoQueueSpec, IntSetSpec, SemiqueueSpec};
+
+    #[test]
+    fn bank_table_matches_hand_written_shape() {
+        let spec = BankAccountSpec::new();
+        let universe = vec![
+            op("deposit", [5]),
+            op("deposit", [3]),
+            op("withdraw", [5]),
+            op("withdraw", [3]),
+            op("balance", [] as [i64; 0]),
+        ];
+        let table = DerivedTable::derive(&spec, &universe, 4, 128);
+        // Deposits commute with deposits.
+        assert!(table.commutes(&op("deposit", [5]), &op("deposit", [3])));
+        // Withdraws do not commute with withdraws or deposits (the §5.1
+        // counterexample states are reachable).
+        assert!(!table.commutes(&op("withdraw", [5]), &op("withdraw", [3])));
+        assert!(!table.commutes(&op("deposit", [5]), &op("withdraw", [3])));
+        // Balance conflicts with mutators, commutes with itself.
+        assert!(!table.commutes(&op("balance", [] as [i64; 0]), &op("deposit", [5])));
+        assert!(table.commutes(
+            &op("balance", [] as [i64; 0]),
+            &op("balance", [] as [i64; 0])
+        ));
+    }
+
+    #[test]
+    fn set_table_distinguishes_elements() {
+        let spec = IntSetSpec::new();
+        let universe = vec![
+            op("insert", [1]),
+            op("insert", [2]),
+            op("member", [1]),
+            op("delete", [1]),
+        ];
+        let table = DerivedTable::derive(&spec, &universe, 3, 128);
+        assert!(table.commutes(&op("insert", [1]), &op("insert", [2])));
+        assert!(table.commutes(&op("insert", [2]), &op("member", [1])));
+        assert!(!table.commutes(&op("insert", [1]), &op("member", [1])));
+        assert!(!table.commutes(&op("insert", [1]), &op("delete", [1])));
+        // Same-element inserts are idempotent and commute.
+        assert!(table.commutes(&op("insert", [1]), &op("insert", [1])));
+    }
+
+    #[test]
+    fn queue_enqueues_do_not_commute_but_semiqueue_enqs_do() {
+        let fifo = FifoQueueSpec::new();
+        let universe = vec![op("enqueue", [1]), op("enqueue", [2])];
+        let table = DerivedTable::derive(&fifo, &universe, 2, 64);
+        // §5.1: enqueue(1) does not commute with enqueue(2) — the final
+        // queue orders differ.
+        assert!(!table.commutes(&op("enqueue", [1]), &op("enqueue", [2])));
+
+        let semi = SemiqueueSpec::new();
+        let universe = vec![op("enq", [1]), op("enq", [2])];
+        let table = DerivedTable::derive(&semi, &universe, 2, 64);
+        // The semiqueue's multiset state makes them commute — the
+        // non-determinism of `deq` is what buys this.
+        assert!(table.commutes(&op("enq", [1]), &op("enq", [2])));
+    }
+
+    #[test]
+    fn unknown_operations_conservatively_conflict() {
+        let table = DerivedTable::derive(&IntSetSpec::new(), &[op("insert", [1])], 2, 16);
+        assert!(!table.commutes(&op("insert", [1]), &op("insert", [9])));
+        assert!(table.commuting_fraction() > 0.0);
+    }
+
+    #[test]
+    fn sampling_respects_caps() {
+        let states = sample_states(
+            &IntSetSpec::new(),
+            &[op("insert", [1]), op("insert", [2])],
+            5,
+            3,
+        );
+        assert!(states.len() <= 3);
+        let none = sample_states(&IntSetSpec::new(), &[], 5, 10);
+        assert_eq!(none.len(), 1, "only the initial state without a universe");
+    }
+}

@@ -1,0 +1,67 @@
+//! Baseline protocols the paper compares against (§4.2, §5.1).
+//!
+//! - [`TwoPhaseLockedObject`]: strict two-phase locking with read/write
+//!   locks — operations are classified only as readers or writers, the
+//!   coarsest conventional protocol.
+//! - [`CommutativityLockedObject`]: operation-level locking with a
+//!   *static commutativity table* (Schwarz & Spector 82, Korth 81,
+//!   Bernstein 81) — two operations may run concurrently only if the
+//!   table says they commute, independent of the current state.
+//! - [`SchedulerModel`]: the scheduler/storage architecture of Figure 5-1,
+//!   with the property the paper criticizes: invocations are applied to
+//!   the storage module in schedule order, so the storage state — not the
+//!   transactions' serial semantics — determines later results.
+//! - [`ReedRegister`]: Reed's classic multi-version timestamp protocol for
+//!   read/write registers (the special case the static engine
+//!   generalizes).
+//!
+//! All baselines record the histories they produce into the shared
+//! [`atomicity_core::HistoryLog`], so the same checkers and experiment
+//! harnesses apply to them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commutativity_lock;
+pub mod derive;
+mod locks;
+mod reed_rw;
+mod rw_2pl;
+mod scheduler_model;
+
+pub use commutativity_lock::{
+    bank_commutativity, queue_commutativity, set_commutativity, CommutativityLockedObject, Commutes,
+};
+pub use derive::DerivedTable;
+pub use locks::{LockMode, ModeLock};
+pub use reed_rw::ReedRegister;
+pub use rw_2pl::TwoPhaseLockedObject;
+pub use scheduler_model::SchedulerModel;
+
+use atomicity_spec::{OpResult, SequentialSpec};
+
+/// Applies `ops` to every state in `frontier`, keeping the states in which
+/// each operation returned its recorded result (shared by the baselines'
+/// deferred-update machinery).
+pub(crate) fn replay<S: SequentialSpec>(
+    spec: &S,
+    frontier: &[S::State],
+    ops: &[OpResult],
+) -> Vec<S::State> {
+    let mut states: Vec<S::State> = frontier.to_vec();
+    for (op, expected) in ops {
+        let mut next: Vec<S::State> = Vec::new();
+        for s in &states {
+            for (value, s2) in spec.step(s, op) {
+                if &value == expected && !next.contains(&s2) {
+                    next.push(s2);
+                }
+            }
+        }
+        if next.is_empty() {
+            return Vec::new();
+        }
+        states = next;
+    }
+    states
+}

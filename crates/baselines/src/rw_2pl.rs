@@ -1,0 +1,367 @@
+//! Strict two-phase locking with read/write locks.
+
+use crate::locks::{LockMode, ModeLock};
+use atomicity_core::{AtomicObject, HistoryLog, Participant, Txn, TxnError, TxnManager};
+use atomicity_spec::{
+    ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Weak};
+
+/// An object protected by strict two-phase read/write locking.
+///
+/// Every operation is classified only as a reader
+/// ([`SequentialSpec::is_read_only`]) or a writer; readers share, writers
+/// exclude. This is the coarsest conventional protocol — the floor the
+/// paper's data-dependent protocols are measured against. Updates are
+/// deferred (intentions applied at commit), matching the recovery model
+/// the locking literature assumes.
+///
+/// Histories produced by this object are always dynamic atomic (2PL is a
+/// sub-protocol of dynamic atomicity) — it simply admits far fewer
+/// interleavings than [`atomicity_core::DynamicObject`].
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol, AtomicObject};
+/// use atomicity_baselines::TwoPhaseLockedObject;
+/// use atomicity_spec::specs::BankAccountSpec;
+/// use atomicity_spec::{op, ObjectId};
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let acct = TwoPhaseLockedObject::new(ObjectId::new(1), BankAccountSpec::new(), &mgr);
+/// let t = mgr.begin();
+/// acct.invoke(&t, op("deposit", [5]))?;
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+pub struct TwoPhaseLockedObject<S: SequentialSpec> {
+    id: ObjectId,
+    spec: S,
+    log: HistoryLog,
+    lock: ModeLock<LockMode>,
+    state: Mutex<State<S>>,
+    self_ref: Weak<TwoPhaseLockedObject<S>>,
+}
+
+struct State<S: SequentialSpec> {
+    committed: Vec<S::State>,
+    intentions: BTreeMap<ActivityId, Vec<OpResult>>,
+}
+
+impl<S: SequentialSpec> TwoPhaseLockedObject<S> {
+    /// Creates the object and wires it to the manager's history log.
+    pub fn new(id: ObjectId, spec: S, mgr: &TxnManager) -> Arc<Self> {
+        let initial = vec![spec.initial()];
+        Arc::new_cyclic(|self_ref| TwoPhaseLockedObject {
+            id,
+            spec,
+            log: mgr.log(),
+            lock: ModeLock::new(),
+            state: Mutex::new(State {
+                committed: initial,
+                intentions: BTreeMap::new(),
+            }),
+            self_ref: self_ref.clone(),
+        })
+    }
+
+    /// Number of transactions currently holding locks here.
+    pub fn holder_count(&self) -> usize {
+        self.lock.holder_count()
+    }
+
+    fn self_participant(&self) -> Arc<dyn Participant> {
+        self.self_ref
+            .upgrade()
+            .expect("TwoPhaseLockedObject used after its Arc was dropped")
+    }
+}
+
+impl<S: SequentialSpec> AtomicObject for TwoPhaseLockedObject<S> {
+    fn try_invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        txn.register(self.self_participant());
+        let me = txn.id();
+        let mode = if self.spec.is_read_only(&operation) {
+            LockMode::Read
+        } else {
+            LockMode::Write
+        };
+        if !self.lock.try_acquire(txn, mode, |a, b| a.compatible(*b)) {
+            return Err(TxnError::WouldBlock { object: self.id });
+        }
+        // Lock taken; execute and record invoke+respond atomically.
+        let v = self.execute_locked(me, operation.clone())?;
+        self.log.record_all([
+            Event::invoke(me, self.id, operation),
+            Event::respond(me, self.id, v.clone()),
+        ]);
+        Ok(v)
+    }
+
+    fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        txn.register(self.self_participant());
+        let me = txn.id();
+        let mode = if self.spec.is_read_only(&operation) {
+            LockMode::Read
+        } else {
+            LockMode::Write
+        };
+        // Validity pre-check so ill-typed operations leave no events.
+        {
+            let st = self.state.lock();
+            let empty = Vec::new();
+            let own = st.intentions.get(&me).unwrap_or(&empty);
+            let frontier = crate::replay(&self.spec, &st.committed, own);
+            let valid = frontier
+                .iter()
+                .any(|s| !self.spec.step(s, &operation).is_empty());
+            if !valid {
+                return Err(TxnError::InvalidOperation {
+                    object: self.id,
+                    operation: operation.to_string(),
+                });
+            }
+        }
+        self.log
+            .record(Event::invoke(me, self.id, operation.clone()));
+        self.lock
+            .acquire(txn, self.id, mode, |a, b| a.compatible(*b))?;
+        let mut st = self.state.lock();
+        let empty = Vec::new();
+        let own = st.intentions.get(&me).unwrap_or(&empty);
+        let frontier = crate::replay(&self.spec, &st.committed, own);
+        let mut candidates: Vec<Value> = Vec::new();
+        for s in &frontier {
+            for (v, _) in self.spec.step(s, &operation) {
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                }
+            }
+        }
+        debug_assert!(!candidates.is_empty(), "validity pre-check passed");
+        candidates.sort();
+        let v = candidates.remove(0);
+        st.intentions
+            .entry(me)
+            .or_default()
+            .push((operation, v.clone()));
+        self.log.record(Event::respond(me, self.id, v.clone()));
+        Ok(v)
+    }
+}
+
+impl<S: SequentialSpec> TwoPhaseLockedObject<S> {
+    fn execute_locked(&self, me: ActivityId, operation: Operation) -> Result<Value, TxnError> {
+        let mut st = self.state.lock();
+        let empty = Vec::new();
+        let own = st.intentions.get(&me).unwrap_or(&empty);
+        let frontier = crate::replay(&self.spec, &st.committed, own);
+        let mut candidates: Vec<Value> = Vec::new();
+        for s in &frontier {
+            for (v, _) in self.spec.step(s, &operation) {
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(TxnError::InvalidOperation {
+                object: self.id,
+                operation: operation.to_string(),
+            });
+        }
+        candidates.sort();
+        let v = candidates.remove(0);
+        st.intentions
+            .entry(me)
+            .or_default()
+            .push((operation, v.clone()));
+        Ok(v)
+    }
+}
+
+impl<S: SequentialSpec> Participant for TwoPhaseLockedObject<S> {
+    fn object_id(&self) -> ObjectId {
+        self.id
+    }
+
+    fn commit(&self, txn: ActivityId, ts: Option<Timestamp>) {
+        let mut st = self.state.lock();
+        if let Some(list) = st.intentions.remove(&txn) {
+            let next = crate::replay(&self.spec, &st.committed, &list);
+            if !next.is_empty() {
+                st.committed = next;
+            }
+        }
+        let event = match ts {
+            Some(t) => Event::commit_ts(txn, self.id, t),
+            None => Event::commit(txn, self.id),
+        };
+        self.log.record(event);
+        drop(st);
+        self.lock.release_all(txn);
+    }
+
+    fn abort(&self, txn: ActivityId) {
+        self.state.lock().intentions.remove(&txn);
+        self.log.record(Event::abort(txn, self.id));
+        self.lock.release_all(txn);
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for TwoPhaseLockedObject<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoPhaseLockedObject")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::is_dynamic_atomic;
+    use atomicity_spec::specs::BankAccountSpec;
+    use atomicity_spec::{op, SystemSpec};
+    use std::time::Duration;
+
+    fn x() -> ObjectId {
+        ObjectId::new(1)
+    }
+
+    #[test]
+    fn serial_transactions_work() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = TwoPhaseLockedObject::new(x(), BankAccountSpec::new(), &mgr);
+        let t = mgr.begin();
+        acct.invoke(&t, op("deposit", [10])).unwrap();
+        assert_eq!(
+            acct.invoke(&t, op("balance", [] as [i64; 0])).unwrap(),
+            Value::from(10)
+        );
+        mgr.commit(t).unwrap();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn concurrent_withdrawals_block_under_2pl() {
+        // The exact workload the dynamic engine admits concurrently (§5.1)
+        // serializes under 2PL: the second withdraw waits for the first.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = TwoPhaseLockedObject::new(x(), BankAccountSpec::new(), &mgr);
+        let setup = mgr.begin();
+        acct.invoke(&setup, op("deposit", [10])).unwrap();
+        mgr.commit(setup).unwrap();
+
+        let b = mgr.begin();
+        acct.invoke(&b, op("withdraw", [4])).unwrap();
+        let acct2 = Arc::clone(&acct);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let c = mgr2.begin();
+            let v = acct2.invoke(&c, op("withdraw", [3])).unwrap();
+            mgr2.commit(c).unwrap();
+            v
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // c must still be blocked on the write lock.
+        assert_eq!(acct.holder_count(), 1);
+        mgr.commit(b).unwrap();
+        assert_eq!(h.join().unwrap(), Value::ok());
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn concurrent_readers_share() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = TwoPhaseLockedObject::new(x(), BankAccountSpec::new(), &mgr);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        acct.invoke(&a, op("balance", [] as [i64; 0])).unwrap();
+        acct.invoke(&b, op("balance", [] as [i64; 0])).unwrap();
+        assert_eq!(acct.holder_count(), 2);
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+    }
+
+    #[test]
+    fn deadlock_reported_not_hung() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let x1 = TwoPhaseLockedObject::new(ObjectId::new(1), BankAccountSpec::new(), &mgr);
+        let x2 = TwoPhaseLockedObject::new(ObjectId::new(2), BankAccountSpec::new(), &mgr);
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        x1.invoke(&t1, op("deposit", [1])).unwrap();
+        x2.invoke(&t2, op("deposit", [1])).unwrap();
+        let x1b = Arc::clone(&x1);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let r = x1b.invoke(&t2, op("deposit", [1]));
+            let died = r.is_err();
+            if died {
+                mgr2.abort(t2);
+            } else {
+                mgr2.commit(t2).unwrap();
+            }
+            died
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let r1 = x2.invoke(&t1, op("deposit", [1]));
+        let t1_died = r1.is_err();
+        if t1_died {
+            mgr.abort(t1);
+        } else {
+            mgr.commit(t1).unwrap();
+        }
+        let t2_died = h.join().unwrap();
+        assert!(t1_died || t2_died);
+    }
+
+    #[test]
+    fn try_invoke_reports_would_block() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = TwoPhaseLockedObject::new(x(), BankAccountSpec::new(), &mgr);
+        let a = mgr.begin();
+        acct.invoke(&a, op("deposit", [1])).unwrap(); // write lock held
+        let b = mgr.begin();
+        let err = acct
+            .try_invoke(&b, op("balance", [] as [i64; 0]))
+            .unwrap_err();
+        assert!(matches!(err, TxnError::WouldBlock { .. }));
+        // Nothing was recorded for the refused attempt.
+        let events_before = mgr.history().len();
+        let _ = acct.try_invoke(&b, op("deposit", [2]));
+        assert_eq!(mgr.history().len(), events_before);
+        mgr.commit(a).unwrap();
+        // Lock released: the retry succeeds.
+        assert!(acct.try_invoke(&b, op("deposit", [2])).is_ok());
+        mgr.commit(b).unwrap();
+    }
+
+    #[test]
+    fn aborted_writes_invisible() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = TwoPhaseLockedObject::new(x(), BankAccountSpec::new(), &mgr);
+        let t = mgr.begin();
+        acct.invoke(&t, op("deposit", [99])).unwrap();
+        mgr.abort(t);
+        let t2 = mgr.begin();
+        assert_eq!(
+            acct.invoke(&t2, op("balance", [] as [i64; 0])).unwrap(),
+            Value::from(0)
+        );
+        mgr.commit(t2).unwrap();
+    }
+}

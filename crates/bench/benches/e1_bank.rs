@@ -1,0 +1,39 @@
+//! Criterion bench for E1 (§5.1): bank-account throughput per engine.
+
+use atomicity_bench::engines::Engine;
+use atomicity_bench::workloads::bank::{run_bank, BankParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_bank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_bank");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for engine in [
+        Engine::Dynamic,
+        Engine::Hybrid,
+        Engine::Static,
+        Engine::CommutativityLocking,
+        Engine::TwoPhaseLocking,
+    ] {
+        for headroom in [2.0f64, 0.5] {
+            let params = BankParams {
+                threads: 4,
+                txns_per_thread: 10,
+                amount: 5,
+                headroom,
+                hold_micros: 100,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), format!("headroom-{headroom}")),
+                &params,
+                |b, p| b.iter(|| run_bank(engine, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bank);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for E2 (§5.1): FIFO-queue producer throughput and the
+//! checker/scheduler-model verdicts on the paper's literal history.
+
+use atomicity_bench::engines::Engine;
+use atomicity_bench::workloads::queue::{paper_history_verdicts, run_queue, QueueParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_queue");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for engine in [
+        Engine::Dynamic,
+        Engine::Static,
+        Engine::CommutativityLocking,
+        Engine::TwoPhaseLocking,
+    ] {
+        let params = QueueParams {
+            producers: 4,
+            txns_per_producer: 5,
+            batch: 4,
+            hold_micros: 100,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("producers", engine.label()),
+            &params,
+            |b, p| b.iter(|| run_queue(engine, p)),
+        );
+    }
+    group.bench_function("paper_history_verdicts", |b| b.iter(paper_history_verdicts));
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for E3/E4 (§4.2.3, §4.3.3): audits vs updates per
+//! property.
+
+use atomicity_bench::engines::Engine;
+use atomicity_bench::workloads::audit::{run_audit, AuditParams};
+use atomicity_bench::workloads::lamport::{run_lamport, AuditMode, LamportParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_audit");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    let params = AuditParams {
+        shards: 3,
+        keys_per_shard: 2,
+        initial_balance: 100,
+        updaters: 2,
+        txns_per_updater: 8,
+        auditors: 1,
+        audits_per_auditor: 3,
+        hold_micros: 50,
+        audit_hold_micros: 300,
+    };
+    for engine in Engine::PROPERTIES {
+        group.bench_with_input(
+            BenchmarkId::new("audit_mix", engine.label()),
+            &params,
+            |b, p| b.iter(|| run_audit(engine, p)),
+        );
+    }
+    let lp = LamportParams {
+        shards: 3,
+        keys_per_shard: 2,
+        initial_balance: 100,
+        transferrers: 2,
+        txns_per_transferrer: 10,
+        transfer_hold_micros: 200,
+        audits: 10,
+        audit_hold_micros: 200,
+    };
+    for mode in AuditMode::ALL {
+        group.bench_with_input(BenchmarkId::new("lamport", mode.label()), &lp, |b, p| {
+            b.iter(|| run_lamport(mode, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

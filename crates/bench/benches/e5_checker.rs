@@ -1,0 +1,48 @@
+//! Criterion bench for E5: cost of the formal checkers — the
+//! serializability search and the three atomicity predicates — as history
+//! size grows.
+
+use atomicity_bench::enumerate::{enumerate_histories, standard_programs, Program};
+use atomicity_spec::atomicity::{is_atomic, is_dynamic_atomic};
+use atomicity_spec::specs::IntSetSpec;
+use atomicity_spec::{op, paper, ObjectId, SystemSpec, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_checker");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    let spec = paper::counter_system();
+    for n in [3u32, 5, 7] {
+        let h = paper::counter_serial(n);
+        group.bench_with_input(BenchmarkId::new("is_atomic_counter", n), &h, |b, h| {
+            b.iter(|| is_atomic(h, &spec))
+        });
+    }
+    let qspec = paper::queue_system();
+    let qh = paper::queue_interleaved_enqueues();
+    group.bench_function("is_dynamic_atomic_queue_example", |b| {
+        b.iter(|| is_dynamic_atomic(&qh, &qspec))
+    });
+
+    // Exhaustive enumeration of a two-activity scenario.
+    let x = ObjectId::new(1);
+    let sspec = SystemSpec::new().with_object(x, IntSetSpec::new());
+    let programs = vec![
+        Program::new(vec![(
+            op("member", [3]),
+            vec![Value::from(false), Value::from(true)],
+        )]),
+        Program::new(vec![(op("insert", [3]), vec![Value::ok()])]),
+    ];
+    group.bench_function("enumerate_two_activities", |b| {
+        b.iter(|| enumerate_histories(x, &sspec, &programs))
+    });
+    let _ = standard_programs(); // three-activity version used by the harness
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for E6: simulated crash/recovery cost and the
+//! intentions-vs-undo comparison.
+
+use atomicity_bench::workloads::recovery::{run_crash_sweep, run_recovery_cost};
+use atomicity_sim::{Cluster, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_recovery");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("cluster_20_transfers", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(SimConfig::default());
+            for i in 0..20i64 {
+                let n = cluster.account_count();
+                cluster.submit_transfer(i % n, (i * 7 + 3) % n, 5);
+            }
+            cluster.run_to_quiescence();
+            cluster.stats().committed
+        })
+    });
+    group.bench_function("crash_sweep_small", |b| b.iter(|| run_crash_sweep(2, 6, 5)));
+    for fraction in [0.95f64, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                "recovery_cost",
+                format!("{:.0}%-committed", fraction * 100.0),
+            ),
+            &fraction,
+            |b, &f| b.iter(|| run_recovery_cost(100, f)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

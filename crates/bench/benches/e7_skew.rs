@@ -1,0 +1,34 @@
+//! Criterion bench for E7 (§4.2.3): skewed-clock update workload per
+//! protocol.
+
+use atomicity_bench::engines::Engine;
+use atomicity_bench::workloads::skew::{run_skew, SkewParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_skew");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for engine in [Engine::Static, Engine::Hybrid] {
+        for skew in [0u64, 100] {
+            let params = SkewParams {
+                workers: 4,
+                txns_per_worker: 15,
+                skew_ticks: skew,
+                keys: 8,
+                hold_micros: 50,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), format!("skew-{skew}")),
+                &params,
+                |b, p| b.iter(|| run_skew(engine, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

@@ -1,0 +1,601 @@
+//! The experiment harness: regenerates every comparison in the paper.
+//!
+//! ```text
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 | all]
+//! ```
+//!
+//! Each experiment prints one or more tables; `EXPERIMENTS.md` records the
+//! paper's qualitative claim next to a captured run of this binary.
+
+use atomicity_bench::engines::Engine;
+use atomicity_bench::enumerate::{enumerate_histories, standard_programs};
+use atomicity_bench::explore::{engine_factory, explore, property_verifier, Script};
+use atomicity_bench::table::{f1, pct, Table};
+use atomicity_bench::workloads::audit::{run_audit, AuditParams};
+use atomicity_bench::workloads::bank::run_bank_ablation;
+use atomicity_bench::workloads::bank::{run_bank, BankParams};
+use atomicity_bench::workloads::lamport::{run_lamport, AuditMode, LamportParams};
+use atomicity_bench::workloads::queue::{paper_history_verdicts, run_queue, QueueParams};
+use atomicity_bench::workloads::recovery::{
+    run_crash_sweep, run_distributed_audits, run_lossy, run_recovery_cost,
+};
+use atomicity_bench::workloads::skew::{run_skew, SkewParams};
+use atomicity_spec::atomicity::{is_atomic, is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
+use atomicity_spec::well_formed::WellFormedness;
+use atomicity_spec::{paper, ObjectId, SystemSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let run_all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |name: &str| run_all || wanted.contains(&name);
+
+    if want("e1") {
+        e1_bank(quick);
+    }
+    if want("e2") {
+        e2_queue(quick);
+    }
+    if want("e3") {
+        e3_audit(quick);
+    }
+    if want("e4") {
+        e4_lamport(quick);
+    }
+    if want("e5") {
+        e5_enumeration();
+    }
+    if want("e6") {
+        e6_recovery(quick);
+    }
+    if want("e7") {
+        e7_skew(quick);
+    }
+    if want("a1") {
+        a1_ablation(quick);
+    }
+    if want("v1") {
+        v1_model_check();
+    }
+}
+
+/// E1 (§5.1): bank-account concurrency vs. locking, swept over headroom.
+fn e1_bank(quick: bool) {
+    println!("== E1: bank account — data-dependent admission vs locking (paper §5.1)\n");
+    let headrooms = [2.0, 1.0, 0.5, 0.1];
+    let engines = [
+        Engine::Dynamic,
+        Engine::Hybrid,
+        Engine::Static,
+        Engine::CommutativityLocking,
+        Engine::TwoPhaseLocking,
+    ];
+    let mut table = Table::new(vec![
+        "engine",
+        "headroom",
+        "txn/s",
+        "withdrawn",
+        "insufficient",
+        "aborted",
+    ])
+    .with_title("withdraw-only clients on one shared account");
+    for &headroom in &headrooms {
+        let params = BankParams {
+            threads: 4,
+            txns_per_thread: if quick { 10 } else { 40 },
+            amount: 5,
+            headroom,
+            hold_micros: if quick { 200 } else { 500 },
+        };
+        for engine in engines {
+            let out = run_bank(engine, &params);
+            table.row(vec![
+                engine.label().into(),
+                format!("{headroom:.1}"),
+                f1(out.throughput),
+                out.withdrawn.to_string(),
+                out.insufficient.to_string(),
+                out.aborted.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+/// E2 (§5.1, Fig 5-1): FIFO queue producers + the scheduler-model claim.
+fn e2_queue(quick: bool) {
+    println!("== E2: FIFO queue — interleaved enqueues & the scheduler model (paper §5.1)\n");
+    let params = QueueParams {
+        producers: 4,
+        txns_per_producer: if quick { 5 } else { 20 },
+        batch: 4,
+        hold_micros: if quick { 200 } else { 500 },
+    };
+    let mut table = Table::new(vec!["engine", "txn/s", "committed", "aborted", "drained"])
+        .with_title("concurrent enqueue batches");
+    for engine in [
+        Engine::Dynamic,
+        Engine::Hybrid,
+        Engine::Static,
+        Engine::CommutativityLocking,
+        Engine::TwoPhaseLocking,
+    ] {
+        let out = run_queue(engine, &params);
+        table.row(vec![
+            engine.label().into(),
+            f1(out.throughput),
+            out.committed.to_string(),
+            out.aborted.to_string(),
+            out.drained.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let (dynamic_ok, scheduler_ok) = paper_history_verdicts();
+    let mut verdicts = Table::new(vec!["model", "admits paper's 1,2,1,2 history?"])
+        .with_title("the paper's literal queue history (enqueues interleaved, dequeues 1,2,1,2)");
+    verdicts.row(vec![
+        "dynamic atomicity (checker)".into(),
+        yesno(dynamic_ok),
+    ]);
+    verdicts.row(vec![
+        "scheduler model (Figure 5-1)".into(),
+        yesno(scheduler_ok),
+    ]);
+    println!("{verdicts}");
+}
+
+/// E3 (§4.2.3): long read-only audits against short updates.
+fn e3_audit(quick: bool) {
+    println!("== E3: long read-only audits (paper §4.2.3)\n");
+    let params = AuditParams {
+        shards: 4,
+        keys_per_shard: 4,
+        initial_balance: 1_000,
+        updaters: 3,
+        txns_per_updater: if quick { 10 } else { 40 },
+        auditors: 2,
+        audits_per_auditor: if quick { 4 } else { 16 },
+        hold_micros: 100,
+        audit_hold_micros: if quick { 1_000 } else { 2_000 },
+    };
+    let mut table = Table::new(vec![
+        "engine",
+        "updates/s",
+        "upd aborts",
+        "audits ok",
+        "audit aborts",
+        "audit ms",
+        "inconsistent",
+    ])
+    .with_title("transfers + full-scan audits");
+    for engine in Engine::PROPERTIES {
+        let out = run_audit(engine, &params);
+        table.row(vec![
+            engine.label().into(),
+            f1(out.update_throughput),
+            out.updates_aborted.to_string(),
+            out.audits_committed.to_string(),
+            out.audits_aborted.to_string(),
+            f1(out.audit_latency.as_secs_f64() * 1_000.0),
+            out.audits_inconsistent.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// E4 (§4.3.3): Lamport's banking problem.
+fn e4_lamport(quick: bool) {
+    println!("== E4: Lamport's banking problem (paper §4.3.3)\n");
+    let params = LamportParams {
+        shards: 4,
+        keys_per_shard: 4,
+        initial_balance: 1_000,
+        transferrers: 3,
+        txns_per_transferrer: if quick { 15 } else { 60 },
+        transfer_hold_micros: 500,
+        audits: if quick { 20 } else { 60 },
+        audit_hold_micros: 500,
+    };
+    let mut table = Table::new(vec![
+        "audit discipline",
+        "audits",
+        "torn audits",
+        "torn %",
+        "transfers/s",
+        "transfer aborts",
+    ])
+    .with_title("transfers + audits under three audit disciplines");
+    for mode in AuditMode::ALL {
+        let out = run_lamport(mode, &params);
+        table.row(vec![
+            mode.label().into(),
+            out.audits.to_string(),
+            out.torn_audits.to_string(),
+            pct(out.torn_audits, out.audits),
+            f1(out.transfer_throughput),
+            out.transfers_aborted.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// E5 (§4.2.3, §4.3.3): witnesses + exhaustive classification counts.
+fn e5_enumeration() {
+    println!("== E5: relating the three properties (paper §4.2.3, §4.3.3)\n");
+
+    // Part A: the paper's witness histories, classified by the checkers.
+    let set = paper::set_system();
+    let mut witnesses = Table::new(vec![
+        "history (paper §)",
+        "atomic",
+        "dynamic",
+        "static",
+        "hybrid",
+    ])
+    .with_title("the paper's example histories, as classified by the checkers");
+    let na = || "n/a".to_string();
+    {
+        let h = paper::perm_example();
+        witnesses.row(vec![
+            "§3 perm example".into(),
+            yesno(is_atomic(&h, &set)),
+            yesno(is_dynamic_atomic(&h, &set)),
+            na(),
+            na(),
+        ]);
+        let h = paper::atomic_not_dynamic();
+        witnesses.row(vec![
+            "§4.1 atomic-not-dynamic".into(),
+            yesno(is_atomic(&h, &set)),
+            yesno(is_dynamic_atomic(&h, &set)),
+            na(),
+            na(),
+        ]);
+        let h = paper::dynamic_example();
+        witnesses.row(vec![
+            "§4.1 dynamic".into(),
+            yesno(is_atomic(&h, &set)),
+            yesno(is_dynamic_atomic(&h, &set)),
+            na(),
+            na(),
+        ]);
+        let h = paper::atomic_not_static();
+        witnesses.row(vec![
+            "§4.2 atomic-not-static".into(),
+            yesno(is_atomic(&h, &set)),
+            na(),
+            yesno(is_static_atomic(&h, &set)),
+            na(),
+        ]);
+        let h = paper::static_example();
+        witnesses.row(vec![
+            "§4.2 static".into(),
+            yesno(is_atomic(&h, &set)),
+            na(),
+            yesno(is_static_atomic(&h, &set)),
+            na(),
+        ]);
+        let h = paper::atomic_not_hybrid();
+        witnesses.row(vec![
+            "§4.3 atomic-not-hybrid".into(),
+            yesno(is_atomic(&h, &set)),
+            na(),
+            na(),
+            yesno(is_hybrid_atomic(&h, &set)),
+        ]);
+        let h = paper::hybrid_example();
+        witnesses.row(vec![
+            "§4.3 hybrid".into(),
+            yesno(is_atomic(&h, &set)),
+            na(),
+            na(),
+            yesno(is_hybrid_atomic(&h, &set)),
+        ]);
+        let bank = paper::bank_system();
+        let h = paper::bank_concurrent_withdraws();
+        witnesses.row(vec![
+            "§5.1 concurrent withdraws".into(),
+            yesno(is_atomic(&h, &bank)),
+            yesno(is_dynamic_atomic(&h, &bank)),
+            na(),
+            na(),
+        ]);
+        let q = paper::queue_system();
+        let h = paper::queue_interleaved_enqueues();
+        witnesses.row(vec![
+            "§5.1 queue 1,2,1,2".into(),
+            yesno(is_atomic(&h, &q)),
+            yesno(is_dynamic_atomic(&h, &q)),
+            na(),
+            na(),
+        ]);
+        // Well-formedness witnesses (asserted, not tabulated).
+        assert!(WellFormedness::Static.is_well_formed(&paper::static_wf_example()));
+        assert!(!WellFormedness::Static.is_well_formed(&paper::static_wf_counterexample()));
+        assert!(WellFormedness::Hybrid.is_well_formed(&paper::hybrid_wf_example()));
+        assert!(!WellFormedness::Hybrid.is_well_formed(&paper::hybrid_wf_counterexample()));
+    }
+    println!("{witnesses}");
+
+    // Part B: exhaustive counts.
+    let x = ObjectId::new(1);
+    let spec = SystemSpec::new().with_object(x, atomicity_spec::specs::IntSetSpec::new());
+    let summary = enumerate_histories(x, &spec, &standard_programs());
+    let mut counts = Table::new(vec!["class", "histories"]).with_title(format!(
+        "exhaustive classification of {} interleavings (a: member(3), b: insert(3), c: member(3))",
+        summary.total
+    ));
+    counts.row(vec!["well-formed".into(), summary.total.to_string()]);
+    counts.row(vec!["atomic".into(), summary.atomic.to_string()]);
+    counts.row(vec!["dynamic atomic".into(), summary.dynamic.to_string()]);
+    counts.row(vec![
+        "static atomic (start-order ts)".into(),
+        summary.static_start.to_string(),
+    ]);
+    counts.row(vec![
+        "hybrid atomic (commit-order ts)".into(),
+        summary.hybrid_commit.to_string(),
+    ]);
+    counts.row(vec![
+        "dynamic, not static".into(),
+        summary.dynamic_not_static.to_string(),
+    ]);
+    counts.row(vec![
+        "static, not dynamic".into(),
+        summary.static_not_dynamic.to_string(),
+    ]);
+    counts.row(vec![
+        "hybrid, not dynamic".into(),
+        summary.hybrid_not_dynamic.to_string(),
+    ]);
+    counts.row(vec![
+        "dynamic, not hybrid (must be 0)".into(),
+        summary.dynamic_not_hybrid.to_string(),
+    ]);
+    counts.row(vec![
+        "producible by commut-locking".into(),
+        summary.commut_lock_producible.to_string(),
+    ]);
+    counts.row(vec![
+        "producible by 2PL".into(),
+        summary.rw_lock_producible.to_string(),
+    ]);
+    println!("{counts}");
+}
+
+/// E6 (§1, §3): recoverability — crash sweep + recovery-cost comparison.
+fn e6_recovery(quick: bool) {
+    println!("== E6: recovery — crash sweep over two-phase commit (paper §1, §3)\n");
+    let transfers = if quick { 3 } else { 6 };
+    let stride = if quick { 4 } else { 2 };
+    let out = run_crash_sweep(transfers, stride, 17);
+    let mut table = Table::new(vec!["metric", "value"]).with_title(format!(
+        "crash of every node at every {stride}-th event of a {transfers}-transfer run"
+    ));
+    table.row(vec!["crash points tested".into(), out.points.to_string()]);
+    table.row(vec![
+        "atomic + conserved at".into(),
+        format!("{}/{}", out.atomic_points, out.points),
+    ]);
+    table.row(vec!["txns committed".into(), out.committed.to_string()]);
+    table.row(vec!["txns aborted".into(), out.aborted.to_string()]);
+    table.row(vec!["recoveries".into(), out.recoveries.to_string()]);
+    table.row(vec![
+        "intentions redone".into(),
+        out.redo_records.to_string(),
+    ]);
+    table.row(vec!["in-doubt resolved".into(), out.in_doubt.to_string()]);
+    println!("{table}");
+
+    let mut costs = Table::new(vec![
+        "txns",
+        "committed %",
+        "redo µs",
+        "undo µs",
+        "redone",
+        "undone",
+    ])
+    .with_title("recovery cost: intentions-list redo vs undo-log rollback");
+    for &fraction in &[0.95, 0.5, 0.05] {
+        let row = run_recovery_cost(if quick { 100 } else { 400 }, fraction);
+        costs.row(vec![
+            row.total_ops.to_string(),
+            format!("{:.0}%", fraction * 100.0),
+            row.redo_time.as_micros().to_string(),
+            row.undo_time.as_micros().to_string(),
+            row.redone_ops.to_string(),
+            row.undone_txns.to_string(),
+        ]);
+    }
+    println!("{costs}");
+
+    let mut lossy = Table::new(vec![
+        "loss %",
+        "dup %",
+        "committed",
+        "aborted",
+        "lost",
+        "duplicated",
+        "resends",
+        "atomic",
+    ])
+    .with_title("unreliable network: vote retransmission keeps two-phase commit atomic");
+    for (drop_p, dup_p) in [(0.0, 0.0), (0.1, 0.0), (0.3, 0.0), (0.0, 0.3), (0.3, 0.3)] {
+        let row = run_lossy(if quick { 8 } else { 20 }, drop_p, dup_p, 17);
+        lossy.row(vec![
+            format!("{:.0}%", drop_p * 100.0),
+            format!("{:.0}%", dup_p * 100.0),
+            row.committed.to_string(),
+            row.aborted.to_string(),
+            row.lost.to_string(),
+            row.duplicated.to_string(),
+            row.resends.to_string(),
+            if row.atomic { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    println!("{lossy}");
+
+    let mut audits = Table::new(vec![
+        "loss %",
+        "dup %",
+        "audits",
+        "torn",
+        "committed",
+        "aborted",
+        "crashes",
+    ])
+    .with_title("distributed timestamped audits under failures (§4.3, cluster scale)");
+    for (drop_p, dup_p) in [(0.0, 0.0), (0.15, 0.1)] {
+        let out = run_distributed_audits(if quick { 10 } else { 24 }, drop_p, dup_p, 31);
+        audits.row(vec![
+            format!("{:.0}%", drop_p * 100.0),
+            format!("{:.0}%", dup_p * 100.0),
+            out.audits.to_string(),
+            out.torn.to_string(),
+            out.committed.to_string(),
+            out.aborted.to_string(),
+            out.crashes.to_string(),
+        ]);
+    }
+    println!("{audits}");
+}
+
+/// A1 (ablation, DESIGN.md §4): the dynamic engine's permutation-check
+/// bound is the concurrency knob — `max_check = 1` serializes like a
+/// lock, larger bounds approach full data-dependent admission.
+fn a1_ablation(quick: bool) {
+    println!("== A1: ablation — dynamic admission bound (DESIGN.md §4)\n");
+    let params = BankParams {
+        threads: 4,
+        txns_per_thread: if quick { 10 } else { 40 },
+        amount: 5,
+        headroom: 2.0,
+        hold_micros: if quick { 200 } else { 500 },
+    };
+    let mut table = Table::new(vec!["max_check", "txn/s", "withdrawn", "aborted"])
+        .with_title("E1 workload, dynamic engine, varying permutation-check bound");
+    for max_check in [1usize, 2, 3, 4, 6] {
+        let out = run_bank_ablation(max_check, &params);
+        table.row(vec![
+            max_check.to_string(),
+            f1(out.throughput),
+            out.withdrawn.to_string(),
+            out.aborted.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+/// E7 (§4.2.3): timestamp skew sensitivity.
+fn e7_skew(quick: bool) {
+    println!("== E7: clock-skew sensitivity of static atomicity (paper §4.2.3)\n");
+    let mut table = Table::new(vec!["engine", "skew", "committed", "ts aborts", "abort %"])
+        .with_title("read-modify-write updates with per-worker clock skew");
+    for &skew in &[0u64, 10, 100, 1_000] {
+        for engine in [Engine::Static, Engine::Hybrid] {
+            let params = SkewParams {
+                workers: 4,
+                txns_per_worker: if quick { 15 } else { 50 },
+                skew_ticks: skew,
+                keys: 8,
+                hold_micros: 50,
+            };
+            let out = run_skew(engine, &params);
+            let total = out.committed + out.ts_aborts + out.other_aborts;
+            table.row(vec![
+                engine.label().into(),
+                skew.to_string(),
+                out.committed.to_string(),
+                out.ts_aborts.to_string(),
+                pct(out.ts_aborts, total),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+/// V1: exhaustive schedule exploration — every interleaving of the §5.1
+/// scenarios, verified against the checkers.
+fn v1_model_check() {
+    use atomicity_bench::engines::Engine;
+    use atomicity_core::Protocol;
+    use atomicity_spec::specs::{BankAccountSpec, FifoQueueSpec};
+
+    println!("== V1: exhaustive schedule exploration (model checking the engines)\n");
+    let mut table = Table::new(vec![
+        "scenario",
+        "engine",
+        "schedules",
+        "blocked edges",
+        "wedged",
+        "forced aborts",
+    ])
+    .with_title("every interleaving verified against the protocol's property");
+
+    // §5.1 bank, headroom vs tight, per property engine.
+    for (balance, label) in [(100i64, "bank headroom"), (5, "bank tight")] {
+        for (engine, protocol) in [
+            (Engine::Dynamic, Protocol::Dynamic),
+            (Engine::Static, Protocol::Static),
+            (Engine::Hybrid, Protocol::Hybrid),
+        ] {
+            let factory = engine_factory(engine, vec![BankAccountSpec::with_initial(balance)]);
+            let scripts = vec![
+                Script::update(vec![(0, atomicity_spec::op("withdraw", [4]))]),
+                Script::update(vec![(0, atomicity_spec::op("withdraw", [3]))]),
+                Script::update(vec![(0, atomicity_spec::op("deposit", [2]))]),
+            ];
+            let spec = atomicity_spec::SystemSpec::new()
+                .with_object(ObjectId::new(1), BankAccountSpec::with_initial(balance));
+            let stats = explore(&factory, &scripts, &property_verifier(protocol, spec));
+            table.row(vec![
+                label.into(),
+                engine.label().into(),
+                stats.leaves.to_string(),
+                stats.blocked_edges.to_string(),
+                stats.stuck.to_string(),
+                stats.forced_aborts.to_string(),
+            ]);
+        }
+    }
+    // §5.1 queue, dynamic vs serial locking.
+    for engine in [Engine::Dynamic, Engine::CommutativityLocking] {
+        let factory = engine_factory(engine, vec![FifoQueueSpec::new()]);
+        let scripts = vec![
+            Script::update(vec![
+                (0, atomicity_spec::op("enqueue", [1])),
+                (0, atomicity_spec::op("enqueue", [2])),
+            ]),
+            Script::update(vec![
+                (0, atomicity_spec::op("enqueue", [1])),
+                (0, atomicity_spec::op("enqueue", [2])),
+            ]),
+        ];
+        let spec =
+            atomicity_spec::SystemSpec::new().with_object(ObjectId::new(1), FifoQueueSpec::new());
+        let stats = explore(
+            &factory,
+            &scripts,
+            &property_verifier(Protocol::Dynamic, spec),
+        );
+        table.row(vec![
+            "queue interleave".into(),
+            engine.label().into(),
+            stats.leaves.to_string(),
+            stats.blocked_edges.to_string(),
+            stats.stuck.to_string(),
+            stats.forced_aborts.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn yesno(b: bool) -> String {
+    if b { "yes" } else { "no" }.into()
+}

@@ -1,0 +1,126 @@
+//! `histcheck` — judge a JSON history file with the formal checkers.
+//!
+//! ```text
+//! histcheck <history.json>               # print verdicts for the file
+//! histcheck --timeline <history.json>    # also render a timeline
+//! histcheck --dot <history.json>         # emit Graphviz of precedes(h)
+//! histcheck --example                    # print a ready-made example file
+//! ```
+//!
+//! Verdicts: well-formedness under each event-model discipline, atomicity,
+//! and (where the events carry the needed timestamps) dynamic / static /
+//! hybrid atomicity.
+
+use atomicity_bench::histfile::{canonical_examples, example_file, HistoryFile};
+use atomicity_spec::atomicity::{
+    is_atomic, is_dynamic_atomic, is_hybrid_atomic, is_static_atomic, timestamp_order,
+};
+use atomicity_spec::well_formed::WellFormedness;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let path = args.iter().find(|a| !a.starts_with("--"));
+    if flags.contains(&"--example") {
+        println!("{}", example_file().to_json());
+        return ExitCode::SUCCESS;
+    }
+    if flags.contains(&"--write-examples") {
+        let dir = path.map(String::as_str).unwrap_or("examples/histories");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("histcheck: {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (name, file) in canonical_examples() {
+            let target = format!("{dir}/{name}");
+            if let Err(e) = std::fs::write(&target, file.to_json()) {
+                eprintln!("histcheck: {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {target}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    match path {
+        Some(path) => match check(
+            path,
+            flags.contains(&"--timeline"),
+            flags.contains(&"--dot"),
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("histcheck: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            eprintln!("usage: histcheck [--timeline] [--dot] <history.json> | histcheck --example");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(path: &str, timeline: bool, dot: bool) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let file = HistoryFile::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+    let h = file.history();
+    let system = file.system()?;
+
+    println!(
+        "history: {} events, {} activities, {} objects",
+        h.len(),
+        h.activities().len(),
+        h.objects().len()
+    );
+    if timeline {
+        println!();
+        print!("{}", atomicity_spec::viz::timeline(&h));
+    } else {
+        for e in h.iter() {
+            println!("  {e}");
+        }
+    }
+    if dot {
+        println!();
+        print!("{}", atomicity_spec::viz::precedes_dot(&h));
+    }
+    println!();
+
+    let verdict = |name: &str, v: bool| println!("{name:<28} {}", if v { "yes" } else { "no" });
+
+    verdict(
+        "well-formed (basic)",
+        WellFormedness::Basic.is_well_formed(&h),
+    );
+    let static_wf = WellFormedness::Static.is_well_formed(&h);
+    verdict("well-formed (static model)", static_wf);
+    let hybrid_wf = WellFormedness::Hybrid.is_well_formed(&h);
+    verdict("well-formed (hybrid model)", hybrid_wf);
+    println!();
+
+    verdict("atomic", is_atomic(&h, &system));
+    verdict("dynamic atomic", is_dynamic_atomic(&h, &system));
+    let has_timestamps = timestamp_order(&h).is_some();
+    if static_wf && has_timestamps {
+        verdict("static atomic", is_static_atomic(&h, &system));
+    } else {
+        println!(
+            "{:<28} n/a (no complete initiation timestamps)",
+            "static atomic"
+        );
+    }
+    if hybrid_wf && has_timestamps {
+        verdict("hybrid atomic", is_hybrid_atomic(&h, &system));
+    } else {
+        println!(
+            "{:<28} n/a (no complete commit/initiation timestamps)",
+            "hybrid atomic"
+        );
+    }
+    Ok(())
+}

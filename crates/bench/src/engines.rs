@@ -1,0 +1,233 @@
+//! A uniform factory over the engines and baselines under comparison.
+
+use atomicity_baselines::{
+    bank_commutativity, queue_commutativity, set_commutativity, CommutativityLockedObject,
+    TwoPhaseLockedObject,
+};
+use atomicity_core::{AtomicObject, Protocol, TxnManager};
+use atomicity_spec::specs::{BankAccountSpec, FifoQueueSpec, IntSetSpec, KvMapSpec};
+use atomicity_spec::ObjectId;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which concurrency-control implementation a workload runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The dynamic-atomicity engine (§4.1) — state-dependent admission.
+    Dynamic,
+    /// The static-atomicity engine (§4.2) — generalized Reed timestamps.
+    Static,
+    /// The hybrid-atomicity engine (§4.3) — dynamic updates + versioned
+    /// read-only snapshots.
+    Hybrid,
+    /// Baseline: strict two-phase read/write locking.
+    TwoPhaseLocking,
+    /// Baseline: commutativity-table locking (Schwarz & Spector 82).
+    CommutativityLocking,
+}
+
+impl Engine {
+    /// All engines, in presentation order.
+    pub const ALL: [Engine; 5] = [
+        Engine::Dynamic,
+        Engine::Static,
+        Engine::Hybrid,
+        Engine::TwoPhaseLocking,
+        Engine::CommutativityLocking,
+    ];
+
+    /// The engines that implement the paper's three properties.
+    pub const PROPERTIES: [Engine; 3] = [Engine::Dynamic, Engine::Static, Engine::Hybrid];
+
+    /// Short label for table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Dynamic => "dynamic",
+            Engine::Static => "static",
+            Engine::Hybrid => "hybrid",
+            Engine::TwoPhaseLocking => "2PL",
+            Engine::CommutativityLocking => "commut-lock",
+        }
+    }
+
+    /// A manager running the protocol this engine needs.
+    pub fn manager(self) -> TxnManager {
+        match self {
+            Engine::Static => TxnManager::new(Protocol::Static),
+            Engine::Hybrid => TxnManager::new(Protocol::Hybrid),
+            Engine::Dynamic | Engine::TwoPhaseLocking | Engine::CommutativityLocking => {
+                TxnManager::new(Protocol::Dynamic)
+            }
+        }
+    }
+
+    /// A bank-account object (initial balance) under this engine.
+    pub fn account(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn AtomicObject> {
+        let spec = BankAccountSpec::with_initial(initial);
+        match self {
+            Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
+            Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
+            Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
+            Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
+            Engine::CommutativityLocking => {
+                CommutativityLockedObject::new(id, spec, mgr, bank_commutativity) as _
+            }
+        }
+    }
+
+    /// A key/value map object (initial entries) under this engine.
+    pub fn map(
+        self,
+        id: ObjectId,
+        mgr: &TxnManager,
+        entries: impl IntoIterator<Item = (i64, i64)>,
+    ) -> Arc<dyn AtomicObject> {
+        let spec = KvMapSpec::with_initial(entries);
+        match self {
+            Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
+            Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
+            Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
+            Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
+            Engine::CommutativityLocking => {
+                // The natural static table for maps: same-key operations
+                // conflict, different keys commute — reuse the set table's
+                // shape via a map-specific function below.
+                CommutativityLockedObject::new(id, spec, mgr, map_commutativity) as _
+            }
+        }
+    }
+
+    /// A FIFO-queue object under this engine.
+    pub fn queue(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
+        let spec = FifoQueueSpec::new();
+        match self {
+            Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
+            Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
+            Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
+            Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
+            Engine::CommutativityLocking => {
+                CommutativityLockedObject::new(id, spec, mgr, queue_commutativity) as _
+            }
+        }
+    }
+
+    /// An integer-set object under this engine.
+    pub fn set(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
+        let spec = IntSetSpec::new();
+        match self {
+            Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
+            Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
+            Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
+            Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
+            Engine::CommutativityLocking => {
+                CommutativityLockedObject::new(id, spec, mgr, set_commutativity) as _
+            }
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds an atomic object for an arbitrary specification under this
+/// engine. For [`Engine::CommutativityLocking`] no type-specific table is
+/// known for an arbitrary spec, so the most conservative table (nothing
+/// commutes — fully serial locking) is used; prefer the spec-specific
+/// constructors ([`Engine::account`] etc.) when a real table exists.
+pub fn build_object<S: atomicity_spec::SequentialSpec>(
+    engine: Engine,
+    id: ObjectId,
+    spec: S,
+    mgr: &TxnManager,
+) -> Arc<dyn AtomicObject> {
+    match engine {
+        Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
+        Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
+        Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
+        Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
+        Engine::CommutativityLocking => {
+            CommutativityLockedObject::new(id, spec, mgr, |_, _| false) as _
+        }
+    }
+}
+
+/// Static commutativity for the kv-map: different keys always commute;
+/// same-key `adjust`/`adjust` commutes; observers commute with observers.
+/// Whole-map scans (`sum`, `size`) conflict with every mutator.
+pub fn map_commutativity(p: &atomicity_spec::Operation, q: &atomicity_spec::Operation) -> bool {
+    let observer = |n: &str| matches!(n, "get" | "sum" | "size");
+    let scan = |n: &str| matches!(n, "sum" | "size");
+    if observer(p.name()) && observer(q.name()) {
+        return true;
+    }
+    if scan(p.name()) || scan(q.name()) {
+        return false;
+    }
+    match (p.int_arg(0), q.int_arg(0)) {
+        (Some(i), Some(j)) if i != j => true,
+        _ => matches!((p.name(), q.name()), ("adjust", "adjust")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::{op, Value};
+
+    #[test]
+    fn every_engine_runs_a_bank_transaction() {
+        for engine in Engine::ALL {
+            let mgr = engine.manager();
+            let acct = engine.account(ObjectId::new(1), &mgr, 100);
+            let t = mgr.begin();
+            assert_eq!(
+                acct.invoke(&t, op("withdraw", [40])).unwrap(),
+                Value::ok(),
+                "{engine}"
+            );
+            mgr.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_engine_runs_map_and_queue_and_set() {
+        for engine in Engine::ALL {
+            let mgr = engine.manager();
+            let m = engine.map(ObjectId::new(1), &mgr, [(1, 5)]);
+            let q = engine.queue(ObjectId::new(2), &mgr);
+            let s = engine.set(ObjectId::new(3), &mgr);
+            let t = mgr.begin();
+            m.invoke(&t, op("adjust", [1, 5])).unwrap();
+            q.invoke(&t, op("enqueue", [7])).unwrap();
+            s.invoke(&t, op("insert", [3])).unwrap();
+            mgr.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn map_table_shape() {
+        assert!(map_commutativity(
+            &op("adjust", [1, 5]),
+            &op("adjust", [1, 9])
+        ));
+        assert!(map_commutativity(&op("put", [1, 5]), &op("put", [2, 9])));
+        assert!(!map_commutativity(&op("put", [1, 5]), &op("put", [1, 9])));
+        assert!(!map_commutativity(
+            &op("adjust", [1, 5]),
+            &op("sum", [] as [i64; 0])
+        ));
+        assert!(map_commutativity(
+            &op("get", [1]),
+            &op("sum", [] as [i64; 0])
+        ));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> = Engine::ALL.iter().map(|e| e.label()).collect();
+        assert_eq!(labels.len(), Engine::ALL.len());
+    }
+}

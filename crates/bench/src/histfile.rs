@@ -1,0 +1,245 @@
+//! JSON serialization of histories + system specifications, for the
+//! `histcheck` tool.
+//!
+//! A history file pairs the event sequence with the specifications of the
+//! participating objects, so the checkers can judge it:
+//!
+//! ```json
+//! {
+//!   "objects": { "1": "int_set", "2": { "bank_account": { "initial": 10 } } },
+//!   "events": [
+//!     { "activity": 1, "object": 1,
+//!       "kind": { "Invoke": { "name": "insert", "args": [ { "Int": 3 } ] } } },
+//!     { "activity": 1, "object": 1, "kind": { "Respond": "Unit" } },
+//!     { "activity": 1, "object": 1, "kind": "Commit" }
+//!   ]
+//! }
+//! ```
+
+use atomicity_spec::specs::{
+    BankAccountSpec, BoundedBufferSpec, CounterSpec, FifoQueueSpec, IntSetSpec, KvMapSpec,
+    RegisterSpec, SemiqueueSpec,
+};
+use atomicity_spec::{Event, History, ObjectId, SystemSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named object specification, as written in history files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SpecKind {
+    /// [`CounterSpec`].
+    Counter,
+    /// [`IntSetSpec`], empty initial state.
+    IntSet,
+    /// [`FifoQueueSpec`].
+    FifoQueue,
+    /// [`BankAccountSpec`] with an initial balance.
+    BankAccount {
+        /// Initial balance (defaults to 0).
+        #[serde(default)]
+        initial: i64,
+    },
+    /// [`KvMapSpec`] with initial entries.
+    KvMap {
+        /// Initial key → value entries.
+        #[serde(default)]
+        initial: BTreeMap<i64, i64>,
+    },
+    /// [`RegisterSpec`] with an initial value.
+    Register {
+        /// Initial value (defaults to 0).
+        #[serde(default)]
+        initial: i64,
+    },
+    /// [`SemiqueueSpec`].
+    Semiqueue,
+    /// [`BoundedBufferSpec`] with a capacity.
+    BoundedBuffer {
+        /// Capacity.
+        capacity: u32,
+    },
+}
+
+impl SpecKind {
+    /// Installs this specification for `object` in `system`.
+    pub fn install(&self, system: SystemSpec, object: ObjectId) -> SystemSpec {
+        match self {
+            SpecKind::Counter => system.with_object(object, CounterSpec::new()),
+            SpecKind::IntSet => system.with_object(object, IntSetSpec::new()),
+            SpecKind::FifoQueue => system.with_object(object, FifoQueueSpec::new()),
+            SpecKind::BankAccount { initial } => {
+                system.with_object(object, BankAccountSpec::with_initial(*initial))
+            }
+            SpecKind::KvMap { initial } => system.with_object(
+                object,
+                KvMapSpec::with_initial(initial.iter().map(|(&k, &v)| (k, v))),
+            ),
+            SpecKind::Register { initial } => {
+                system.with_object(object, RegisterSpec::with_initial(*initial))
+            }
+            SpecKind::Semiqueue => system.with_object(object, SemiqueueSpec::new()),
+            SpecKind::BoundedBuffer { capacity } => {
+                system.with_object(object, BoundedBufferSpec::with_capacity(*capacity))
+            }
+        }
+    }
+}
+
+/// A history file: object specifications + the event sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistoryFile {
+    /// Object id (as a decimal string key) → specification.
+    pub objects: BTreeMap<String, SpecKind>,
+    /// The events, in computation order.
+    pub events: Vec<Event>,
+}
+
+impl HistoryFile {
+    /// Builds the file from in-memory pieces.
+    pub fn new(objects: impl IntoIterator<Item = (ObjectId, SpecKind)>, h: &History) -> Self {
+        HistoryFile {
+            objects: objects
+                .into_iter()
+                .map(|(id, k)| (id.raw().to_string(), k))
+                .collect(),
+            events: h.iter().cloned().collect(),
+        }
+    }
+
+    /// The history contained in the file.
+    pub fn history(&self) -> History {
+        History::from_events(self.events.iter().cloned())
+    }
+
+    /// The system specification contained in the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending key if an object key is not a decimal id.
+    pub fn system(&self) -> Result<SystemSpec, String> {
+        let mut system = SystemSpec::new();
+        for (key, kind) in &self.objects {
+            let raw: u32 = key
+                .parse()
+                .map_err(|_| format!("object key {key:?} is not a number"))?;
+            system = kind.install(system, ObjectId::new(raw));
+        }
+        Ok(system)
+    }
+
+    /// Parses a history file from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax/shape errors.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("history files always serialize")
+    }
+}
+
+/// A ready-made example file: the paper's §3 perm example over an
+/// integer set.
+pub fn example_file() -> HistoryFile {
+    HistoryFile::new(
+        [(atomicity_spec::paper::X, SpecKind::IntSet)],
+        &atomicity_spec::paper::perm_example(),
+    )
+}
+
+/// The canonical example files shipped under `examples/histories/`, as
+/// (file name, contents) pairs.
+pub fn canonical_examples() -> Vec<(&'static str, HistoryFile)> {
+    use atomicity_spec::paper;
+    vec![
+        ("perm_example.json", example_file()),
+        (
+            "bank_concurrent_withdraws.json",
+            HistoryFile::new(
+                [(paper::Y, SpecKind::BankAccount { initial: 0 })],
+                &paper::bank_concurrent_withdraws(),
+            ),
+        ),
+        (
+            "queue_interleaved.json",
+            HistoryFile::new(
+                [(paper::X, SpecKind::FifoQueue)],
+                &paper::queue_interleaved_enqueues(),
+            ),
+        ),
+        (
+            "atomic_not_dynamic.json",
+            HistoryFile::new([(paper::X, SpecKind::IntSet)], &paper::atomic_not_dynamic()),
+        ),
+        (
+            "hybrid_example.json",
+            HistoryFile::new([(paper::X, SpecKind::IntSet)], &paper::hybrid_example()),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::atomicity::is_atomic;
+    use atomicity_spec::paper;
+
+    #[test]
+    fn round_trip_preserves_history_and_verdict() {
+        let file = example_file();
+        let json = file.to_json();
+        let back = HistoryFile::from_json(&json).unwrap();
+        let h = back.history();
+        assert_eq!(h, paper::perm_example());
+        let system = back.system().unwrap();
+        assert!(is_atomic(&h, &system));
+    }
+
+    #[test]
+    fn all_spec_kinds_install() {
+        let kinds = vec![
+            SpecKind::Counter,
+            SpecKind::IntSet,
+            SpecKind::FifoQueue,
+            SpecKind::BankAccount { initial: 5 },
+            SpecKind::KvMap {
+                initial: [(1, 2)].into_iter().collect(),
+            },
+            SpecKind::Register { initial: 7 },
+            SpecKind::Semiqueue,
+            SpecKind::BoundedBuffer { capacity: 3 },
+        ];
+        let mut system = SystemSpec::new();
+        for (i, k) in kinds.iter().enumerate() {
+            system = k.install(system, ObjectId::new(i as u32 + 1));
+        }
+        assert_eq!(system.object_ids().count(), kinds.len());
+        // Serde round-trip of the kinds themselves.
+        for k in kinds {
+            let s = serde_json::to_string(&k).unwrap();
+            let back: SpecKind = serde_json::from_str(&s).unwrap();
+            assert_eq!(k, back);
+        }
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let k: SpecKind = serde_json::from_str(r#"{"bank_account": {}}"#).unwrap();
+        assert_eq!(k, SpecKind::BankAccount { initial: 0 });
+        let k: SpecKind = serde_json::from_str(r#""int_set""#).unwrap();
+        assert_eq!(k, SpecKind::IntSet);
+    }
+
+    #[test]
+    fn bad_object_keys_are_reported() {
+        let mut file = example_file();
+        let kind = file.objects.values().next().unwrap().clone();
+        file.objects.insert("not-a-number".into(), kind);
+        assert!(file.system().is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Multi-threaded workload runners for the experiments.
+
+pub mod audit;
+pub mod bank;
+pub mod lamport;
+pub mod queue;
+pub mod recovery;
+pub mod skew;
+
+use std::time::Duration;
+
+/// Busy-wait-free "work" inside a transaction: sleeping while holding
+/// intentions/locks is what makes serialization visible in throughput.
+pub(crate) fn hold(micros: u64) {
+    if micros > 0 {
+        std::thread::sleep(Duration::from_micros(micros));
+    }
+}

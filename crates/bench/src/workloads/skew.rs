@@ -1,0 +1,218 @@
+//! E7 — clock-skew sensitivity of static atomicity (§4.2.3).
+//!
+//! "Static atomicity works poorly for updating activities unless
+//! timestamps are generated using closely synchronized clocks." Each
+//! worker draws start timestamps from its own skewed clock; a worker whose
+//! clock lags issues operations that must be ordered *before* results
+//! already returned to fast-clock workers — the generalized Reed abort.
+//!
+//! Hybrid atomicity assigns update timestamps at commit from a single
+//! Lamport clock, so skew cannot hurt it: its abort rate stays flat.
+
+use crate::engines::Engine;
+use crate::workloads::hold;
+use atomicity_spec::{op, ObjectId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Parameters of the E7 workload.
+#[derive(Debug, Clone)]
+pub struct SkewParams {
+    /// Concurrent workers, each with its own clock skew.
+    pub workers: usize,
+    /// Transactions per worker.
+    pub txns_per_worker: usize,
+    /// Clock skew step: worker `w` leads by `w × skew_ticks` ticks.
+    pub skew_ticks: u64,
+    /// Distinct keys in the shared map.
+    pub keys: i64,
+    /// In-transaction work (µs).
+    pub hold_micros: u64,
+}
+
+impl Default for SkewParams {
+    fn default() -> Self {
+        SkewParams {
+            workers: 4,
+            txns_per_worker: 25,
+            skew_ticks: 0,
+            keys: 8,
+            hold_micros: 50,
+        }
+    }
+}
+
+/// Measured outcome of one E7 run.
+#[derive(Debug, Clone)]
+pub struct SkewOutcome {
+    /// The engine measured.
+    pub engine: Engine,
+    /// The skew step used.
+    pub skew_ticks: u64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Transactions aborted with a timestamp conflict.
+    pub ts_aborts: u64,
+    /// Transactions aborted for other reasons (deadlock).
+    pub other_aborts: u64,
+    /// Wall-clock duration.
+    pub wall: Duration,
+}
+
+/// Runs the E7 workload: read-modify-write transactions (`get` then
+/// `put`) on a shared map, with per-worker clock skew.
+pub fn run_skew(engine: Engine, params: &SkewParams) -> SkewOutcome {
+    assert!(
+        matches!(engine, Engine::Static | Engine::Hybrid),
+        "E7 compares the timestamped protocols"
+    );
+    let mgr = engine.manager();
+    let entries = (0..params.keys).map(|k| (k, 100));
+    let map = engine.map(ObjectId::new(1), &mgr, entries);
+    // A shared logical "real time" source; each worker adds its skew.
+    // Uniqueness: timestamp = (tick + skew) * workers + worker-index.
+    let real_time = Arc::new(AtomicU64::new(1));
+    let w = params.workers as u64;
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for worker in 0..params.workers {
+        let mgr = mgr.clone();
+        let map = Arc::clone(&map);
+        let params = params.clone();
+        let real_time = Arc::clone(&real_time);
+        handles.push(std::thread::spawn(move || {
+            let (mut committed, mut ts_aborts, mut other_aborts) = (0u64, 0u64, 0u64);
+            let skew = worker as u64 * params.skew_ticks;
+            for t in 0..params.txns_per_worker {
+                let txn = match engine {
+                    Engine::Static => {
+                        let tick = real_time.fetch_add(1, Ordering::SeqCst);
+                        mgr.begin_at((tick + skew) * w + worker as u64)
+                    }
+                    _ => mgr.begin(),
+                };
+                // Stagger key usage across workers so zero-skew runs
+                // rarely contend; skew then re-aligns ops of different
+                // workers onto the same key at conflicting timestamps.
+                let key = ((t as i64) + 2 * worker as i64) % params.keys;
+                let result = map.invoke(&txn, op("get", [key])).and_then(|old| {
+                    hold(params.hold_micros);
+                    let new = old.as_int().unwrap_or(0) + 1;
+                    map.invoke(&txn, op("put", [key, new]))
+                });
+                match result {
+                    Ok(_) => {
+                        if mgr.commit(txn).is_ok() {
+                            committed += 1;
+                        } else {
+                            other_aborts += 1;
+                        }
+                    }
+                    Err(e) => {
+                        mgr.abort(txn);
+                        if matches!(
+                            e,
+                            atomicity_core::TxnError::TimestampConflict { .. }
+                                | atomicity_core::TxnError::TimestampTooOld { .. }
+                        ) {
+                            ts_aborts += 1;
+                        } else {
+                            other_aborts += 1;
+                        }
+                    }
+                }
+            }
+            (committed, ts_aborts, other_aborts)
+        }));
+    }
+    let (mut committed, mut ts_aborts, mut other_aborts) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (c, t, o) = h.join().expect("skew worker panicked");
+        committed += c;
+        ts_aborts += t;
+        other_aborts += o;
+    }
+    SkewOutcome {
+        engine,
+        skew_ticks: params.skew_ticks,
+        committed,
+        ts_aborts,
+        other_aborts,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_transaction_resolves() {
+        for engine in [Engine::Static, Engine::Hybrid] {
+            let out = run_skew(
+                engine,
+                &SkewParams {
+                    workers: 3,
+                    txns_per_worker: 10,
+                    skew_ticks: 5,
+                    keys: 3,
+                    hold_micros: 100,
+                },
+            );
+            assert_eq!(
+                out.committed + out.ts_aborts + out.other_aborts,
+                30,
+                "{engine}"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_is_immune_to_skew() {
+        let out = run_skew(
+            Engine::Hybrid,
+            &SkewParams {
+                skew_ticks: 1_000,
+                ..SkewParams::default()
+            },
+        );
+        assert_eq!(out.ts_aborts, 0);
+    }
+
+    #[test]
+    fn static_aborts_rise_with_skew() {
+        // Aggregate a few runs to smooth scheduling noise; heavy skew must
+        // produce strictly more timestamp aborts than zero skew.
+        let total_ts_aborts = |skew: u64| -> u64 {
+            (0..3)
+                .map(|_| {
+                    run_skew(
+                        Engine::Static,
+                        &SkewParams {
+                            workers: 4,
+                            txns_per_worker: 25,
+                            skew_ticks: skew,
+                            keys: 8,
+                            hold_micros: 50,
+                        },
+                    )
+                    .ts_aborts
+                })
+                .sum()
+        };
+        let none = total_ts_aborts(0);
+        let heavy = total_ts_aborts(500);
+        assert!(
+            heavy > none,
+            "skewed clocks must cause more timestamp aborts: {heavy} vs {none}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamped protocols")]
+    fn rejects_untimestamped_engines() {
+        let _ = run_skew(Engine::Dynamic, &SkewParams::default());
+    }
+}

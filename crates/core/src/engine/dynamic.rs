@@ -1,0 +1,687 @@
+//! The dynamic-atomicity engine (§4.1).
+//!
+//! Deferred update with **state-dependent admission**: the object holds the
+//! committed abstract state plus, per active transaction, the *intentions
+//! list* of (operation, result) pairs it has executed. A new invocation is
+//! admitted with result `v` only if every permutation of the active
+//! transactions' intention lists (with the caller's extended by the new
+//! pair) replays successfully from the committed state — i.e. all
+//! serialization orders of the concurrent transactions remain acceptable,
+//! which is exactly what dynamic atomicity requires of orders not pinned
+//! by `precedes`.
+//!
+//! This state-dependent test is what separates the engine from
+//! commutativity-table locking: two withdrawals are admitted concurrently
+//! *when the balance covers both* (the paper's §5.1 example), and
+//! interleaved enqueues on a FIFO queue are admitted (the §5.1
+//! scheduler-model counterexample), while genuinely order-sensitive
+//! interleavings still block.
+
+use crate::engine::{all_orders_replay, replay_frontier};
+use crate::error::TxnError;
+use crate::log::HistoryLog;
+use crate::manager::TxnManager;
+use crate::object::{AtomicObject, Participant};
+use crate::stats::{ObjectStats, StatsSnapshot};
+use crate::txn::Txn;
+use atomicity_spec::{
+    ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Upper bound on concurrently checked intention lists; above it the
+/// engine conservatively blocks instead of enumerating permutations.
+const DEFAULT_MAX_CHECK: usize = 6;
+
+/// How long a blocked invocation sleeps between admission retries (a
+/// safety net on top of commit/abort notifications).
+const WAIT_SLICE: Duration = Duration::from_millis(5);
+
+/// An atomic object guaranteeing **dynamic atomicity** for a sequential
+/// specification `S`.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol, DynamicObject, AtomicObject};
+/// use atomicity_spec::specs::BankAccountSpec;
+/// use atomicity_spec::{op, ObjectId, Value};
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let acct = DynamicObject::new(ObjectId::new(1), BankAccountSpec::new(), &mgr);
+/// let t = mgr.begin();
+/// acct.invoke(&t, op("deposit", [10]))?;
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+pub struct DynamicObject<S: SequentialSpec> {
+    id: ObjectId,
+    spec: S,
+    log: HistoryLog,
+    mu: Mutex<Inner<S>>,
+    cv: Condvar,
+    max_check: usize,
+    stats: ObjectStats,
+    self_ref: Weak<DynamicObject<S>>,
+}
+
+struct Inner<S: SequentialSpec> {
+    /// All abstract states consistent with the committed prefix (a set,
+    /// because specifications may be non-deterministic). Invariant:
+    /// non-empty.
+    committed: Vec<S::State>,
+    /// Intentions list per active transaction, in execution order.
+    intentions: BTreeMap<ActivityId, Vec<OpResult>>,
+}
+
+/// The outcome of one admission attempt.
+enum Admit {
+    Granted(Value),
+    Invalid,
+    Conflict(BTreeSet<ActivityId>),
+}
+
+impl<S: SequentialSpec> DynamicObject<S> {
+    /// Creates the object and wires it to the manager's history log.
+    pub fn new(id: ObjectId, spec: S, mgr: &TxnManager) -> Arc<Self> {
+        Self::with_max_check(id, spec, mgr, DEFAULT_MAX_CHECK)
+    }
+
+    /// Creates the object with a custom bound on the number of concurrent
+    /// intention lists checked exhaustively (above it, conflicts are
+    /// assumed).
+    pub fn with_max_check(id: ObjectId, spec: S, mgr: &TxnManager, max_check: usize) -> Arc<Self> {
+        let initial = vec![spec.initial()];
+        Arc::new_cyclic(|self_ref| DynamicObject {
+            id,
+            spec,
+            log: mgr.log(),
+            mu: Mutex::new(Inner {
+                committed: initial,
+                intentions: BTreeMap::new(),
+            }),
+            cv: Condvar::new(),
+            max_check,
+            stats: ObjectStats::default(),
+            self_ref: self_ref.clone(),
+        })
+    }
+
+    /// Contention statistics for this object.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The object's sequential specification.
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    /// A copy of the committed abstract state set (for inspection/tests).
+    pub fn committed_states(&self) -> Vec<S::State> {
+        self.mu.lock().committed.clone()
+    }
+
+    /// Number of transactions with pending intentions at this object.
+    pub fn active_count(&self) -> usize {
+        self.mu.lock().intentions.len()
+    }
+
+    fn self_participant(&self) -> Arc<dyn Participant> {
+        self.self_ref
+            .upgrade()
+            .expect("DynamicObject used after its Arc was dropped")
+    }
+
+    fn try_admit(&self, inner: &Inner<S>, me: ActivityId, op: &Operation) -> Admit {
+        let empty = Vec::new();
+        let own = inner.intentions.get(&me).unwrap_or(&empty);
+        let own_frontier = replay_frontier(&self.spec, &inner.committed, own);
+        debug_assert!(!own_frontier.is_empty(), "own intentions must replay");
+
+        // Candidate results, deterministically ordered.
+        let mut candidates: Vec<Value> = Vec::new();
+        for s in &own_frontier {
+            for (v, _) in self.spec.step(s, op) {
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Admit::Invalid;
+        }
+        candidates.sort();
+
+        let others: Vec<(&ActivityId, &Vec<OpResult>)> = inner
+            .intentions
+            .iter()
+            .filter(|(id, list)| **id != me && !list.is_empty())
+            .collect();
+        if others.is_empty() {
+            return Admit::Granted(candidates.remove(0));
+        }
+        if others.len() + 1 > self.max_check {
+            return Admit::Conflict(others.iter().map(|(id, _)| **id).collect());
+        }
+
+        for v in candidates {
+            let mut mine = own.clone();
+            mine.push((op.clone(), v.clone()));
+            let mut lists: Vec<&[OpResult]> = others.iter().map(|(_, l)| l.as_slice()).collect();
+            lists.push(&mine);
+            if all_orders_replay(&self.spec, &inner.committed, &lists) {
+                return Admit::Granted(v);
+            }
+        }
+        Admit::Conflict(others.iter().map(|(id, _)| **id).collect())
+    }
+}
+
+impl<S: SequentialSpec> AtomicObject for DynamicObject<S> {
+    fn try_invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        self.try_invoke_once(txn, operation)
+    }
+
+    fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        txn.register(self.self_participant());
+        let me = txn.id();
+        let mut inner = self.mu.lock();
+        let mut invoked = false;
+        loop {
+            match self.try_admit(&inner, me, &operation) {
+                Admit::Invalid => {
+                    // Nothing was recorded: the operation never happened.
+                    return Err(TxnError::InvalidOperation {
+                        object: self.id,
+                        operation: operation.to_string(),
+                    });
+                }
+                Admit::Granted(v) => {
+                    let mut events = Vec::with_capacity(2);
+                    if !invoked {
+                        events.push(Event::invoke(me, self.id, operation.clone()));
+                    }
+                    events.push(Event::respond(me, self.id, v.clone()));
+                    inner
+                        .intentions
+                        .entry(me)
+                        .or_default()
+                        .push((operation, v.clone()));
+                    self.log.record_all(events);
+                    self.stats.record_admission();
+                    return Ok(v);
+                }
+                Admit::Conflict(holders) => {
+                    if !invoked {
+                        self.log
+                            .record(Event::invoke(me, self.id, operation.clone()));
+                        invoked = true;
+                    }
+                    match txn.request_wait(&holders) {
+                        crate::deadlock::WaitDecision::Die => {
+                            txn.clear_wait();
+                            self.stats.record_deadlock_kill();
+                            return Err(TxnError::Deadlock {
+                                txn: me,
+                                object: self.id,
+                            });
+                        }
+                        crate::deadlock::WaitDecision::Wait => {
+                            self.stats.record_block();
+                            self.cv.wait_for(&mut inner, WAIT_SLICE);
+                            txn.clear_wait();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: SequentialSpec> DynamicObject<S> {
+    /// One non-blocking admission attempt (see
+    /// [`AtomicObject::try_invoke`]).
+    fn try_invoke_once(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        txn.register(self.self_participant());
+        let me = txn.id();
+        let mut inner = self.mu.lock();
+        match self.try_admit(&inner, me, &operation) {
+            Admit::Invalid => Err(TxnError::InvalidOperation {
+                object: self.id,
+                operation: operation.to_string(),
+            }),
+            Admit::Granted(v) => {
+                self.log.record_all([
+                    Event::invoke(me, self.id, operation.clone()),
+                    Event::respond(me, self.id, v.clone()),
+                ]);
+                inner
+                    .intentions
+                    .entry(me)
+                    .or_default()
+                    .push((operation, v.clone()));
+                self.stats.record_admission();
+                Ok(v)
+            }
+            Admit::Conflict(_) => Err(TxnError::WouldBlock { object: self.id }),
+        }
+    }
+}
+
+impl<S: SequentialSpec> Participant for DynamicObject<S> {
+    fn object_id(&self) -> ObjectId {
+        self.id
+    }
+
+    fn commit(&self, txn: ActivityId, ts: Option<Timestamp>) {
+        let mut inner = self.mu.lock();
+        if let Some(list) = inner.intentions.remove(&txn) {
+            let next = replay_frontier(&self.spec, &inner.committed, &list);
+            debug_assert!(
+                !next.is_empty(),
+                "admitted intentions must replay at commit"
+            );
+            if !next.is_empty() {
+                inner.committed = next;
+            }
+        }
+        let event = match ts {
+            Some(t) => Event::commit_ts(txn, self.id, t),
+            None => Event::commit(txn, self.id),
+        };
+        self.log.record(event);
+        self.stats.record_commit();
+        self.cv.notify_all();
+    }
+
+    fn abort(&self, txn: ActivityId) {
+        let mut inner = self.mu.lock();
+        inner.intentions.remove(&txn);
+        self.log.record(Event::abort(txn, self.id));
+        self.stats.record_abort();
+        self.cv.notify_all();
+        drop(inner);
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for DynamicObject<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicObject")
+            .field("id", &self.id)
+            .field("active", &self.active_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Protocol;
+    use atomicity_spec::atomicity::{is_atomic, is_dynamic_atomic};
+    use atomicity_spec::specs::{BankAccountSpec, FifoQueueSpec, SemiqueueSpec};
+    use atomicity_spec::{op, SystemSpec};
+
+    fn x() -> ObjectId {
+        ObjectId::new(1)
+    }
+
+    #[test]
+    fn serial_transactions_round_trip() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let t = mgr.begin();
+        assert_eq!(acct.invoke(&t, op("deposit", [10])).unwrap(), Value::ok());
+        assert_eq!(
+            acct.invoke(&t, op("balance", [] as [i64; 0])).unwrap(),
+            Value::from(10)
+        );
+        mgr.commit(t).unwrap();
+        let t2 = mgr.begin();
+        assert_eq!(
+            acct.invoke(&t2, op("balance", [] as [i64; 0])).unwrap(),
+            Value::from(10)
+        );
+        mgr.commit(t2).unwrap();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        let h = mgr.history();
+        assert!(is_dynamic_atomic(&h, &spec));
+    }
+
+    #[test]
+    fn concurrent_withdrawals_with_headroom_are_admitted() {
+        // Paper §5.1: balance 10 covers withdraw(4) and withdraw(3) in
+        // either order, so both run concurrently without blocking.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let setup = mgr.begin();
+        acct.invoke(&setup, op("deposit", [10])).unwrap();
+        mgr.commit(setup).unwrap();
+
+        let b = mgr.begin();
+        let c = mgr.begin();
+        assert_eq!(acct.invoke(&b, op("withdraw", [4])).unwrap(), Value::ok());
+        // c is admitted while b is still uncommitted.
+        assert_eq!(acct.invoke(&c, op("withdraw", [3])).unwrap(), Value::ok());
+        mgr.commit(c).unwrap();
+        mgr.commit(b).unwrap();
+
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn insufficient_headroom_blocks_until_commit() {
+        // Balance 5: withdraw(4) and withdraw(3) cannot both succeed; the
+        // second blocks until the first commits, then gets
+        // insufficient_funds.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let setup = mgr.begin();
+        acct.invoke(&setup, op("deposit", [5])).unwrap();
+        mgr.commit(setup).unwrap();
+
+        let b = mgr.begin();
+        assert_eq!(acct.invoke(&b, op("withdraw", [4])).unwrap(), Value::ok());
+
+        let acct2 = Arc::clone(&acct);
+        let mgr2_handle = std::thread::spawn({
+            let c = mgr.begin();
+            let mgr_log = mgr.log();
+            move || {
+                let v = acct2.invoke(&c, op("withdraw", [3])).unwrap();
+                let _ = mgr_log; // silence unused in this closure shape
+                (c, v)
+            }
+        });
+        // Give the second withdrawal a moment to block, then commit b.
+        std::thread::sleep(Duration::from_millis(30));
+        mgr.commit(b).unwrap();
+        let (c, v) = mgr2_handle.join().unwrap();
+        assert_eq!(v, BankAccountSpec::insufficient_funds());
+        mgr.commit(c).unwrap();
+
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn interleaved_enqueues_are_admitted() {
+        // Paper §5.1 scheduler-model counterexample: a and b interleave
+        // enqueues; the engine admits all four without blocking.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let q = DynamicObject::new(x(), FifoQueueSpec::new(), &mgr);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        q.invoke(&a, op("enqueue", [1])).unwrap();
+        q.invoke(&b, op("enqueue", [1])).unwrap();
+        q.invoke(&a, op("enqueue", [2])).unwrap();
+        q.invoke(&b, op("enqueue", [2])).unwrap();
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        let c = mgr.begin();
+        let deq = || op("dequeue", [] as [i64; 0]);
+        // Commit order a-b: the committed queue is a's elements then b's.
+        assert_eq!(q.invoke(&c, deq()).unwrap(), Value::from(1));
+        assert_eq!(q.invoke(&c, deq()).unwrap(), Value::from(2));
+        assert_eq!(q.invoke(&c, deq()).unwrap(), Value::from(1));
+        assert_eq!(q.invoke(&c, deq()).unwrap(), Value::from(2));
+        mgr.commit(c).unwrap();
+
+        let spec = SystemSpec::new().with_object(x(), FifoQueueSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn order_sensitive_reads_block_writers() {
+        // A balance observation pins the state: a concurrent deposit would
+        // invalidate it in one order, so the deposit blocks until the
+        // reader commits.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let r = mgr.begin();
+        assert_eq!(
+            acct.invoke(&r, op("balance", [] as [i64; 0])).unwrap(),
+            Value::from(0)
+        );
+        let acct2 = Arc::clone(&acct);
+        let writer = std::thread::spawn({
+            let w = mgr.begin();
+            move || {
+                let v = acct2.invoke(&w, op("deposit", [5])).unwrap();
+                (w, v)
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // Writer must still be blocked.
+        assert_eq!(acct.active_count(), 1);
+        mgr.commit(r).unwrap();
+        let (w, v) = writer.join().unwrap();
+        assert_eq!(v, Value::ok());
+        mgr.commit(w).unwrap();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let x1 = DynamicObject::new(ObjectId::new(1), BankAccountSpec::new(), &mgr);
+        let x2 = DynamicObject::new(ObjectId::new(2), BankAccountSpec::new(), &mgr);
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        // t1 reads x1, t2 reads x2; then each deposits at the other's
+        // object: classic cross deadlock.
+        x1.invoke(&t1, op("balance", [] as [i64; 0])).unwrap();
+        x2.invoke(&t2, op("balance", [] as [i64; 0])).unwrap();
+        let x1b = Arc::clone(&x1);
+        let mgr2 = mgr.clone();
+        // Each side resolves its own transaction immediately, so whichever
+        // one the deadlock policy kills unblocks the other.
+        let h = std::thread::spawn(move || {
+            let r = x1b.invoke(&t2, op("deposit", [1]));
+            let died = r.is_err();
+            if died {
+                mgr2.abort(t2);
+            } else {
+                mgr2.commit(t2).unwrap();
+            }
+            died
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let r1 = x2.invoke(&t1, op("deposit", [1]));
+        let t1_died = r1.is_err();
+        if t1_died {
+            mgr.abort(t1);
+        } else {
+            mgr.commit(t1).unwrap();
+        }
+        let t2_died = h.join().unwrap();
+        assert!(
+            t1_died || t2_died,
+            "at least one side must die to break the cycle"
+        );
+        let spec = SystemSpec::new()
+            .with_object(ObjectId::new(1), BankAccountSpec::new())
+            .with_object(ObjectId::new(2), BankAccountSpec::new());
+        assert!(is_atomic(&mgr.history(), &spec));
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_trace() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let t = mgr.begin();
+        acct.invoke(&t, op("deposit", [100])).unwrap();
+        mgr.abort(t);
+        let t2 = mgr.begin();
+        assert_eq!(
+            acct.invoke(&t2, op("balance", [] as [i64; 0])).unwrap(),
+            Value::from(0)
+        );
+        mgr.commit(t2).unwrap();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn invalid_operation_records_nothing() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let t = mgr.begin();
+        let err = acct.invoke(&t, op("frob", [1])).unwrap_err();
+        assert!(matches!(err, TxnError::InvalidOperation { .. }));
+        assert!(mgr.history().is_empty());
+        mgr.commit(t).unwrap();
+    }
+
+    #[test]
+    fn stats_count_blocks_and_admissions() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let r = mgr.begin();
+        acct.invoke(&r, op("balance", [] as [i64; 0])).unwrap();
+        let acct2 = Arc::clone(&acct);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let w = mgr2.begin();
+            acct2.invoke(&w, op("deposit", [5])).unwrap();
+            mgr2.commit(w).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        mgr.commit(r).unwrap();
+        h.join().unwrap();
+        let snap = acct.stats();
+        assert_eq!(snap.admissions, 2);
+        assert!(snap.blocks >= 1, "the deposit must have blocked");
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.deadlock_kills, 0);
+    }
+
+    #[test]
+    fn nondeterministic_semiqueue_preserves_branches() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let q = DynamicObject::new(x(), SemiqueueSpec::new(), &mgr);
+        let t = mgr.begin();
+        q.invoke(&t, op("enq", [1])).unwrap();
+        q.invoke(&t, op("enq", [2])).unwrap();
+        mgr.commit(t).unwrap();
+        let t2 = mgr.begin();
+        let v = q.invoke(&t2, op("deq", [] as [i64; 0])).unwrap();
+        assert!(v == Value::from(1) || v == Value::from(2));
+        mgr.commit(t2).unwrap();
+        let spec = SystemSpec::new().with_object(x(), SemiqueueSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn pairwise_fine_but_triple_conflicts() {
+        // Balance 10: any two withdraw(4)s fit, three do not — the third
+        // must block until one of the first two resolves, then observe
+        // insufficient funds (if both commit).
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let setup = mgr.begin();
+        acct.invoke(&setup, op("deposit", [10])).unwrap();
+        mgr.commit(setup).unwrap();
+
+        let a = mgr.begin();
+        let b = mgr.begin();
+        assert_eq!(acct.invoke(&a, op("withdraw", [4])).unwrap(), Value::ok());
+        assert_eq!(acct.invoke(&b, op("withdraw", [4])).unwrap(), Value::ok());
+
+        let acct2 = Arc::clone(&acct);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let c = mgr2.begin();
+            let v = acct2.invoke(&c, op("withdraw", [4])).unwrap();
+            mgr2.commit(c).unwrap();
+            v
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // c must be blocked: only a and b hold intentions.
+        assert_eq!(acct.active_count(), 2);
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        assert_eq!(h.join().unwrap(), BankAccountSpec::insufficient_funds());
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn blocked_txn_proceeds_after_conflicting_abort() {
+        // The conflicting transaction aborts instead of committing: the
+        // blocked withdrawal then succeeds against the unchanged balance.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::new(x(), BankAccountSpec::new(), &mgr);
+        let setup = mgr.begin();
+        acct.invoke(&setup, op("deposit", [5])).unwrap();
+        mgr.commit(setup).unwrap();
+
+        let b = mgr.begin();
+        assert_eq!(acct.invoke(&b, op("withdraw", [4])).unwrap(), Value::ok());
+        let acct2 = Arc::clone(&acct);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let c = mgr2.begin();
+            let v = acct2.invoke(&c, op("withdraw", [3])).unwrap();
+            mgr2.commit(c).unwrap();
+            v
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        mgr.abort(b);
+        assert_eq!(h.join().unwrap(), Value::ok(), "abort frees the funds");
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn many_commutative_writers_scale_past_check_bound() {
+        // More concurrent writers than max_check: the engine conservatively
+        // serializes the excess, but everything still completes and the
+        // history stays dynamic atomic.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = DynamicObject::with_max_check(x(), BankAccountSpec::new(), &mgr, 3);
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let acct = Arc::clone(&acct);
+            let mgr = mgr.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = mgr.begin();
+                match acct.invoke(&t, op("deposit", [1])) {
+                    Ok(_) => {
+                        mgr.commit(t).unwrap();
+                        true
+                    }
+                    Err(_) => {
+                        mgr.abort(t);
+                        false
+                    }
+                }
+            }));
+        }
+        let committed = handles
+            .into_iter()
+            .filter(|_| true)
+            .map(|h| h.join().unwrap())
+            .filter(|ok| *ok)
+            .count();
+        assert!(committed >= 1);
+        let t = mgr.begin();
+        let v = acct.invoke(&t, op("balance", [] as [i64; 0])).unwrap();
+        assert_eq!(v, Value::from(committed as i64));
+        mgr.commit(t).unwrap();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+}

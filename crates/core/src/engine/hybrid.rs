@@ -1,0 +1,615 @@
+//! The hybrid-atomicity engine (§4.3).
+//!
+//! Updates are processed exactly as under dynamic atomicity
+//! (state-dependent admission over intentions lists, conflicts block);
+//! when an update commits, the manager assigns it a **commit timestamp**
+//! from the Lamport clock (consistent with `precedes` by construction)
+//! and the object installs the new committed state as a **version**
+//! keyed by that timestamp.
+//!
+//! Read-only transactions choose their timestamps at start and are served
+//! from the version chain: a reader with timestamp `t` sees exactly the
+//! committed updates with timestamps less than `t` — it never blocks,
+//! never aborts, and never interferes with updates (§4.3.3: "audits under
+//! the implementation of hybrid atomicity do not interfere with any
+//! updates").
+
+use crate::engine::{all_orders_replay, replay_frontier};
+use crate::error::TxnError;
+use crate::log::HistoryLog;
+use crate::manager::TxnManager;
+use crate::object::{AtomicObject, Participant};
+use crate::stats::{ObjectStats, StatsSnapshot};
+use crate::txn::{Txn, TxnKind};
+use atomicity_spec::{
+    ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+const DEFAULT_MAX_CHECK: usize = 6;
+const WAIT_SLICE: Duration = Duration::from_millis(5);
+
+/// An atomic object guaranteeing **hybrid atomicity** for a sequential
+/// specification `S`.
+///
+/// Use under [`crate::Protocol::Hybrid`]: updates from
+/// [`crate::TxnManager::begin`], audits from
+/// [`crate::TxnManager::begin_read_only`].
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol, HybridObject, AtomicObject};
+/// use atomicity_spec::specs::BankAccountSpec;
+/// use atomicity_spec::{op, ObjectId, Value};
+///
+/// let mgr = TxnManager::new(Protocol::Hybrid);
+/// let acct = HybridObject::new(ObjectId::new(1), BankAccountSpec::new(), &mgr);
+/// let t = mgr.begin();
+/// acct.invoke(&t, op("deposit", [10]))?;
+/// mgr.commit(t)?;
+/// let audit = mgr.begin_read_only();
+/// assert_eq!(acct.invoke(&audit, op("balance", [] as [i64; 0]))?, Value::from(10));
+/// mgr.commit(audit)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+pub struct HybridObject<S: SequentialSpec> {
+    id: ObjectId,
+    spec: S,
+    log: HistoryLog,
+    mu: Mutex<Inner<S>>,
+    cv: Condvar,
+    max_check: usize,
+    stats: ObjectStats,
+    self_ref: Weak<HybridObject<S>>,
+}
+
+struct Inner<S: SequentialSpec> {
+    /// The newest committed state frontier (admission base for updates).
+    current: Vec<S::State>,
+    /// Committed versions, ascending by commit timestamp.
+    versions: Vec<(Timestamp, Vec<S::State>)>,
+    /// Intentions list per active update transaction.
+    intentions: BTreeMap<ActivityId, Vec<OpResult>>,
+    /// Read-only transactions that have touched this object.
+    readers: BTreeSet<ActivityId>,
+}
+
+enum Admit {
+    Granted(Value),
+    Invalid,
+    Conflict(BTreeSet<ActivityId>),
+}
+
+impl<S: SequentialSpec> HybridObject<S> {
+    /// Creates the object and wires it to the manager's history log.
+    pub fn new(id: ObjectId, spec: S, mgr: &TxnManager) -> Arc<Self> {
+        Self::with_max_check(id, spec, mgr, DEFAULT_MAX_CHECK)
+    }
+
+    /// Creates the object with a custom concurrent-admission bound.
+    pub fn with_max_check(id: ObjectId, spec: S, mgr: &TxnManager, max_check: usize) -> Arc<Self> {
+        let initial = vec![spec.initial()];
+        Arc::new_cyclic(|self_ref| HybridObject {
+            id,
+            spec,
+            log: mgr.log(),
+            mu: Mutex::new(Inner {
+                current: initial,
+                versions: Vec::new(),
+                intentions: BTreeMap::new(),
+                readers: BTreeSet::new(),
+            }),
+            cv: Condvar::new(),
+            max_check,
+            stats: ObjectStats::default(),
+            self_ref: self_ref.clone(),
+        })
+    }
+
+    /// Contention statistics for this object.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of retained committed versions.
+    pub fn version_count(&self) -> usize {
+        self.mu.lock().versions.len()
+    }
+
+    /// Discards versions no longer needed by readers with timestamps
+    /// `>= horizon` (the newest version strictly below the horizon is
+    /// retained as their snapshot base).
+    pub fn truncate_versions_below(&self, horizon: Timestamp) {
+        let mut inner = self.mu.lock();
+        let keep_from = inner
+            .versions
+            .partition_point(|(ts, _)| *ts < horizon)
+            .saturating_sub(1);
+        inner.versions.drain(..keep_from);
+    }
+
+    fn self_participant(&self) -> Arc<dyn Participant> {
+        self.self_ref
+            .upgrade()
+            .expect("HybridObject used after its Arc was dropped")
+    }
+
+    /// The state frontier visible to a reader with timestamp `ts`: the
+    /// newest version committed strictly before `ts`.
+    fn snapshot_at(&self, inner: &Inner<S>, ts: Timestamp) -> Vec<S::State> {
+        let idx = inner.versions.partition_point(|(vts, _)| *vts < ts);
+        if idx == 0 {
+            vec![self.spec.initial()]
+        } else {
+            inner.versions[idx - 1].1.clone()
+        }
+    }
+
+    fn try_admit_update(&self, inner: &Inner<S>, me: ActivityId, op: &Operation) -> Admit {
+        let empty = Vec::new();
+        let own = inner.intentions.get(&me).unwrap_or(&empty);
+        let own_frontier = replay_frontier(&self.spec, &inner.current, own);
+        debug_assert!(!own_frontier.is_empty());
+
+        let mut candidates: Vec<Value> = Vec::new();
+        for s in &own_frontier {
+            for (v, _) in self.spec.step(s, op) {
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Admit::Invalid;
+        }
+        candidates.sort();
+
+        let others: Vec<(&ActivityId, &Vec<OpResult>)> = inner
+            .intentions
+            .iter()
+            .filter(|(id, list)| **id != me && !list.is_empty())
+            .collect();
+        if others.is_empty() {
+            return Admit::Granted(candidates.remove(0));
+        }
+        if others.len() + 1 > self.max_check {
+            return Admit::Conflict(others.iter().map(|(id, _)| **id).collect());
+        }
+        for v in candidates {
+            let mut mine = own.clone();
+            mine.push((op.clone(), v.clone()));
+            let mut lists: Vec<&[OpResult]> = others.iter().map(|(_, l)| l.as_slice()).collect();
+            lists.push(&mine);
+            if all_orders_replay(&self.spec, &inner.current, &lists) {
+                return Admit::Granted(v);
+            }
+        }
+        Admit::Conflict(others.iter().map(|(id, _)| **id).collect())
+    }
+
+    fn invoke_read_only(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        let ts = txn.start_ts().ok_or_else(|| TxnError::ProtocolMismatch {
+            object: self.id,
+            detail: "read-only transactions require a start timestamp".into(),
+        })?;
+        if !self.spec.is_read_only(&operation) {
+            return Err(TxnError::ProtocolMismatch {
+                object: self.id,
+                detail: format!("operation {operation} may modify state"),
+            });
+        }
+        txn.register(self.self_participant());
+        let me = txn.id();
+        let mut inner = self.mu.lock();
+        let states = self.snapshot_at(&inner, ts);
+        let mut candidates: Vec<Value> = Vec::new();
+        for s in &states {
+            for (v, _) in self.spec.step(s, &operation) {
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Err(TxnError::InvalidOperation {
+                object: self.id,
+                operation: operation.to_string(),
+            });
+        }
+        candidates.sort();
+        let v = candidates.remove(0);
+        let mut events = Vec::with_capacity(3);
+        if inner.readers.insert(me) {
+            events.push(Event::initiate(me, self.id, ts));
+        }
+        events.push(Event::invoke(me, self.id, operation));
+        events.push(Event::respond(me, self.id, v.clone()));
+        self.log.record_all(events);
+        self.stats.record_admission();
+        Ok(v)
+    }
+
+    fn invoke_update(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        txn.register(self.self_participant());
+        let me = txn.id();
+        let mut inner = self.mu.lock();
+        let mut invoked = false;
+        loop {
+            match self.try_admit_update(&inner, me, &operation) {
+                Admit::Invalid => {
+                    return Err(TxnError::InvalidOperation {
+                        object: self.id,
+                        operation: operation.to_string(),
+                    });
+                }
+                Admit::Granted(v) => {
+                    let mut events = Vec::with_capacity(2);
+                    if !invoked {
+                        events.push(Event::invoke(me, self.id, operation.clone()));
+                    }
+                    events.push(Event::respond(me, self.id, v.clone()));
+                    inner
+                        .intentions
+                        .entry(me)
+                        .or_default()
+                        .push((operation, v.clone()));
+                    self.log.record_all(events);
+                    self.stats.record_admission();
+                    return Ok(v);
+                }
+                Admit::Conflict(holders) => {
+                    if !invoked {
+                        self.log
+                            .record(Event::invoke(me, self.id, operation.clone()));
+                        invoked = true;
+                    }
+                    match txn.request_wait(&holders) {
+                        crate::deadlock::WaitDecision::Die => {
+                            txn.clear_wait();
+                            self.stats.record_deadlock_kill();
+                            return Err(TxnError::Deadlock {
+                                txn: me,
+                                object: self.id,
+                            });
+                        }
+                        crate::deadlock::WaitDecision::Wait => {
+                            self.stats.record_block();
+                            self.cv.wait_for(&mut inner, WAIT_SLICE);
+                            txn.clear_wait();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S: SequentialSpec> AtomicObject for HybridObject<S> {
+    fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        match txn.kind() {
+            TxnKind::ReadOnly => self.invoke_read_only(txn, operation),
+            TxnKind::Update => self.invoke_update(txn, operation),
+        }
+    }
+
+    fn try_invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        match txn.kind() {
+            // Read-only invocations never block.
+            TxnKind::ReadOnly => self.invoke_read_only(txn, operation),
+            TxnKind::Update => {
+                txn.register(self.self_participant());
+                let me = txn.id();
+                let mut inner = self.mu.lock();
+                match self.try_admit_update(&inner, me, &operation) {
+                    Admit::Invalid => Err(TxnError::InvalidOperation {
+                        object: self.id,
+                        operation: operation.to_string(),
+                    }),
+                    Admit::Granted(v) => {
+                        self.log.record_all([
+                            Event::invoke(me, self.id, operation.clone()),
+                            Event::respond(me, self.id, v.clone()),
+                        ]);
+                        inner
+                            .intentions
+                            .entry(me)
+                            .or_default()
+                            .push((operation, v.clone()));
+                        self.stats.record_admission();
+                        Ok(v)
+                    }
+                    Admit::Conflict(_) => Err(TxnError::WouldBlock { object: self.id }),
+                }
+            }
+        }
+    }
+}
+
+impl<S: SequentialSpec> Participant for HybridObject<S> {
+    fn object_id(&self) -> ObjectId {
+        self.id
+    }
+
+    fn commit(&self, txn: ActivityId, ts: Option<Timestamp>) {
+        let mut inner = self.mu.lock();
+        if inner.readers.remove(&txn) {
+            self.log.record(Event::commit(txn, self.id));
+            self.stats.record_commit();
+            self.cv.notify_all();
+            return;
+        }
+        if let Some(list) = inner.intentions.remove(&txn) {
+            let next = replay_frontier(&self.spec, &inner.current, &list);
+            debug_assert!(
+                !next.is_empty(),
+                "admitted intentions must replay at commit"
+            );
+            if !next.is_empty() {
+                inner.current = next;
+            }
+        }
+        match ts {
+            Some(t) => {
+                let snapshot = inner.current.clone();
+                inner.versions.push((t, snapshot));
+                self.log.record(Event::commit_ts(txn, self.id, t));
+            }
+            None => {
+                // Degenerate use without commit timestamps (not hybrid
+                // well-formed, but keeps the object usable under other
+                // protocols in tests).
+                self.log.record(Event::commit(txn, self.id));
+            }
+        }
+        self.stats.record_commit();
+        self.cv.notify_all();
+    }
+
+    fn abort(&self, txn: ActivityId) {
+        let mut inner = self.mu.lock();
+        inner.readers.remove(&txn);
+        inner.intentions.remove(&txn);
+        self.log.record(Event::abort(txn, self.id));
+        self.stats.record_abort();
+        self.cv.notify_all();
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for HybridObject<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridObject")
+            .field("id", &self.id)
+            .field("versions", &self.version_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::Protocol;
+    use atomicity_spec::atomicity::is_hybrid_atomic;
+    use atomicity_spec::specs::{BankAccountSpec, IntSetSpec};
+    use atomicity_spec::well_formed::WellFormedness;
+    use atomicity_spec::{op, SystemSpec};
+
+    fn x() -> ObjectId {
+        ObjectId::new(1)
+    }
+
+    fn bal() -> Operation {
+        op("balance", [] as [i64; 0])
+    }
+
+    #[test]
+    fn updates_and_reader_produce_hybrid_atomic_history() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let acct = HybridObject::new(x(), BankAccountSpec::new(), &mgr);
+        let t1 = mgr.begin();
+        acct.invoke(&t1, op("deposit", [10])).unwrap();
+        mgr.commit(t1).unwrap();
+        let audit = mgr.begin_read_only();
+        let t2 = mgr.begin();
+        acct.invoke(&t2, op("deposit", [5])).unwrap();
+        mgr.commit(t2).unwrap();
+        // The audit began before t2 committed: it must see 10, not 15.
+        assert_eq!(acct.invoke(&audit, bal()).unwrap(), Value::from(10));
+        mgr.commit(audit).unwrap();
+
+        let h = mgr.history();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(WellFormedness::Hybrid.is_well_formed(&h));
+        assert!(is_hybrid_atomic(&h, &spec));
+    }
+
+    #[test]
+    fn readers_never_block_on_active_updates() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let acct = HybridObject::new(x(), BankAccountSpec::new(), &mgr);
+        let w = mgr.begin();
+        acct.invoke(&w, op("deposit", [100])).unwrap(); // uncommitted
+        let audit = mgr.begin_read_only();
+        // Non-blocking even though w holds intentions.
+        assert_eq!(acct.invoke(&audit, bal()).unwrap(), Value::from(0));
+        mgr.commit(audit).unwrap();
+        mgr.commit(w).unwrap();
+        let h = mgr.history();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_hybrid_atomic(&h, &spec));
+    }
+
+    #[test]
+    fn readers_do_not_block_updates() {
+        // Under dynamic atomicity a balance observation blocks deposits;
+        // under hybrid the audit reads a version and the deposit proceeds.
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let acct = HybridObject::new(x(), BankAccountSpec::new(), &mgr);
+        let audit = mgr.begin_read_only();
+        assert_eq!(acct.invoke(&audit, bal()).unwrap(), Value::from(0));
+        let w = mgr.begin();
+        // Admitted immediately — the audit holds no intentions.
+        acct.invoke(&w, op("deposit", [5])).unwrap();
+        mgr.commit(w).unwrap();
+        // The audit keeps seeing its snapshot.
+        assert_eq!(acct.invoke(&audit, bal()).unwrap(), Value::from(0));
+        mgr.commit(audit).unwrap();
+        let h = mgr.history();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(WellFormedness::Hybrid.is_well_formed(&h));
+        assert!(is_hybrid_atomic(&h, &spec));
+    }
+
+    #[test]
+    fn reader_rejects_mutating_operations() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let acct = HybridObject::new(x(), BankAccountSpec::new(), &mgr);
+        let audit = mgr.begin_read_only();
+        let err = acct.invoke(&audit, op("deposit", [1])).unwrap_err();
+        assert!(matches!(err, TxnError::ProtocolMismatch { .. }));
+        mgr.abort(audit);
+    }
+
+    #[test]
+    fn concurrent_updates_use_dynamic_admission() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let acct = HybridObject::new(x(), BankAccountSpec::new(), &mgr);
+        let setup = mgr.begin();
+        acct.invoke(&setup, op("deposit", [10])).unwrap();
+        mgr.commit(setup).unwrap();
+        let b = mgr.begin();
+        let c = mgr.begin();
+        assert_eq!(acct.invoke(&b, op("withdraw", [4])).unwrap(), Value::ok());
+        assert_eq!(acct.invoke(&c, op("withdraw", [3])).unwrap(), Value::ok());
+        mgr.commit(c).unwrap();
+        mgr.commit(b).unwrap();
+        let h = mgr.history();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(WellFormedness::Hybrid.is_well_formed(&h));
+        assert!(is_hybrid_atomic(&h, &spec));
+    }
+
+    #[test]
+    fn version_chain_serves_historical_reads() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let set = HybridObject::new(x(), IntSetSpec::new(), &mgr);
+        let mut commit_timestamps = Vec::new();
+        for i in 0..3 {
+            let t = mgr.begin();
+            set.invoke(&t, op("insert", [i])).unwrap();
+            commit_timestamps.push(mgr.commit(t).unwrap().unwrap());
+        }
+        assert_eq!(set.version_count(), 3);
+        // A reader pinned between the first and second commit sees size 1.
+        let pinned = mgr.begin_read_only_at(commit_timestamps[0] + 1);
+        assert!(commit_timestamps[0] < commit_timestamps[1]);
+        assert_eq!(
+            set.invoke(&pinned, op("size", [] as [i64; 0])).unwrap(),
+            Value::from(1)
+        );
+        mgr.commit(pinned).unwrap();
+    }
+
+    #[test]
+    fn truncation_keeps_snapshot_base() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let set = HybridObject::new(x(), IntSetSpec::new(), &mgr);
+        let mut ts = Vec::new();
+        for i in 0..5 {
+            let t = mgr.begin();
+            set.invoke(&t, op("insert", [i])).unwrap();
+            ts.push(mgr.commit(t).unwrap().unwrap());
+        }
+        set.truncate_versions_below(ts[3]);
+        assert!(set.version_count() >= 2);
+        // A reader just above ts[3] still gets the right snapshot.
+        let r = mgr.begin_read_only_at(ts[3] + 1);
+        assert!(ts[3] < ts[4]);
+        assert_eq!(
+            set.invoke(&r, op("size", [] as [i64; 0])).unwrap(),
+            Value::from(4)
+        );
+        mgr.commit(r).unwrap();
+    }
+
+    #[test]
+    fn reader_ignores_prepared_but_uncommitted_updates() {
+        // An update holding intentions (not yet committed) is invisible to
+        // readers regardless of timing: versions are keyed by commit
+        // timestamps only.
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let acct = HybridObject::new(x(), BankAccountSpec::new(), &mgr);
+        let w = mgr.begin();
+        acct.invoke(&w, op("deposit", [100])).unwrap();
+        let audit = mgr.begin_read_only();
+        assert_eq!(acct.invoke(&audit, bal()).unwrap(), Value::from(0));
+        mgr.commit(w).unwrap();
+        // The audit's timestamp predates w's commit timestamp: it keeps
+        // seeing 0 even after w commits.
+        assert_eq!(acct.invoke(&audit, bal()).unwrap(), Value::from(0));
+        mgr.commit(audit).unwrap();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_hybrid_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn repeatable_reads_across_many_commits() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let ctr = HybridObject::new(x(), IntSetSpec::new(), &mgr);
+        let audit = mgr.begin_read_only();
+        for i in 0..5 {
+            let t = mgr.begin();
+            ctr.invoke(&t, op("insert", [i])).unwrap();
+            mgr.commit(t).unwrap();
+            // The audit's view never moves.
+            assert_eq!(
+                ctr.invoke(&audit, op("size", [] as [i64; 0])).unwrap(),
+                Value::from(0)
+            );
+        }
+        mgr.commit(audit).unwrap();
+        let spec = SystemSpec::new().with_object(x(), IntSetSpec::new());
+        assert!(is_hybrid_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn stats_track_reader_and_update_activity() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let acct = HybridObject::new(x(), BankAccountSpec::new(), &mgr);
+        let t = mgr.begin();
+        acct.invoke(&t, op("deposit", [5])).unwrap();
+        mgr.commit(t).unwrap();
+        let audit = mgr.begin_read_only();
+        acct.invoke(&audit, bal()).unwrap();
+        mgr.commit(audit).unwrap();
+        let snap = acct.stats();
+        assert_eq!(snap.admissions, 2);
+        assert_eq!(snap.commits, 2);
+        assert_eq!(snap.blocks, 0, "hybrid audits never block");
+    }
+
+    #[test]
+    fn aborted_update_leaves_no_version() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let acct = HybridObject::new(x(), BankAccountSpec::new(), &mgr);
+        let t = mgr.begin();
+        acct.invoke(&t, op("deposit", [9])).unwrap();
+        mgr.abort(t);
+        assert_eq!(acct.version_count(), 0);
+        let audit = mgr.begin_read_only();
+        assert_eq!(acct.invoke(&audit, bal()).unwrap(), Value::from(0));
+        mgr.commit(audit).unwrap();
+        let h = mgr.history();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
+        assert!(is_hybrid_atomic(&h, &spec));
+    }
+}

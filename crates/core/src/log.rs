@@ -1,0 +1,125 @@
+//! The shared history recorder.
+//!
+//! Every engine appends the events it produces — invocations, responses,
+//! initiations, commits, aborts — to a [`HistoryLog`]. The resulting
+//! [`History`] is the *actual computation* in the paper's formal sense, so
+//! tests can hand it straight to the checkers in
+//! [`atomicity_spec::atomicity`]: this is the bridge between §4's
+//! definitions and the online implementations.
+
+use atomicity_spec::{Event, History};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A thread-safe, append-only event recorder shared by a transaction
+/// manager and all its objects.
+///
+/// Cloning is cheap (the log is shared). The append order is the
+/// linearization order of the recorded events: engines append responses
+/// and commit events while holding the affected object's lock, so the
+/// recorded order is faithful to the synchronization the engines actually
+/// performed.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::HistoryLog;
+/// use atomicity_spec::{Event, op, Value};
+/// let log = HistoryLog::new();
+/// log.record(Event::invoke(1.into(), 1.into(), op("increment", [] as [i64; 0])));
+/// log.record(Event::respond(1.into(), 1.into(), Value::from(1)));
+/// assert_eq!(log.snapshot().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HistoryLog {
+    inner: Arc<Mutex<History>>,
+}
+
+impl HistoryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        HistoryLog {
+            inner: Arc::new(Mutex::new(History::new())),
+        }
+    }
+
+    /// Appends an event.
+    pub fn record(&self, event: Event) {
+        self.inner.lock().push(event);
+    }
+
+    /// Appends several events atomically (no other event can interleave).
+    pub fn record_all(&self, events: impl IntoIterator<Item = Event>) {
+        let mut h = self.inner.lock();
+        for e in events {
+            h.push(e);
+        }
+    }
+
+    /// A copy of the history recorded so far.
+    pub fn snapshot(&self) -> History {
+        self.inner.lock().clone()
+    }
+
+    /// The number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Discards all recorded events (benchmarks reuse managers between
+    /// iterations).
+    pub fn clear(&self) {
+        *self.inner.lock() = History::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::{op, Value};
+
+    #[test]
+    fn clones_share_the_log() {
+        let log = HistoryLog::new();
+        let log2 = log.clone();
+        log.record(Event::commit(1.into(), 1.into()));
+        assert_eq!(log2.len(), 1);
+        log2.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn record_all_is_atomic_and_ordered() {
+        let log = HistoryLog::new();
+        log.record_all(vec![
+            Event::invoke(1.into(), 1.into(), op("write", [1])),
+            Event::respond(1.into(), 1.into(), Value::ok()),
+        ]);
+        let h = log.snapshot();
+        assert!(h.events()[0].is_invoke());
+        assert!(h.events()[1].is_respond());
+    }
+
+    #[test]
+    fn concurrent_appends_do_not_lose_events() {
+        let log = HistoryLog::new();
+        let mut handles = Vec::new();
+        for i in 0..4u32 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    log.record(Event::commit(i.into(), 1.into()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 1000);
+    }
+}

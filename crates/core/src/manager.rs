@@ -1,0 +1,504 @@
+//! The transaction manager: lifecycle, timestamps, and the commit protocol.
+
+use crate::clock::LamportClock;
+use crate::deadlock::{DeadlockPolicy, WaitDecision, WaitGraph};
+use crate::error::TxnError;
+use crate::log::HistoryLog;
+use crate::object::Participant;
+use crate::txn::{Txn, TxnKind, TxnStatus};
+use atomicity_spec::{ActivityId, History, Timestamp};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Which local atomicity property the system is run under.
+///
+/// The paper's central design rule is that **every object in a system must
+/// satisfy the same local atomicity property** (§4); the protocol choice
+/// is therefore made once, at the manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Dynamic atomicity (§4.1): no timestamps; serialization order
+    /// emerges from commit order; conflicts block.
+    Dynamic,
+    /// Static atomicity (§4.2): every transaction takes a timestamp at
+    /// start; conflicts with already-returned results abort.
+    Static,
+    /// Hybrid atomicity (§4.3): updates run dynamically and take
+    /// timestamps at commit; read-only transactions take timestamps at
+    /// start and read committed versions without interfering.
+    Hybrid,
+}
+
+/// The transaction manager.
+///
+/// Creates transactions, assigns timestamps per the chosen [`Protocol`],
+/// drives the two-phase commit across participants, arbitrates deadlocks,
+/// and records every commit/abort into the shared [`HistoryLog`].
+///
+/// Cloning is cheap and yields a handle to the **same** manager (workload
+/// threads each hold a clone).
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol};
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let t = mgr.begin();
+/// assert!(t.is_active());
+/// mgr.commit(t).unwrap();
+/// ```
+#[derive(Clone)]
+pub struct TxnManager {
+    inner: Arc<ManagerInner>,
+}
+
+pub(crate) struct ManagerInner {
+    protocol: Protocol,
+    policy: DeadlockPolicy,
+    next_id: AtomicU32,
+    clock: Arc<LamportClock>,
+    log: HistoryLog,
+    /// Serializes hybrid commit-timestamp assignment + version installation
+    /// against read-only initiation, so a reader's timestamp cleanly
+    /// partitions "committed before" from "committed after".
+    commit_gate: Mutex<()>,
+    txns: Mutex<HashMap<ActivityId, TxnRecord>>,
+    waits: Mutex<WaitGraph>,
+}
+
+struct TxnRecord {
+    status: TxnStatus,
+    participants: Vec<Arc<dyn Participant>>,
+}
+
+impl TxnManager {
+    /// Creates a manager running the given protocol with the default
+    /// deadlock policy ([`DeadlockPolicy::Detect`]).
+    pub fn new(protocol: Protocol) -> Self {
+        Self::with_policy(protocol, DeadlockPolicy::default())
+    }
+
+    /// Creates a manager with an explicit deadlock policy.
+    pub fn with_policy(protocol: Protocol, policy: DeadlockPolicy) -> Self {
+        TxnManager {
+            inner: Arc::new(ManagerInner {
+                protocol,
+                policy,
+                next_id: AtomicU32::new(1),
+                clock: Arc::new(LamportClock::new()),
+                log: HistoryLog::new(),
+                commit_gate: Mutex::new(()),
+                txns: Mutex::new(HashMap::new()),
+                waits: Mutex::new(WaitGraph::new()),
+            }),
+        }
+    }
+
+    /// The protocol this manager runs.
+    pub fn protocol(&self) -> Protocol {
+        self.inner.protocol
+    }
+
+    /// The shared history log (objects are constructed with a clone of it).
+    pub fn log(&self) -> HistoryLog {
+        self.inner.log.clone()
+    }
+
+    /// A snapshot of the history recorded so far.
+    pub fn history(&self) -> History {
+        self.inner.log.snapshot()
+    }
+
+    /// The manager's logical clock.
+    pub fn clock(&self) -> Arc<LamportClock> {
+        Arc::clone(&self.inner.clock)
+    }
+
+    /// Starts an update transaction.
+    ///
+    /// Under [`Protocol::Static`] a start timestamp is drawn from the
+    /// clock; under the other protocols updates carry no start timestamp.
+    pub fn begin(&self) -> Txn {
+        let ts = match self.inner.protocol {
+            Protocol::Static => Some(self.inner.clock.tick()),
+            Protocol::Dynamic | Protocol::Hybrid => None,
+        };
+        self.make_txn(TxnKind::Update, ts)
+    }
+
+    /// Starts an update transaction with an explicit start timestamp
+    /// (static protocol only — models skewed clocks, experiment E7).
+    ///
+    /// The caller is responsible for timestamp **uniqueness** across
+    /// transactions; the clock is advanced past `ts` so subsequent
+    /// automatic timestamps stay monotone.
+    pub fn begin_at(&self, ts: Timestamp) -> Txn {
+        self.inner.clock.observe(ts);
+        self.make_txn(TxnKind::Update, Some(ts))
+    }
+
+    /// Starts a read-only transaction.
+    ///
+    /// Under [`Protocol::Hybrid`] the start timestamp is drawn while
+    /// holding the commit gate, so it falls strictly between two update
+    /// commits; under [`Protocol::Static`] it is an ordinary start
+    /// timestamp; under [`Protocol::Dynamic`] read-only transactions are
+    /// indistinguishable from updates (the information is unused — §4.3.3).
+    pub fn begin_read_only(&self) -> Txn {
+        let ts = match self.inner.protocol {
+            Protocol::Static => Some(self.inner.clock.tick()),
+            Protocol::Hybrid => {
+                let _gate = self.inner.commit_gate.lock();
+                Some(self.inner.clock.tick())
+            }
+            Protocol::Dynamic => None,
+        };
+        self.make_txn(TxnKind::ReadOnly, ts)
+    }
+
+    /// Starts a read-only transaction at an explicit timestamp
+    /// (time-travel reads under hybrid or static; uniqueness is the
+    /// caller's responsibility).
+    pub fn begin_read_only_at(&self, ts: Timestamp) -> Txn {
+        self.inner.clock.observe(ts);
+        self.make_txn(TxnKind::ReadOnly, Some(ts))
+    }
+
+    fn make_txn(&self, kind: TxnKind, start_ts: Option<Timestamp>) -> Txn {
+        let id = ActivityId::new(self.inner.next_id.fetch_add(1, Ordering::SeqCst));
+        self.inner.txns.lock().insert(
+            id,
+            TxnRecord {
+                status: TxnStatus::Active,
+                participants: Vec::new(),
+            },
+        );
+        Txn {
+            id,
+            kind,
+            start_ts,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Commits `txn`: prepares every participant, assigns the commit
+    /// timestamp when the protocol calls for one, installs effects, and
+    /// records commit events.
+    ///
+    /// Returns the commit timestamp for hybrid updates, the start
+    /// timestamp for static transactions, `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// - [`TxnError::NotActive`] if the transaction already completed.
+    /// - [`TxnError::PrepareFailed`] if a participant vetoed; the
+    ///   transaction has then been aborted at every participant.
+    pub fn commit(&self, txn: Txn) -> Result<Option<Timestamp>, TxnError> {
+        let id = txn.id;
+        let participants = {
+            let mut txns = self.inner.txns.lock();
+            let rec = txns.get_mut(&id).ok_or(TxnError::NotActive { txn: id })?;
+            if rec.status != TxnStatus::Active {
+                return Err(TxnError::NotActive { txn: id });
+            }
+            rec.participants.clone()
+        };
+
+        // Phase 1: prepare.
+        for p in &participants {
+            if let Err(_veto) = p.prepare(id) {
+                self.finish(id, &participants, TxnStatus::Aborted, None);
+                return Err(TxnError::PrepareFailed {
+                    txn: id,
+                    object: p.object_id(),
+                });
+            }
+        }
+
+        // Phase 2: install, with a commit timestamp where required.
+        let commit_ts = match (self.inner.protocol, txn.kind) {
+            (Protocol::Hybrid, TxnKind::Update) => {
+                let _gate = self.inner.commit_gate.lock();
+                let ts = self.inner.clock.tick();
+                self.finish(id, &participants, TxnStatus::Committed, Some(ts));
+                Some(ts)
+            }
+            _ => {
+                self.finish(id, &participants, TxnStatus::Committed, None);
+                txn.start_ts
+            }
+        };
+        Ok(commit_ts)
+    }
+
+    /// Aborts `txn`, discarding its effects at every participant and
+    /// recording abort events. Aborting a completed transaction is a
+    /// no-op.
+    pub fn abort(&self, txn: Txn) {
+        let id = txn.id;
+        let participants = {
+            let mut txns = self.inner.txns.lock();
+            match txns.get_mut(&id) {
+                Some(rec) if rec.status == TxnStatus::Active => rec.participants.clone(),
+                _ => return,
+            }
+        };
+        self.finish(id, &participants, TxnStatus::Aborted, None);
+    }
+
+    /// Applies the final status at every participant and updates records.
+    fn finish(
+        &self,
+        id: ActivityId,
+        participants: &[Arc<dyn Participant>],
+        status: TxnStatus,
+        ts: Option<Timestamp>,
+    ) {
+        for p in participants {
+            match status {
+                TxnStatus::Committed => p.commit(id, ts),
+                TxnStatus::Aborted => p.abort(id),
+                TxnStatus::Active => unreachable!("finish with Active status"),
+            }
+        }
+        if let Some(rec) = self.inner.txns.lock().get_mut(&id) {
+            rec.status = status;
+        }
+        self.inner.waits.lock().clear_target(id);
+    }
+
+    /// The status of a transaction, if known.
+    pub fn status(&self, id: ActivityId) -> Option<TxnStatus> {
+        self.inner.status(id)
+    }
+
+    /// Number of transactions currently blocked in waits.
+    pub fn blocked_count(&self) -> usize {
+        self.inner.waits.lock().waiter_count()
+    }
+}
+
+impl std::fmt::Debug for TxnManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnManager")
+            .field("protocol", &self.inner.protocol)
+            .field("policy", &self.inner.policy)
+            .finish()
+    }
+}
+
+impl ManagerInner {
+    pub(crate) fn status(&self, id: ActivityId) -> Option<TxnStatus> {
+        self.txns.lock().get(&id).map(|r| r.status)
+    }
+
+    pub(crate) fn register_participant(&self, id: ActivityId, p: Arc<dyn Participant>) {
+        let mut txns = self.txns.lock();
+        if let Some(rec) = txns.get_mut(&id) {
+            let oid = p.object_id();
+            if !rec.participants.iter().any(|q| q.object_id() == oid) {
+                rec.participants.push(p);
+            }
+        }
+    }
+
+    pub(crate) fn request_wait(
+        &self,
+        waiter: ActivityId,
+        holders: &std::collections::BTreeSet<ActivityId>,
+    ) -> WaitDecision {
+        // Never wait on transactions that already completed: their effects
+        // are final, waiting on them cannot help.
+        let live: std::collections::BTreeSet<ActivityId> = {
+            let txns = self.txns.lock();
+            holders
+                .iter()
+                .filter(|h| {
+                    txns.get(h)
+                        .map(|r| r.status == TxnStatus::Active)
+                        .unwrap_or(false)
+                })
+                .copied()
+                .collect()
+        };
+        if live.is_empty() {
+            // Nothing live to wait on: let the caller retry immediately.
+            return WaitDecision::Wait;
+        }
+        self.waits.lock().request_wait(waiter, &live, self.policy)
+    }
+
+    pub(crate) fn clear_wait(&self, waiter: ActivityId) {
+        self.waits.lock().clear_waiter(waiter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::ObjectId;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A participant that counts protocol callbacks.
+    #[derive(Default)]
+    struct Probe {
+        prepared: AtomicUsize,
+        committed: AtomicUsize,
+        aborted: AtomicUsize,
+        veto: bool,
+    }
+
+    impl Participant for Probe {
+        fn object_id(&self) -> ObjectId {
+            ObjectId::new(1)
+        }
+
+        fn prepare(&self, txn: ActivityId) -> Result<(), TxnError> {
+            self.prepared.fetch_add(1, Ordering::SeqCst);
+            if self.veto {
+                Err(TxnError::PrepareFailed {
+                    txn,
+                    object: self.object_id(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+
+        fn commit(&self, _txn: ActivityId, _ts: Option<Timestamp>) {
+            self.committed.fetch_add(1, Ordering::SeqCst);
+        }
+
+        fn abort(&self, _txn: ActivityId) {
+            self.aborted.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn commit_runs_two_phases() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let probe = Arc::new(Probe::default());
+        let t = mgr.begin();
+        t.register(Arc::clone(&probe) as Arc<dyn Participant>);
+        let id = t.id();
+        assert_eq!(mgr.commit(t).unwrap(), None);
+        assert_eq!(probe.prepared.load(Ordering::SeqCst), 1);
+        assert_eq!(probe.committed.load(Ordering::SeqCst), 1);
+        assert_eq!(mgr.status(id), Some(TxnStatus::Committed));
+    }
+
+    #[test]
+    fn veto_aborts_everywhere() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let probe = Arc::new(Probe {
+            veto: true,
+            ..Probe::default()
+        });
+        let t = mgr.begin();
+        t.register(Arc::clone(&probe) as Arc<dyn Participant>);
+        let id = t.id();
+        let err = mgr.commit(t).unwrap_err();
+        assert!(matches!(err, TxnError::PrepareFailed { .. }));
+        assert_eq!(probe.aborted.load(Ordering::SeqCst), 1);
+        assert_eq!(probe.committed.load(Ordering::SeqCst), 0);
+        assert_eq!(mgr.status(id), Some(TxnStatus::Aborted));
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_object() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let probe = Arc::new(Probe::default());
+        let t = mgr.begin();
+        t.register(Arc::clone(&probe) as Arc<dyn Participant>);
+        t.register(Arc::clone(&probe) as Arc<dyn Participant>);
+        mgr.commit(t).unwrap();
+        assert_eq!(probe.committed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn static_protocol_assigns_start_timestamps() {
+        let mgr = TxnManager::new(Protocol::Static);
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        let (a, b) = (t1.start_ts().unwrap(), t2.start_ts().unwrap());
+        assert!(b > a);
+        assert_eq!(mgr.commit(t2).unwrap(), Some(b));
+        mgr.abort(t1);
+    }
+
+    #[test]
+    fn hybrid_updates_get_commit_timestamps_in_order() {
+        let mgr = TxnManager::new(Protocol::Hybrid);
+        let t1 = mgr.begin();
+        assert_eq!(t1.start_ts(), None);
+        let t2 = mgr.begin();
+        let ts1 = mgr.commit(t1).unwrap().unwrap();
+        let r = mgr.begin_read_only();
+        let tr = r.start_ts().unwrap();
+        let ts2 = mgr.commit(t2).unwrap().unwrap();
+        assert!(ts1 < tr && tr < ts2);
+        mgr.commit(r).unwrap();
+    }
+
+    #[test]
+    fn explicit_timestamps_advance_clock() {
+        let mgr = TxnManager::new(Protocol::Static);
+        let t = mgr.begin_at(500);
+        assert_eq!(t.start_ts(), Some(500));
+        mgr.abort(t);
+        let t2 = mgr.begin();
+        assert!(t2.start_ts().unwrap() > 500);
+        mgr.abort(t2);
+    }
+
+    #[test]
+    fn double_commit_rejected() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let t = mgr.begin();
+        let id = t.id();
+        mgr.commit(t).unwrap();
+        // Forge a second handle to simulate a stale user.
+        let stale = Txn {
+            id,
+            kind: TxnKind::Update,
+            start_ts: None,
+            inner: Arc::clone(&mgr.inner),
+        };
+        assert!(matches!(mgr.commit(stale), Err(TxnError::NotActive { .. })));
+    }
+
+    #[test]
+    fn abort_after_commit_is_noop() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let probe = Arc::new(Probe::default());
+        let t = mgr.begin();
+        t.register(Arc::clone(&probe) as Arc<dyn Participant>);
+        let id = t.id();
+        mgr.commit(t).unwrap();
+        let stale = Txn {
+            id,
+            kind: TxnKind::Update,
+            start_ts: None,
+            inner: Arc::clone(&mgr.inner),
+        };
+        mgr.abort(stale);
+        assert_eq!(probe.aborted.load(Ordering::SeqCst), 0);
+        assert_eq!(mgr.status(id), Some(TxnStatus::Committed));
+    }
+
+    #[test]
+    fn waits_on_dead_transactions_are_skipped() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        let id1 = t1.id();
+        mgr.commit(t1).unwrap();
+        // t2 asks to wait on the committed t1: allowed (immediate retry).
+        let holders = [id1].into_iter().collect();
+        assert_eq!(t2.request_wait(&holders), WaitDecision::Wait);
+        assert_eq!(mgr.blocked_count(), 0);
+        mgr.abort(t2);
+    }
+}

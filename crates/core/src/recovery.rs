@@ -1,0 +1,587 @@
+//! Recovery substrates: simulated stable storage, intentions-list (redo)
+//! recovery, and undo-log recovery.
+//!
+//! The paper's model deliberately does **not** fix a recovery technique
+//! (§5.1 criticizes models that do); atomicity only requires that
+//! `perm(h)` — the committed activities — be serializable, however aborts
+//! and crashes are implemented. This module provides the two classical
+//! implementations the paper alludes to:
+//!
+//! - [`IntentionsStore`]: the intentions lists of [Lampson & Sturgis] —
+//!   operations are staged durably at prepare and *redone* after a crash
+//!   for committed transactions.
+//! - [`UndoStore`]: eager in-place update with write-ahead undo records;
+//!   crash recovery *undoes* the operations of uncommitted transactions.
+//!
+//! Crashes are simulated: a [`StableLog`] (and the [`UndoStore`]'s durable
+//! cell) survives [`IntentionsStore::crash`], volatile caches do not. The
+//! distributed simulation (`atomicity-sim`) injects crashes at every point
+//! of the two-phase commit and experiment E6 verifies all-or-nothing
+//! behavior across them.
+
+use atomicity_spec::{ActivityId, ObjectId, OpResult, SequentialSpec};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A record in the durable write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordKind {
+    /// The transaction's intentions at this object are durably staged.
+    Prepare {
+        /// The staged (operation, result) pairs, in execution order.
+        ops: Vec<OpResult>,
+    },
+    /// The transaction committed (its staged intentions must be redone).
+    Commit,
+    /// The transaction aborted (its staged intentions are discarded).
+    Abort,
+}
+
+/// One durable log record: which transaction, at which object, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The transaction the record belongs to.
+    pub txn: ActivityId,
+    /// The object whose state the record concerns.
+    pub object: ObjectId,
+    /// The payload.
+    pub kind: RecordKind,
+}
+
+/// Simulated stable storage: an append-only record log that survives
+/// crashes. Clones share the same storage (it is the "disk").
+#[derive(Debug, Clone, Default)]
+pub struct StableLog {
+    records: Arc<Mutex<Vec<LogRecord>>>,
+}
+
+impl StableLog {
+    /// Creates empty stable storage.
+    pub fn new() -> Self {
+        StableLog {
+            records: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Durably appends a record.
+    pub fn append(&self, record: LogRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// A copy of all records, in append order.
+    pub fn records(&self) -> Vec<LogRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Truncates the log to its first `n` records — used by the crash
+    /// injector to model a crash that lost a suffix of un-flushed records.
+    pub fn truncate(&self, n: usize) {
+        self.records.lock().truncate(n);
+    }
+}
+
+/// The outcome of crash recovery at one object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Transactions whose effects were reinstalled (committed).
+    pub redone: Vec<ActivityId>,
+    /// Transactions found prepared but neither committed nor aborted; the
+    /// coordinator must be asked (two-phase-commit in-doubt set).
+    pub in_doubt: Vec<ActivityId>,
+    /// Transactions whose staged effects were discarded.
+    pub discarded: Vec<ActivityId>,
+}
+
+/// Intentions-list (redo) recovery for an object with specification `S`.
+///
+/// Usage: stage a transaction's intentions durably with
+/// [`IntentionsStore::prepare`]; on [`IntentionsStore::commit`] the commit
+/// record is forced and the intentions are applied to the volatile cached
+/// state. [`IntentionsStore::crash`] wipes the cache;
+/// [`IntentionsStore::recover`] rebuilds it by redoing committed
+/// intentions in commit order and reports in-doubt transactions.
+#[derive(Debug)]
+pub struct IntentionsStore<S: SequentialSpec> {
+    spec: S,
+    object: ObjectId,
+    log: StableLog,
+    /// Cached committed state frontier; `None` after a crash until
+    /// recovery runs.
+    volatile: Mutex<Option<Vec<S::State>>>,
+}
+
+impl<S: SequentialSpec> IntentionsStore<S> {
+    /// Creates the store over shared stable storage.
+    pub fn new(spec: S, object: ObjectId, log: StableLog) -> Self {
+        let initial = vec![spec.initial()];
+        IntentionsStore {
+            spec,
+            object,
+            log,
+            volatile: Mutex::new(Some(initial)),
+        }
+    }
+
+    /// The object this store recovers.
+    pub fn object_id(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Durably stages `ops` as the transaction's intentions here
+    /// (the "prepared" vote of two-phase commit).
+    pub fn prepare(&self, txn: ActivityId, ops: Vec<OpResult>) {
+        self.log.append(LogRecord {
+            txn,
+            object: self.object,
+            kind: RecordKind::Prepare { ops },
+        });
+    }
+
+    /// Durably commits and applies the staged intentions to the cache.
+    ///
+    /// Idempotent: a repeated commit (e.g. a duplicated decision message)
+    /// is a no-op, as is a commit after an abort — the first durable
+    /// outcome wins.
+    pub fn commit(&self, txn: ActivityId) {
+        if self.outcome(txn).is_some() {
+            return;
+        }
+        self.log.append(LogRecord {
+            txn,
+            object: self.object,
+            kind: RecordKind::Commit,
+        });
+        let ops = self.staged_ops(txn);
+        let mut vol = self.volatile.lock();
+        if let Some(states) = vol.as_mut() {
+            let next = crate::engine::replay_frontier(&self.spec, states, &ops);
+            if !next.is_empty() {
+                *states = next;
+            }
+        }
+    }
+
+    /// Durably aborts, discarding staged intentions. Idempotent, like
+    /// [`IntentionsStore::commit`].
+    pub fn abort(&self, txn: ActivityId) {
+        if self.outcome(txn).is_some() {
+            return;
+        }
+        self.log.append(LogRecord {
+            txn,
+            object: self.object,
+            kind: RecordKind::Abort,
+        });
+    }
+
+    /// The committed state frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a crash before [`IntentionsStore::recover`].
+    pub fn committed_frontier(&self) -> Vec<S::State> {
+        self.volatile
+            .lock()
+            .clone()
+            .expect("crashed store: run recover() first")
+    }
+
+    /// Simulates a crash: the volatile cache is lost; stable storage
+    /// survives.
+    pub fn crash(&self) {
+        *self.volatile.lock() = None;
+    }
+
+    /// Whether the store is crashed (needs recovery).
+    pub fn is_crashed(&self) -> bool {
+        self.volatile.lock().is_none()
+    }
+
+    /// Rebuilds the committed state from stable storage by redoing
+    /// committed intentions in commit order; reports in-doubt transactions
+    /// (prepared, no outcome record).
+    pub fn recover(&self) -> RecoveryOutcome {
+        let records = self.log.records();
+        let mut states = vec![self.spec.initial()];
+        let mut redone: Vec<ActivityId> = Vec::new();
+        let mut discarded: Vec<ActivityId> = Vec::new();
+        let mut prepared: Vec<ActivityId> = Vec::new();
+        for r in &records {
+            if r.object != self.object {
+                continue;
+            }
+            match &r.kind {
+                RecordKind::Prepare { .. } => {
+                    if !prepared.contains(&r.txn) {
+                        prepared.push(r.txn);
+                    }
+                }
+                RecordKind::Commit => {
+                    // Duplicate outcome records (a crash can lose the
+                    // in-memory idempotency state) are applied once.
+                    if redone.contains(&r.txn) || discarded.contains(&r.txn) {
+                        continue;
+                    }
+                    let ops = self.staged_ops(r.txn);
+                    let next = crate::engine::replay_frontier(&self.spec, &states, &ops);
+                    if !next.is_empty() {
+                        states = next;
+                    }
+                    prepared.retain(|&t| t != r.txn);
+                    redone.push(r.txn);
+                }
+                RecordKind::Abort => {
+                    if redone.contains(&r.txn) || discarded.contains(&r.txn) {
+                        continue;
+                    }
+                    prepared.retain(|&t| t != r.txn);
+                    discarded.push(r.txn);
+                }
+            }
+        }
+        *self.volatile.lock() = Some(states);
+        RecoveryOutcome {
+            redone,
+            in_doubt: prepared,
+            discarded,
+        }
+    }
+
+    /// Resolves an in-doubt transaction after consulting the coordinator.
+    pub fn resolve_in_doubt(&self, txn: ActivityId, commit: bool) {
+        if commit {
+            self.commit(txn);
+        } else {
+            self.abort(txn);
+        }
+    }
+
+    /// The durable outcome of `txn` at this object: `Some(true)` if a
+    /// commit record exists, `Some(false)` for an abort record, `None`
+    /// when the transaction is unprepared or in doubt.
+    pub fn outcome(&self, txn: ActivityId) -> Option<bool> {
+        let mut out = None;
+        for r in self.log.records() {
+            if r.txn == txn && r.object == self.object {
+                match r.kind {
+                    RecordKind::Commit => out = Some(true),
+                    RecordKind::Abort => out = Some(false),
+                    RecordKind::Prepare { .. } => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// The underlying stable storage (shared; its length is a recovery
+    /// cost proxy).
+    pub fn stable_log(&self) -> &StableLog {
+        &self.log
+    }
+
+    /// Whether `txn` has a durable prepare record here.
+    pub fn prepared(&self, txn: ActivityId) -> bool {
+        self.log.records().iter().any(|r| {
+            r.txn == txn && r.object == self.object && matches!(r.kind, RecordKind::Prepare { .. })
+        })
+    }
+
+    /// Replays, from the initial state, the staged intentions of exactly
+    /// the committed transactions selected by `filter`, in commit-record
+    /// order.
+    ///
+    /// This serves timestamped snapshot reads over the durable log
+    /// (distributed hybrid-atomicity audits): with commutative intentions
+    /// the result is independent of the commit-record order, so the
+    /// filter "commit timestamp < t" yields the state a reader with
+    /// timestamp `t` must see.
+    pub fn replay_committed_subset(&self, filter: impl Fn(ActivityId) -> bool) -> Vec<S::State> {
+        let mut states = vec![self.spec.initial()];
+        let mut done: Vec<ActivityId> = Vec::new();
+        for r in self.log.records() {
+            if r.object != self.object || !matches!(r.kind, RecordKind::Commit) {
+                continue;
+            }
+            if done.contains(&r.txn) || !filter(r.txn) {
+                continue;
+            }
+            done.push(r.txn);
+            let ops = self.staged_ops(r.txn);
+            let next = crate::engine::replay_frontier(&self.spec, &states, &ops);
+            if !next.is_empty() {
+                states = next;
+            }
+        }
+        states
+    }
+
+    fn staged_ops(&self, txn: ActivityId) -> Vec<OpResult> {
+        for r in self.log.records().iter().rev() {
+            if r.txn == txn && r.object == self.object {
+                if let RecordKind::Prepare { ops } = &r.kind {
+                    return ops.clone();
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Undo-log recovery: eager in-place update with durable operation
+/// records; aborts and crash recovery *remove* the operations of
+/// uncommitted transactions and recompute the state.
+///
+/// Both the current state and the operation records live in "durable"
+/// storage; a crash loses nothing but leaves uncommitted transactions'
+/// effects in place, which [`UndoStore::recover`] rolls back. Rollback is
+/// by recomputation (replaying the surviving operations from the initial
+/// state), which stays exact even when transactions' operations
+/// interleave — as long as the concurrency control above this store kept
+/// the surviving operations replayable, which any of the engines in
+/// [`crate::engine`] does.
+#[derive(Debug)]
+pub struct UndoStore<S: SequentialSpec> {
+    spec: S,
+    object: ObjectId,
+    durable: Mutex<UndoDurable<S>>,
+}
+
+#[derive(Debug)]
+struct UndoDurable<S: SequentialSpec> {
+    /// Current state, including uncommitted effects.
+    state: Vec<S::State>,
+    /// Applied operations in order, tagged by owner.
+    applied: Vec<(ActivityId, OpResult)>,
+    committed: BTreeSet<ActivityId>,
+}
+
+impl<S: SequentialSpec> UndoStore<S> {
+    /// Creates the store.
+    pub fn new(spec: S, object: ObjectId) -> Self {
+        let initial = vec![spec.initial()];
+        UndoStore {
+            spec,
+            object,
+            durable: Mutex::new(UndoDurable {
+                state: initial,
+                applied: Vec::new(),
+                committed: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// The object this store recovers.
+    pub fn object_id(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Applies one completed operation in place, writing the operation
+    /// record first. Returns `false` (and applies nothing) if the recorded
+    /// result is not replayable in the current state.
+    pub fn apply(&self, txn: ActivityId, op: OpResult) -> bool {
+        let mut d = self.durable.lock();
+        let next = crate::engine::replay_frontier(&self.spec, &d.state, std::slice::from_ref(&op));
+        if next.is_empty() {
+            return false;
+        }
+        d.applied.push((txn, op));
+        d.state = next;
+        true
+    }
+
+    /// Commits: `txn`'s operations become permanent.
+    pub fn commit(&self, txn: ActivityId) {
+        self.durable.lock().committed.insert(txn);
+    }
+
+    /// Aborts: removes `txn`'s operations and recomputes the state.
+    pub fn abort(&self, txn: ActivityId) {
+        let mut d = self.durable.lock();
+        d.applied.retain(|(t, _)| *t != txn);
+        Self::recompute(&self.spec, &mut d);
+    }
+
+    /// Crash recovery: removes the operations of every uncommitted
+    /// transaction, recomputes the state, and reports what was undone.
+    pub fn recover(&self) -> Vec<ActivityId> {
+        let mut d = self.durable.lock();
+        let committed = d.committed.clone();
+        let mut undone = Vec::new();
+        d.applied.retain(|(t, _)| {
+            let keep = committed.contains(t);
+            if !keep && !undone.contains(t) {
+                undone.push(*t);
+            }
+            keep
+        });
+        Self::recompute(&self.spec, &mut d);
+        undone
+    }
+
+    fn recompute(spec: &S, d: &mut UndoDurable<S>) {
+        let ops: Vec<OpResult> = d.applied.iter().map(|(_, op)| op.clone()).collect();
+        let initial = vec![spec.initial()];
+        let next = crate::engine::replay_frontier(spec, &initial, &ops);
+        debug_assert!(
+            !next.is_empty(),
+            "surviving operations must stay replayable after rollback"
+        );
+        if !next.is_empty() {
+            d.state = next;
+        }
+    }
+
+    /// The current state frontier (includes uncommitted effects until
+    /// recovery or abort removes them).
+    pub fn state(&self) -> Vec<S::State> {
+        self.durable.lock().state.clone()
+    }
+
+    /// Whether `txn` committed here.
+    pub fn is_committed(&self, txn: ActivityId) -> bool {
+        self.durable.lock().committed.contains(&txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::specs::{BankAccountSpec, IntSetSpec};
+    use atomicity_spec::{op, Value};
+
+    fn t(n: u32) -> ActivityId {
+        ActivityId::new(n)
+    }
+
+    fn x() -> ObjectId {
+        ObjectId::new(1)
+    }
+
+    #[test]
+    fn intentions_commit_survives_crash() {
+        let log = StableLog::new();
+        let store = IntentionsStore::new(BankAccountSpec::new(), x(), log);
+        store.prepare(t(1), vec![(op("deposit", [10]), Value::ok())]);
+        store.commit(t(1));
+        assert_eq!(store.committed_frontier(), vec![10]);
+        store.crash();
+        assert!(store.is_crashed());
+        let outcome = store.recover();
+        assert_eq!(outcome.redone, vec![t(1)]);
+        assert!(outcome.in_doubt.is_empty());
+        assert_eq!(store.committed_frontier(), vec![10]);
+    }
+
+    #[test]
+    fn intentions_uncommitted_are_invisible_after_crash() {
+        let log = StableLog::new();
+        let store = IntentionsStore::new(BankAccountSpec::new(), x(), log);
+        store.prepare(t(1), vec![(op("deposit", [10]), Value::ok())]);
+        store.crash();
+        let outcome = store.recover();
+        assert_eq!(outcome.in_doubt, vec![t(1)]);
+        assert_eq!(store.committed_frontier(), vec![0]);
+        // Coordinator says commit:
+        store.resolve_in_doubt(t(1), true);
+        assert_eq!(store.committed_frontier(), vec![10]);
+    }
+
+    #[test]
+    fn intentions_abort_discards() {
+        let log = StableLog::new();
+        let store = IntentionsStore::new(BankAccountSpec::new(), x(), log);
+        store.prepare(t(1), vec![(op("deposit", [10]), Value::ok())]);
+        store.abort(t(1));
+        store.crash();
+        let outcome = store.recover();
+        assert_eq!(outcome.discarded, vec![t(1)]);
+        assert_eq!(store.committed_frontier(), vec![0]);
+    }
+
+    #[test]
+    fn intentions_redo_in_commit_order() {
+        let log = StableLog::new();
+        let store = IntentionsStore::new(IntSetSpec::new(), x(), log);
+        store.prepare(t(1), vec![(op("insert", [3]), Value::ok())]);
+        store.prepare(t(2), vec![(op("delete", [3]), Value::ok())]);
+        store.commit(t(1));
+        store.commit(t(2));
+        store.crash();
+        store.recover();
+        // insert then delete: 3 absent.
+        let frontier = store.committed_frontier();
+        assert!(frontier.iter().all(|s| !s.contains(&3)));
+    }
+
+    #[test]
+    fn lost_log_suffix_loses_unflushed_outcome() {
+        let log = StableLog::new();
+        let store = IntentionsStore::new(BankAccountSpec::new(), x(), log.clone());
+        store.prepare(t(1), vec![(op("deposit", [10]), Value::ok())]);
+        let flushed = log.len();
+        store.commit(t(1));
+        // Crash losing the commit record: the transaction is back in doubt.
+        log.truncate(flushed);
+        store.crash();
+        let outcome = store.recover();
+        assert_eq!(outcome.in_doubt, vec![t(1)]);
+        assert_eq!(store.committed_frontier(), vec![0]);
+    }
+
+    #[test]
+    fn undo_store_rolls_back_aborts() {
+        let store = UndoStore::new(BankAccountSpec::new(), x());
+        assert!(store.apply(t(1), (op("deposit", [10]), Value::ok())));
+        assert!(store.apply(t(1), (op("withdraw", [4]), Value::ok())));
+        assert_eq!(store.state(), vec![6]);
+        store.abort(t(1));
+        assert_eq!(store.state(), vec![0]);
+    }
+
+    #[test]
+    fn undo_store_recovery_undoes_uncommitted_only() {
+        let store = UndoStore::new(BankAccountSpec::new(), x());
+        store.apply(t(1), (op("deposit", [10]), Value::ok()));
+        store.commit(t(1));
+        store.apply(t(2), (op("withdraw", [3]), Value::ok()));
+        // Crash: t2 never committed.
+        let undone = store.recover();
+        assert_eq!(undone, vec![t(2)]);
+        assert_eq!(store.state(), vec![10]);
+        assert!(store.is_committed(t(1)));
+        assert!(!store.is_committed(t(2)));
+    }
+
+    #[test]
+    fn undo_store_rejects_unreplayable_ops() {
+        let store = UndoStore::new(BankAccountSpec::new(), x());
+        // withdraw claiming ok with no funds: rejected, state unchanged.
+        assert!(!store.apply(t(1), (op("withdraw", [5]), Value::ok())));
+        assert_eq!(store.state(), vec![0]);
+    }
+
+    #[test]
+    fn interleaved_undo_restores_exact_states() {
+        let store = UndoStore::new(IntSetSpec::new(), x());
+        store.apply(t(1), (op("insert", [1]), Value::ok()));
+        store.apply(t(2), (op("insert", [2]), Value::ok()));
+        store.apply(t(1), (op("insert", [3]), Value::ok()));
+        store.commit(t(2));
+        store.abort(t(1));
+        let state = store.state();
+        assert!(state
+            .iter()
+            .all(|s| s.contains(&2) && !s.contains(&1) && !s.contains(&3)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-object contention statistics.
+//!
+//! Each engine counts what its concurrency control actually did —
+//! admissions, blocks, deadlock kills, timestamp conflicts — so workloads
+//! can report *why* an engine is slow, not just that it is. All counters
+//! are monotone and lock-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters describing one object's concurrency-control work.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::stats::ObjectStats;
+/// let stats = ObjectStats::default();
+/// stats.record_admission();
+/// assert_eq!(stats.snapshot().admissions, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ObjectStats {
+    admissions: AtomicU64,
+    blocks: AtomicU64,
+    deadlock_kills: AtomicU64,
+    timestamp_conflicts: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+/// A point-in-time copy of [`ObjectStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Invocations admitted (a result was returned).
+    pub admissions: u64,
+    /// Times an invocation had to block and retry.
+    pub blocks: u64,
+    /// Invocations refused because waiting would deadlock.
+    pub deadlock_kills: u64,
+    /// Invocations refused with a timestamp conflict (static engine).
+    pub timestamp_conflicts: u64,
+    /// Transactions committed at this object.
+    pub commits: u64,
+    /// Transactions aborted at this object.
+    pub aborts: u64,
+}
+
+impl ObjectStats {
+    /// Records a granted invocation.
+    pub fn record_admission(&self) {
+        self.admissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one block-and-retry round.
+    pub fn record_block(&self) {
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a deadlock kill.
+    pub fn record_deadlock_kill(&self) {
+        self.deadlock_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a timestamp conflict.
+    pub fn record_timestamp_conflict(&self) {
+        self.timestamp_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a commit at this object.
+    pub fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an abort at this object.
+    pub fn record_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            admissions: self.admissions.load(Ordering::Relaxed),
+            blocks: self.blocks.load(Ordering::Relaxed),
+            deadlock_kills: self.deadlock_kills.load(Ordering::Relaxed),
+            timestamp_conflicts: self.timestamp_conflicts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let s = ObjectStats::default();
+        s.record_admission();
+        s.record_admission();
+        s.record_block();
+        s.record_deadlock_kill();
+        s.record_timestamp_conflict();
+        s.record_commit();
+        s.record_abort();
+        let snap = s.snapshot();
+        assert_eq!(snap.admissions, 2);
+        assert_eq!(snap.blocks, 1);
+        assert_eq!(snap.deadlock_kills, 1);
+        assert_eq!(snap.timestamp_conflicts, 1);
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts, 1);
+    }
+
+    #[test]
+    fn snapshot_is_copyable_default() {
+        let snap = StatsSnapshot::default();
+        let copy = snap;
+        assert_eq!(copy, snap);
+        assert_eq!(copy.admissions, 0);
+    }
+}

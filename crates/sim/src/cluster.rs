@@ -1,0 +1,943 @@
+//! The cluster: nodes, network, coordinator, crash injection, invariants.
+
+use crate::message::{Message, NodeId, SimEvent};
+use crate::node::Node;
+use crate::queue::EventQueue;
+use atomicity_spec::{op, ActivityId, OpResult, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of nodes; account `k` lives on node `k % nodes`.
+    pub nodes: u32,
+    /// Accounts per node.
+    pub accounts_per_node: u32,
+    /// Initial balance of every account.
+    pub initial_balance: i64,
+    /// RNG seed (latencies are the only randomness).
+    pub seed: u64,
+    /// Minimum one-way message latency (simulated microseconds).
+    pub min_latency: u64,
+    /// Maximum one-way message latency.
+    pub max_latency: u64,
+    /// Coordinator prepare timeout: missing votes ⇒ abort.
+    pub prepare_timeout: u64,
+    /// Interval at which a recovered node re-asks for in-doubt outcomes.
+    pub retry_interval: u64,
+    /// Probability a message is lost in transit (deterministic per seed).
+    pub drop_probability: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_probability: f64,
+    /// How long a prepared participant waits for a decision before
+    /// re-sending its vote.
+    pub decision_timeout: u64,
+    /// Bound on vote retransmissions per participant and transaction.
+    pub max_resends: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 4,
+            accounts_per_node: 4,
+            initial_balance: 100,
+            seed: 42,
+            min_latency: 50,
+            max_latency: 500,
+            prepare_timeout: 5_000,
+            retry_interval: 1_000,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            decision_timeout: 2_000,
+            max_resends: 8,
+        }
+    }
+}
+
+/// Aggregate statistics of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Transactions the coordinator decided to commit.
+    pub committed: u64,
+    /// Transactions the coordinator decided to abort (timeouts).
+    pub aborted: u64,
+    /// Messages delivered (including drops to down nodes).
+    pub messages: u64,
+    /// Messages dropped because the destination was down.
+    pub dropped: u64,
+    /// Messages lost in transit (network loss injection).
+    pub lost: u64,
+    /// Messages delivered twice (duplication injection).
+    pub duplicated: u64,
+    /// Vote retransmissions performed.
+    pub resends: u64,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Coordinator crashes injected.
+    pub coordinator_crashes: u64,
+    /// Node recoveries performed.
+    pub recoveries: u64,
+    /// Committed intentions redone during recoveries.
+    pub redo_records: u64,
+    /// In-doubt transactions found during recoveries.
+    pub in_doubt: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+#[derive(Debug)]
+struct PendingTxn {
+    participants: Vec<NodeId>,
+    acks: BTreeSet<NodeId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CrashTarget {
+    Node(NodeId),
+    Coordinator,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CrashPoint {
+    at_event: u64,
+    target: CrashTarget,
+    down_for: u64,
+}
+
+/// A simulated distributed transaction system: sharded bank accounts,
+/// two-phase commit, crashes, recovery.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: SimConfig,
+    time: u64,
+    queue: EventQueue,
+    nodes: Vec<Node>,
+    rng: StdRng,
+    next_txn: u32,
+    /// Coordinator durable state: decided outcomes (never lost — the
+    /// coordinator is modeled as reliable; participant crashes are the
+    /// interesting failures for recoverability).
+    decisions: HashMap<ActivityId, bool>,
+    pending: HashMap<ActivityId, PendingTxn>,
+    /// Intentions per (txn, node), kept by the coordinator for retransmission.
+    staged: HashMap<(ActivityId, NodeId), Vec<OpResult>>,
+    crash_plan: Vec<CrashPoint>,
+    coordinator_up: bool,
+    /// Commit timestamps assigned at decision time (hybrid atomicity for
+    /// the distributed setting); shared counter with audit timestamps.
+    commit_ts: HashMap<ActivityId, u64>,
+    ts_clock: u64,
+    /// Completed audits: (timestamp, observed grand total).
+    audit_results: Vec<(u64, i64)>,
+    next_audit: usize,
+    stats: SimStats,
+}
+
+impl Cluster {
+    /// Creates the cluster with all accounts at their initial balance.
+    pub fn new(cfg: SimConfig) -> Self {
+        let nodes = (0..cfg.nodes)
+            .map(|n| {
+                let accounts = (0..cfg.accounts_per_node)
+                    .map(|i| ((i * cfg.nodes + n) as i64, cfg.initial_balance));
+                Node::new(NodeId::new(n), accounts)
+            })
+            .collect();
+        Cluster {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            time: 0,
+            queue: EventQueue::new(),
+            nodes,
+            next_txn: 1,
+            decisions: HashMap::new(),
+            pending: HashMap::new(),
+            staged: HashMap::new(),
+            crash_plan: Vec::new(),
+            coordinator_up: true,
+            commit_ts: HashMap::new(),
+            ts_clock: 0,
+            audit_results: Vec::new(),
+            next_audit: 0,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// The node an account lives on.
+    pub fn home_of(&self, account: i64) -> NodeId {
+        NodeId::new((account.rem_euclid(i64::from(self.cfg.nodes))) as u32)
+    }
+
+    /// Total number of accounts.
+    pub fn account_count(&self) -> i64 {
+        i64::from(self.cfg.nodes) * i64::from(self.cfg.accounts_per_node)
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The coordinator's durable decision for `txn`, if made.
+    pub fn decision(&self, txn: ActivityId) -> Option<bool> {
+        self.decisions.get(&txn).copied()
+    }
+
+    /// Schedules a crash of `node` just before the `at_event`-th processed
+    /// event; the node recovers after `down_for` simulated microseconds.
+    pub fn schedule_crash(&mut self, at_event: u64, node: NodeId, down_for: u64) {
+        self.crash_plan.push(CrashPoint {
+            at_event,
+            target: CrashTarget::Node(node),
+            down_for,
+        });
+    }
+
+    /// Schedules a crash of the *coordinator* just before the
+    /// `at_event`-th processed event. Its decision log is durable;
+    /// participants block (classic two-phase commit) and re-send their
+    /// votes until it returns after `down_for`.
+    pub fn schedule_coordinator_crash(&mut self, at_event: u64, down_for: u64) {
+        self.crash_plan.push(CrashPoint {
+            at_event,
+            target: CrashTarget::Coordinator,
+            down_for,
+        });
+    }
+
+    /// Whether the coordinator is currently up.
+    pub fn coordinator_is_up(&self) -> bool {
+        self.coordinator_up
+    }
+
+    /// Submits a timestamped read-only audit (§4.3 in the distributed
+    /// setting): it takes the next timestamp and will observe exactly the
+    /// transfers committed with smaller timestamps, retrying until those
+    /// are applied at every participant. The result appears in
+    /// [`Cluster::audit_results`].
+    pub fn submit_audit(&mut self) -> usize {
+        self.ts_clock += 1;
+        let ts = self.ts_clock;
+        let id = self.next_audit;
+        self.next_audit += 1;
+        let at = self.time + self.latency();
+        self.queue.schedule(at, SimEvent::AuditAttempt { id, ts });
+        id
+    }
+
+    /// Completed audits as (timestamp, observed grand total) pairs.
+    pub fn audit_results(&self) -> &[(u64, i64)] {
+        &self.audit_results
+    }
+
+    /// Whether every committed transaction with commit timestamp below
+    /// `ts` has been durably applied at each of its participants.
+    fn audit_ready(&self, ts: u64) -> bool {
+        for (txn, &cts) in &self.commit_ts {
+            if cts >= ts {
+                continue;
+            }
+            let Some(pending) = self.pending.get(txn) else {
+                continue;
+            };
+            for &node in &pending.participants {
+                let n = &self.nodes[node.raw() as usize];
+                if !n.is_up() || n.outcome(*txn) != Some(true) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn perform_audit(&mut self, id: usize, ts: u64) {
+        let include: Vec<ActivityId> = self
+            .commit_ts
+            .iter()
+            .filter(|(_, &cts)| cts < ts)
+            .map(|(&t, _)| t)
+            .collect();
+        let total: i64 = self
+            .nodes
+            .iter()
+            .map(|n| n.committed_total_at(|t| include.contains(&t)))
+            .sum();
+        self.audit_results.push((ts, total));
+        let _ = id;
+    }
+
+    /// Sends a message to a node with loss/duplication injection.
+    fn send_to_node(&mut self, node: NodeId, message: Message) {
+        let at = self.time + self.latency();
+        if self.roll(self.cfg.drop_probability) {
+            self.stats.lost += 1;
+            return;
+        }
+        if self.roll(self.cfg.duplicate_probability) {
+            self.stats.duplicated += 1;
+            let again = self.time + self.latency();
+            self.queue.schedule(
+                again,
+                SimEvent::DeliverToNode {
+                    node,
+                    message: message.clone(),
+                },
+            );
+        }
+        self.queue
+            .schedule(at, SimEvent::DeliverToNode { node, message });
+    }
+
+    /// Sends a message to the coordinator with loss/duplication injection.
+    fn send_to_coordinator(&mut self, message: Message) {
+        let at = self.time + self.latency();
+        if self.roll(self.cfg.drop_probability) {
+            self.stats.lost += 1;
+            return;
+        }
+        if self.roll(self.cfg.duplicate_probability) {
+            self.stats.duplicated += 1;
+            let again = self.time + self.latency();
+            self.queue.schedule(
+                again,
+                SimEvent::DeliverToCoordinator {
+                    message: message.clone(),
+                },
+            );
+        }
+        self.queue
+            .schedule(at, SimEvent::DeliverToCoordinator { message });
+    }
+
+    fn roll(&mut self, probability: f64) -> bool {
+        probability > 0.0 && self.rng.gen_bool(probability.clamp(0.0, 1.0))
+    }
+
+    fn latency(&mut self) -> u64 {
+        self.rng
+            .gen_range(self.cfg.min_latency..=self.cfg.max_latency)
+    }
+
+    /// Submits a transfer moving `amount` from `from` to `to` (global
+    /// account ids) at the current simulated time. Returns the
+    /// transaction's identity.
+    pub fn submit_transfer(&mut self, from: i64, to: i64, amount: i64) -> ActivityId {
+        let txn = ActivityId::new(self.next_txn);
+        self.next_txn += 1;
+        let mut per_node: BTreeMap<NodeId, Vec<OpResult>> = BTreeMap::new();
+        per_node
+            .entry(self.home_of(from))
+            .or_default()
+            .push((op("adjust", [from, -amount]), Value::ok()));
+        per_node
+            .entry(self.home_of(to))
+            .or_default()
+            .push((op("adjust", [to, amount]), Value::ok()));
+        let participants: Vec<NodeId> = per_node.keys().copied().collect();
+        for (node, ops) in &per_node {
+            self.staged.insert((txn, *node), ops.clone());
+            self.send_to_node(
+                *node,
+                Message::Prepare {
+                    txn,
+                    ops: ops.clone(),
+                },
+            );
+            let at = self.time + self.cfg.decision_timeout;
+            self.queue.schedule(
+                at,
+                SimEvent::ResendPrepare {
+                    txn,
+                    node: *node,
+                    attempt: 1,
+                },
+            );
+        }
+        self.queue.schedule(
+            self.time + self.cfg.prepare_timeout,
+            SimEvent::Timeout { txn },
+        );
+        self.pending.insert(
+            txn,
+            PendingTxn {
+                participants,
+                acks: BTreeSet::new(),
+            },
+        );
+        txn
+    }
+
+    /// Processes events until the queue drains (or `max_events`).
+    pub fn run_to_quiescence(&mut self) -> &SimStats {
+        self.run_events(u64::MAX)
+    }
+
+    /// Processes at most `max_events` events.
+    pub fn run_events(&mut self, max_events: u64) -> &SimStats {
+        let mut processed_now = 0;
+        while processed_now < max_events {
+            // Crash injection is keyed on the global processed-event count.
+            let due: Vec<CrashPoint> = self
+                .crash_plan
+                .iter()
+                .filter(|c| c.at_event <= self.stats.events)
+                .copied()
+                .collect();
+            self.crash_plan.retain(|c| c.at_event > self.stats.events);
+            for c in due {
+                match c.target {
+                    CrashTarget::Node(node) => self.crash(node, c.down_for),
+                    CrashTarget::Coordinator => self.crash_coordinator(c.down_for),
+                }
+            }
+            let Some(scheduled) = self.queue.pop() else {
+                break;
+            };
+            self.time = self.time.max(scheduled.time);
+            self.stats.events += 1;
+            processed_now += 1;
+            self.handle(scheduled.event);
+        }
+        &self.stats
+    }
+
+    fn crash(&mut self, node: NodeId, down_for: u64) {
+        let n = &mut self.nodes[node.raw() as usize];
+        if !n.is_up() {
+            return;
+        }
+        n.crash();
+        self.stats.crashes += 1;
+        self.queue
+            .schedule(self.time + down_for, SimEvent::Recover { node });
+    }
+
+    fn crash_coordinator(&mut self, down_for: u64) {
+        if !self.coordinator_up {
+            return;
+        }
+        self.coordinator_up = false;
+        self.stats.coordinator_crashes += 1;
+        self.queue
+            .schedule(self.time + down_for, SimEvent::CoordinatorRecover);
+    }
+
+    fn handle(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::DeliverToNode { node, message } => {
+                self.stats.messages += 1;
+                if !self.nodes[node.raw() as usize].is_up() {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                match message {
+                    Message::Prepare { txn, ops } => {
+                        self.nodes[node.raw() as usize].prepare(txn, ops);
+                        self.send_to_coordinator(Message::PrepareAck { txn, node });
+                        let at = self.time + self.cfg.decision_timeout;
+                        self.queue.schedule(
+                            at,
+                            SimEvent::ResendAck {
+                                node,
+                                txn,
+                                attempt: 1,
+                            },
+                        );
+                    }
+                    Message::Decision { txn, commit } => {
+                        self.nodes[node.raw() as usize].decide(txn, commit);
+                    }
+                    Message::PrepareAck { .. } => {}
+                }
+            }
+            SimEvent::DeliverToCoordinator { message } => {
+                self.stats.messages += 1;
+                if !self.coordinator_up {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                if let Message::PrepareAck { txn, node } = message {
+                    if let Some(&commit) = self.decisions.get(&txn) {
+                        // Already decided: the participant evidently has
+                        // not heard — re-send the decision.
+                        self.send_to_node(node, Message::Decision { txn, commit });
+                        return;
+                    }
+                    let all_acked = match self.pending.get_mut(&txn) {
+                        Some(p) => {
+                            p.acks.insert(node);
+                            p.acks.len() == p.participants.len()
+                        }
+                        None => false,
+                    };
+                    if all_acked {
+                        self.decide(txn, true);
+                    }
+                }
+            }
+            SimEvent::Timeout { txn } => {
+                if !self.coordinator_up {
+                    // The coordinator cannot decide while down; retry the
+                    // timeout after it recovers.
+                    let at = self.time + self.cfg.retry_interval;
+                    self.queue.schedule(at, SimEvent::Timeout { txn });
+                    return;
+                }
+                if !self.decisions.contains_key(&txn) {
+                    self.decide(txn, false);
+                }
+            }
+            SimEvent::Recover { node } => {
+                let outcome = self.nodes[node.raw() as usize].recover();
+                self.stats.recoveries += 1;
+                self.stats.redo_records += outcome.redone.len() as u64;
+                self.stats.in_doubt += outcome.in_doubt.len() as u64;
+                for txn in outcome.in_doubt {
+                    self.resolve_or_retry(node, txn);
+                }
+            }
+            SimEvent::RetryResolve { node, txn } => {
+                if self.nodes[node.raw() as usize].is_up() {
+                    self.resolve_or_retry(node, txn);
+                }
+            }
+            SimEvent::ResendAck { node, txn, attempt } => {
+                let n = &self.nodes[node.raw() as usize];
+                let undecided = n.is_up() && n.prepared(txn) && n.outcome(txn).is_none();
+                if undecided && attempt <= self.cfg.max_resends {
+                    self.stats.resends += 1;
+                    self.send_to_coordinator(Message::PrepareAck { txn, node });
+                    let at = self.time + self.cfg.decision_timeout;
+                    self.queue.schedule(
+                        at,
+                        SimEvent::ResendAck {
+                            node,
+                            txn,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+            }
+            SimEvent::ResendPrepare { txn, node, attempt } => {
+                let undecided = !self.decisions.contains_key(&txn);
+                let unacked = self
+                    .pending
+                    .get(&txn)
+                    .map(|p| !p.acks.contains(&node))
+                    .unwrap_or(false);
+                if self.coordinator_up && undecided && unacked && attempt <= self.cfg.max_resends {
+                    if let Some(ops) = self.staged.get(&(txn, node)).cloned() {
+                        self.stats.resends += 1;
+                        self.send_to_node(node, Message::Prepare { txn, ops });
+                        let at = self.time + self.cfg.decision_timeout;
+                        self.queue.schedule(
+                            at,
+                            SimEvent::ResendPrepare {
+                                txn,
+                                node,
+                                attempt: attempt + 1,
+                            },
+                        );
+                    }
+                }
+            }
+            SimEvent::CoordinatorRecover => {
+                self.coordinator_up = true;
+            }
+            SimEvent::AuditAttempt { id, ts } => {
+                if self.audit_ready(ts) {
+                    self.perform_audit(id, ts);
+                } else {
+                    let at = self.time + self.cfg.retry_interval;
+                    self.queue.schedule(at, SimEvent::AuditAttempt { id, ts });
+                }
+            }
+        }
+    }
+
+    fn decide(&mut self, txn: ActivityId, commit: bool) {
+        self.decisions.insert(txn, commit);
+        if commit {
+            self.stats.committed += 1;
+            self.ts_clock += 1;
+            self.commit_ts.insert(txn, self.ts_clock);
+        } else {
+            self.stats.aborted += 1;
+        }
+        let participants = self
+            .pending
+            .get(&txn)
+            .map(|p| p.participants.clone())
+            .unwrap_or_default();
+        for node in participants {
+            self.send_to_node(node, Message::Decision { txn, commit });
+        }
+    }
+
+    fn resolve_or_retry(&mut self, node: NodeId, txn: ActivityId) {
+        match self.decisions.get(&txn) {
+            Some(&commit) => self.nodes[node.raw() as usize].resolve(txn, commit),
+            None => {
+                let at = self.time + self.cfg.retry_interval;
+                self.queue
+                    .schedule(at, SimEvent::RetryResolve { node, txn });
+            }
+        }
+    }
+
+    /// Access to a node (inspection).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.raw() as usize]
+    }
+
+    /// All node identifiers.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.cfg.nodes).map(NodeId::new).collect()
+    }
+
+    /// Forces every node up (running recovery where needed) and drains the
+    /// queue — the "eventually everything heals" endpoint of a scenario.
+    pub fn heal(&mut self) {
+        for n in 0..self.cfg.nodes {
+            if !self.nodes[n as usize].is_up() {
+                let outcome = self.nodes[n as usize].recover();
+                self.stats.recoveries += 1;
+                self.stats.redo_records += outcome.redone.len() as u64;
+                self.stats.in_doubt += outcome.in_doubt.len() as u64;
+                for txn in outcome.in_doubt {
+                    self.resolve_or_retry(NodeId::new(n), txn);
+                }
+            }
+        }
+        self.run_to_quiescence();
+    }
+
+    /// Verifies all-or-nothing: for every decided transaction, each
+    /// participant's durable outcome matches the coordinator's decision
+    /// (prepared-but-unresolved participants only allowed while in doubt).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated transaction.
+    pub fn verify_atomicity(&self) -> Result<(), String> {
+        for (&txn, &commit) in &self.decisions {
+            let participants = match self.pending.get(&txn) {
+                Some(p) => &p.participants,
+                None => continue,
+            };
+            for &node in participants {
+                let n = self.node(node);
+                match n.outcome(txn) {
+                    Some(o) if o == commit => {}
+                    Some(o) => {
+                        return Err(format!(
+                            "txn {txn} decided {commit} but {node} recorded {o}"
+                        ))
+                    }
+                    None => {
+                        // Never prepared (prepare lost to a crash) is fine
+                        // only for aborted transactions.
+                        if commit && n.prepared(txn) {
+                            return Err(format!("txn {txn} committed but {node} left it in doubt"));
+                        }
+                        if commit && !n.prepared(txn) {
+                            return Err(format!("txn {txn} committed but {node} never prepared"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies conservation: the committed grand total equals the initial
+    /// grand total (transfers move money, they never create it).
+    ///
+    /// # Errors
+    ///
+    /// Reports the delta if violated.
+    pub fn verify_conservation(&self) -> Result<(), String> {
+        let expected = self.account_count() * self.cfg.initial_balance;
+        let actual: i64 = self.nodes.iter().map(Node::committed_total).sum();
+        if actual == expected {
+            Ok(())
+        } else {
+            Err(format!("total {actual} != expected {expected}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_commits_and_conserves() {
+        let mut cluster = Cluster::new(SimConfig::default());
+        let txn = cluster.submit_transfer(0, 1, 30);
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.decision(txn), Some(true));
+        cluster.verify_atomicity().unwrap();
+        cluster.verify_conservation().unwrap();
+        let stats = cluster.stats();
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.aborted, 0);
+    }
+
+    #[test]
+    fn many_transfers_deterministic() {
+        let run = |seed| {
+            let mut cluster = Cluster::new(SimConfig {
+                seed,
+                ..SimConfig::default()
+            });
+            for i in 0..50 {
+                let from = i % cluster.account_count();
+                let to = (i * 7 + 3) % cluster.account_count();
+                if from != to {
+                    cluster.submit_transfer(from, to, 5);
+                }
+            }
+            cluster.run_to_quiescence();
+            cluster.verify_atomicity().unwrap();
+            cluster.verify_conservation().unwrap();
+            cluster.stats().clone()
+        };
+        assert_eq!(run(7), run(7), "same seed must reproduce identical runs");
+        assert_eq!(run(7).aborted, 0);
+    }
+
+    #[test]
+    fn crash_before_prepare_aborts_atomically() {
+        let mut cluster = Cluster::new(SimConfig::default());
+        // Crash the destination node before any event processes.
+        let txn = cluster.submit_transfer(0, 1, 30);
+        cluster.schedule_crash(0, cluster.home_of(1), 60_000);
+        cluster.run_to_quiescence();
+        cluster.heal();
+        assert_eq!(
+            cluster.decision(txn),
+            Some(false),
+            "missing vote must abort"
+        );
+        cluster.verify_atomicity().unwrap();
+        cluster.verify_conservation().unwrap();
+    }
+
+    #[test]
+    fn crash_after_prepare_recovers_commit() {
+        let mut cluster = Cluster::new(SimConfig::default());
+        let txn = cluster.submit_transfer(0, 1, 30);
+        // Let prepares and acks flow (events 0..4), then crash a
+        // participant before the decision reaches it.
+        cluster.run_events(4);
+        let victim = cluster.home_of(0);
+        cluster.schedule_crash(cluster.stats().events, victim, 20_000);
+        cluster.run_to_quiescence();
+        cluster.heal();
+        assert_eq!(cluster.decision(txn), Some(true));
+        cluster.verify_atomicity().unwrap();
+        cluster.verify_conservation().unwrap();
+        assert!(cluster.stats().recoveries >= 1);
+    }
+
+    #[test]
+    fn crash_sweep_every_event_point_stays_atomic() {
+        // The E6 core loop in miniature: crash each node at every event
+        // index of a single transfer; atomicity and conservation must hold
+        // at every point.
+        let baseline = {
+            let mut c = Cluster::new(SimConfig::default());
+            c.submit_transfer(0, 1, 30);
+            c.run_to_quiescence();
+            c.stats().events
+        };
+        for crash_at in 0..=baseline {
+            for node in 0..SimConfig::default().nodes {
+                let mut c = Cluster::new(SimConfig::default());
+                let txn = c.submit_transfer(0, 1, 30);
+                c.schedule_crash(crash_at, NodeId::new(node), 30_000);
+                c.run_to_quiescence();
+                c.heal();
+                assert!(
+                    c.decision(txn).is_some(),
+                    "crash@{crash_at} {node}: undecided after heal"
+                );
+                c.verify_atomicity()
+                    .unwrap_or_else(|e| panic!("crash@{crash_at} n{node}: {e}"));
+                c.verify_conservation()
+                    .unwrap_or_else(|e| panic!("crash@{crash_at} n{node}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_network_still_terminates_and_stays_atomic() {
+        let mut cluster = Cluster::new(SimConfig {
+            drop_probability: 0.25,
+            duplicate_probability: 0.15,
+            seed: 99,
+            ..SimConfig::default()
+        });
+        for i in 0..20i64 {
+            let n = cluster.account_count();
+            let (from, to) = (i % n, (i * 3 + 1) % n);
+            if from != to {
+                cluster.submit_transfer(from, to, 5);
+            }
+        }
+        cluster.run_to_quiescence();
+        cluster.heal();
+        let stats = cluster.stats().clone();
+        assert!(stats.lost > 0, "loss injection must fire");
+        assert!(stats.duplicated > 0, "duplication injection must fire");
+        assert!(stats.committed > 0, "retransmission must recover commits");
+        cluster.verify_atomicity().unwrap();
+        cluster.verify_conservation().unwrap();
+    }
+
+    #[test]
+    fn long_coordinator_outage_aborts_safely() {
+        // The coordinator is down past the vote timeout: on recovery the
+        // rescheduled timeout fires first and the transfer is (correctly,
+        // presumed-abort) aborted — atomically at every participant.
+        let mut cluster = Cluster::new(SimConfig::default());
+        let txn = cluster.submit_transfer(0, 1, 30);
+        cluster.schedule_coordinator_crash(1, 15_000);
+        cluster.run_to_quiescence();
+        cluster.heal();
+        assert!(cluster.coordinator_is_up());
+        assert_eq!(cluster.decision(txn), Some(false));
+        assert!(cluster.stats().coordinator_crashes >= 1);
+        assert!(cluster.stats().resends > 0, "votes must be re-sent");
+        cluster.verify_atomicity().unwrap();
+        cluster.verify_conservation().unwrap();
+        // The system is healthy again: a new transfer commits.
+        let txn2 = cluster.submit_transfer(2, 3, 10);
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.decision(txn2), Some(true));
+        cluster.verify_conservation().unwrap();
+    }
+
+    #[test]
+    fn short_coordinator_outage_is_bridged_by_vote_resends() {
+        // Downtime shorter than the vote timeout: the acks lost during the
+        // outage are re-sent after recovery and the transfer commits.
+        let mut cluster = Cluster::new(SimConfig {
+            decision_timeout: 1_200,
+            ..SimConfig::default()
+        });
+        let txn = cluster.submit_transfer(0, 1, 30);
+        cluster.schedule_coordinator_crash(1, 3_000);
+        cluster.run_to_quiescence();
+        cluster.heal();
+        assert_eq!(cluster.decision(txn), Some(true));
+        assert!(cluster.stats().resends > 0, "votes must be re-sent");
+        cluster.verify_atomicity().unwrap();
+        cluster.verify_conservation().unwrap();
+    }
+
+    #[test]
+    fn coordinator_and_node_crash_together() {
+        let mut cluster = Cluster::new(SimConfig::default());
+        let txn = cluster.submit_transfer(0, 1, 30);
+        cluster.schedule_coordinator_crash(2, 20_000);
+        cluster.schedule_crash(3, cluster.home_of(0), 10_000);
+        cluster.run_to_quiescence();
+        cluster.heal();
+        assert!(cluster.decision(txn).is_some());
+        cluster.verify_atomicity().unwrap();
+        cluster.verify_conservation().unwrap();
+    }
+
+    #[test]
+    fn duplicated_decisions_apply_once() {
+        let mut cluster = Cluster::new(SimConfig {
+            duplicate_probability: 1.0, // every message duplicated
+            seed: 3,
+            ..SimConfig::default()
+        });
+        let txn = cluster.submit_transfer(0, 1, 30);
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.decision(txn), Some(true));
+        // Idempotent application: the debited/credited amounts are exact.
+        cluster.verify_conservation().unwrap();
+        cluster.verify_atomicity().unwrap();
+        assert!(cluster.stats().duplicated > 0);
+    }
+
+    #[test]
+    fn distributed_audits_always_see_conserved_totals() {
+        // Audits interleaved with transfers, a node crash, message loss,
+        // and duplication: every completed audit must observe exactly the
+        // conserved grand total — hybrid atomicity's read-only guarantee,
+        // distributed.
+        let mut cluster = Cluster::new(SimConfig {
+            drop_probability: 0.15,
+            duplicate_probability: 0.1,
+            seed: 23,
+            ..SimConfig::default()
+        });
+        let expected = cluster.account_count() * 100;
+        for i in 0..15i64 {
+            let n = cluster.account_count();
+            let (from, to) = (i % n, (i * 3 + 1) % n);
+            if from != to {
+                cluster.submit_transfer(from, to, 5);
+            }
+            if i % 3 == 0 {
+                cluster.submit_audit();
+            }
+            // Let a slice of the protocol run between submissions.
+            cluster.run_events(4);
+        }
+        cluster.schedule_crash(cluster.stats().events + 2, NodeId::new(1), 20_000);
+        cluster.run_to_quiescence();
+        cluster.heal();
+        cluster.verify_atomicity().unwrap();
+        cluster.verify_conservation().unwrap();
+        let results = cluster.audit_results();
+        assert!(!results.is_empty(), "audits must complete");
+        for (ts, total) in results {
+            assert_eq!(*total, expected, "audit@{ts} observed a torn total");
+        }
+    }
+
+    #[test]
+    fn audit_timestamps_partition_commits() {
+        // An audit submitted between two transfers sees the first and not
+        // the second.
+        let mut cluster = Cluster::new(SimConfig::default());
+        let t1 = cluster.submit_transfer(0, 1, 30);
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.decision(t1), Some(true));
+        cluster.submit_audit();
+        let t2 = cluster.submit_transfer(2, 3, 10);
+        cluster.run_to_quiescence();
+        assert_eq!(cluster.decision(t2), Some(true));
+        let results = cluster.audit_results();
+        assert_eq!(results.len(), 1);
+        // Totals are conserved whichever transfers are included, so the
+        // partition is visible through per-node snapshots instead.
+        let expected = cluster.account_count() * 100;
+        assert_eq!(results[0].1, expected);
+        // t1 (ts 1) is included by an audit at ts 2, t2 (ts 3) is not.
+        let n0 = cluster.home_of(0);
+        let with_t1 = cluster.node(n0).committed_total_at(|t| t == t1);
+        let without = cluster.node(n0).committed_total_at(|_| false);
+        assert_eq!(with_t1, without - 30, "t1 debited 30 at node n0");
+    }
+
+    #[test]
+    fn home_placement_is_stable() {
+        let cluster = Cluster::new(SimConfig::default());
+        for k in 0..cluster.account_count() {
+            assert_eq!(cluster.home_of(k).raw() as i64, k % 4);
+        }
+    }
+}

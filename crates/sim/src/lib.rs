@@ -1,0 +1,42 @@
+//! Deterministic discrete-event simulation of a distributed transaction
+//! system — the substitute for the paper's (never publicly released)
+//! Argus guardian runtime.
+//!
+//! The paper's atomicity definitions are motivated by *online*,
+//! *distributed* systems with real failures (§1, §5.1, §6). This crate
+//! provides that substrate: a [`Cluster`] of [`Node`]s, each holding a
+//! shard of bank accounts behind an intentions-list recoverable store
+//! ([`atomicity_core::recovery::IntentionsStore`]), connected by a
+//! message-passing network with seeded random latencies, driven by a
+//! two-phase-commit coordinator, with **crash injection at any event
+//! boundary** and recovery with in-doubt resolution.
+//!
+//! Experiment E6 sweeps a crash over every event of a transfer and checks
+//! that the all-or-nothing guarantee — `perm(h)` containing only whole
+//! transactions — survives every crash point.
+//!
+//! # Example
+//!
+//! ```
+//! use atomicity_sim::{Cluster, SimConfig};
+//!
+//! let mut cluster = Cluster::new(SimConfig::default());
+//! let txn = cluster.submit_transfer(0, 5, 25);
+//! cluster.run_to_quiescence();
+//! assert_eq!(cluster.decision(txn), Some(true));
+//! cluster.verify_atomicity().unwrap();
+//! cluster.verify_conservation().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod message;
+mod node;
+mod queue;
+
+pub use cluster::{Cluster, SimConfig, SimStats};
+pub use message::{Message, NodeId};
+pub use node::Node;
+pub use queue::{EventQueue, Scheduled};

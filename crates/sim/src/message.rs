@@ -1,0 +1,117 @@
+//! Messages and event payloads of the simulated network.
+
+use atomicity_spec::{ActivityId, OpResult};
+use std::fmt;
+
+/// Identifies a node (guardian host) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier.
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A network message of the two-phase-commit protocol.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Coordinator → participant: durably stage these intentions and vote.
+    Prepare {
+        /// The distributed transaction.
+        txn: ActivityId,
+        /// The (operation, result) pairs to stage at the participant.
+        ops: Vec<OpResult>,
+    },
+    /// Participant → coordinator: staged, voting yes.
+    PrepareAck {
+        /// The distributed transaction.
+        txn: ActivityId,
+        /// The voting participant.
+        node: NodeId,
+    },
+    /// Coordinator → participant: the durable decision.
+    Decision {
+        /// The distributed transaction.
+        txn: ActivityId,
+        /// `true` = commit, `false` = abort.
+        commit: bool,
+    },
+}
+
+/// An event in the simulation's queue.
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// Deliver a message to a node (dropped if the node is down).
+    DeliverToNode {
+        /// Destination.
+        node: NodeId,
+        /// Payload.
+        message: Message,
+    },
+    /// Deliver a message to the coordinator.
+    DeliverToCoordinator {
+        /// Payload.
+        message: Message,
+    },
+    /// The coordinator's prepare timeout for a transaction fires.
+    Timeout {
+        /// The transaction whose votes may be incomplete.
+        txn: ActivityId,
+    },
+    /// A crashed node restarts and runs recovery.
+    Recover {
+        /// The restarting node.
+        node: NodeId,
+    },
+    /// A recovered node retries resolving an in-doubt transaction.
+    RetryResolve {
+        /// The querying node.
+        node: NodeId,
+        /// The in-doubt transaction.
+        txn: ActivityId,
+    },
+    /// A prepared participant that has seen no decision re-sends its vote
+    /// (liveness across lost messages and coordinator downtime).
+    ResendAck {
+        /// The prepared participant.
+        node: NodeId,
+        /// The undecided transaction.
+        txn: ActivityId,
+        /// Retransmission attempt number (bounded).
+        attempt: u32,
+    },
+    /// The coordinator re-sends a prepare whose vote has not arrived
+    /// (covers prepares lost in transit).
+    ResendPrepare {
+        /// The undecided transaction.
+        txn: ActivityId,
+        /// The participant that has not voted.
+        node: NodeId,
+        /// Retransmission attempt number (bounded).
+        attempt: u32,
+    },
+    /// The crashed coordinator restarts (its decision log is durable).
+    CoordinatorRecover,
+    /// A timestamped read-only audit attempts to complete (§4.3: it must
+    /// see exactly the committed updates with commit timestamps below its
+    /// own; it retries until those are applied at every node).
+    AuditAttempt {
+        /// Audit sequence number (index into the results).
+        id: usize,
+        /// The audit's timestamp.
+        ts: u64,
+    },
+}

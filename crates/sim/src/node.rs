@@ -1,0 +1,174 @@
+//! A simulated node: a guardian host with recoverable stable storage.
+
+use crate::message::NodeId;
+use atomicity_core::recovery::{IntentionsStore, RecoveryOutcome, StableLog};
+use atomicity_spec::specs::KvMapSpec;
+use atomicity_spec::{ActivityId, ObjectId, OpResult};
+
+/// One node of the cluster: hosts a shard of accounts behind an
+/// intentions-list recoverable store, and can crash and recover.
+///
+/// Crashing loses the volatile cache but not the stable log; recovery
+/// redoes committed intentions and reports in-doubt transactions for the
+/// coordinator to resolve (classic presumed-nothing two-phase commit).
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    up: bool,
+    store: IntentionsStore<KvMapSpec>,
+    crash_count: u64,
+}
+
+impl Node {
+    /// Creates a node holding `accounts` (key → initial balance).
+    pub fn new(id: NodeId, accounts: impl IntoIterator<Item = (i64, i64)>) -> Self {
+        let spec = KvMapSpec::with_initial(accounts);
+        let object = ObjectId::new(id.raw() + 1);
+        Node {
+            id,
+            up: true,
+            store: IntentionsStore::new(spec, object, StableLog::new()),
+            crash_count: 0,
+        }
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// How many times this node has crashed.
+    pub fn crash_count(&self) -> u64 {
+        self.crash_count
+    }
+
+    /// Durably stages a transaction's intentions (the prepare vote).
+    /// Idempotent: duplicated prepare messages stage once.
+    pub fn prepare(&self, txn: ActivityId, ops: Vec<OpResult>) {
+        debug_assert!(self.up, "prepare delivered to a down node");
+        if !self.store.prepared(txn) {
+            self.store.prepare(txn, ops);
+        }
+    }
+
+    /// Applies the coordinator's decision. Idempotent: duplicated
+    /// decision messages apply once (the store enforces first-outcome-wins).
+    pub fn decide(&self, txn: ActivityId, commit: bool) {
+        debug_assert!(self.up, "decision delivered to a down node");
+        if commit {
+            self.store.commit(txn);
+        } else {
+            self.store.abort(txn);
+        }
+    }
+
+    /// Crashes the node: volatile state is lost, stable storage survives.
+    pub fn crash(&mut self) {
+        self.up = false;
+        self.crash_count += 1;
+        self.store.crash();
+    }
+
+    /// Restarts the node and replays the stable log; returns the recovery
+    /// outcome (including in-doubt transactions).
+    pub fn recover(&mut self) -> RecoveryOutcome {
+        self.up = true;
+        self.store.recover()
+    }
+
+    /// Resolves an in-doubt transaction after the coordinator answered.
+    pub fn resolve(&self, txn: ActivityId, commit: bool) {
+        self.store.resolve_in_doubt(txn, commit);
+    }
+
+    /// The durable outcome of `txn` at this node, if any.
+    pub fn outcome(&self, txn: ActivityId) -> Option<bool> {
+        self.store.outcome(txn)
+    }
+
+    /// Whether `txn` is durably prepared here.
+    pub fn prepared(&self, txn: ActivityId) -> bool {
+        self.store.prepared(txn)
+    }
+
+    /// The committed total of this node's accounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is crashed and has not recovered.
+    pub fn committed_total(&self) -> i64 {
+        self.store
+            .committed_frontier()
+            .first()
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of records in this node's stable log (recovery cost proxy).
+    pub fn stable_log_len(&self) -> usize {
+        self.store.stable_log().len()
+    }
+
+    /// The total of this node's accounts as of a timestamped snapshot:
+    /// exactly the committed transactions selected by `include` are
+    /// applied (served from the durable log, so the answer is independent
+    /// of when it is asked — the essence of hybrid read-only activities).
+    pub fn committed_total_at(&self, include: impl Fn(ActivityId) -> bool) -> i64 {
+        self.store
+            .replay_committed_subset(include)
+            .first()
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::{op, Value};
+
+    fn txn(n: u32) -> ActivityId {
+        ActivityId::new(n)
+    }
+
+    #[test]
+    fn prepare_commit_updates_total() {
+        let node = Node::new(NodeId::new(0), [(1, 100), (2, 100)]);
+        node.prepare(txn(1), vec![(op("adjust", [1, -30]), Value::ok())]);
+        node.decide(txn(1), true);
+        assert_eq!(node.committed_total(), 170);
+        assert_eq!(node.outcome(txn(1)), Some(true));
+    }
+
+    #[test]
+    fn crash_then_recover_preserves_committed() {
+        let mut node = Node::new(NodeId::new(0), [(1, 100)]);
+        node.prepare(txn(1), vec![(op("adjust", [1, 50]), Value::ok())]);
+        node.decide(txn(1), true);
+        node.prepare(txn(2), vec![(op("adjust", [1, 7]), Value::ok())]);
+        node.crash();
+        assert!(!node.is_up());
+        let outcome = node.recover();
+        assert_eq!(outcome.redone, vec![txn(1)]);
+        assert_eq!(outcome.in_doubt, vec![txn(2)]);
+        assert_eq!(node.committed_total(), 150);
+        node.resolve(txn(2), false);
+        assert_eq!(node.committed_total(), 150);
+        assert_eq!(node.crash_count(), 1);
+    }
+
+    #[test]
+    fn abort_leaves_balance_untouched() {
+        let node = Node::new(NodeId::new(0), [(1, 100)]);
+        node.prepare(txn(1), vec![(op("adjust", [1, -100]), Value::ok())]);
+        node.decide(txn(1), false);
+        assert_eq!(node.committed_total(), 100);
+        assert_eq!(node.outcome(txn(1)), Some(false));
+        assert!(node.prepared(txn(1)));
+    }
+}

@@ -1,0 +1,376 @@
+//! Atomicity and the three local atomicity properties (§3, §4).
+//!
+//! - [`is_atomic`]: `h` is atomic iff `perm(h)` is serializable (§3).
+//! - [`is_dynamic_atomic`]: `perm(h)` is serializable in **every** total
+//!   order consistent with `precedes(h)` (§4.1).
+//! - [`is_static_atomic`]: `perm(h)` is serializable in timestamp order,
+//!   timestamps chosen at initiation (§4.2.2).
+//! - [`is_hybrid_atomic`]: `perm(h)` is serializable in timestamp order,
+//!   timestamps chosen at commit for updates and at initiation for
+//!   read-only activities (§4.3.2).
+//!
+//! [`LocalProperty`] packages each property with its well-formedness
+//! discipline so harnesses (e.g. experiment E5) can treat them uniformly.
+
+use crate::event::ActivityId;
+use crate::history::History;
+use crate::serial::{
+    is_serializable, is_serializable_in_all_consistent_orders, is_serializable_in_order,
+};
+use crate::spec::SystemSpec;
+use crate::well_formed::WellFormedness;
+use std::collections::BTreeSet;
+
+/// Whether `h` is atomic: `perm(h)` is serializable (§3).
+pub fn is_atomic(h: &History, spec: &SystemSpec) -> bool {
+    is_serializable(&h.perm(), spec)
+}
+
+/// Whether `h` is dynamic atomic: `perm(h)` is serializable in every total
+/// order consistent with `precedes(h)` (§4.1).
+///
+/// Note the asymmetry the paper builds in: `precedes` is computed on the
+/// whole history `h` (commit order is real-time information), while the
+/// serializability requirement applies to `perm(h)`.
+pub fn is_dynamic_atomic(h: &History, spec: &SystemSpec) -> bool {
+    let perm = h.perm();
+    let committed: BTreeSet<ActivityId> = h.committed_activities();
+    let pairs: BTreeSet<(ActivityId, ActivityId)> = h
+        .precedes()
+        .into_iter()
+        .filter(|(a, b)| committed.contains(a) && committed.contains(b))
+        .collect();
+    is_serializable_in_all_consistent_orders(&perm, spec, &pairs)
+}
+
+/// The timestamp order of the committed activities of `h`: committed
+/// activities sorted by their timestamps.
+///
+/// Returns `None` if some committed activity has no timestamp event —
+/// the history then cannot be judged against a timestamp-ordered property.
+pub fn timestamp_order(h: &History) -> Option<Vec<ActivityId>> {
+    let ts = h.timestamps();
+    let committed = h.committed_activities();
+    let mut order = Vec::with_capacity(committed.len());
+    for a in &committed {
+        if !ts.contains_key(a) {
+            return None;
+        }
+        order.push(*a);
+    }
+    order.sort_by_key(|a| ts[a]);
+    Some(order)
+}
+
+/// Whether `h` is static atomic: `perm(h)` is serializable in timestamp
+/// order, with timestamps chosen at initiation (§4.2.2).
+pub fn is_static_atomic(h: &History, spec: &SystemSpec) -> bool {
+    match timestamp_order(h) {
+        Some(order) => is_serializable_in_order(&h.perm(), spec, &order),
+        None => false,
+    }
+}
+
+/// Whether `h` is hybrid atomic: `perm(h)` is serializable in timestamp
+/// order, with update timestamps chosen at commit and read-only timestamps
+/// at initiation (§4.3.2).
+///
+/// The decision procedure is the same as for static atomicity — the two
+/// properties differ in *which events carry the timestamps* (and hence in
+/// their well-formedness disciplines), which
+/// [`History::timestamps`] already abstracts over.
+pub fn is_hybrid_atomic(h: &History, spec: &SystemSpec) -> bool {
+    is_static_atomic(h, spec)
+}
+
+/// A local atomicity property, packaged for uniform treatment.
+///
+/// A *local atomicity property* is a property `P` of object specifications
+/// such that if every object in a system satisfies `P`, every computation
+/// of the system is atomic (§4). The three instances are
+/// [`DynamicAtomicity`], [`StaticAtomicity`], and [`HybridAtomicity`];
+/// Theorems 1, 4, and 5 of the paper are checked as property tests against
+/// these implementations.
+pub trait LocalProperty: Send + Sync {
+    /// Human-readable name (`"dynamic"`, `"static"`, `"hybrid"`).
+    fn name(&self) -> &'static str;
+
+    /// The well-formedness discipline histories must satisfy before the
+    /// property is meaningful.
+    fn well_formedness(&self) -> WellFormedness;
+
+    /// Whether the (well-formed) history `h` satisfies the property.
+    fn holds(&self, h: &History, spec: &SystemSpec) -> bool;
+}
+
+/// Dynamic atomicity (§4.1): serializable in every order consistent with
+/// `precedes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynamicAtomicity;
+
+impl LocalProperty for DynamicAtomicity {
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn well_formedness(&self) -> WellFormedness {
+        WellFormedness::Basic
+    }
+
+    fn holds(&self, h: &History, spec: &SystemSpec) -> bool {
+        is_dynamic_atomic(h, spec)
+    }
+}
+
+/// Static atomicity (§4.2): serializable in initiation-timestamp order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticAtomicity;
+
+impl LocalProperty for StaticAtomicity {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn well_formedness(&self) -> WellFormedness {
+        WellFormedness::Static
+    }
+
+    fn holds(&self, h: &History, spec: &SystemSpec) -> bool {
+        is_static_atomic(h, spec)
+    }
+}
+
+/// Hybrid atomicity (§4.3): serializable in mixed commit/initiation
+/// timestamp order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridAtomicity;
+
+impl LocalProperty for HybridAtomicity {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn well_formedness(&self) -> WellFormedness {
+        WellFormedness::Hybrid
+    }
+
+    fn holds(&self, h: &History, spec: &SystemSpec) -> bool {
+        is_hybrid_atomic(h, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, ObjectId};
+    use crate::spec::op;
+    use crate::specs::IntSetSpec;
+    use crate::value::Value;
+
+    fn a() -> ActivityId {
+        1.into()
+    }
+    fn b() -> ActivityId {
+        2.into()
+    }
+    fn c() -> ActivityId {
+        3.into()
+    }
+    fn x() -> ObjectId {
+        1.into()
+    }
+
+    fn set_spec() -> SystemSpec {
+        SystemSpec::new().with_object(x(), IntSetSpec::new())
+    }
+
+    #[test]
+    fn paper_perm_example_is_atomic() {
+        // §3: aborted delete(3) by c is discarded; a and b serialize b-a.
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [3])),
+            Event::invoke(b(), x(), op("insert", [3])),
+            Event::respond(b(), x(), Value::ok()),
+            Event::respond(a(), x(), Value::from(true)),
+            Event::commit(b(), x()),
+            Event::invoke(c(), x(), op("delete", [3])),
+            Event::respond(c(), x(), Value::ok()),
+            Event::commit(a(), x()),
+            Event::abort(c(), x()),
+        ]);
+        assert!(is_atomic(&h, &set_spec()));
+    }
+
+    #[test]
+    fn impossible_observation_is_not_atomic() {
+        // §3: member(2)→true on an initially-empty set.
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [2])),
+            Event::respond(a(), x(), Value::from(true)),
+            Event::commit(a(), x()),
+        ]);
+        assert!(!is_atomic(&h, &set_spec()));
+    }
+
+    /// §4.1 first example: atomic but NOT dynamic atomic — a's member(3)
+    /// must be serialized before b's committed insert, yet ⟨a,b⟩ is not in
+    /// precedes, so orders b-a-c and b-c-a must also work and do not.
+    fn paper_not_dynamic() -> History {
+        History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [3])),
+            Event::invoke(b(), x(), op("insert", [3])),
+            Event::respond(b(), x(), Value::ok()),
+            Event::respond(a(), x(), Value::from(false)),
+            Event::invoke(c(), x(), op("member", [3])),
+            Event::commit(b(), x()),
+            Event::respond(c(), x(), Value::from(true)),
+            Event::commit(a(), x()),
+            Event::commit(c(), x()),
+        ])
+    }
+
+    #[test]
+    fn paper_atomic_but_not_dynamic_example() {
+        let h = paper_not_dynamic();
+        let spec = set_spec();
+        assert!(is_atomic(&h, &spec));
+        assert!(!is_dynamic_atomic(&h, &spec));
+        // precedes(h) is exactly {⟨b,c⟩}.
+        let committed = h.committed_activities();
+        let pairs: Vec<_> = h
+            .precedes()
+            .into_iter()
+            .filter(|(p, q)| committed.contains(p) && committed.contains(q))
+            .collect();
+        assert_eq!(pairs, vec![(b(), c())]);
+    }
+
+    #[test]
+    fn paper_dynamic_example() {
+        // §4.1 second example: a queries member(2) instead — serializable
+        // in a-b-c, b-a-c, and b-c-a, hence dynamic atomic.
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [2])),
+            Event::invoke(b(), x(), op("insert", [3])),
+            Event::respond(b(), x(), Value::ok()),
+            Event::respond(a(), x(), Value::from(false)),
+            Event::invoke(c(), x(), op("member", [3])),
+            Event::commit(b(), x()),
+            Event::respond(c(), x(), Value::from(true)),
+            Event::commit(a(), x()),
+            Event::commit(c(), x()),
+        ]);
+        assert!(is_dynamic_atomic(&h, &set_spec()));
+    }
+
+    #[test]
+    fn paper_atomic_but_not_static_example() {
+        // §4.2.2: serializable a-b, but timestamp order is b-a.
+        let h = History::from_events(vec![
+            Event::initiate(a(), x(), 2),
+            Event::invoke(a(), x(), op("member", [3])),
+            Event::respond(a(), x(), Value::from(false)),
+            Event::commit(a(), x()),
+            Event::initiate(b(), x(), 1),
+            Event::invoke(b(), x(), op("insert", [3])),
+            Event::respond(b(), x(), Value::ok()),
+            Event::commit(b(), x()),
+        ]);
+        let spec = set_spec();
+        assert!(is_atomic(&h, &spec));
+        assert!(!is_static_atomic(&h, &spec));
+        assert_eq!(timestamp_order(&h), Some(vec![b(), a()]));
+    }
+
+    #[test]
+    fn paper_static_example() {
+        // §4.2.2: insert by a (ts 2) executes first but serializes after
+        // b's member (ts 1) — static atomic.
+        let h = History::from_events(vec![
+            Event::initiate(a(), x(), 2),
+            Event::invoke(a(), x(), op("insert", [3])),
+            Event::respond(a(), x(), Value::ok()),
+            Event::commit(a(), x()),
+            Event::initiate(b(), x(), 1),
+            Event::invoke(b(), x(), op("member", [3])),
+            Event::respond(b(), x(), Value::from(false)),
+            Event::commit(b(), x()),
+        ]);
+        assert!(is_static_atomic(&h, &set_spec()));
+    }
+
+    #[test]
+    fn hybrid_example_accepts_and_rejects() {
+        // Update a commits with ts 2; reader r initiated with ts 1 and
+        // correctly does NOT see the insert.
+        let r = ActivityId::new(9);
+        let good = History::from_events(vec![
+            Event::invoke(a(), x(), op("insert", [3])),
+            Event::respond(a(), x(), Value::ok()),
+            Event::commit_ts(a(), x(), 2),
+            Event::initiate(r, x(), 1),
+            Event::invoke(r, x(), op("member", [3])),
+            Event::respond(r, x(), Value::from(false)),
+            Event::commit(r, x()),
+        ]);
+        let spec = set_spec();
+        assert!(is_hybrid_atomic(&good, &spec));
+        // Same history but the reader claims to see the later insert.
+        let bad = History::from_events(vec![
+            Event::invoke(a(), x(), op("insert", [3])),
+            Event::respond(a(), x(), Value::ok()),
+            Event::commit_ts(a(), x(), 2),
+            Event::initiate(r, x(), 1),
+            Event::invoke(r, x(), op("member", [3])),
+            Event::respond(r, x(), Value::from(true)),
+            Event::commit(r, x()),
+        ]);
+        assert!(is_atomic(&bad, &spec)); // serializable a then r
+        assert!(!is_hybrid_atomic(&bad, &spec)); // but not in ts order r-a
+    }
+
+    #[test]
+    fn missing_timestamps_fail_timestamp_properties() {
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("insert", [3])),
+            Event::respond(a(), x(), Value::ok()),
+            Event::commit(a(), x()),
+        ]);
+        assert!(timestamp_order(&h).is_none());
+        assert!(!is_static_atomic(&h, &set_spec()));
+    }
+
+    #[test]
+    fn local_property_trait_objects() {
+        let props: Vec<Box<dyn LocalProperty>> = vec![
+            Box::new(DynamicAtomicity),
+            Box::new(StaticAtomicity),
+            Box::new(HybridAtomicity),
+        ];
+        let names: Vec<_> = props.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["dynamic", "static", "hybrid"]);
+        assert_eq!(DynamicAtomicity.well_formedness(), WellFormedness::Basic);
+        assert_eq!(StaticAtomicity.well_formedness(), WellFormedness::Static);
+        assert_eq!(HybridAtomicity.well_formedness(), WellFormedness::Hybrid);
+        // The empty history satisfies everything.
+        let h = History::new();
+        let spec = set_spec();
+        for p in &props {
+            assert!(p.holds(&h, &spec), "{} fails empty history", p.name());
+        }
+    }
+
+    #[test]
+    fn dynamic_atomicity_ignores_uncommitted_precedes_pairs() {
+        // c never commits; pairs involving c must not constrain the orders.
+        let h = History::from_events(vec![
+            Event::invoke(b(), x(), op("insert", [3])),
+            Event::respond(b(), x(), Value::ok()),
+            Event::commit(b(), x()),
+            Event::invoke(c(), x(), op("member", [3])),
+            Event::respond(c(), x(), Value::from(true)),
+            // c stays active.
+        ]);
+        assert!(is_dynamic_atomic(&h, &set_spec()));
+    }
+}

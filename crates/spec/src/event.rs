@@ -1,0 +1,296 @@
+//! Events: the atoms of computation in the paper's model.
+//!
+//! A computation is a finite sequence of events (§2). An event is the
+//! invocation of an operation on an object by an activity, the termination
+//! of an invocation, the commit of an activity at an object, the abort of an
+//! activity at an object, or — in the extended models of §4.2 and §4.3 — the
+//! initiation of an activity at an object with a timestamp, or a commit
+//! carrying a timestamp.
+
+use crate::spec::Operation;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies an activity (transaction / thread of control).
+///
+/// Activities are the active entities of the system (§2). The identifier is
+/// opaque; displayed as `a1`, `a2`, … mirroring the paper's `a`, `b`, `c`.
+///
+/// ```
+/// use atomicity_spec::ActivityId;
+/// let a = ActivityId::new(1);
+/// assert_eq!(a.to_string(), "a1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ActivityId(u32);
+
+impl ActivityId {
+    /// Creates an activity identifier from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        ActivityId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ActivityId {
+    fn from(raw: u32) -> Self {
+        ActivityId(raw)
+    }
+}
+
+impl fmt::Display for ActivityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Identifies an object (an instance of an atomic abstract data type).
+///
+/// Objects contain the state of the system and are the sole path by which
+/// activities pass information among themselves (§2).
+///
+/// ```
+/// use atomicity_spec::ObjectId;
+/// let x = ObjectId::new(1);
+/// assert_eq!(x.to_string(), "x1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(u32);
+
+impl ObjectId {
+    /// Creates an object identifier from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        ObjectId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(raw: u32) -> Self {
+        ObjectId(raw)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A timestamp drawn from a countable well-ordered set (§4.2.1).
+///
+/// The paper uses natural numbers; so do we.
+pub type Timestamp = u64;
+
+/// The kind of an event, together with its payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// `<op(args),x,a>` — activity `a` invokes an operation on object `x`.
+    Invoke(Operation),
+    /// `<result,x,a>` — an invocation by `a` on `x` terminates with a result.
+    Respond(Value),
+    /// `<commit,x,a>` — `a` commits at `x` (basic model, and read-only
+    /// activities under hybrid atomicity).
+    Commit,
+    /// `<commit(t),x,a>` — `a` commits at `x` choosing timestamp `t`
+    /// (update activities under hybrid atomicity, §4.3.1).
+    CommitTs(Timestamp),
+    /// `<abort,x,a>` — `a` aborts at `x`.
+    Abort,
+    /// `<initiate(t),x,a>` — `a` initiates at `x` with timestamp `t`
+    /// (all activities under static atomicity, §4.2.1; read-only activities
+    /// under hybrid atomicity, §4.3.1).
+    Initiate(Timestamp),
+}
+
+impl EventKind {
+    /// Whether this is a commit event (with or without a timestamp).
+    pub fn is_commit(&self) -> bool {
+        matches!(self, EventKind::Commit | EventKind::CommitTs(_))
+    }
+
+    /// The timestamp carried by this event, if any.
+    pub fn timestamp(&self) -> Option<Timestamp> {
+        match self {
+            EventKind::CommitTs(t) | EventKind::Initiate(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// A single event: the participating activity and object, plus the kind.
+///
+/// Written in the paper as `<payload, object, activity>`, e.g.
+/// `<insert(3),x,a>` or `<commit,x,a>`.
+///
+/// ```
+/// use atomicity_spec::{Event, op, Value};
+/// let e = Event::invoke(1.into(), 1.into(), op("insert", [3]));
+/// assert_eq!(e.to_string(), "<insert(3),x1,a1>");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The activity participating in the event.
+    pub activity: ActivityId,
+    /// The object participating in the event.
+    pub object: ObjectId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an invocation event `<op,x,a>`.
+    pub fn invoke(activity: ActivityId, object: ObjectId, operation: Operation) -> Self {
+        Event {
+            activity,
+            object,
+            kind: EventKind::Invoke(operation),
+        }
+    }
+
+    /// Creates a termination (response) event `<result,x,a>`.
+    pub fn respond(activity: ActivityId, object: ObjectId, result: Value) -> Self {
+        Event {
+            activity,
+            object,
+            kind: EventKind::Respond(result),
+        }
+    }
+
+    /// Creates a commit event `<commit,x,a>`.
+    pub fn commit(activity: ActivityId, object: ObjectId) -> Self {
+        Event {
+            activity,
+            object,
+            kind: EventKind::Commit,
+        }
+    }
+
+    /// Creates a timestamped commit event `<commit(t),x,a>`.
+    pub fn commit_ts(activity: ActivityId, object: ObjectId, ts: Timestamp) -> Self {
+        Event {
+            activity,
+            object,
+            kind: EventKind::CommitTs(ts),
+        }
+    }
+
+    /// Creates an abort event `<abort,x,a>`.
+    pub fn abort(activity: ActivityId, object: ObjectId) -> Self {
+        Event {
+            activity,
+            object,
+            kind: EventKind::Abort,
+        }
+    }
+
+    /// Creates an initiation event `<initiate(t),x,a>`.
+    pub fn initiate(activity: ActivityId, object: ObjectId, ts: Timestamp) -> Self {
+        Event {
+            activity,
+            object,
+            kind: EventKind::Initiate(ts),
+        }
+    }
+
+    /// Whether this is a commit event (plain or timestamped).
+    pub fn is_commit(&self) -> bool {
+        self.kind.is_commit()
+    }
+
+    /// Whether this is an abort event.
+    pub fn is_abort(&self) -> bool {
+        matches!(self.kind, EventKind::Abort)
+    }
+
+    /// Whether this is an invocation event.
+    pub fn is_invoke(&self) -> bool {
+        matches!(self.kind, EventKind::Invoke(_))
+    }
+
+    /// Whether this is a termination (response) event.
+    pub fn is_respond(&self) -> bool {
+        matches!(self.kind, EventKind::Respond(_))
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            EventKind::Invoke(op) => write!(f, "<{},{},{}>", op, self.object, self.activity),
+            EventKind::Respond(v) => write!(f, "<{},{},{}>", v, self.object, self.activity),
+            EventKind::Commit => write!(f, "<commit,{},{}>", self.object, self.activity),
+            EventKind::CommitTs(t) => write!(f, "<commit({t}),{},{}>", self.object, self.activity),
+            EventKind::Abort => write!(f, "<abort,{},{}>", self.object, self.activity),
+            EventKind::Initiate(t) => {
+                write!(f, "<initiate({t}),{},{}>", self.object, self.activity)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::op;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let a = ActivityId::new(1);
+        let x = ObjectId::new(1);
+        assert_eq!(
+            Event::invoke(a, x, op("insert", [3])).to_string(),
+            "<insert(3),x1,a1>"
+        );
+        assert_eq!(Event::respond(a, x, Value::ok()).to_string(), "<ok,x1,a1>");
+        assert_eq!(
+            Event::respond(a, x, Value::from(true)).to_string(),
+            "<true,x1,a1>"
+        );
+        assert_eq!(Event::commit(a, x).to_string(), "<commit,x1,a1>");
+        assert_eq!(Event::commit_ts(a, x, 2).to_string(), "<commit(2),x1,a1>");
+        assert_eq!(Event::abort(a, x).to_string(), "<abort,x1,a1>");
+        assert_eq!(Event::initiate(a, x, 1).to_string(), "<initiate(1),x1,a1>");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let a = ActivityId::new(1);
+        let x = ObjectId::new(2);
+        assert!(Event::commit(a, x).is_commit());
+        assert!(Event::commit_ts(a, x, 9).is_commit());
+        assert!(!Event::abort(a, x).is_commit());
+        assert!(Event::abort(a, x).is_abort());
+        assert!(Event::invoke(a, x, op("read", [] as [i64; 0])).is_invoke());
+        assert!(Event::respond(a, x, Value::Nil).is_respond());
+    }
+
+    #[test]
+    fn timestamps_are_extracted() {
+        assert_eq!(EventKind::CommitTs(7).timestamp(), Some(7));
+        assert_eq!(EventKind::Initiate(3).timestamp(), Some(3));
+        assert_eq!(EventKind::Commit.timestamp(), None);
+        assert_eq!(EventKind::Abort.timestamp(), None);
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(ActivityId::new(1) < ActivityId::new(2));
+        assert!(ObjectId::new(3) > ObjectId::new(1));
+        assert_eq!(ActivityId::from(5u32).raw(), 5);
+        assert_eq!(ObjectId::from(6u32).raw(), 6);
+    }
+}

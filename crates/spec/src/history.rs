@@ -1,0 +1,542 @@
+//! Histories (event sequences) and their derived structure.
+//!
+//! A computation is modeled as a finite sequence of events (§2). This module
+//! provides the projections and derived relations the paper's definitions
+//! are built from:
+//!
+//! - `h|x` and `h|a` — [`History::project_object`], [`History::project_activity`]
+//! - `perm(h)` — [`History::perm`]: events of committed activities only (§3)
+//! - `updates(h)` — [`History::updates`]: events of update activities (§4.3.2)
+//! - `precedes(h)` — [`History::precedes`]: the commit-order relation that
+//!   dynamic atomicity serializes against (§4.1)
+
+use crate::event::{ActivityId, Event, EventKind, ObjectId, Timestamp};
+use crate::spec::OpResult;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite sequence of events: the paper's model of a computation.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_spec::{History, Event, op, Value};
+/// let (a, x) = (1.into(), 1.into());
+/// let h = History::from_events(vec![
+///     Event::invoke(a, x, op("member", [2])),
+///     Event::respond(a, x, Value::from(false)),
+///     Event::commit(a, x),
+/// ]);
+/// assert_eq!(h.len(), 3);
+/// assert!(h.committed_activities().contains(&a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// Creates a history from a sequence of events.
+    pub fn from_events(events: impl IntoIterator<Item = Event>) -> Self {
+        History {
+            events: events.into_iter().collect(),
+        }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// The underlying event slice, in computation order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// `h|x`: the subsequence of events in which object `x` participates.
+    pub fn project_object(&self, x: ObjectId) -> History {
+        History::from_events(self.events.iter().filter(|e| e.object == x).cloned())
+    }
+
+    /// `h|a`: the subsequence of events in which activity `a` participates.
+    pub fn project_activity(&self, a: ActivityId) -> History {
+        History::from_events(self.events.iter().filter(|e| e.activity == a).cloned())
+    }
+
+    /// All activities appearing in the history, in order of first appearance.
+    pub fn activities(&self) -> Vec<ActivityId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if seen.insert(e.activity) {
+                out.push(e.activity);
+            }
+        }
+        out
+    }
+
+    /// All objects appearing in the history, in order of first appearance.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if seen.insert(e.object) {
+                out.push(e.object);
+            }
+        }
+        out
+    }
+
+    /// Activities with at least one commit event (plain or timestamped).
+    pub fn committed_activities(&self) -> BTreeSet<ActivityId> {
+        self.events
+            .iter()
+            .filter(|e| e.is_commit())
+            .map(|e| e.activity)
+            .collect()
+    }
+
+    /// Activities with at least one abort event.
+    pub fn aborted_activities(&self) -> BTreeSet<ActivityId> {
+        self.events
+            .iter()
+            .filter(|e| e.is_abort())
+            .map(|e| e.activity)
+            .collect()
+    }
+
+    /// Activities that neither committed nor aborted.
+    pub fn active_activities(&self) -> BTreeSet<ActivityId> {
+        let committed = self.committed_activities();
+        let aborted = self.aborted_activities();
+        self.activities()
+            .into_iter()
+            .filter(|a| !committed.contains(a) && !aborted.contains(a))
+            .collect()
+    }
+
+    /// `perm(h)`: the subsequence consisting of all events involving
+    /// activities that commit in `h`, and no others (§3).
+    ///
+    /// This formalizes recoverability: aborted and still-active activities
+    /// are discarded, and atomicity requires the remainder to be
+    /// serializable.
+    pub fn perm(&self) -> History {
+        let committed = self.committed_activities();
+        History::from_events(
+            self.events
+                .iter()
+                .filter(|e| committed.contains(&e.activity))
+                .cloned(),
+        )
+    }
+
+    /// `updates(h)`: the subsequence consisting of all events involving
+    /// update activities (§4.3.2).
+    ///
+    /// Under hybrid atomicity an activity is an update iff it commits with
+    /// a timestamped commit event or has no initiation event; read-only
+    /// activities announce themselves with `initiate(t)` events.
+    pub fn updates(&self) -> History {
+        let read_only = self.read_only_activities();
+        History::from_events(
+            self.events
+                .iter()
+                .filter(|e| !read_only.contains(&e.activity))
+                .cloned(),
+        )
+    }
+
+    /// The activities that declared themselves read-only by initiating with
+    /// a timestamp and never committing with one (hybrid model, §4.3.1).
+    pub fn read_only_activities(&self) -> BTreeSet<ActivityId> {
+        let mut initiated = BTreeSet::new();
+        let mut ts_committed = BTreeSet::new();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Initiate(_) => {
+                    initiated.insert(e.activity);
+                }
+                EventKind::CommitTs(_) => {
+                    ts_committed.insert(e.activity);
+                }
+                _ => {}
+            }
+        }
+        initiated.difference(&ts_committed).copied().collect()
+    }
+
+    /// The timestamp of each activity, taken from its initiation and/or
+    /// timestamped commit events.
+    ///
+    /// Well-formedness guarantees each activity uses a single timestamp;
+    /// this accessor returns the first one found per activity.
+    pub fn timestamps(&self) -> BTreeMap<ActivityId, Timestamp> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            if let Some(t) = e.kind.timestamp() {
+                out.entry(e.activity).or_insert(t);
+            }
+        }
+        out
+    }
+
+    /// `precedes(h)`: `⟨a,b⟩ ∈ precedes(h)` iff there exists an operation
+    /// invoked by `b` that terminates after `a` commits (§4.1).
+    ///
+    /// For well-formed histories this relation is a partial order; dynamic
+    /// atomicity requires serializability in *every* total order consistent
+    /// with it.
+    ///
+    /// # Example
+    ///
+    /// The paper's example: if `b`'s response comes after `a`'s commit, the
+    /// pair `⟨a,b⟩` is present:
+    ///
+    /// ```
+    /// use atomicity_spec::{History, Event, op, Value};
+    /// let (a, b, x) = (1.into(), 2.into(), 1.into());
+    /// let h = History::from_events(vec![
+    ///     Event::invoke(a, x, op("insert", [3])),
+    ///     Event::respond(a, x, Value::ok()),
+    ///     Event::commit(a, x),
+    ///     Event::invoke(b, x, op("member", [3])),
+    ///     Event::respond(b, x, Value::from(true)),
+    /// ]);
+    /// assert!(h.precedes().contains(&(a, b)));
+    /// ```
+    pub fn precedes(&self) -> BTreeSet<(ActivityId, ActivityId)> {
+        let mut committed: BTreeSet<ActivityId> = BTreeSet::new();
+        let mut pairs = BTreeSet::new();
+        for e in &self.events {
+            match &e.kind {
+                EventKind::Respond(_) => {
+                    for &a in &committed {
+                        if a != e.activity {
+                            pairs.insert((a, e.activity));
+                        }
+                    }
+                }
+                EventKind::Commit | EventKind::CommitTs(_) => {
+                    committed.insert(e.activity);
+                }
+                _ => {}
+            }
+        }
+        pairs
+    }
+
+    /// The completed (invocation, response) pairs of activity `a` at object
+    /// `x`, in program order. Pending invocations (no matching response)
+    /// are omitted.
+    pub fn complete_ops(&self, a: ActivityId, x: ObjectId) -> Vec<OpResult> {
+        let mut out = Vec::new();
+        let mut pending = None;
+        for e in &self.events {
+            if e.activity != a || e.object != x {
+                continue;
+            }
+            match &e.kind {
+                EventKind::Invoke(op) => pending = Some(op.clone()),
+                EventKind::Respond(v) => {
+                    if let Some(op) = pending.take() {
+                        out.push((op, v.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The completed operations of activity `a`, grouped by object, in
+    /// program order within each object.
+    pub fn ops_by_object(&self, a: ActivityId) -> BTreeMap<ObjectId, Vec<OpResult>> {
+        let mut out: BTreeMap<ObjectId, Vec<OpResult>> = BTreeMap::new();
+        let mut pending: BTreeMap<ObjectId, crate::spec::Operation> = BTreeMap::new();
+        for e in &self.events {
+            if e.activity != a {
+                continue;
+            }
+            match &e.kind {
+                EventKind::Invoke(op) => {
+                    pending.insert(e.object, op.clone());
+                }
+                EventKind::Respond(v) => {
+                    if let Some(op) = pending.remove(&e.object) {
+                        out.entry(e.object).or_default().push((op, v.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Concatenates two histories.
+    pub fn concat(&self, other: &History) -> History {
+        let mut events = self.events.clone();
+        events.extend(other.events.iter().cloned());
+        History { events }
+    }
+
+    /// Whether `self` and `other` are *equivalent*: every activity has the
+    /// same view in both, i.e. `h|a == k|a` for every activity `a` (§3).
+    pub fn is_equivalent(&self, other: &History) -> bool {
+        let mut acts: BTreeSet<ActivityId> = self.activities().into_iter().collect();
+        acts.extend(other.activities());
+        acts.iter()
+            .all(|&a| self.project_activity(a) == other.project_activity(a))
+    }
+}
+
+impl FromIterator<Event> for History {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        History::from_events(iter)
+    }
+}
+
+impl Extend<Event> for History {
+    fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+impl IntoIterator for History {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a History {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::op;
+    use crate::value::Value;
+
+    fn ids() -> (ActivityId, ActivityId, ActivityId, ObjectId, ObjectId) {
+        (1.into(), 2.into(), 3.into(), 1.into(), 2.into())
+    }
+
+    /// The §3 example history used throughout the paper.
+    fn paper_perm_example() -> History {
+        let (a, b, c, x, _) = ids();
+        History::from_events(vec![
+            Event::invoke(a, x, op("member", [3])),
+            Event::invoke(b, x, op("insert", [3])),
+            Event::respond(b, x, Value::ok()),
+            Event::respond(a, x, Value::from(true)),
+            Event::commit(b, x),
+            Event::invoke(c, x, op("delete", [3])),
+            Event::respond(c, x, Value::ok()),
+            Event::commit(a, x),
+            Event::abort(c, x),
+        ])
+    }
+
+    #[test]
+    fn perm_discards_aborted_and_active() {
+        let (a, b, c, _, _) = ids();
+        let h = paper_perm_example();
+        let p = h.perm();
+        assert_eq!(p.len(), 6);
+        assert!(p.activities().contains(&a));
+        assert!(p.activities().contains(&b));
+        assert!(!p.activities().contains(&c));
+        assert_eq!(
+            h.aborted_activities().into_iter().collect::<Vec<_>>(),
+            vec![c]
+        );
+    }
+
+    #[test]
+    fn projections_partition_events() {
+        let (a, _, _, x, y) = ids();
+        let mut h = paper_perm_example();
+        h.push(Event::invoke(a, y, op("read", [] as [i64; 0])));
+        let hx = h.project_object(x);
+        let hy = h.project_object(y);
+        assert_eq!(hx.len() + hy.len(), h.len());
+        let ha = h.project_activity(a);
+        assert!(ha.iter().all(|e| e.activity == a));
+    }
+
+    #[test]
+    fn precedes_empty_when_commit_after_responses() {
+        // Paper §4.1 first example: commit events after all responses
+        // produce the empty relation.
+        let (a, b, _, x, _) = ids();
+        let h = History::from_events(vec![
+            Event::invoke(a, x, op("insert", [1])),
+            Event::respond(a, x, Value::ok()),
+            Event::invoke(b, x, op("insert", [2])),
+            Event::respond(b, x, Value::ok()),
+            Event::commit(a, x),
+            Event::commit(b, x),
+        ]);
+        assert!(h.precedes().is_empty());
+    }
+
+    #[test]
+    fn precedes_pair_when_response_after_commit() {
+        // Paper §4.1 second example: ⟨a,b⟩ ∈ precedes(h).
+        let (a, b, _, x, _) = ids();
+        let h = History::from_events(vec![
+            Event::invoke(a, x, op("insert", [1])),
+            Event::respond(a, x, Value::ok()),
+            Event::commit(a, x),
+            Event::invoke(b, x, op("insert", [2])),
+            Event::respond(b, x, Value::ok()),
+            Event::commit(b, x),
+        ]);
+        let p = h.precedes();
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&(a, b)));
+    }
+
+    #[test]
+    fn precedes_is_subset_for_projections() {
+        // Lemma 2: precedes(h|x) ⊆ precedes(h).
+        let (a, _, _, x, y) = ids();
+        let mut h = paper_perm_example();
+        h.push(Event::invoke(a, y, op("read", [] as [i64; 0])));
+        h.push(Event::respond(a, y, Value::Nil));
+        let whole = h.precedes();
+        for obj in [x, y] {
+            for pair in h.project_object(obj).precedes() {
+                assert!(whole.contains(&pair));
+            }
+        }
+    }
+
+    #[test]
+    fn complete_ops_ignores_pending() {
+        let (a, _, _, x, _) = ids();
+        let h = History::from_events(vec![
+            Event::invoke(a, x, op("member", [1])),
+            Event::respond(a, x, Value::from(false)),
+            Event::invoke(a, x, op("insert", [1])), // never terminates
+        ]);
+        let ops = h.complete_ops(a, x);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0.name(), "member");
+    }
+
+    #[test]
+    fn equivalence_is_per_activity_view() {
+        let (a, b, _, x, _) = ids();
+        let h1 = History::from_events(vec![
+            Event::invoke(a, x, op("insert", [1])),
+            Event::respond(a, x, Value::ok()),
+            Event::invoke(b, x, op("insert", [2])),
+            Event::respond(b, x, Value::ok()),
+        ]);
+        // Swap the two activities' (non-interleaved) blocks: same views.
+        let h2 = History::from_events(vec![
+            Event::invoke(b, x, op("insert", [2])),
+            Event::respond(b, x, Value::ok()),
+            Event::invoke(a, x, op("insert", [1])),
+            Event::respond(a, x, Value::ok()),
+        ]);
+        assert!(h1.is_equivalent(&h2));
+        // Change a result: views differ.
+        let h3 = History::from_events(vec![
+            Event::invoke(b, x, op("insert", [2])),
+            Event::respond(b, x, Value::Nil),
+            Event::invoke(a, x, op("insert", [1])),
+            Event::respond(a, x, Value::ok()),
+        ]);
+        assert!(!h1.is_equivalent(&h3));
+    }
+
+    #[test]
+    fn read_only_and_update_classification() {
+        let (a, _, _, x, _) = ids();
+        let r = ActivityId::new(9);
+        let h = History::from_events(vec![
+            Event::invoke(a, x, op("insert", [3])),
+            Event::respond(a, x, Value::ok()),
+            Event::commit_ts(a, x, 2),
+            Event::initiate(r, x, 1),
+            Event::invoke(r, x, op("member", [3])),
+            Event::respond(r, x, Value::from(false)),
+            Event::commit(r, x),
+        ]);
+        assert_eq!(
+            h.read_only_activities().into_iter().collect::<Vec<_>>(),
+            vec![r]
+        );
+        let u = h.updates();
+        assert!(u.activities().contains(&a));
+        assert!(!u.activities().contains(&r));
+        let ts = h.timestamps();
+        assert_eq!(ts[&a], 2);
+        assert_eq!(ts[&r], 1);
+    }
+
+    #[test]
+    fn collection_traits() {
+        let (a, _, _, x, _) = ids();
+        let evs = vec![
+            Event::invoke(a, x, op("member", [1])),
+            Event::respond(a, x, Value::from(false)),
+        ];
+        let h: History = evs.clone().into_iter().collect();
+        assert_eq!(h.len(), 2);
+        let mut h2 = History::new();
+        h2.extend(evs);
+        assert_eq!(h, h2);
+        let collected: Vec<Event> = h2.into_iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn display_one_event_per_line() {
+        let h = paper_perm_example();
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), h.len());
+        assert!(s.starts_with("<member(3),x1,a1>"));
+    }
+}

@@ -1,0 +1,241 @@
+//! The optimality construction of §4.1, executable.
+//!
+//! The paper proves dynamic atomicity *optimal*: no local atomicity
+//! property admits strictly more concurrency. The proof takes any object
+//! specification that violates dynamic atomicity — a history `h_x` whose
+//! `perm` is **not** serializable in some total order `T` consistent with
+//! `precedes(h_x)` — and builds a counter object `y` whose only
+//! serializable order is `T`. Composing the two produces a computation of
+//! the two-object system that is not atomic, so no local property may
+//! admit `h_x`.
+//!
+//! [`optimality_witness`] performs exactly this construction, and
+//! [`refute_local_admission`] packages the argument: give it a history
+//! your favorite "more permissive" property would admit, and it returns
+//! the composite system + computation demonstrating the resulting
+//! non-atomicity.
+
+use crate::atomicity::is_atomic;
+use crate::event::{ActivityId, Event, ObjectId};
+use crate::history::History;
+use crate::serial::{is_serializable_in_order, linear_extensions};
+use crate::spec::{op, SystemSpec};
+use crate::specs::CounterSpec;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// A violation of dynamic atomicity found in a history: the order `T`,
+/// consistent with `precedes`, in which `perm(h)` fails to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicViolation {
+    /// The offending total order of committed activities.
+    pub order: Vec<ActivityId>,
+}
+
+/// Searches `h` for a total order consistent with `precedes(h)` in which
+/// `perm(h)` is **not** serializable — the witness that `h` is not
+/// dynamic atomic. Returns `None` when `h` is dynamic atomic.
+pub fn find_dynamic_violation(h: &History, spec: &SystemSpec) -> Option<DynamicViolation> {
+    let perm = h.perm();
+    let committed: BTreeSet<ActivityId> = h.committed_activities();
+    let pairs: BTreeSet<(ActivityId, ActivityId)> = h
+        .precedes()
+        .into_iter()
+        .filter(|(a, b)| committed.contains(a) && committed.contains(b))
+        .collect();
+    let activities = perm.activities();
+    for order in linear_extensions(&activities, &pairs) {
+        if !is_serializable_in_order(&perm, spec, &order) {
+            return Some(DynamicViolation { order });
+        }
+    }
+    None
+}
+
+/// The serial counter history in which the given activities each perform
+/// one `increment` (returning 1, 2, …) and commit, in order — the object
+/// `y` of the proof, whose specification permits **only** this
+/// serialization order.
+pub fn counter_history(y: ObjectId, order: &[ActivityId]) -> History {
+    let mut h = History::new();
+    for (i, &a) in order.iter().enumerate() {
+        h.push(Event::invoke(a, y, op("increment", [] as [i64; 0])));
+        h.push(Event::respond(a, y, Value::from(i as i64 + 1)));
+        h.push(Event::commit(a, y));
+    }
+    h
+}
+
+/// A composite system and computation witnessing non-atomicity.
+#[derive(Debug, Clone)]
+pub struct OptimalityWitness {
+    /// The two-object system: the original object plus the counter `y`.
+    pub system: SystemSpec,
+    /// The composite computation `h` with `h|x = h_x` and `h|y` the
+    /// counter history in the violating order.
+    pub computation: History,
+    /// The order the counter forces.
+    pub order: Vec<ActivityId>,
+    /// The counter object's identity.
+    pub counter: ObjectId,
+}
+
+/// Executes the §4.1 optimality construction against `h_x`.
+///
+/// If `h_x` (over the objects specified in `spec`) is not dynamic atomic,
+/// returns the composite witness: a system extended with a counter object
+/// `y` and a computation that projects to `h_x` at the original objects
+/// and to a serial counter history at `y`, and which is **not atomic**.
+///
+/// Returns `None` if `h_x` is dynamic atomic (no local property can be
+/// refuted by it).
+///
+/// # Example
+///
+/// ```
+/// use atomicity_spec::optimality::optimality_witness;
+/// use atomicity_spec::atomicity::is_atomic;
+/// use atomicity_spec::paper;
+///
+/// let witness = optimality_witness(
+///     &paper::atomic_not_dynamic(),
+///     &paper::set_system(),
+/// ).expect("the §4.1 example is not dynamic atomic");
+/// assert!(!is_atomic(&witness.computation, &witness.system));
+/// ```
+pub fn optimality_witness(h_x: &History, spec: &SystemSpec) -> Option<OptimalityWitness> {
+    let violation = find_dynamic_violation(h_x, spec)?;
+    // A fresh object id for the counter.
+    let y = ObjectId::new(
+        h_x.objects()
+            .iter()
+            .map(|o| o.raw())
+            .chain(spec.object_ids().map(|o| o.raw()))
+            .max()
+            .unwrap_or(0)
+            + 1,
+    );
+    let h_y = counter_history(y, &violation.order);
+    // Place the counter blocks first (each activity completes its counter
+    // operations before performing any events of h_x, so the composite is
+    // well-formed and projects correctly)... except commits: an activity
+    // may not invoke after committing anywhere, so the counter *commit*
+    // events must come after the activity's operations in h_x, while the
+    // counter operation blocks come first, in the forced order.
+    let mut computation = History::new();
+    let mut commit_events = Vec::new();
+    for e in h_y.iter() {
+        if e.is_commit() {
+            commit_events.push(e.clone());
+        } else {
+            computation.push(e.clone());
+        }
+    }
+    // h_x's events follow; its own commits stay in place.
+    computation.extend(h_x.iter().cloned());
+    // The counter commits for each activity must come after its last
+    // invocation anywhere but are otherwise unconstrained: append them at
+    // the end (activities that aborted in h_x must not commit at y — but
+    // they are not in `order`, which contains committed activities only).
+    computation.extend(commit_events);
+
+    let mut system = spec.clone();
+    system.insert(y, std::sync::Arc::new(CounterSpec::new()));
+    Some(OptimalityWitness {
+        system,
+        computation,
+        order: violation.order,
+        counter: y,
+    })
+}
+
+/// The full proof step: a "more permissive local property" would admit
+/// `h_x`; this returns the composite computation showing that admitting
+/// it breaks global atomicity. `None` means `h_x` is dynamic atomic, so
+/// no refutation exists — dynamic atomicity itself never admits such a
+/// history.
+pub fn refute_local_admission(h_x: &History, spec: &SystemSpec) -> Option<OptimalityWitness> {
+    let witness = optimality_witness(h_x, spec)?;
+    debug_assert!(
+        !is_atomic(&witness.computation, &witness.system),
+        "construction must yield a non-atomic computation"
+    );
+    Some(witness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomicity::is_dynamic_atomic;
+    use crate::paper;
+    use crate::well_formed::WellFormedness;
+
+    #[test]
+    fn violation_found_for_paper_example() {
+        let h = paper::atomic_not_dynamic();
+        let spec = paper::set_system();
+        let v = find_dynamic_violation(&h, &spec).expect("must violate");
+        // The paper names b-a-c and b-c-a as failing orders; the witness
+        // must be one of them (b first — a must come first semantically).
+        assert_eq!(v.order[0], paper::B);
+    }
+
+    #[test]
+    fn no_violation_for_dynamic_histories() {
+        assert!(find_dynamic_violation(&paper::dynamic_example(), &paper::set_system()).is_none());
+        assert!(
+            find_dynamic_violation(&paper::bank_concurrent_withdraws(), &paper::bank_system())
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn witness_composite_is_well_formed_and_not_atomic() {
+        let h = paper::atomic_not_dynamic();
+        let spec = paper::set_system();
+        assert!(is_atomic(&h, &spec), "the ingredient is atomic on its own");
+        let w = optimality_witness(&h, &spec).unwrap();
+        assert!(WellFormedness::Basic.is_well_formed(&w.computation));
+        // Projections recover the ingredients.
+        assert_eq!(w.computation.project_object(paper::X), h);
+        let hy = w.computation.project_object(w.counter);
+        assert_eq!(hy.activities(), w.order);
+        // The composite is NOT atomic: the counter pins the order the set
+        // object cannot serialize in.
+        assert!(!is_atomic(&w.computation, &w.system));
+        // And a fortiori not dynamic atomic.
+        assert!(!is_dynamic_atomic(&w.computation, &w.system));
+    }
+
+    #[test]
+    fn witness_is_none_for_dynamic_atomic_input() {
+        assert!(optimality_witness(&paper::dynamic_example(), &paper::set_system()).is_none());
+    }
+
+    #[test]
+    fn refutation_wraps_the_witness() {
+        let w = refute_local_admission(&paper::atomic_not_dynamic(), &paper::set_system())
+            .expect("refutable");
+        assert!(!is_atomic(&w.computation, &w.system));
+    }
+
+    #[test]
+    fn counter_history_forces_exactly_its_order() {
+        let y = ObjectId::new(9);
+        let order = vec![paper::A, paper::B, paper::C];
+        let h = counter_history(y, &order);
+        let spec = SystemSpec::new().with_object(y, CounterSpec::new());
+        assert!(is_serializable_in_order(&h, &spec, &order));
+        let mut swapped = order.clone();
+        swapped.swap(0, 2);
+        assert!(!is_serializable_in_order(&h, &spec, &swapped));
+    }
+
+    #[test]
+    fn counter_id_avoids_collisions() {
+        let h = paper::atomic_not_dynamic();
+        let spec = paper::set_system();
+        let w = optimality_witness(&h, &spec).unwrap();
+        assert!(!h.objects().contains(&w.counter));
+    }
+}

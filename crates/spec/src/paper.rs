@@ -1,0 +1,456 @@
+//! The paper's worked examples, reconstructed as executable histories.
+//!
+//! Every example event sequence in the paper is provided here as a named
+//! constructor, using the fixed cast [`A`], [`B`], [`C`] (update
+//! activities), [`R`] (read-only activity), and objects [`X`] (an integer
+//! set unless stated otherwise) and [`Y`]. The accompanying tests assert
+//! that the checkers in [`crate::atomicity`] and [`crate::well_formed`]
+//! classify each history exactly as the paper does; experiment E5 reuses
+//! them as witnesses for the incomparability of the three properties.
+//!
+//! Two sequences whose event listings are garbled in the source scan
+//! (§4.3.2's hybrid examples and §5.1's second bank example) are
+//! *reconstructions*: minimal histories realizing the properties the
+//! surrounding prose attributes to them; each is marked in its doc comment.
+
+use crate::event::{ActivityId, Event, ObjectId};
+use crate::history::History;
+use crate::spec::{op, SystemSpec};
+use crate::specs::{BankAccountSpec, CounterSpec, FifoQueueSpec, IntSetSpec};
+use crate::value::Value;
+
+/// Activity `a` of the paper's examples.
+pub const A: ActivityId = ActivityId::new(1);
+/// Activity `b`.
+pub const B: ActivityId = ActivityId::new(2);
+/// Activity `c`.
+pub const C: ActivityId = ActivityId::new(3);
+/// Read-only activity `r` (hybrid examples).
+pub const R: ActivityId = ActivityId::new(9);
+/// Object `x` — an integer set unless stated otherwise.
+pub const X: ObjectId = ObjectId::new(1);
+/// Object `y` — a second object (counter or bank account by example).
+pub const Y: ObjectId = ObjectId::new(2);
+
+/// The [`SystemSpec`] for examples over the integer set `x`.
+pub fn set_system() -> SystemSpec {
+    SystemSpec::new().with_object(X, IntSetSpec::new())
+}
+
+/// The [`SystemSpec`] for the §5.1 bank-account examples (account `y`,
+/// initial balance 0).
+pub fn bank_system() -> SystemSpec {
+    SystemSpec::new().with_object(Y, BankAccountSpec::new())
+}
+
+/// The [`SystemSpec`] for the FIFO-queue example of §5.1 (queue `x`).
+pub fn queue_system() -> SystemSpec {
+    SystemSpec::new().with_object(X, FifoQueueSpec::new())
+}
+
+/// The [`SystemSpec`] for the optimality-proof counter (counter `y`).
+pub fn counter_system() -> SystemSpec {
+    SystemSpec::new().with_object(Y, CounterSpec::new())
+}
+
+/// §3, first example: `b` inserts 3 and commits; a concurrent `member(3)`
+/// by `a` observes it; `c`'s `delete(3)` aborts. `perm(h)` is equivalent to
+/// the serial sequence `b` then `a`, so `h` is **atomic**.
+pub fn perm_example() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("member", [3])),
+        Event::invoke(B, X, op("insert", [3])),
+        Event::respond(B, X, Value::ok()),
+        Event::respond(A, X, Value::from(true)),
+        Event::commit(B, X),
+        Event::invoke(C, X, op("delete", [3])),
+        Event::respond(C, X, Value::ok()),
+        Event::commit(A, X),
+        Event::abort(C, X),
+    ])
+}
+
+/// §3, second example: `member(2)` returns `true` on the initially-empty
+/// set — **not atomic**.
+pub fn non_atomic_member() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("member", [2])),
+        Event::respond(A, X, Value::from(true)),
+        Event::commit(A, X),
+    ])
+}
+
+/// §4.1, first `precedes` example: both commits follow both responses, so
+/// `precedes(h)` is **empty**.
+pub fn precedes_empty_example() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("insert", [1])),
+        Event::respond(A, X, Value::ok()),
+        Event::invoke(B, X, op("insert", [2])),
+        Event::respond(B, X, Value::ok()),
+        Event::commit(A, X),
+        Event::commit(B, X),
+    ])
+}
+
+/// §4.1, second `precedes` example: `b`'s response follows `a`'s commit, so
+/// `precedes(h) = {⟨a,b⟩}`.
+pub fn precedes_pair_example() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("insert", [1])),
+        Event::respond(A, X, Value::ok()),
+        Event::commit(A, X),
+        Event::invoke(B, X, op("insert", [2])),
+        Event::respond(B, X, Value::ok()),
+        Event::commit(B, X),
+    ])
+}
+
+/// §4.1, third example: **atomic but not dynamic atomic**. `a`'s
+/// `member(3)→false` forces `a` before `b`, but `⟨a,b⟩ ∉ precedes(h)`, so
+/// dynamic atomicity also demands the orders `b-a-c` and `b-c-a`, which are
+/// unacceptable.
+pub fn atomic_not_dynamic() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("member", [3])),
+        Event::invoke(B, X, op("insert", [3])),
+        Event::respond(B, X, Value::ok()),
+        Event::respond(A, X, Value::from(false)),
+        Event::invoke(C, X, op("member", [3])),
+        Event::commit(B, X),
+        Event::respond(C, X, Value::from(true)),
+        Event::commit(A, X),
+        Event::commit(C, X),
+    ])
+}
+
+/// §4.1, fourth example: the same shape but `a` queries `member(2)` — now
+/// serializable in `a-b-c`, `b-a-c`, and `b-c-a`, hence **dynamic atomic**.
+pub fn dynamic_example() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("member", [2])),
+        Event::invoke(B, X, op("insert", [3])),
+        Event::respond(B, X, Value::ok()),
+        Event::respond(A, X, Value::from(false)),
+        Event::invoke(C, X, op("member", [3])),
+        Event::commit(B, X),
+        Event::respond(C, X, Value::from(true)),
+        Event::commit(A, X),
+        Event::commit(C, X),
+    ])
+}
+
+/// §4.2.1: a well-formed static-model sequence.
+pub fn static_wf_example() -> History {
+    History::from_events(vec![
+        Event::initiate(A, X, 1),
+        Event::invoke(A, X, op("member", [2])),
+        Event::respond(A, X, Value::from(false)),
+        Event::commit(A, X),
+    ])
+}
+
+/// §4.2.1: the static-model counterexample — `a` initiates with two
+/// different timestamps, `b` reuses `a`'s timestamp, and `a` invokes at `y`
+/// before initiating there. **Not well-formed** (three violations).
+pub fn static_wf_counterexample() -> History {
+    History::from_events(vec![
+        Event::initiate(A, X, 1),
+        Event::invoke(A, Y, op("member", [2])),
+        Event::respond(A, Y, Value::from(false)),
+        Event::initiate(A, Y, 2),
+        Event::initiate(B, Y, 1),
+        Event::commit(A, X),
+    ])
+}
+
+/// §4.2.2, first example: **atomic but not static atomic** — serializable
+/// `a-b`, but the timestamp order is `b-a` and `member(3)→false` after an
+/// insert is unacceptable.
+pub fn atomic_not_static() -> History {
+    History::from_events(vec![
+        Event::initiate(A, X, 2),
+        Event::invoke(A, X, op("member", [3])),
+        Event::respond(A, X, Value::from(false)),
+        Event::commit(A, X),
+        Event::initiate(B, X, 1),
+        Event::invoke(B, X, op("insert", [3])),
+        Event::respond(B, X, Value::ok()),
+        Event::commit(B, X),
+    ])
+}
+
+/// §4.2.2, second example: `a` (ts 2) inserts *before* `b` (ts 1) queries,
+/// and `b` correctly does not see the insert — **static atomic**.
+pub fn static_example() -> History {
+    History::from_events(vec![
+        Event::initiate(A, X, 2),
+        Event::invoke(A, X, op("insert", [3])),
+        Event::respond(A, X, Value::ok()),
+        Event::commit(A, X),
+        Event::initiate(B, X, 1),
+        Event::invoke(B, X, op("member", [3])),
+        Event::respond(B, X, Value::from(false)),
+        Event::commit(B, X),
+    ])
+}
+
+/// §4.3.1: a well-formed hybrid-model sequence — update `a` commits with
+/// timestamp 2; read-only `r` initiates with timestamp 1 and does not see
+/// the insert.
+pub fn hybrid_wf_example() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("insert", [3])),
+        Event::respond(A, X, Value::ok()),
+        Event::commit_ts(A, X, 2),
+        Event::initiate(R, X, 1),
+        Event::invoke(R, X, op("member", [3])),
+        Event::respond(R, X, Value::from(false)),
+        Event::commit(R, X),
+    ])
+}
+
+/// §4.3.1: the hybrid-model counterexample — `⟨a,b⟩ ∈ precedes(h)` yet
+/// `b`'s commit timestamp is smaller than `a`'s, and `r` reuses `a`'s
+/// timestamp. **Not well-formed.**
+pub fn hybrid_wf_counterexample() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("insert", [1])),
+        Event::respond(A, X, Value::ok()),
+        Event::commit_ts(A, X, 5),
+        Event::invoke(B, X, op("insert", [2])),
+        Event::respond(B, X, Value::ok()),
+        Event::commit_ts(B, X, 3),
+        Event::initiate(R, X, 5),
+    ])
+}
+
+/// §4.3.2, first example (*reconstruction* — the listing is illegible in
+/// the source scan): **atomic but not hybrid atomic**. Updates `a`
+/// (`insert(3)`, ts 1) and `b` (`delete(3)`, ts 2) commit in timestamp
+/// order; read-only `r` (ts 3) reports `member(3)→true`. Serializable in
+/// the order `a-r-b`, but the timestamp order is `a-b-r`, where the
+/// membership query must return `false`.
+pub fn atomic_not_hybrid() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("insert", [3])),
+        Event::respond(A, X, Value::ok()),
+        Event::commit_ts(A, X, 1),
+        Event::initiate(R, X, 3),
+        Event::invoke(R, X, op("member", [3])),
+        Event::respond(R, X, Value::from(true)),
+        Event::invoke(B, X, op("delete", [3])),
+        Event::respond(B, X, Value::ok()),
+        Event::commit_ts(B, X, 2),
+        Event::commit(R, X),
+    ])
+}
+
+/// §4.3.2, second example (*reconstruction*): the same computation with
+/// `r`'s timestamp falling between the two updates (`a`:1, `r`:2, `b`:3) —
+/// the timestamp order `a-r-b` is acceptable, so the history is
+/// **hybrid atomic**.
+pub fn hybrid_example() -> History {
+    History::from_events(vec![
+        Event::invoke(A, X, op("insert", [3])),
+        Event::respond(A, X, Value::ok()),
+        Event::commit_ts(A, X, 1),
+        Event::initiate(R, X, 2),
+        Event::invoke(R, X, op("member", [3])),
+        Event::respond(R, X, Value::from(true)),
+        Event::invoke(B, X, op("delete", [3])),
+        Event::respond(B, X, Value::ok()),
+        Event::commit_ts(B, X, 3),
+        Event::commit(R, X),
+    ])
+}
+
+/// §5.1, first bank example: after `a` deposits 10 and commits, `b`
+/// (`withdraw(4)`) and `c` (`withdraw(3)`) run **concurrently** and both
+/// succeed — serializable in `a-b-c` and `a-c-b`, hence dynamic atomic.
+/// Commutativity-based locking forbids this interleaving.
+pub fn bank_concurrent_withdraws() -> History {
+    History::from_events(vec![
+        Event::invoke(A, Y, op("deposit", [10])),
+        Event::respond(A, Y, Value::ok()),
+        Event::commit(A, Y),
+        Event::invoke(B, Y, op("withdraw", [4])),
+        Event::invoke(C, Y, op("withdraw", [3])),
+        Event::respond(C, Y, Value::ok()),
+        Event::respond(B, Y, Value::ok()),
+        Event::commit(C, Y),
+        Event::commit(B, Y),
+    ])
+}
+
+/// §5.1, second bank example (*reconstruction* — listing illegible):
+/// a withdrawal concurrent with a **deposit it does not need**: after `a`
+/// deposits 10 and commits, `b` withdraws 4 while `c` deposits 5.
+/// Serializable in `a-b-c` and `a-c-b`, hence dynamic atomic; locking
+/// protocols serialize deposit against withdraw.
+pub fn bank_deposit_withdraw() -> History {
+    History::from_events(vec![
+        Event::invoke(A, Y, op("deposit", [10])),
+        Event::respond(A, Y, Value::ok()),
+        Event::commit(A, Y),
+        Event::invoke(B, Y, op("withdraw", [4])),
+        Event::invoke(C, Y, op("deposit", [5])),
+        Event::respond(C, Y, Value::ok()),
+        Event::respond(B, Y, Value::ok()),
+        Event::commit(C, Y),
+        Event::commit(B, Y),
+    ])
+}
+
+/// §5.1, the FIFO-queue example: `a` and `b` interleave
+/// `enqueue(1); enqueue(2)`, then `c` dequeues `1, 2, 1, 2`.
+/// **Dynamic atomic** (serializable in `a-b-c` and `b-a-c`), yet no
+/// scheduler-model execution can produce it: applying the invocations in
+/// this order leaves the storage module holding `1,1,2,2`.
+pub fn queue_interleaved_enqueues() -> History {
+    let deq = || op("dequeue", [] as [i64; 0]);
+    History::from_events(vec![
+        Event::invoke(A, X, op("enqueue", [1])),
+        Event::respond(A, X, Value::ok()),
+        Event::invoke(B, X, op("enqueue", [1])),
+        Event::respond(B, X, Value::ok()),
+        Event::invoke(A, X, op("enqueue", [2])),
+        Event::respond(A, X, Value::ok()),
+        Event::invoke(B, X, op("enqueue", [2])),
+        Event::respond(B, X, Value::ok()),
+        Event::commit(A, X),
+        Event::commit(B, X),
+        Event::invoke(C, X, deq()),
+        Event::respond(C, X, Value::from(1)),
+        Event::invoke(C, X, deq()),
+        Event::respond(C, X, Value::from(2)),
+        Event::invoke(C, X, deq()),
+        Event::respond(C, X, Value::from(1)),
+        Event::invoke(C, X, deq()),
+        Event::respond(C, X, Value::from(2)),
+        Event::commit(C, X),
+    ])
+}
+
+/// §4.1 optimality proof: the serial counter history in which activities
+/// `a1…an` each perform one `increment` and commit in that order — the
+/// history that is serializable in **exactly one** order.
+pub fn counter_serial(n: u32) -> History {
+    let mut h = History::new();
+    for i in 1..=n {
+        let a = ActivityId::new(i);
+        h.push(Event::invoke(a, Y, op("increment", [] as [i64; 0])));
+        h.push(Event::respond(a, Y, Value::from(i64::from(i))));
+        h.push(Event::commit(a, Y));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomicity::{
+        is_atomic, is_dynamic_atomic, is_hybrid_atomic, is_static_atomic, timestamp_order,
+    };
+    use crate::serial::{find_serialization_order, is_serializable_in_order};
+    use crate::well_formed::WellFormedness;
+
+    #[test]
+    fn all_examples_classified_as_in_the_paper() {
+        let set = set_system();
+
+        let h = perm_example();
+        assert!(WellFormedness::Basic.is_well_formed(&h));
+        assert!(is_atomic(&h, &set));
+
+        assert!(!is_atomic(&non_atomic_member(), &set));
+
+        assert!(precedes_empty_example().precedes().is_empty());
+        assert_eq!(
+            precedes_pair_example()
+                .precedes()
+                .into_iter()
+                .collect::<Vec<_>>(),
+            vec![(A, B)]
+        );
+
+        let h = atomic_not_dynamic();
+        assert!(is_atomic(&h, &set));
+        assert!(!is_dynamic_atomic(&h, &set));
+
+        assert!(is_dynamic_atomic(&dynamic_example(), &set));
+    }
+
+    #[test]
+    fn static_examples_classified() {
+        let set = set_system();
+        assert!(WellFormedness::Static.is_well_formed(&static_wf_example()));
+        assert!(!WellFormedness::Static.is_well_formed(&static_wf_counterexample()));
+
+        let h = atomic_not_static();
+        assert!(is_atomic(&h, &set));
+        assert!(!is_static_atomic(&h, &set));
+        assert_eq!(timestamp_order(&h), Some(vec![B, A]));
+
+        assert!(is_static_atomic(&static_example(), &set));
+    }
+
+    #[test]
+    fn hybrid_examples_classified() {
+        let set = set_system();
+        assert!(WellFormedness::Hybrid.is_well_formed(&hybrid_wf_example()));
+        assert!(!WellFormedness::Hybrid.is_well_formed(&hybrid_wf_counterexample()));
+
+        let h = atomic_not_hybrid();
+        assert!(WellFormedness::Hybrid.is_well_formed(&h));
+        assert!(is_atomic(&h, &set));
+        assert!(!is_hybrid_atomic(&h, &set));
+
+        let h = hybrid_example();
+        assert!(WellFormedness::Hybrid.is_well_formed(&h));
+        assert!(is_hybrid_atomic(&h, &set));
+    }
+
+    #[test]
+    fn bank_examples_serializable_in_exactly_the_stated_orders() {
+        let bank = bank_system();
+        for h in [bank_concurrent_withdraws(), bank_deposit_withdraw()] {
+            assert!(is_dynamic_atomic(&h, &bank));
+            assert!(is_serializable_in_order(&h.perm(), &bank, &[A, B, C]));
+            assert!(is_serializable_in_order(&h.perm(), &bank, &[A, C, B]));
+            // a's deposit must come first: orders starting with b or c fail.
+            assert!(!is_serializable_in_order(&h.perm(), &bank, &[B, A, C]));
+        }
+    }
+
+    #[test]
+    fn queue_example_dynamic_atomic_in_both_orders() {
+        let h = queue_interleaved_enqueues();
+        let q = queue_system();
+        assert!(is_dynamic_atomic(&h, &q));
+        assert!(is_serializable_in_order(&h.perm(), &q, &[A, B, C]));
+        assert!(is_serializable_in_order(&h.perm(), &q, &[B, A, C]));
+        // c must drain last.
+        assert!(!is_serializable_in_order(&h.perm(), &q, &[A, C, B]));
+    }
+
+    #[test]
+    fn counter_serial_has_unique_order() {
+        let h = counter_serial(4);
+        let spec = counter_system();
+        let expect: Vec<ActivityId> = (1..=4).map(ActivityId::new).collect();
+        assert_eq!(find_serialization_order(&h, &spec), Some(expect.clone()));
+        // Any transposition fails.
+        let mut swapped = expect.clone();
+        swapped.swap(1, 2);
+        assert!(!is_serializable_in_order(&h, &spec, &swapped));
+    }
+
+    #[test]
+    fn const_ids_match_runtime_ids() {
+        assert_eq!(A, ActivityId::new(1));
+        assert_eq!(R, ActivityId::new(9));
+        assert_eq!(X, ObjectId::new(1));
+        assert_eq!(Y, ObjectId::new(2));
+    }
+}

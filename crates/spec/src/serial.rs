@@ -1,0 +1,402 @@
+//! Serializability: equivalence to acceptable serial sequences (§3).
+//!
+//! A sequence is *serializable* if it is equivalent to an acceptable serial
+//! sequence (one in which events for different activities are not
+//! interleaved); it is *serializable in the order `T`* if the serial
+//! sequence can be chosen with the activities in the order `T`.
+//!
+//! Because equivalence is defined per-activity-view, the serial sequence
+//! corresponding to an order `T` is determined (up to irrelevant
+//! rearrangement) by `h` and `T`; what remains is to check *acceptability*
+//! against each object's sequential specification — which by Lemma 3 can be
+//! done object by object.
+
+use crate::event::{ActivityId, ObjectId};
+use crate::history::History;
+use crate::spec::{OpResult, SystemSpec};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Builds the serial history equivalent to `h` with activities in `order`.
+///
+/// The serial history is the concatenation of the per-activity projections
+/// `h|a` in the given order; by construction it is equivalent to `h` (§3).
+/// Activities of `h` absent from `order` are appended at the end in first-
+/// appearance order, so the result is always a permutation of `h`'s events.
+pub fn serial_history(h: &History, order: &[ActivityId]) -> History {
+    let mut out = History::new();
+    let mut placed: BTreeSet<ActivityId> = BTreeSet::new();
+    for &a in order {
+        if placed.insert(a) {
+            out.extend(h.project_activity(a));
+        }
+    }
+    for a in h.activities() {
+        if placed.insert(a) {
+            out.extend(h.project_activity(a));
+        }
+    }
+    out
+}
+
+/// The per-object serial operation lists induced by ordering activities of
+/// `h` by `order`: for each object, the concatenation of each activity's
+/// completed operations at that object, in activity order.
+pub fn serial_ops_by_object(
+    h: &History,
+    order: &[ActivityId],
+) -> BTreeMap<ObjectId, Vec<OpResult>> {
+    let mut out: BTreeMap<ObjectId, Vec<OpResult>> = BTreeMap::new();
+    for x in h.objects() {
+        out.entry(x).or_default();
+    }
+    for &a in order {
+        for (x, ops) in h.ops_by_object(a) {
+            out.entry(x).or_default().extend(ops);
+        }
+    }
+    out
+}
+
+/// Whether `h` is serializable in the order `order` (§3).
+///
+/// Requires `order` to contain every activity of `h` with completed
+/// operations; by Lemma 3 the check decomposes per object: for every object
+/// `x`, the concatenated per-activity operation lists at `x` must be
+/// accepted by `x`'s sequential specification.
+///
+/// Objects of `h` that have no specification in `spec` cause the check to
+/// fail (their semantics are unknown, so no serial sequence is known to be
+/// acceptable).
+pub fn is_serializable_in_order(h: &History, spec: &SystemSpec, order: &[ActivityId]) -> bool {
+    let in_order: BTreeSet<ActivityId> = order.iter().copied().collect();
+    let has_pending_activity = h
+        .activities()
+        .into_iter()
+        .any(|a| !in_order.contains(&a) && !h.ops_by_object(a).is_empty());
+    if has_pending_activity {
+        return false;
+    }
+    for (x, ops) in serial_ops_by_object(h, order) {
+        match spec.get(x) {
+            Some(s) => {
+                if !s.accepts(&ops) {
+                    return false;
+                }
+            }
+            None => {
+                if !ops.is_empty() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Searches for an order in which `h` is serializable; returns a witness.
+///
+/// The search is a depth-first enumeration of activity permutations with
+/// per-prefix pruning (a prefix whose serial operation lists are already
+/// rejected by some object cannot be extended to an acceptable order).
+/// Exponential in the number of activities in the worst case; intended for
+/// checking and testing, not production scheduling.
+pub fn find_serialization_order(h: &History, spec: &SystemSpec) -> Option<Vec<ActivityId>> {
+    let activities = h.activities();
+    // Any object without a spec but with operations makes h unserializable.
+    for x in h.objects() {
+        if spec.get(x).is_none() {
+            let any_ops = activities.iter().any(|&a| !h.complete_ops(a, x).is_empty());
+            if any_ops {
+                return None;
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(activities.len());
+    let mut used = vec![false; activities.len()];
+    if dfs_orders(
+        h,
+        spec,
+        &activities,
+        &mut used,
+        &mut order,
+        &BTreeSet::new(),
+    ) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Whether `h` is serializable in *some* order (§3).
+pub fn is_serializable(h: &History, spec: &SystemSpec) -> bool {
+    find_serialization_order(h, spec).is_some()
+}
+
+/// Whether `h` is serializable in **every** total order of its activities
+/// consistent with the partial order `pairs` (the heart of dynamic
+/// atomicity, §4.1).
+///
+/// `pairs` is interpreted as "left must come before right". Pairs mentioning
+/// activities absent from `h` are ignored.
+pub fn is_serializable_in_all_consistent_orders(
+    h: &History,
+    spec: &SystemSpec,
+    pairs: &BTreeSet<(ActivityId, ActivityId)>,
+) -> bool {
+    let activities = h.activities();
+    let present: BTreeSet<ActivityId> = activities.iter().copied().collect();
+    let relevant: BTreeSet<(ActivityId, ActivityId)> = pairs
+        .iter()
+        .filter(|(a, b)| present.contains(a) && present.contains(b))
+        .copied()
+        .collect();
+    for order in linear_extensions(&activities, &relevant) {
+        if !is_serializable_in_order(h, spec, &order) {
+            return false;
+        }
+    }
+    true
+}
+
+/// All total orders of `elems` consistent with the precedence `pairs`
+/// (left before right).
+///
+/// The enumeration is depth-first and deterministic. If `pairs` contains a
+/// cycle over `elems`, there are no linear extensions and the result is
+/// empty.
+pub fn linear_extensions(
+    elems: &[ActivityId],
+    pairs: &BTreeSet<(ActivityId, ActivityId)>,
+) -> Vec<Vec<ActivityId>> {
+    let mut out = Vec::new();
+    let mut order = Vec::with_capacity(elems.len());
+    let mut used = vec![false; elems.len()];
+    extend_linear(elems, pairs, &mut used, &mut order, &mut out);
+    out
+}
+
+fn extend_linear(
+    elems: &[ActivityId],
+    pairs: &BTreeSet<(ActivityId, ActivityId)>,
+    used: &mut [bool],
+    order: &mut Vec<ActivityId>,
+    out: &mut Vec<Vec<ActivityId>>,
+) {
+    if order.len() == elems.len() {
+        out.push(order.clone());
+        return;
+    }
+    for i in 0..elems.len() {
+        if used[i] {
+            continue;
+        }
+        let candidate = elems[i];
+        // Every predecessor of `candidate` must already be placed.
+        let ready = pairs
+            .iter()
+            .filter(|&&(_, b)| b == candidate)
+            .all(|&(a, _)| order.contains(&a) || !elems.contains(&a));
+        if !ready {
+            continue;
+        }
+        used[i] = true;
+        order.push(candidate);
+        extend_linear(elems, pairs, used, order, out);
+        order.pop();
+        used[i] = false;
+    }
+}
+
+fn dfs_orders(
+    h: &History,
+    spec: &SystemSpec,
+    activities: &[ActivityId],
+    used: &mut [bool],
+    order: &mut Vec<ActivityId>,
+    _placed: &BTreeSet<ActivityId>,
+) -> bool {
+    if order.len() == activities.len() {
+        return is_serializable_in_order(h, spec, order);
+    }
+    for i in 0..activities.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        order.push(activities[i]);
+        // Prune: the prefix's serial ops must already be acceptable
+        // (our specifications are prefix-closed).
+        let prefix_ok = serial_ops_by_object(h, order).iter().all(|(x, ops)| {
+            spec.get(*x)
+                .map(|s| s.accepts_prefix(ops))
+                .unwrap_or_else(|| ops.is_empty())
+        });
+        if prefix_ok && dfs_orders(h, spec, activities, used, order, _placed) {
+            return true;
+        }
+        order.pop();
+        used[i] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::spec::op;
+    use crate::specs::{CounterSpec, IntSetSpec};
+    use crate::value::Value;
+
+    fn a() -> ActivityId {
+        1.into()
+    }
+    fn b() -> ActivityId {
+        2.into()
+    }
+    fn c() -> ActivityId {
+        3.into()
+    }
+    fn x() -> ObjectId {
+        1.into()
+    }
+
+    fn set_spec() -> SystemSpec {
+        SystemSpec::new().with_object(x(), IntSetSpec::new())
+    }
+
+    /// perm of the §3 example: b inserts 3 then commits; a's member(3)
+    /// observed it.
+    fn paper_perm() -> History {
+        History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [3])),
+            Event::invoke(b(), x(), op("insert", [3])),
+            Event::respond(b(), x(), Value::ok()),
+            Event::respond(a(), x(), Value::from(true)),
+            Event::commit(b(), x()),
+            Event::commit(a(), x()),
+        ])
+    }
+
+    #[test]
+    fn paper_example_serializable_only_b_first() {
+        let h = paper_perm();
+        let spec = set_spec();
+        assert!(is_serializable_in_order(&h, &spec, &[b(), a()]));
+        assert!(!is_serializable_in_order(&h, &spec, &[a(), b()]));
+        assert_eq!(find_serialization_order(&h, &spec), Some(vec![b(), a()]));
+    }
+
+    #[test]
+    fn unserializable_history_rejected() {
+        // §3 non-atomic example: member(2) returns true on an empty set.
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [2])),
+            Event::respond(a(), x(), Value::from(true)),
+            Event::commit(a(), x()),
+        ]);
+        assert!(!is_serializable(&h, &set_spec()));
+    }
+
+    #[test]
+    fn serial_history_is_equivalent_and_uninterleaved() {
+        let h = paper_perm();
+        let s = serial_history(&h, &[b(), a()]);
+        assert!(h.is_equivalent(&s));
+        // b's events all precede a's events.
+        let first_a = s.iter().position(|e| e.activity == a()).unwrap();
+        let last_b = s
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.activity == b())
+            .map(|(i, _)| i)
+            .max()
+            .unwrap();
+        assert!(last_b < first_a);
+    }
+
+    #[test]
+    fn serial_history_appends_missing_activities() {
+        let h = paper_perm();
+        let s = serial_history(&h, &[b()]);
+        assert_eq!(s.len(), h.len());
+        assert!(h.is_equivalent(&s));
+    }
+
+    #[test]
+    fn counter_forces_unique_order() {
+        // §4's optimality construction: increments returning 1,2,3 are
+        // serializable only in that order.
+        let y: ObjectId = 2.into();
+        let spec = SystemSpec::new().with_object(y, CounterSpec::new());
+        let inc = || op("increment", [] as [i64; 0]);
+        let h = History::from_events(vec![
+            Event::invoke(a(), y, inc()),
+            Event::respond(a(), y, Value::from(1)),
+            Event::commit(a(), y),
+            Event::invoke(b(), y, inc()),
+            Event::respond(b(), y, Value::from(2)),
+            Event::commit(b(), y),
+            Event::invoke(c(), y, inc()),
+            Event::respond(c(), y, Value::from(3)),
+            Event::commit(c(), y),
+        ]);
+        assert_eq!(
+            find_serialization_order(&h, &spec),
+            Some(vec![a(), b(), c()])
+        );
+        assert!(!is_serializable_in_order(&h, &spec, &[b(), a(), c()]));
+        assert!(!is_serializable_in_order(&h, &spec, &[a(), c(), b()]));
+    }
+
+    #[test]
+    fn linear_extensions_enumeration() {
+        let elems = [a(), b(), c()];
+        // No constraints: all 6 permutations.
+        assert_eq!(linear_extensions(&elems, &BTreeSet::new()).len(), 6);
+        // a before b: 3 extensions.
+        let mut pairs = BTreeSet::new();
+        pairs.insert((a(), b()));
+        let exts = linear_extensions(&elems, &pairs);
+        assert_eq!(exts.len(), 3);
+        for e in &exts {
+            let pa = e.iter().position(|&v| v == a()).unwrap();
+            let pb = e.iter().position(|&v| v == b()).unwrap();
+            assert!(pa < pb);
+        }
+        // Cycle: no extensions.
+        pairs.insert((b(), a()));
+        assert!(linear_extensions(&elems, &pairs).is_empty());
+    }
+
+    #[test]
+    fn all_consistent_orders_checked() {
+        let h = paper_perm();
+        let spec = set_spec();
+        // With the constraint b-before-a, the single extension works.
+        let mut pairs = BTreeSet::new();
+        pairs.insert((b(), a()));
+        assert!(is_serializable_in_all_consistent_orders(&h, &spec, &pairs));
+        // Unconstrained, the order a-b fails.
+        assert!(!is_serializable_in_all_consistent_orders(
+            &h,
+            &spec,
+            &BTreeSet::new()
+        ));
+    }
+
+    #[test]
+    fn order_must_cover_all_operating_activities() {
+        let h = paper_perm();
+        let spec = set_spec();
+        assert!(!is_serializable_in_order(&h, &spec, &[b()]));
+    }
+
+    #[test]
+    fn unspecified_object_with_ops_rejected() {
+        let h = paper_perm();
+        let empty = SystemSpec::new();
+        assert!(!is_serializable_in_order(&h, &empty, &[b(), a()]));
+        assert_eq!(find_serialization_order(&h, &empty), None);
+    }
+}

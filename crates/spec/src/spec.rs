@@ -1,0 +1,343 @@
+//! Sequential specifications of objects as executable state machines.
+//!
+//! In the paper, the specification of an object describes its permissible
+//! sequences of events (§2); for *serial* sequences this reduces to a
+//! sequential semantics: from an initial state, each invocation produces a
+//! result and a next state. Crucially the paper insists operations need
+//! **not** be functions — non-deterministic operations are first-class
+//! (§1, §5.2) — so [`SequentialSpec::step`] returns a *set* of
+//! (result, next-state) outcomes, and acceptance of a serial sequence is a
+//! search over outcome choices.
+
+use crate::event::ObjectId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An operation invocation: a name plus argument values.
+///
+/// ```
+/// use atomicity_spec::op;
+/// let o = op("insert", [3]);
+/// assert_eq!(o.to_string(), "insert(3)");
+/// let nullary = op("dequeue", [] as [i64; 0]);
+/// assert_eq!(nullary.to_string(), "dequeue");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Operation {
+    name: String,
+    args: Vec<Value>,
+}
+
+impl Operation {
+    /// Creates an operation from a name and arguments.
+    pub fn new(name: impl Into<String>, args: impl IntoIterator<Item = Value>) -> Self {
+        Operation {
+            name: name.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+
+    /// The operation name, e.g. `"insert"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The argument values.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The `i`-th argument as an integer.
+    ///
+    /// Returns `None` if the argument is absent or not an integer; object
+    /// specifications use this to reject ill-typed invocations.
+    pub fn int_arg(&self, i: usize) -> Option<i64> {
+        self.args.get(i).and_then(Value::as_int)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.is_empty() {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}(", self.name)?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+/// Shorthand constructor for [`Operation`].
+///
+/// Arguments may be anything convertible to [`Value`].
+///
+/// ```
+/// use atomicity_spec::op;
+/// assert_eq!(op("withdraw", [4]).name(), "withdraw");
+/// ```
+pub fn op<V: Into<Value>>(name: &str, args: impl IntoIterator<Item = V>) -> Operation {
+    Operation::new(name, args.into_iter().map(Into::into))
+}
+
+/// A completed invocation: the operation together with the result it
+/// returned. Serial sequences are checked as lists of these pairs.
+pub type OpResult = (Operation, Value);
+
+/// A sequential specification: object semantics as a (possibly
+/// non-deterministic) state machine.
+///
+/// `step` returns **all** permissible (result, next-state) outcomes of
+/// applying `op` in `state`; an empty vector means the invocation is not
+/// permitted at all (ill-typed or unknown operation). Determinism is the
+/// special case of a single outcome.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_spec::{SequentialSpec, op};
+/// use atomicity_spec::specs::CounterSpec;
+/// let c = CounterSpec::new();
+/// let outcomes = c.step(&0, &op("increment", [] as [i64; 0]));
+/// assert_eq!(outcomes.len(), 1);
+/// assert_eq!(outcomes[0].1, 1); // new state
+/// ```
+pub trait SequentialSpec: Send + Sync + 'static {
+    /// The abstract state of the object.
+    type State: Clone + PartialEq + fmt::Debug + Send + Sync;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// All permissible (result, next-state) outcomes of `op` in `state`.
+    fn step(&self, state: &Self::State, op: &Operation) -> Vec<(Value, Self::State)>;
+
+    /// Whether `op` can never change the state, regardless of the state it
+    /// runs in. Used to classify read-only activities for hybrid atomicity
+    /// (§4.3). Conservative default: `false`.
+    fn is_read_only(&self, _op: &Operation) -> bool {
+        false
+    }
+
+    /// All states reachable by executing `ops` from `state` such that each
+    /// operation returns its recorded result.
+    ///
+    /// This is the workhorse of acceptance checking: a serial sequence is
+    /// accepted iff the reachable-state set is non-empty.
+    fn replay(&self, state: &Self::State, ops: &[OpResult]) -> Vec<Self::State> {
+        let mut frontier = vec![state.clone()];
+        for (op, expected) in ops {
+            let mut next = Vec::new();
+            for s in &frontier {
+                for (result, s2) in self.step(s, op) {
+                    if &result == expected && !next.contains(&s2) {
+                        next.push(s2);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            frontier = next;
+        }
+        frontier
+    }
+
+    /// Whether the serial sequence of completed invocations `ops` is
+    /// accepted from the initial state.
+    fn accepts_serial(&self, ops: &[OpResult]) -> bool {
+        !self.replay(&self.initial(), ops).is_empty()
+    }
+}
+
+/// Object-safe view of a [`SequentialSpec`], with the state hidden.
+///
+/// [`SystemSpec`] stores specifications for heterogeneous objects as
+/// `Arc<dyn ObjectSpec>`. Every `SequentialSpec` implements `ObjectSpec`
+/// via a blanket impl.
+pub trait ObjectSpec: Send + Sync {
+    /// Whether the serial sequence `ops` is accepted from the initial state.
+    fn accepts(&self, ops: &[OpResult]) -> bool;
+
+    /// Whether a *prefix* can possibly be extended: identical to
+    /// [`ObjectSpec::accepts`] for our prefix-closed specifications, exposed
+    /// separately so search procedures can prune.
+    fn accepts_prefix(&self, ops: &[OpResult]) -> bool {
+        self.accepts(ops)
+    }
+
+    /// Whether `op` can never change the object's state (§4.3).
+    fn op_is_read_only(&self, op: &Operation) -> bool;
+}
+
+impl<S: SequentialSpec> ObjectSpec for S {
+    fn accepts(&self, ops: &[OpResult]) -> bool {
+        self.accepts_serial(ops)
+    }
+
+    fn op_is_read_only(&self, op: &Operation) -> bool {
+        self.is_read_only(op)
+    }
+}
+
+/// Specifications for every object in a system, keyed by [`ObjectId`].
+///
+/// The possible computations of a system are determined by the
+/// specifications of its components (§2); the serializability checkers in
+/// [`crate::serial`] consult a `SystemSpec` to decide acceptance of serial
+/// sequences object by object (Lemma 3).
+///
+/// # Example
+///
+/// ```
+/// use atomicity_spec::{SystemSpec, ObjectId};
+/// use atomicity_spec::specs::{IntSetSpec, CounterSpec};
+/// let spec = SystemSpec::new()
+///     .with_object(ObjectId::new(1), IntSetSpec::new())
+///     .with_object(ObjectId::new(2), CounterSpec::new());
+/// assert!(spec.get(ObjectId::new(1)).is_some());
+/// assert!(spec.get(ObjectId::new(3)).is_none());
+/// ```
+#[derive(Clone, Default)]
+pub struct SystemSpec {
+    objects: HashMap<ObjectId, Arc<dyn ObjectSpec>>,
+}
+
+impl SystemSpec {
+    /// Creates an empty system specification.
+    pub fn new() -> Self {
+        SystemSpec {
+            objects: HashMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) the specification for `object`, builder style.
+    pub fn with_object<S: SequentialSpec>(mut self, object: ObjectId, spec: S) -> Self {
+        self.objects.insert(object, Arc::new(spec));
+        self
+    }
+
+    /// Adds (or replaces) an already-shared specification.
+    pub fn insert(&mut self, object: ObjectId, spec: Arc<dyn ObjectSpec>) {
+        self.objects.insert(object, spec);
+    }
+
+    /// Looks up the specification for `object`.
+    pub fn get(&self, object: ObjectId) -> Option<&Arc<dyn ObjectSpec>> {
+        self.objects.get(&object)
+    }
+
+    /// The identifiers of all specified objects, in unspecified order.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.keys().copied()
+    }
+}
+
+impl fmt::Debug for SystemSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut ids: Vec<_> = self.objects.keys().collect();
+        ids.sort();
+        f.debug_struct("SystemSpec").field("objects", &ids).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-outcome coin: `flip` returns heads or tails nondeterministically
+    /// and remembers the last face; `peek` reads it.
+    struct CoinSpec;
+
+    impl SequentialSpec for CoinSpec {
+        type State = Option<bool>;
+
+        fn initial(&self) -> Self::State {
+            None
+        }
+
+        fn step(&self, state: &Self::State, op: &Operation) -> Vec<(Value, Self::State)> {
+            match op.name() {
+                "flip" => vec![
+                    (Value::from(true), Some(true)),
+                    (Value::from(false), Some(false)),
+                ],
+                "peek" => match state {
+                    Some(b) => vec![(Value::from(*b), *state)],
+                    None => vec![(Value::Nil, *state)],
+                },
+                _ => Vec::new(),
+            }
+        }
+
+        fn is_read_only(&self, op: &Operation) -> bool {
+            op.name() == "peek"
+        }
+    }
+
+    fn flip() -> Operation {
+        op("flip", [] as [i64; 0])
+    }
+
+    fn peek() -> Operation {
+        op("peek", [] as [i64; 0])
+    }
+
+    #[test]
+    fn nondeterministic_acceptance_searches_outcomes() {
+        let c = CoinSpec;
+        // flip -> true, then peek -> true: accepted (choose the heads branch).
+        assert!(c.accepts_serial(&[(flip(), Value::from(true)), (peek(), Value::from(true))]));
+        // flip -> true, then peek -> false: no branch matches.
+        assert!(!c.accepts_serial(&[(flip(), Value::from(true)), (peek(), Value::from(false))]));
+        // Unknown operation is rejected.
+        assert!(!c.accepts_serial(&[(op("bogus", [1]), Value::ok())]));
+    }
+
+    #[test]
+    fn replay_returns_all_reachable_states() {
+        let c = CoinSpec;
+        // After an unobserved flip recorded only as "some bool came back"?
+        // Each recorded result pins the state here, so one state survives.
+        let states = c.replay(&None, &[(flip(), Value::from(false))]);
+        assert_eq!(states, vec![Some(false)]);
+        // Empty op list: the initial state itself.
+        assert_eq!(c.replay(&None, &[]), vec![None]);
+    }
+
+    #[test]
+    fn object_spec_blanket_impl_delegates() {
+        let spec: Arc<dyn ObjectSpec> = Arc::new(CoinSpec);
+        assert!(spec.accepts(&[(flip(), Value::from(true))]));
+        assert!(spec.op_is_read_only(&peek()));
+        assert!(!spec.op_is_read_only(&flip()));
+    }
+
+    #[test]
+    fn system_spec_lookup() {
+        let x = ObjectId::new(1);
+        let spec = SystemSpec::new().with_object(x, CoinSpec);
+        assert!(spec.get(x).is_some());
+        assert_eq!(spec.object_ids().count(), 1);
+        assert!(format!("{spec:?}").contains("SystemSpec"));
+    }
+
+    #[test]
+    fn operation_accessors() {
+        let o = op("put", [1, 2]);
+        assert_eq!(o.name(), "put");
+        assert_eq!(o.args().len(), 2);
+        assert_eq!(o.int_arg(0), Some(1));
+        assert_eq!(o.int_arg(1), Some(2));
+        assert_eq!(o.int_arg(2), None);
+        assert_eq!(o.to_string(), "put(1,2)");
+    }
+}

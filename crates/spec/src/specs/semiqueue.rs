@@ -1,0 +1,173 @@
+//! The non-deterministic "semiqueue" of [Weihl & Liskov 83].
+
+use crate::spec::{Operation, SequentialSpec};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A weakly ordered queue whose `deq` removes and returns **some** element
+/// of the current contents, chosen non-deterministically.
+///
+/// The paper argues (§1, §5.2) that non-deterministic operations are
+/// essential both to avoid over-specification and to achieve reasonable
+/// concurrency; the semiqueue from [Weihl & Liskov 83] is the canonical
+/// example. Because any present element may be returned, two `deq`
+/// invocations by concurrent activities commute whenever the queue holds
+/// enough elements — unlike a FIFO queue, where `dequeue` order is forced.
+///
+/// Operations: `enq(i)→ok`, `deq→i` (any present `i`; `nil` when empty),
+/// read-only `count→int`.
+///
+/// The state is a multiset, represented as a count map.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_spec::specs::SemiqueueSpec;
+/// use atomicity_spec::{SequentialSpec, op, Value};
+/// let q = SemiqueueSpec::new();
+/// // After enq(1), enq(2), a deq may return either element.
+/// assert!(q.accepts_serial(&[
+///     (op("enq", [1]), Value::ok()),
+///     (op("enq", [2]), Value::ok()),
+///     (op("deq", [] as [i64; 0]), Value::from(2)),
+///     (op("deq", [] as [i64; 0]), Value::from(1)),
+/// ]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SemiqueueSpec {
+    _private: (),
+}
+
+impl SemiqueueSpec {
+    /// Creates the specification (initially empty).
+    pub fn new() -> Self {
+        SemiqueueSpec { _private: () }
+    }
+}
+
+/// Multiset of queued integers, as a value → multiplicity map with no zero
+/// entries.
+pub type Multiset = BTreeMap<i64, u32>;
+
+impl SequentialSpec for SemiqueueSpec {
+    type State = Multiset;
+
+    fn initial(&self) -> Self::State {
+        Multiset::new()
+    }
+
+    fn step(&self, state: &Self::State, op: &Operation) -> Vec<(Value, Self::State)> {
+        match op.name() {
+            "enq" if op.args().len() == 1 => match op.int_arg(0) {
+                Some(i) => {
+                    let mut s = state.clone();
+                    *s.entry(i).or_insert(0) += 1;
+                    vec![(Value::ok(), s)]
+                }
+                None => Vec::new(),
+            },
+            "deq" if op.args().is_empty() => {
+                if state.is_empty() {
+                    return vec![(Value::Nil, state.clone())];
+                }
+                // One outcome per distinct present element.
+                state
+                    .keys()
+                    .map(|&i| {
+                        let mut s = state.clone();
+                        match s.get_mut(&i) {
+                            Some(n) if *n > 1 => *n -= 1,
+                            _ => {
+                                s.remove(&i);
+                            }
+                        }
+                        (Value::from(i), s)
+                    })
+                    .collect()
+            }
+            "count" if op.args().is_empty() => {
+                let n: u32 = state.values().sum();
+                vec![(Value::from(i64::from(n)), state.clone())]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn is_read_only(&self, op: &Operation) -> bool {
+        op.name() == "count"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::op;
+
+    fn deq() -> Operation {
+        op("deq", [] as [i64; 0])
+    }
+
+    #[test]
+    fn deq_may_return_any_present_element() {
+        let q = SemiqueueSpec::new();
+        let prefix = [(op("enq", [1]), Value::ok()), (op("enq", [2]), Value::ok())];
+        for want in [1i64, 2] {
+            let mut ops = prefix.to_vec();
+            ops.push((deq(), Value::from(want)));
+            assert!(q.accepts_serial(&ops), "deq -> {want} should be allowed");
+        }
+        let mut ops = prefix.to_vec();
+        ops.push((deq(), Value::from(3)));
+        assert!(!q.accepts_serial(&ops));
+    }
+
+    #[test]
+    fn multiplicity_is_respected() {
+        let q = SemiqueueSpec::new();
+        // Two copies of 1: two deqs of 1 allowed, three are not.
+        assert!(q.accepts_serial(&[
+            (op("enq", [1]), Value::ok()),
+            (op("enq", [1]), Value::ok()),
+            (deq(), Value::from(1)),
+            (deq(), Value::from(1)),
+            (deq(), Value::Nil),
+        ]));
+        assert!(!q.accepts_serial(&[
+            (op("enq", [1]), Value::ok()),
+            (deq(), Value::from(1)),
+            (deq(), Value::from(1)),
+        ]));
+    }
+
+    #[test]
+    fn empty_deq_is_nil() {
+        let q = SemiqueueSpec::new();
+        assert!(q.accepts_serial(&[(deq(), Value::Nil)]));
+    }
+
+    #[test]
+    fn count_is_read_only_and_accurate() {
+        let q = SemiqueueSpec::new();
+        assert!(q.is_read_only(&op("count", [] as [i64; 0])));
+        assert!(!q.is_read_only(&deq()));
+        assert!(q.accepts_serial(&[
+            (op("enq", [5]), Value::ok()),
+            (op("enq", [5]), Value::ok()),
+            (op("count", [] as [i64; 0]), Value::from(2)),
+        ]));
+    }
+
+    #[test]
+    fn nondeterminism_enables_branch_sensitive_acceptance() {
+        // deq→? then the remaining element identifies which branch was
+        // taken; acceptance must track both branches until disambiguated.
+        let q = SemiqueueSpec::new();
+        assert!(q.accepts_serial(&[
+            (op("enq", [1]), Value::ok()),
+            (op("enq", [2]), Value::ok()),
+            (deq(), Value::from(1)),
+            (deq(), Value::from(2)),
+            (deq(), Value::Nil),
+        ]));
+    }
+}

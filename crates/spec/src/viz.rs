@@ -1,0 +1,165 @@
+//! Rendering histories for humans: per-activity timelines and Graphviz
+//! views of the `precedes` relation.
+//!
+//! The paper's arguments are all about *which orders remain possible*;
+//! these renderings make that visible: [`timeline`] lays the computation
+//! out with one column per activity (concurrency is horizontal distance),
+//! and [`precedes_dot`] draws the partial order that dynamic atomicity
+//! serializes against.
+
+use crate::event::EventKind;
+use crate::history::History;
+use std::fmt::Write as _;
+
+/// Renders `h` as a fixed-width timeline: one row per event, one column
+/// per activity (in order of first appearance).
+///
+/// # Example
+///
+/// ```
+/// use atomicity_spec::viz::timeline;
+/// use atomicity_spec::paper;
+/// let text = timeline(&paper::precedes_pair_example());
+/// assert!(text.contains("insert(1)"));
+/// ```
+pub fn timeline(h: &History) -> String {
+    let activities = h.activities();
+    let multi_object = h.objects().len() > 1;
+    let width = 18usize.max(
+        h.iter()
+            .map(|e| cell_text(&e.kind, multi_object.then_some(e.object)).len() + 2)
+            .max()
+            .unwrap_or(0),
+    );
+    let mut out = String::new();
+    // Header.
+    let _ = write!(out, "{:>6} ", "");
+    for a in &activities {
+        let _ = write!(out, "{:^width$}", a.to_string());
+    }
+    out.push('\n');
+    let _ = write!(out, "{:>6} ", "");
+    for _ in &activities {
+        let _ = write!(out, "{:^width$}", "─".repeat(width.saturating_sub(4)));
+    }
+    out.push('\n');
+    for (i, e) in h.iter().enumerate() {
+        let col = activities
+            .iter()
+            .position(|&a| a == e.activity)
+            .unwrap_or(0);
+        let _ = write!(out, "{:>5}  ", i + 1);
+        for c in 0..activities.len() {
+            if c == col {
+                let text = cell_text(&e.kind, multi_object.then_some(e.object));
+                let _ = write!(out, "{text:^width$}");
+            } else {
+                let _ = write!(out, "{:^width$}", "·");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn cell_text(kind: &EventKind, object: Option<crate::event::ObjectId>) -> String {
+    let suffix = object.map(|o| format!(" @{o}")).unwrap_or_default();
+    match kind {
+        EventKind::Invoke(op) => format!("{op}?{suffix}"),
+        EventKind::Respond(v) => format!("={v}{suffix}"),
+        EventKind::Commit => format!("COMMIT{suffix}"),
+        EventKind::CommitTs(t) => format!("COMMIT({t}){suffix}"),
+        EventKind::Abort => format!("ABORT{suffix}"),
+        EventKind::Initiate(t) => format!("init({t}){suffix}"),
+    }
+}
+
+/// Renders the `precedes(h)` relation as a Graphviz digraph, with
+/// committed activities solid, aborted dashed, and active dotted.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_spec::viz::precedes_dot;
+/// use atomicity_spec::paper;
+/// let dot = precedes_dot(&paper::precedes_pair_example());
+/// assert!(dot.contains("a1 -> a2"));
+/// ```
+pub fn precedes_dot(h: &History) -> String {
+    let committed = h.committed_activities();
+    let aborted = h.aborted_activities();
+    let mut out = String::from("digraph precedes {\n  rankdir=LR;\n");
+    for a in h.activities() {
+        let style = if committed.contains(&a) {
+            "solid"
+        } else if aborted.contains(&a) {
+            "dashed"
+        } else {
+            "dotted"
+        };
+        let _ = writeln!(out, "  {a} [style={style}];");
+    }
+    for (p, q) in h.precedes() {
+        let _ = writeln!(out, "  {p} -> {q};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn timeline_has_one_row_per_event_plus_header() {
+        let h = paper::perm_example();
+        let text = timeline(&h);
+        assert_eq!(text.lines().count(), h.len() + 2);
+        // All three activities appear in the header.
+        let header = text.lines().next().unwrap();
+        for a in ["a1", "a2", "a3"] {
+            assert!(header.contains(a), "missing {a} in {header}");
+        }
+        assert!(text.contains("member(3)?"));
+        assert!(text.contains("=true"));
+        assert!(text.contains("ABORT"));
+    }
+
+    #[test]
+    fn timeline_marks_objects_when_multiple() {
+        let w = crate::optimality::optimality_witness(
+            &paper::atomic_not_dynamic(),
+            &paper::set_system(),
+        )
+        .unwrap();
+        let text = timeline(&w.computation);
+        assert!(text.contains("@x1"), "object tags expected:\n{text}");
+    }
+
+    #[test]
+    fn dot_styles_by_fate() {
+        let h = paper::perm_example(); // a,b commit; c aborts
+        let dot = precedes_dot(&h);
+        assert!(dot.contains("a1 [style=solid]"));
+        assert!(dot.contains("a3 [style=dashed]"));
+        assert!(dot.starts_with("digraph precedes {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_contains_every_precedes_edge() {
+        let h = paper::atomic_not_dynamic();
+        let dot = precedes_dot(&h);
+        for (p, q) in h.precedes() {
+            assert!(dot.contains(&format!("{p} -> {q};")));
+        }
+    }
+
+    #[test]
+    fn empty_history_renders() {
+        let h = History::new();
+        assert!(timeline(&h).lines().count() >= 2);
+        assert!(precedes_dot(&h).contains("digraph"));
+    }
+}

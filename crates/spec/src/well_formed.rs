@@ -1,0 +1,676 @@
+//! Well-formedness of event sequences.
+//!
+//! Not all event sequences make sense as computations: activities are
+//! intended to act like sequential processes (§2). Three increasingly
+//! constrained notions are defined, matching the three models in the paper:
+//!
+//! - [`WellFormedness::Basic`] (§2): invocation/termination alternation, no
+//!   activity both commits and aborts, no commit while an invocation is
+//!   pending, no invocations after commit.
+//! - [`WellFormedness::Static`] (§4.2.1): additionally, every activity
+//!   initiates (with a timestamp) at an object before invoking operations
+//!   there; timestamps are unique per activity and consistent within one.
+//! - [`WellFormedness::Hybrid`] (§4.3.1): read-only activities initiate
+//!   before invoking; update activities commit with timestamps; timestamp
+//!   events are unique/consistent; and commit timestamps of updates are
+//!   consistent with `precedes(h)`.
+
+use crate::event::{ActivityId, EventKind, ObjectId, Timestamp};
+use crate::history::History;
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Which well-formedness discipline to check a history against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WellFormedness {
+    /// The basic model of §2 (no timestamp events expected).
+    #[default]
+    Basic,
+    /// The static-atomicity model of §4.2.1 (all activities initiate).
+    Static,
+    /// The hybrid-atomicity model of §4.3.1 (updates commit with
+    /// timestamps, read-only activities initiate with timestamps).
+    Hybrid,
+}
+
+impl WellFormedness {
+    /// Checks `h` against this discipline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in sequence order.
+    pub fn check(self, h: &History) -> Result<(), WellFormedError> {
+        check_basic(h)?;
+        match self {
+            WellFormedness::Basic => Ok(()),
+            WellFormedness::Static => check_static(h),
+            WellFormedness::Hybrid => check_hybrid(h),
+        }
+    }
+
+    /// Convenience: whether `h` is well-formed under this discipline.
+    pub fn is_well_formed(self, h: &History) -> bool {
+        self.check(h).is_ok()
+    }
+}
+
+/// A violation of well-formedness, reported with the participants involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WellFormedError {
+    /// An activity invoked an operation while another invocation was pending.
+    InvokeWhilePending {
+        /// The offending activity.
+        activity: ActivityId,
+    },
+    /// A response event arrived with no pending invocation to terminate.
+    ResponseWithoutPending {
+        /// The offending activity.
+        activity: ActivityId,
+        /// The object of the stray response.
+        object: ObjectId,
+    },
+    /// A response event terminated an invocation at a different object.
+    ResponseObjectMismatch {
+        /// The offending activity.
+        activity: ActivityId,
+        /// Where the pending invocation was issued.
+        expected: ObjectId,
+        /// Where the response arrived.
+        actual: ObjectId,
+    },
+    /// An activity both commits and aborts (at the same or different objects).
+    CommitAndAbort {
+        /// The offending activity.
+        activity: ActivityId,
+    },
+    /// An activity committed while waiting for an invocation to terminate.
+    CommitWhilePending {
+        /// The offending activity.
+        activity: ActivityId,
+    },
+    /// An activity invoked an operation after committing.
+    InvokeAfterCommit {
+        /// The offending activity.
+        activity: ActivityId,
+    },
+    /// An activity committed twice at the same object.
+    DuplicateCommitAtObject {
+        /// The offending activity.
+        activity: ActivityId,
+        /// The object committed at twice.
+        object: ObjectId,
+    },
+    /// An activity invoked an operation at an object before initiating there.
+    MissingInitiate {
+        /// The offending activity.
+        activity: ActivityId,
+        /// The object invoked at without initiation.
+        object: ObjectId,
+    },
+    /// Two distinct activities used the same timestamp.
+    DuplicateTimestamp {
+        /// The first activity using the timestamp.
+        first: ActivityId,
+        /// The second activity using it.
+        second: ActivityId,
+        /// The shared timestamp.
+        timestamp: Timestamp,
+    },
+    /// One activity used two different timestamps.
+    InconsistentTimestamp {
+        /// The offending activity.
+        activity: ActivityId,
+        /// The timestamp seen first.
+        first: Timestamp,
+        /// The conflicting timestamp.
+        second: Timestamp,
+    },
+    /// A timestamped commit appeared in the static model (only initiation
+    /// events carry timestamps there).
+    UnexpectedCommitTimestamp {
+        /// The offending activity.
+        activity: ActivityId,
+    },
+    /// In the hybrid model, an activity that never initiated (an update)
+    /// committed without a timestamp.
+    MissingCommitTimestamp {
+        /// The offending activity.
+        activity: ActivityId,
+    },
+    /// In the hybrid model, a read-only activity (one that initiated)
+    /// committed with a timestamped commit event.
+    ReadOnlyCommitTimestamp {
+        /// The offending activity.
+        activity: ActivityId,
+    },
+    /// Update commit timestamps contradict `precedes(h)` (§4.3.1): `first`
+    /// precedes `second` but chose the larger timestamp.
+    TimestampOrderViolatesPrecedes {
+        /// The earlier activity (in `precedes`).
+        first: ActivityId,
+        /// The later activity that chose a smaller timestamp.
+        second: ActivityId,
+    },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::InvokeWhilePending { activity } => {
+                write!(
+                    f,
+                    "{activity} invoked an operation while another was pending"
+                )
+            }
+            WellFormedError::ResponseWithoutPending { activity, object } => {
+                write!(f, "stray response for {activity} at {object}")
+            }
+            WellFormedError::ResponseObjectMismatch {
+                activity,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "response for {activity} at {actual} but invocation was at {expected}"
+            ),
+            WellFormedError::CommitAndAbort { activity } => {
+                write!(f, "{activity} both commits and aborts")
+            }
+            WellFormedError::CommitWhilePending { activity } => {
+                write!(f, "{activity} committed while an invocation was pending")
+            }
+            WellFormedError::InvokeAfterCommit { activity } => {
+                write!(f, "{activity} invoked an operation after committing")
+            }
+            WellFormedError::DuplicateCommitAtObject { activity, object } => {
+                write!(f, "{activity} committed twice at {object}")
+            }
+            WellFormedError::MissingInitiate { activity, object } => {
+                write!(f, "{activity} invoked at {object} before initiating there")
+            }
+            WellFormedError::DuplicateTimestamp {
+                first,
+                second,
+                timestamp,
+            } => write!(f, "{first} and {second} both chose timestamp {timestamp}"),
+            WellFormedError::InconsistentTimestamp {
+                activity,
+                first,
+                second,
+            } => write!(f, "{activity} used timestamps {first} and {second}"),
+            WellFormedError::UnexpectedCommitTimestamp { activity } => {
+                write!(
+                    f,
+                    "{activity} committed with a timestamp in the static model"
+                )
+            }
+            WellFormedError::MissingCommitTimestamp { activity } => {
+                write!(f, "update {activity} committed without a timestamp")
+            }
+            WellFormedError::ReadOnlyCommitTimestamp { activity } => {
+                write!(f, "read-only {activity} committed with a timestamp")
+            }
+            WellFormedError::TimestampOrderViolatesPrecedes { first, second } => write!(
+                f,
+                "{first} precedes {second} but chose the larger commit timestamp"
+            ),
+        }
+    }
+}
+
+impl Error for WellFormedError {}
+
+/// Checks the basic well-formedness conditions of §2.
+pub fn check_basic(h: &History) -> Result<(), WellFormedError> {
+    let mut pending: BTreeMap<ActivityId, ObjectId> = BTreeMap::new();
+    let mut committed: BTreeSet<ActivityId> = BTreeSet::new();
+    let mut aborted: BTreeSet<ActivityId> = BTreeSet::new();
+    let mut commits_at: BTreeSet<(ActivityId, ObjectId)> = BTreeSet::new();
+
+    for e in h.iter() {
+        let a = e.activity;
+        match &e.kind {
+            EventKind::Invoke(_) => {
+                if pending.contains_key(&a) {
+                    return Err(WellFormedError::InvokeWhilePending { activity: a });
+                }
+                if committed.contains(&a) {
+                    return Err(WellFormedError::InvokeAfterCommit { activity: a });
+                }
+                pending.insert(a, e.object);
+            }
+            EventKind::Respond(_) => match pending.remove(&a) {
+                None => {
+                    return Err(WellFormedError::ResponseWithoutPending {
+                        activity: a,
+                        object: e.object,
+                    })
+                }
+                Some(expected) if expected != e.object => {
+                    return Err(WellFormedError::ResponseObjectMismatch {
+                        activity: a,
+                        expected,
+                        actual: e.object,
+                    })
+                }
+                Some(_) => {}
+            },
+            EventKind::Commit | EventKind::CommitTs(_) => {
+                if aborted.contains(&a) {
+                    return Err(WellFormedError::CommitAndAbort { activity: a });
+                }
+                if pending.contains_key(&a) {
+                    return Err(WellFormedError::CommitWhilePending { activity: a });
+                }
+                if !commits_at.insert((a, e.object)) {
+                    return Err(WellFormedError::DuplicateCommitAtObject {
+                        activity: a,
+                        object: e.object,
+                    });
+                }
+                committed.insert(a);
+            }
+            EventKind::Abort => {
+                if committed.contains(&a) {
+                    return Err(WellFormedError::CommitAndAbort { activity: a });
+                }
+                aborted.insert(a);
+            }
+            EventKind::Initiate(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Checks consistency and uniqueness of the timestamps carried by the given
+/// event kinds (`use_commit_ts`, `use_initiate`).
+fn check_timestamp_discipline(
+    h: &History,
+    use_commit_ts: bool,
+    use_initiate: bool,
+) -> Result<(), WellFormedError> {
+    let mut by_activity: BTreeMap<ActivityId, Timestamp> = BTreeMap::new();
+    let mut by_timestamp: BTreeMap<Timestamp, ActivityId> = BTreeMap::new();
+    for e in h.iter() {
+        let ts = match e.kind {
+            EventKind::CommitTs(t) if use_commit_ts => t,
+            EventKind::Initiate(t) if use_initiate => t,
+            _ => continue,
+        };
+        if let Some(&prev) = by_activity.get(&e.activity) {
+            if prev != ts {
+                return Err(WellFormedError::InconsistentTimestamp {
+                    activity: e.activity,
+                    first: prev,
+                    second: ts,
+                });
+            }
+        } else {
+            by_activity.insert(e.activity, ts);
+            if let Some(&other) = by_timestamp.get(&ts) {
+                if other != e.activity {
+                    return Err(WellFormedError::DuplicateTimestamp {
+                        first: other,
+                        second: e.activity,
+                        timestamp: ts,
+                    });
+                }
+            } else {
+                by_timestamp.insert(ts, e.activity);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the additional static-model conditions of §4.2.1.
+pub fn check_static(h: &History) -> Result<(), WellFormedError> {
+    // No timestamped commits in the static model.
+    for e in h.iter() {
+        if matches!(e.kind, EventKind::CommitTs(_)) {
+            return Err(WellFormedError::UnexpectedCommitTimestamp {
+                activity: e.activity,
+            });
+        }
+    }
+    check_timestamp_discipline(h, false, true)?;
+    // Every activity must initiate at an object before invoking there.
+    let mut initiated: BTreeSet<(ActivityId, ObjectId)> = BTreeSet::new();
+    for e in h.iter() {
+        match e.kind {
+            EventKind::Initiate(_) => {
+                initiated.insert((e.activity, e.object));
+            }
+            EventKind::Invoke(_) if !initiated.contains(&(e.activity, e.object)) => {
+                return Err(WellFormedError::MissingInitiate {
+                    activity: e.activity,
+                    object: e.object,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Checks the additional hybrid-model conditions of §4.3.1.
+pub fn check_hybrid(h: &History) -> Result<(), WellFormedError> {
+    check_timestamp_discipline(h, true, true)?;
+
+    let read_only: BTreeSet<ActivityId> = h
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Initiate(_) => Some(e.activity),
+            _ => None,
+        })
+        .collect();
+
+    // Read-only activities initiate before invoking, and never commit with a
+    // timestamp; updates always commit with one.
+    let mut initiated: BTreeSet<(ActivityId, ObjectId)> = BTreeSet::new();
+    for e in h.iter() {
+        match e.kind {
+            EventKind::Initiate(_) => {
+                initiated.insert((e.activity, e.object));
+            }
+            EventKind::Invoke(_)
+                if read_only.contains(&e.activity)
+                    && !initiated.contains(&(e.activity, e.object)) =>
+            {
+                return Err(WellFormedError::MissingInitiate {
+                    activity: e.activity,
+                    object: e.object,
+                });
+            }
+            EventKind::CommitTs(_) if read_only.contains(&e.activity) => {
+                return Err(WellFormedError::ReadOnlyCommitTimestamp {
+                    activity: e.activity,
+                });
+            }
+            EventKind::Commit if !read_only.contains(&e.activity) => {
+                return Err(WellFormedError::MissingCommitTimestamp {
+                    activity: e.activity,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Update commit timestamps must be consistent with precedes(h): the
+    // paper's §4.3.1 counterexample is rejected exactly here.
+    let ts = h.timestamps();
+    let updates: BTreeSet<ActivityId> = ts
+        .keys()
+        .filter(|a| !read_only.contains(a))
+        .copied()
+        .collect();
+    for (a, b) in h.precedes() {
+        if updates.contains(&a) && updates.contains(&b) && ts[&a] > ts[&b] {
+            return Err(WellFormedError::TimestampOrderViolatesPrecedes {
+                first: a,
+                second: b,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::spec::op;
+    use crate::value::Value;
+
+    fn a() -> ActivityId {
+        1.into()
+    }
+    fn b() -> ActivityId {
+        2.into()
+    }
+    fn r() -> ActivityId {
+        3.into()
+    }
+    fn x() -> ObjectId {
+        1.into()
+    }
+    fn y() -> ObjectId {
+        2.into()
+    }
+
+    #[test]
+    fn accepts_simple_well_formed_sequence() {
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [2])),
+            Event::respond(a(), x(), Value::from(false)),
+            Event::commit(a(), x()),
+        ]);
+        assert!(WellFormedness::Basic.is_well_formed(&h));
+    }
+
+    #[test]
+    fn rejects_invoke_while_pending() {
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [2])),
+            Event::invoke(a(), y(), op("member", [3])),
+        ]);
+        assert_eq!(
+            WellFormedness::Basic.check(&h),
+            Err(WellFormedError::InvokeWhilePending { activity: a() })
+        );
+    }
+
+    #[test]
+    fn rejects_commit_and_abort() {
+        let h = History::from_events(vec![Event::commit(a(), x()), Event::abort(a(), y())]);
+        assert_eq!(
+            WellFormedness::Basic.check(&h),
+            Err(WellFormedError::CommitAndAbort { activity: a() })
+        );
+    }
+
+    #[test]
+    fn rejects_commit_while_pending() {
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [2])),
+            Event::commit(a(), x()),
+        ]);
+        assert_eq!(
+            WellFormedness::Basic.check(&h),
+            Err(WellFormedError::CommitWhilePending { activity: a() })
+        );
+    }
+
+    #[test]
+    fn rejects_invoke_after_commit() {
+        let h = History::from_events(vec![
+            Event::commit(a(), x()),
+            Event::invoke(a(), x(), op("member", [2])),
+        ]);
+        assert_eq!(
+            WellFormedness::Basic.check(&h),
+            Err(WellFormedError::InvokeAfterCommit { activity: a() })
+        );
+    }
+
+    #[test]
+    fn rejects_stray_and_mismatched_responses() {
+        let h = History::from_events(vec![Event::respond(a(), x(), Value::ok())]);
+        assert!(matches!(
+            WellFormedness::Basic.check(&h),
+            Err(WellFormedError::ResponseWithoutPending { .. })
+        ));
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("member", [2])),
+            Event::respond(a(), y(), Value::from(false)),
+        ]);
+        assert!(matches!(
+            WellFormedness::Basic.check(&h),
+            Err(WellFormedError::ResponseObjectMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn static_accepts_paper_example() {
+        // §4.2.1: initiate(1) then member(2) -> false, commit.
+        let h = History::from_events(vec![
+            Event::initiate(a(), x(), 1),
+            Event::invoke(a(), x(), op("member", [2])),
+            Event::respond(a(), x(), Value::from(false)),
+            Event::commit(a(), x()),
+        ]);
+        assert!(WellFormedness::Static.is_well_formed(&h));
+    }
+
+    #[test]
+    fn static_rejects_paper_counterexample() {
+        // §4.2.1: a initiates with two timestamps; b reuses a's timestamp;
+        // a invokes at y before initiating there. The first violation found
+        // is the invocation at y before initiation.
+        let h = History::from_events(vec![
+            Event::initiate(a(), x(), 1),
+            Event::invoke(a(), y(), op("member", [2])),
+            Event::respond(a(), y(), Value::from(false)),
+            Event::initiate(a(), y(), 2),
+            Event::initiate(b(), y(), 1),
+            Event::commit(a(), x()),
+        ]);
+        let err = WellFormedness::Static.check(&h).unwrap_err();
+        assert!(matches!(
+            err,
+            WellFormedError::InconsistentTimestamp { .. }
+                | WellFormedError::DuplicateTimestamp { .. }
+                | WellFormedError::MissingInitiate { .. }
+        ));
+        // Each individual violation is also caught on its own.
+        let two_ts = History::from_events(vec![
+            Event::initiate(a(), x(), 1),
+            Event::initiate(a(), y(), 2),
+        ]);
+        assert_eq!(
+            WellFormedness::Static.check(&two_ts),
+            Err(WellFormedError::InconsistentTimestamp {
+                activity: a(),
+                first: 1,
+                second: 2
+            })
+        );
+        let dup_ts = History::from_events(vec![
+            Event::initiate(a(), x(), 1),
+            Event::initiate(b(), y(), 1),
+        ]);
+        assert_eq!(
+            WellFormedness::Static.check(&dup_ts),
+            Err(WellFormedError::DuplicateTimestamp {
+                first: a(),
+                second: b(),
+                timestamp: 1
+            })
+        );
+    }
+
+    #[test]
+    fn hybrid_accepts_paper_example() {
+        // §4.3.1: update a commits with timestamp 2, read-only r initiates
+        // with timestamp 1.
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("insert", [3])),
+            Event::respond(a(), x(), Value::ok()),
+            Event::commit_ts(a(), x(), 2),
+            Event::initiate(r(), x(), 1),
+            Event::invoke(r(), x(), op("member", [3])),
+            Event::respond(r(), x(), Value::from(false)),
+            Event::commit(r(), x()),
+        ]);
+        assert!(WellFormedness::Hybrid.is_well_formed(&h));
+    }
+
+    #[test]
+    fn hybrid_rejects_timestamps_inconsistent_with_precedes() {
+        // §4.3.1 counterexample: ⟨a,b⟩ ∈ precedes(h) yet ts(b) < ts(a).
+        let h = History::from_events(vec![
+            Event::invoke(a(), x(), op("insert", [1])),
+            Event::respond(a(), x(), Value::ok()),
+            Event::commit_ts(a(), x(), 5),
+            Event::invoke(b(), x(), op("insert", [2])),
+            Event::respond(b(), x(), Value::ok()),
+            Event::commit_ts(b(), x(), 3),
+        ]);
+        assert_eq!(
+            WellFormedness::Hybrid.check(&h),
+            Err(WellFormedError::TimestampOrderViolatesPrecedes {
+                first: a(),
+                second: b()
+            })
+        );
+    }
+
+    #[test]
+    fn hybrid_rejects_shared_timestamp_between_reader_and_update() {
+        // §4.3.1 counterexample: r and a use the same timestamp.
+        let h = History::from_events(vec![
+            Event::initiate(r(), x(), 2),
+            Event::invoke(a(), x(), op("insert", [1])),
+            Event::respond(a(), x(), Value::ok()),
+            Event::commit_ts(a(), x(), 2),
+        ]);
+        assert_eq!(
+            WellFormedness::Hybrid.check(&h),
+            Err(WellFormedError::DuplicateTimestamp {
+                first: r(),
+                second: a(),
+                timestamp: 2
+            })
+        );
+    }
+
+    #[test]
+    fn hybrid_requires_update_commit_timestamps() {
+        let h = History::from_events(vec![Event::commit(a(), x())]);
+        assert_eq!(
+            WellFormedness::Hybrid.check(&h),
+            Err(WellFormedError::MissingCommitTimestamp { activity: a() })
+        );
+    }
+
+    #[test]
+    fn hybrid_rejects_read_only_timestamped_commit() {
+        let h = History::from_events(vec![
+            Event::initiate(r(), x(), 1),
+            Event::commit_ts(r(), x(), 1),
+        ]);
+        assert_eq!(
+            WellFormedness::Hybrid.check(&h),
+            Err(WellFormedError::ReadOnlyCommitTimestamp { activity: r() })
+        );
+    }
+
+    #[test]
+    fn duplicate_commit_at_object_rejected() {
+        let h = History::from_events(vec![Event::commit(a(), x()), Event::commit(a(), x())]);
+        assert_eq!(
+            WellFormedness::Basic.check(&h),
+            Err(WellFormedError::DuplicateCommitAtObject {
+                activity: a(),
+                object: x()
+            })
+        );
+        // Commit at two different objects is fine.
+        let h = History::from_events(vec![Event::commit(a(), x()), Event::commit(a(), y())]);
+        assert!(WellFormedness::Basic.is_well_formed(&h));
+    }
+
+    #[test]
+    fn errors_display_participants() {
+        let e = WellFormedError::CommitAndAbort { activity: a() };
+        assert!(e.to_string().contains("a1"));
+        let e = WellFormedError::DuplicateTimestamp {
+            first: a(),
+            second: b(),
+            timestamp: 9,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,141 @@
+//! A guided tour of the paper's formal examples, executed by the checkers.
+//!
+//! Every example event sequence from the paper is printed together with
+//! the verdicts of the well-formedness and atomicity checkers — the
+//! machine-checked version of reading §2–§5.
+//!
+//! ```text
+//! cargo run --example paper_walkthrough
+//! ```
+
+use atomicity::spec::atomicity::{
+    is_atomic, is_dynamic_atomic, is_hybrid_atomic, is_static_atomic, timestamp_order,
+};
+use atomicity::spec::well_formed::WellFormedness;
+use atomicity::spec::{paper, History, SystemSpec};
+
+fn show(title: &str, h: &History, verdicts: &[(&str, bool)]) {
+    println!("── {title}");
+    for line in h.to_string().lines() {
+        println!("    {line}");
+    }
+    for (name, v) in verdicts {
+        println!("    ⇒ {name}: {}", if *v { "yes" } else { "no" });
+    }
+    println!();
+}
+
+fn main() {
+    let set: SystemSpec = paper::set_system();
+
+    println!("§3 — atomicity = serializability of perm(h)\n");
+    let h = paper::perm_example();
+    show(
+        "perm example: c's delete aborts and is discarded",
+        &h,
+        &[("atomic", is_atomic(&h, &set))],
+    );
+    let h = paper::non_atomic_member();
+    show(
+        "member(2) → true on the empty set",
+        &h,
+        &[("atomic", is_atomic(&h, &set))],
+    );
+
+    println!("§4.1 — dynamic atomicity\n");
+    let h = paper::precedes_empty_example();
+    show(
+        "both commits after both responses: precedes(h) = {}",
+        &h,
+        &[("precedes empty", h.precedes().is_empty())],
+    );
+    let h = paper::atomic_not_dynamic();
+    show(
+        "atomic but NOT dynamic atomic (a must precede b, but ⟨a,b⟩ ∉ precedes)",
+        &h,
+        &[
+            ("atomic", is_atomic(&h, &set)),
+            ("dynamic atomic", is_dynamic_atomic(&h, &set)),
+        ],
+    );
+    let h = paper::dynamic_example();
+    show(
+        "the repaired example (a queries member(2)): dynamic atomic",
+        &h,
+        &[("dynamic atomic", is_dynamic_atomic(&h, &set))],
+    );
+
+    println!("§4.2 — static atomicity\n");
+    let h = paper::atomic_not_static();
+    show(
+        "atomic but NOT static atomic (timestamp order is b-a)",
+        &h,
+        &[
+            ("atomic", is_atomic(&h, &set)),
+            ("static atomic", is_static_atomic(&h, &set)),
+            (
+                "timestamp order is b,a",
+                timestamp_order(&h) == Some(vec![paper::B, paper::A]),
+            ),
+        ],
+    );
+    let h = paper::static_example();
+    show(
+        "insert executes first but serializes second: static atomic",
+        &h,
+        &[("static atomic", is_static_atomic(&h, &set))],
+    );
+    let h = paper::static_wf_counterexample();
+    show(
+        "the §4.2.1 ill-formed sequence (three violations)",
+        &h,
+        &[(
+            "well-formed (static)",
+            WellFormedness::Static.is_well_formed(&h),
+        )],
+    );
+
+    println!("§4.3 — hybrid atomicity\n");
+    let h = paper::hybrid_wf_counterexample();
+    show(
+        "commit timestamps contradict precedes; r reuses a's timestamp",
+        &h,
+        &[(
+            "well-formed (hybrid)",
+            WellFormedness::Hybrid.is_well_formed(&h),
+        )],
+    );
+    let h = paper::atomic_not_hybrid();
+    show(
+        "atomic but NOT hybrid atomic (reconstruction)",
+        &h,
+        &[
+            ("atomic", is_atomic(&h, &set)),
+            ("hybrid atomic", is_hybrid_atomic(&h, &set)),
+        ],
+    );
+    let h = paper::hybrid_example();
+    show(
+        "the reader's timestamp falls between the updates: hybrid atomic",
+        &h,
+        &[("hybrid atomic", is_hybrid_atomic(&h, &set))],
+    );
+
+    println!("§5.1 — more concurrency than locking\n");
+    let bank = paper::bank_system();
+    let h = paper::bank_concurrent_withdraws();
+    show(
+        "concurrent withdrawals with sufficient funds: dynamic atomic",
+        &h,
+        &[("dynamic atomic", is_dynamic_atomic(&h, &bank))],
+    );
+    let q = paper::queue_system();
+    let h = paper::queue_interleaved_enqueues();
+    show(
+        "interleaved enqueues, dequeues 1,2,1,2: dynamic atomic",
+        &h,
+        &[("dynamic atomic", is_dynamic_atomic(&h, &q))],
+    );
+
+    println!("every verdict matches the paper.");
+}

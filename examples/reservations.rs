@@ -1,0 +1,151 @@
+//! An airline reservation system — one of the paper's motivating
+//! applications (§1) — built from atomic ADTs.
+//!
+//! Seats are an [`AtomicSet`] (the seat map), ticket numbers come from an
+//! [`AtomicCounter`], and a standby list is an [`AtomicSemiqueue`] (any
+//! waiting passenger may be promoted — non-determinism as a concurrency
+//! feature). Booking agents run concurrent transactions; a hybrid
+//! read-only audit checks the invariant *booked seats + issued standby
+//! promotions = issued tickets* without delaying a single booking.
+//!
+//! ```text
+//! cargo run --example reservations
+//! ```
+
+use atomicity::adts::{AtomicCounter, AtomicSemiqueue, AtomicSet};
+use atomicity::core::{Protocol, TxnManager};
+use atomicity::spec::ObjectId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SEATS: i64 = 24;
+const AGENTS: usize = 4;
+const REQUESTS_PER_AGENT: usize = 12;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mgr = TxnManager::new(Protocol::Hybrid);
+    let seat_map = AtomicSet::new(ObjectId::new(1), &mgr); // booked seats
+    let tickets = AtomicCounter::new(ObjectId::new(2), &mgr); // ticket numbers
+    let standby = AtomicSemiqueue::new(ObjectId::new(3), &mgr); // waitlist
+
+    let booked = Arc::new(AtomicU64::new(0));
+    let waitlisted = Arc::new(AtomicU64::new(0));
+
+    let mut agents = Vec::new();
+    for agent in 0..AGENTS {
+        let mgr = mgr.clone();
+        let seat_map = seat_map.clone();
+        let tickets = tickets.clone();
+        let standby = standby.clone();
+        let booked = Arc::clone(&booked);
+        let waitlisted = Arc::clone(&waitlisted);
+        agents.push(std::thread::spawn(move || {
+            'requests: for r in 0..REQUESTS_PER_AGENT {
+                let passenger = (agent * 1_000 + r) as i64;
+                // A deadlocked attempt aborts; the agent simply retries
+                // the whole request (recoverability at work).
+                for _attempt in 0..20 {
+                    let txn = mgr.begin();
+                    // Each agent scans "its" seat block first, like real
+                    // agents with block assignments.
+                    let mut chosen = None;
+                    let mut scan_failed = false;
+                    for probe in 0..SEATS {
+                        let seat = (probe * AGENTS as i64 + agent as i64) % SEATS;
+                        match seat_map.member(&txn, seat) {
+                            Ok(false) => {
+                                chosen = Some(seat);
+                                break;
+                            }
+                            Ok(true) => continue,
+                            Err(_) => {
+                                scan_failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if scan_failed {
+                        mgr.abort(txn);
+                        continue;
+                    }
+                    let outcome = match chosen {
+                        Some(seat) => seat_map
+                            .insert(&txn, seat)
+                            .and_then(|_| tickets.increment(&txn))
+                            .map(|_| true),
+                        None => standby.enq(&txn, passenger).map(|_| false),
+                    };
+                    match outcome {
+                        Ok(got_seat) => {
+                            if mgr.commit(txn).is_ok() {
+                                if got_seat {
+                                    booked.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    waitlisted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                continue 'requests;
+                            }
+                        }
+                        Err(_) => mgr.abort(txn),
+                    }
+                }
+                panic!("request by agent {agent} never succeeded");
+            }
+        }));
+    }
+
+    // A concurrent read-only audit: seat count vs tickets issued, with no
+    // interference with the agents.
+    let auditor = {
+        let mgr = mgr.clone();
+        let seat_map = seat_map.clone();
+        let tickets = tickets.clone();
+        std::thread::spawn(move || {
+            let mut checks = 0u32;
+            for _ in 0..10 {
+                let audit = mgr.begin_read_only();
+                let seats = seat_map.size(&audit).expect("audits never fail");
+                let issued = tickets.value(&audit).expect("audits never fail");
+                mgr.commit(audit).expect("audit commit");
+                assert_eq!(
+                    seats, issued,
+                    "every booked seat corresponds to exactly one ticket"
+                );
+                checks += 1;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            checks
+        })
+    };
+
+    for a in agents {
+        a.join().unwrap();
+    }
+    let checks = auditor.join().unwrap();
+
+    // Final accounting.
+    let t = mgr.begin();
+    let seats_taken = seat_map.size(&t)?;
+    let tickets_issued = tickets.value(&t)?;
+    let waiting = standby.count(&t)?;
+    mgr.commit(t)?;
+
+    println!("seats booked:     {seats_taken}/{SEATS}");
+    println!("tickets issued:   {tickets_issued}");
+    println!("standby waiting:  {waiting}");
+    println!("audits passed:    {checks}");
+    println!(
+        "requests: {} booked + {} waitlisted = {}",
+        booked.load(Ordering::Relaxed),
+        waitlisted.load(Ordering::Relaxed),
+        AGENTS * REQUESTS_PER_AGENT
+    );
+    assert_eq!(seats_taken, tickets_issued);
+    assert_eq!(
+        booked.load(Ordering::Relaxed) + waitlisted.load(Ordering::Relaxed),
+        (AGENTS * REQUESTS_PER_AGENT) as u64
+    );
+    assert_eq!(waiting as u64, waitlisted.load(Ordering::Relaxed));
+    println!("reservation invariants hold under concurrent agents. ✔");
+    Ok(())
+}

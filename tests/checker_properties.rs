@@ -1,0 +1,340 @@
+//! Property-based tests of the formal checkers: the definitional
+//! implications and lemmas of §2–§4 on randomly generated histories.
+
+use atomicity::spec::atomicity::{
+    is_atomic, is_dynamic_atomic, is_hybrid_atomic, is_static_atomic,
+};
+use atomicity::spec::serial::{is_serializable_in_order, serial_history};
+use atomicity::spec::specs::{BankAccountSpec, IntSetSpec};
+use atomicity::spec::well_formed::WellFormedness;
+use atomicity::spec::{
+    op, ActivityId, Event, EventKind, History, ObjectId, Operation, SystemSpec, Value,
+};
+use proptest::prelude::*;
+
+const X: ObjectId = ObjectId::new(1);
+const Y: ObjectId = ObjectId::new(2);
+
+fn system() -> SystemSpec {
+    SystemSpec::new()
+        .with_object(X, IntSetSpec::new())
+        .with_object(Y, BankAccountSpec::new())
+}
+
+/// One random completed operation at a random object with a random
+/// (possibly wrong) recorded result.
+fn arb_op_result() -> impl Strategy<Value = (ObjectId, Operation, Value)> {
+    prop_oneof![
+        (0..3i64, prop::bool::ANY).prop_map(|(k, v)| (X, op("member", [k]), Value::from(v))),
+        (0..3i64).prop_map(|k| (X, op("insert", [k]), Value::ok())),
+        (0..3i64).prop_map(|k| (X, op("delete", [k]), Value::ok())),
+        (1..4i64).prop_map(|n| (Y, op("deposit", [n]), Value::ok())),
+        (1..4i64, prop::bool::ANY).prop_map(|(n, ok)| {
+            let result = if ok {
+                Value::ok()
+            } else {
+                BankAccountSpec::insufficient_funds()
+            };
+            (Y, op("withdraw", [n]), result)
+        }),
+        (0..8i64, prop::bool::ANY).prop_map(|(b, exact)| {
+            let v = if exact { b } else { b + 1 };
+            (Y, op("balance", [] as [i64; 0]), Value::from(v))
+        }),
+    ]
+}
+
+/// How an activity ends.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    Commit,
+    Abort,
+    Active,
+}
+
+fn arb_fate() -> impl Strategy<Value = Fate> {
+    prop_oneof![
+        3 => Just(Fate::Commit),
+        1 => Just(Fate::Abort),
+        1 => Just(Fate::Active),
+    ]
+}
+
+/// A random well-formed (basic-model) history: 2–3 activities, each with
+/// 1–2 completed operations and a fate, interleaved by random priorities.
+fn arb_history() -> impl Strategy<Value = History> {
+    let activity = (prop::collection::vec(arb_op_result(), 1..3), arb_fate());
+    (prop::collection::vec(activity, 2..4), any::<u64>()).prop_map(|(acts, seed)| {
+        // Build per-activity event streams.
+        let mut streams: Vec<Vec<Event>> = Vec::new();
+        for (i, (ops, fate)) in acts.iter().enumerate() {
+            let a = ActivityId::new(i as u32 + 1);
+            let mut ev = Vec::new();
+            let mut objects = Vec::new();
+            for (x, o, v) in ops {
+                ev.push(Event::invoke(a, *x, o.clone()));
+                ev.push(Event::respond(a, *x, v.clone()));
+                if !objects.contains(x) {
+                    objects.push(*x);
+                }
+            }
+            match fate {
+                Fate::Commit => {
+                    for x in objects {
+                        ev.push(Event::commit(a, x));
+                    }
+                }
+                Fate::Abort => {
+                    for x in objects {
+                        ev.push(Event::abort(a, x));
+                    }
+                }
+                Fate::Active => {}
+            }
+            streams.push(ev);
+        }
+        // Deterministic pseudo-random interleave preserving stream order.
+        let mut rng = seed;
+        let mut next = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rng
+        };
+        let mut h = History::new();
+        let mut idx = vec![0usize; streams.len()];
+        loop {
+            let live: Vec<usize> = (0..streams.len())
+                .filter(|&i| idx[i] < streams[i].len())
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let pick = live[(next() % live.len() as u64) as usize];
+            h.push(streams[pick][idx[pick]].clone());
+            idx[pick] += 1;
+        }
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Generated histories are well-formed in the basic model.
+    #[test]
+    fn generated_histories_are_well_formed(h in arb_history()) {
+        prop_assert!(WellFormedness::Basic.is_well_formed(&h));
+    }
+
+    /// Dynamic atomicity implies atomicity (§4.1: a consistent total
+    /// order always exists because `precedes` is a partial order).
+    #[test]
+    fn dynamic_implies_atomic(h in arb_history()) {
+        let spec = system();
+        if is_dynamic_atomic(&h, &spec) {
+            prop_assert!(is_atomic(&h, &spec));
+        }
+    }
+
+    /// `perm` is idempotent and a subsequence of `h` containing exactly
+    /// the committed activities.
+    #[test]
+    fn perm_is_idempotent_and_committed_only(h in arb_history()) {
+        let p = h.perm();
+        prop_assert_eq!(p.perm(), p.clone());
+        let committed = h.committed_activities();
+        for e in p.iter() {
+            prop_assert!(committed.contains(&e.activity));
+        }
+        prop_assert!(p.len() <= h.len());
+    }
+
+    /// Lemma 2: precedes(h|x) ⊆ precedes(h) for every object x.
+    #[test]
+    fn lemma2_precedes_projection(h in arb_history()) {
+        let whole = h.precedes();
+        for x in h.objects() {
+            for pair in h.project_object(x).precedes() {
+                prop_assert!(whole.contains(&pair));
+            }
+        }
+    }
+
+    /// Lemma 3: h is serializable in order T iff every h|x is.
+    #[test]
+    fn lemma3_serializable_iff_projections(h in arb_history()) {
+        let spec = system();
+        let perm = h.perm();
+        let order: Vec<ActivityId> = perm.activities();
+        let whole = is_serializable_in_order(&perm, &spec, &order);
+        let parts = h.objects().into_iter().all(|x| {
+            is_serializable_in_order(&perm.project_object(x), &spec, &order)
+        });
+        prop_assert_eq!(whole, parts);
+    }
+
+    /// The serial history built for an order is equivalent to the original
+    /// (same per-activity views) and is serial (no interleaving).
+    #[test]
+    fn serial_history_is_equivalent(h in arb_history()) {
+        let order = h.activities();
+        let s = serial_history(&h, &order);
+        prop_assert!(h.is_equivalent(&s));
+        prop_assert_eq!(s.len(), h.len());
+        // Serial: each activity's events form one contiguous block.
+        let mut seen_done: Vec<ActivityId> = Vec::new();
+        let mut current: Option<ActivityId> = None;
+        for e in s.iter() {
+            match current {
+                Some(a) if a == e.activity => {}
+                _ => {
+                    prop_assert!(!seen_done.contains(&e.activity), "interleaved activity");
+                    if let Some(a) = current {
+                        seen_done.push(a);
+                    }
+                    current = Some(e.activity);
+                }
+            }
+        }
+    }
+
+    /// Decorating a basic history with start-order initiate events keeps
+    /// it static-well-formed, and static atomicity then implies atomicity.
+    #[test]
+    fn static_implies_atomic(h in arb_history()) {
+        let hs = atomicity::bench::enumerate::with_start_order_timestamps(&h, X);
+        // Activities that never invoke anything get no initiation; only
+        // check when the decoration covers every activity.
+        if WellFormedness::Static.is_well_formed(&hs) {
+            let spec = system();
+            if is_static_atomic(&hs, &spec) {
+                prop_assert!(is_atomic(&hs, &spec));
+            }
+        }
+    }
+
+    /// Commit-order hybrid timestamps are always consistent with precedes
+    /// (the decorated history is hybrid-well-formed whenever every
+    /// activity either commits with a timestamp or is classified read-only
+    /// correctly), and hybrid atomicity implies atomicity.
+    #[test]
+    fn hybrid_implies_atomic(h in arb_history()) {
+        let hh = atomicity::bench::enumerate::with_commit_order_timestamps(&h);
+        let spec = system();
+        if is_hybrid_atomic(&hh, &spec) {
+            prop_assert!(is_atomic(&hh, &spec));
+        }
+        // Commit-order timestamps never contradict precedes.
+        let ts = hh.timestamps();
+        for (a, b) in hh.precedes() {
+            if let (Some(&ta), Some(&tb)) = (ts.get(&a), ts.get(&b)) {
+                prop_assert!(ta < tb, "commit-order ts must respect precedes");
+            }
+        }
+    }
+
+    /// Equivalence is symmetric and reflexive on generated histories.
+    #[test]
+    fn equivalence_is_reflexive_symmetric(h in arb_history(), k in arb_history()) {
+        prop_assert!(h.is_equivalent(&h));
+        prop_assert_eq!(h.is_equivalent(&k), k.is_equivalent(&h));
+    }
+
+    /// Projections partition the events of the history.
+    #[test]
+    fn projections_partition(h in arb_history()) {
+        let total: usize = h.objects().iter().map(|&x| h.project_object(x).len()).sum();
+        prop_assert_eq!(total, h.len());
+        let total_a: usize = h
+            .activities()
+            .iter()
+            .map(|&a| h.project_activity(a).len())
+            .sum();
+        prop_assert_eq!(total_a, h.len());
+    }
+}
+
+/// Arbitrary event soup — not even well-formed — must never panic any
+/// checker or history accessor (robustness of the decision procedures).
+fn arb_any_event() -> impl Strategy<Value = Event> {
+    let activity = (1u32..4).prop_map(ActivityId::new);
+    let object = (1u32..3).prop_map(ObjectId::new);
+    let kind = prop_oneof![
+        (0..3i64).prop_map(|k| EventKind::Invoke(op("member", [k]))),
+        prop::bool::ANY.prop_map(|b| EventKind::Respond(Value::from(b))),
+        Just(EventKind::Respond(Value::ok())),
+        Just(EventKind::Commit),
+        (1u64..5).prop_map(EventKind::CommitTs),
+        Just(EventKind::Abort),
+        (1u64..5).prop_map(EventKind::Initiate),
+    ];
+    (activity, object, kind).prop_map(|(activity, object, kind)| Event {
+        activity,
+        object,
+        kind,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn checkers_never_panic_on_event_soup(
+        events in prop::collection::vec(arb_any_event(), 0..12)
+    ) {
+        let h = History::from_events(events);
+        let spec = system();
+        // None of these may panic, whatever they return.
+        let _ = WellFormedness::Basic.check(&h);
+        let _ = WellFormedness::Static.check(&h);
+        let _ = WellFormedness::Hybrid.check(&h);
+        let _ = is_atomic(&h, &spec);
+        let _ = is_dynamic_atomic(&h, &spec);
+        let _ = is_static_atomic(&h, &spec);
+        let _ = is_hybrid_atomic(&h, &spec);
+        let _ = h.perm();
+        let _ = h.precedes();
+        let _ = h.timestamps();
+        let _ = h.updates();
+        let _ = atomicity::spec::viz::timeline(&h);
+        let _ = atomicity::spec::viz::precedes_dot(&h);
+        for x in h.objects() {
+            let _ = h.project_object(x);
+        }
+        for a in h.activities() {
+            let _ = h.project_activity(a);
+            let _ = h.ops_by_object(a);
+        }
+    }
+
+    /// JSON round-trips preserve arbitrary histories exactly.
+    #[test]
+    fn history_serde_round_trip(
+        events in prop::collection::vec(arb_any_event(), 0..12)
+    ) {
+        let h = History::from_events(events);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: History = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(h, back);
+    }
+}
+
+/// Deterministic regression: an activity with a stray timestamped commit
+/// in the basic model is still handled (kind predicates stay coherent).
+#[test]
+fn mixed_commit_kinds_classify() {
+    let a = ActivityId::new(1);
+    let h = History::from_events(vec![
+        Event::invoke(a, X, op("insert", [1])),
+        Event::respond(a, X, Value::ok()),
+        Event {
+            activity: a,
+            object: X,
+            kind: EventKind::CommitTs(5),
+        },
+    ]);
+    assert!(h.committed_activities().contains(&a));
+    assert_eq!(h.timestamps()[&a], 5);
+    assert!(is_atomic(&h, &system()));
+}

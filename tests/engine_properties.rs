@@ -1,0 +1,234 @@
+//! Property-based end-to-end tests: random concurrent workloads run
+//! against each engine, and the recorded history must satisfy the
+//! engine's local atomicity property — the executable content of
+//! Theorems 1, 4, and 5.
+
+use atomicity::core::{Protocol, TxnManager};
+use atomicity::spec::atomicity::{
+    is_atomic, is_dynamic_atomic, is_hybrid_atomic, is_static_atomic,
+};
+use atomicity::spec::specs::{BankAccountSpec, IntSetSpec, SemiqueueSpec};
+use atomicity::spec::well_formed::WellFormedness;
+use atomicity::spec::{op, ObjectId, Operation, SystemSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const X: ObjectId = ObjectId::new(1);
+const Y: ObjectId = ObjectId::new(2);
+const Z: ObjectId = ObjectId::new(3);
+
+fn system() -> SystemSpec {
+    SystemSpec::new()
+        .with_object(X, BankAccountSpec::new())
+        .with_object(Y, IntSetSpec::new())
+        .with_object(Z, SemiqueueSpec::new())
+}
+
+/// A step of a random transaction program.
+#[derive(Debug, Clone)]
+enum Step {
+    Deposit(i64),
+    Withdraw(i64),
+    Balance,
+    Insert(i64),
+    Delete(i64),
+    Member(i64),
+    Enq(i64),
+    Deq,
+}
+
+impl Step {
+    fn target(&self) -> ObjectId {
+        match self {
+            Step::Deposit(_) | Step::Withdraw(_) | Step::Balance => X,
+            Step::Insert(_) | Step::Delete(_) | Step::Member(_) => Y,
+            Step::Enq(_) | Step::Deq => Z,
+        }
+    }
+
+    fn operation(&self) -> Operation {
+        match self {
+            Step::Deposit(n) => op("deposit", [*n]),
+            Step::Withdraw(n) => op("withdraw", [*n]),
+            Step::Balance => op("balance", [] as [i64; 0]),
+            Step::Insert(k) => op("insert", [*k]),
+            Step::Delete(k) => op("delete", [*k]),
+            Step::Member(k) => op("member", [*k]),
+            Step::Enq(k) => op("enq", [*k]),
+            Step::Deq => op("deq", [] as [i64; 0]),
+        }
+    }
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1..5i64).prop_map(Step::Deposit),
+        (1..5i64).prop_map(Step::Withdraw),
+        Just(Step::Balance),
+        (0..3i64).prop_map(Step::Insert),
+        (0..3i64).prop_map(Step::Delete),
+        (0..3i64).prop_map(Step::Member),
+        (0..3i64).prop_map(Step::Enq),
+        Just(Step::Deq),
+    ]
+}
+
+/// 2–4 transaction programs of 1–3 steps each, plus per-program abort flag.
+fn arb_workload() -> impl Strategy<Value = Vec<(Vec<Step>, bool)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(arb_step(), 1..4),
+            prop::bool::weighted(0.2),
+        ),
+        2..5,
+    )
+}
+
+/// Runs the programs concurrently against the engine objects for the
+/// given protocol and returns the recorded history.
+fn run_workload(protocol: Protocol, workload: &[(Vec<Step>, bool)]) -> atomicity::spec::History {
+    let mgr = TxnManager::new(protocol);
+    let account = atomicity::adts::object_for_protocol(X, BankAccountSpec::new(), &mgr);
+    let set = atomicity::adts::object_for_protocol(Y, IntSetSpec::new(), &mgr);
+    let semiq = atomicity::adts::object_for_protocol(Z, SemiqueueSpec::new(), &mgr);
+
+    let mut handles = Vec::new();
+    for (steps, want_abort) in workload.iter().cloned() {
+        let mgr = mgr.clone();
+        let account = Arc::clone(&account);
+        let set = Arc::clone(&set);
+        let semiq = Arc::clone(&semiq);
+        handles.push(std::thread::spawn(move || {
+            let txn = mgr.begin();
+            for step in &steps {
+                let obj = match step.target() {
+                    t if t == X => &account,
+                    t if t == Y => &set,
+                    _ => &semiq,
+                };
+                if obj.invoke(&txn, step.operation()).is_err() {
+                    mgr.abort(txn);
+                    return;
+                }
+            }
+            if want_abort {
+                mgr.abort(txn);
+            } else {
+                let _ = mgr.commit(txn);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("workload thread panicked");
+    }
+    mgr.history()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1, executed: every history the dynamic engine produces is
+    /// dynamic atomic (hence atomic), across objects.
+    #[test]
+    fn dynamic_engine_histories_are_dynamic_atomic(w in arb_workload()) {
+        let h = run_workload(Protocol::Dynamic, &w);
+        let spec = system();
+        prop_assert!(WellFormedness::Basic.is_well_formed(&h));
+        prop_assert!(is_dynamic_atomic(&h, &spec), "history:\n{h}");
+        prop_assert!(is_atomic(&h, &spec));
+    }
+
+    /// Theorem 4, executed: the static engine's histories are static
+    /// atomic.
+    #[test]
+    fn static_engine_histories_are_static_atomic(w in arb_workload()) {
+        let h = run_workload(Protocol::Static, &w);
+        let spec = system();
+        prop_assert!(WellFormedness::Static.is_well_formed(&h));
+        prop_assert!(is_static_atomic(&h, &spec), "history:\n{h}");
+        prop_assert!(is_atomic(&h, &spec));
+    }
+
+    /// Theorem 5, executed: the hybrid engine's histories are hybrid
+    /// atomic.
+    #[test]
+    fn hybrid_engine_histories_are_hybrid_atomic(w in arb_workload()) {
+        let h = run_workload(Protocol::Hybrid, &w);
+        let spec = system();
+        prop_assert!(WellFormedness::Hybrid.is_well_formed(&h));
+        prop_assert!(is_hybrid_atomic(&h, &spec), "history:\n{h}");
+        prop_assert!(is_atomic(&h, &spec));
+    }
+}
+
+/// Hybrid with read-only auditors mixed in: the full §4.3 event model.
+#[test]
+fn hybrid_with_read_only_auditors_is_hybrid_atomic() {
+    let mgr = TxnManager::new(Protocol::Hybrid);
+    let account = atomicity::adts::object_for_protocol(X, BankAccountSpec::new(), &mgr);
+    let mut handles = Vec::new();
+    for i in 0..4u32 {
+        let mgr = mgr.clone();
+        let account = Arc::clone(&account);
+        handles.push(std::thread::spawn(move || {
+            for j in 0..5 {
+                if (i + j) % 3 == 0 {
+                    let audit = mgr.begin_read_only();
+                    account
+                        .invoke(&audit, op("balance", [] as [i64; 0]))
+                        .unwrap();
+                    mgr.commit(audit).unwrap();
+                } else {
+                    let txn = mgr.begin();
+                    account.invoke(&txn, op("deposit", [1])).unwrap();
+                    if j % 2 == 0 {
+                        mgr.commit(txn).unwrap();
+                    } else {
+                        mgr.abort(txn);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let h = mgr.history();
+    let spec = SystemSpec::new().with_object(X, BankAccountSpec::new());
+    assert!(WellFormedness::Hybrid.is_well_formed(&h));
+    assert!(is_hybrid_atomic(&h, &spec), "history:\n{h}");
+}
+
+/// The dynamic engine under the wait-die policy also yields dynamic
+/// atomic histories (prevention instead of detection).
+#[test]
+fn wait_die_policy_preserves_dynamic_atomicity() {
+    use atomicity::core::DeadlockPolicy;
+    let mgr = TxnManager::with_policy(Protocol::Dynamic, DeadlockPolicy::WaitDie);
+    let account = atomicity::adts::object_for_protocol(X, BankAccountSpec::new(), &mgr);
+    let set = atomicity::adts::object_for_protocol(Y, IntSetSpec::new(), &mgr);
+    let mut handles = Vec::new();
+    for i in 0..4u32 {
+        let mgr = mgr.clone();
+        let account = Arc::clone(&account);
+        let set = Arc::clone(&set);
+        handles.push(std::thread::spawn(move || {
+            for j in 0..6 {
+                let txn = mgr.begin();
+                let r1 = account.invoke(&txn, op("balance", [] as [i64; 0]));
+                let r2 = set.invoke(&txn, op("insert", [i64::from((i + j) % 3)]));
+                if r1.is_ok() && r2.is_ok() {
+                    let _ = mgr.commit(txn);
+                } else {
+                    mgr.abort(txn);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let h = mgr.history();
+    let spec = system();
+    assert!(is_dynamic_atomic(&h, &spec), "history:\n{h}");
+}

@@ -1,0 +1,212 @@
+//! Exhaustive schedule exploration ("model checking") of the engines —
+//! the strongest correctness evidence in the repository: every
+//! interleaving of the scripted transactions (at operation granularity)
+//! is verified against the protocol's local atomicity property.
+//!
+//! The explorer itself lives in [`atomicity::bench::explore`]; the
+//! `experiments v1` table prints the same statistics.
+
+use atomicity::bench::engines::Engine;
+use atomicity::bench::explore::{engine_factory, explore, property_verifier, Script};
+use atomicity::core::Protocol;
+use atomicity::spec::specs::{BankAccountSpec, FifoQueueSpec, IntSetSpec};
+use atomicity::spec::{op, ObjectId, SystemSpec};
+
+/// The §5.1 bank scenario, tight funds: every schedule of two withdrawals
+/// and a deposit against balance 5 satisfies the property; some schedules
+/// block or force aborts.
+#[test]
+fn bank_tight_funds_all_schedules() {
+    for (engine, protocol) in [
+        (Engine::Dynamic, Protocol::Dynamic),
+        (Engine::Static, Protocol::Static),
+        (Engine::Hybrid, Protocol::Hybrid),
+    ] {
+        let factory = engine_factory(engine, vec![BankAccountSpec::with_initial(5)]);
+        let scripts = vec![
+            Script::update(vec![(0, op("withdraw", [4]))]),
+            Script::update(vec![(0, op("withdraw", [3]))]),
+            Script::update(vec![(0, op("deposit", [2]))]),
+        ];
+        let spec =
+            SystemSpec::new().with_object(ObjectId::new(1), BankAccountSpec::with_initial(5));
+        let stats = explore(&factory, &scripts, &property_verifier(protocol, spec));
+        assert!(stats.leaves > 0, "{engine}: no schedules completed");
+        assert!(
+            stats.blocked_edges > 0 || stats.forced_aborts > 0,
+            "{engine}: tight funds must create contention: {stats:?}"
+        );
+    }
+}
+
+/// The §5.1 bank scenario with headroom: under the dynamic engine NO
+/// schedule blocks (full concurrency), confirming the paper's claim at
+/// every interleaving, not just sampled ones.
+#[test]
+fn bank_headroom_never_blocks_dynamically() {
+    let factory = engine_factory(Engine::Dynamic, vec![BankAccountSpec::with_initial(100)]);
+    let scripts = vec![
+        Script::update(vec![(0, op("withdraw", [4]))]),
+        Script::update(vec![(0, op("withdraw", [3]))]),
+        Script::update(vec![(0, op("deposit", [2]))]),
+    ];
+    let spec = SystemSpec::new().with_object(ObjectId::new(1), BankAccountSpec::with_initial(100));
+    let stats = explore(
+        &factory,
+        &scripts,
+        &property_verifier(Protocol::Dynamic, spec),
+    );
+    assert_eq!(stats.blocked_edges, 0, "headroom ⇒ no admission blocks");
+    assert_eq!(stats.stuck, 0);
+    assert_eq!(stats.forced_aborts, 0);
+    // 3 txns × 2 actions each (op + commit): 6!/(2!2!2!) = 90 schedules.
+    assert_eq!(stats.leaves, 90);
+}
+
+/// The §5.1 queue scenario: interleaved enqueue batches, all schedules.
+#[test]
+fn queue_interleaved_enqueues_all_schedules() {
+    for (engine, protocol) in [
+        (Engine::Dynamic, Protocol::Dynamic),
+        (Engine::Hybrid, Protocol::Hybrid),
+    ] {
+        let factory = engine_factory(engine, vec![FifoQueueSpec::new()]);
+        let scripts = vec![
+            Script::update(vec![(0, op("enqueue", [1])), (0, op("enqueue", [2]))]),
+            Script::update(vec![(0, op("enqueue", [1])), (0, op("enqueue", [2]))]),
+        ];
+        let spec = SystemSpec::new().with_object(ObjectId::new(1), FifoQueueSpec::new());
+        let stats = explore(&factory, &scripts, &property_verifier(protocol, spec));
+        // 2 txns × 3 actions: 6!/(3!3!) = 20 schedules, none block.
+        assert_eq!(stats.leaves, 20, "{engine}");
+        assert_eq!(
+            stats.blocked_edges, 0,
+            "{engine}: enqueues interleave freely"
+        );
+    }
+}
+
+/// The same queue scripts under the conservative serial-locking fallback:
+/// schedules complete but interleavings are refused (blocked edges), the
+/// §5.1 suboptimality at schedule granularity.
+#[test]
+fn queue_under_serial_locking_blocks_interleavings() {
+    let factory = engine_factory(Engine::CommutativityLocking, vec![FifoQueueSpec::new()]);
+    let scripts = vec![
+        Script::update(vec![(0, op("enqueue", [1])), (0, op("enqueue", [2]))]),
+        Script::update(vec![(0, op("enqueue", [1])), (0, op("enqueue", [2]))]),
+    ];
+    let spec = SystemSpec::new().with_object(ObjectId::new(1), FifoQueueSpec::new());
+    // Locking baselines still guarantee dynamic atomicity.
+    let stats = explore(
+        &factory,
+        &scripts,
+        &property_verifier(Protocol::Dynamic, spec),
+    );
+    assert!(stats.leaves > 0);
+    assert!(
+        stats.blocked_edges > 0,
+        "serial locking must refuse interleaved enqueues: {stats:?}"
+    );
+}
+
+/// Cross-object read/update scripts: the classic deadlock shape. Every
+/// schedule either completes or wedges; wedged schedules resolve by abort
+/// and the property still holds.
+#[test]
+fn cross_object_deadlock_shape_all_schedules() {
+    let factory = engine_factory(
+        Engine::Dynamic,
+        vec![BankAccountSpec::new(), BankAccountSpec::new()],
+    );
+    let scripts = vec![
+        Script::update(vec![
+            (0, op("balance", [] as [i64; 0])),
+            (1, op("deposit", [1])),
+        ]),
+        Script::update(vec![
+            (1, op("balance", [] as [i64; 0])),
+            (0, op("deposit", [1])),
+        ]),
+    ];
+    let spec = SystemSpec::new()
+        .with_object(ObjectId::new(1), BankAccountSpec::new())
+        .with_object(ObjectId::new(2), BankAccountSpec::new());
+    let stats = explore(
+        &factory,
+        &scripts,
+        &property_verifier(Protocol::Dynamic, spec),
+    );
+    assert!(stats.leaves > 0);
+    assert!(stats.blocked_edges > 0, "the crossing pattern must contend");
+    assert!(stats.stuck > 0, "some schedule must wedge (deadlock shape)");
+}
+
+/// Set operations with an audit under hybrid atomicity: read-only
+/// transactions never participate in wedges, in any schedule.
+#[test]
+fn hybrid_audit_never_blocks_in_any_schedule() {
+    let factory = engine_factory(Engine::Hybrid, vec![IntSetSpec::new()]);
+    let scripts = vec![
+        Script::update(vec![(0, op("insert", [3]))]),
+        Script::update(vec![(0, op("delete", [3]))]),
+        Script::audit(vec![
+            (0, op("size", [] as [i64; 0])),
+            (0, op("member", [3])),
+        ]),
+    ];
+    let spec = SystemSpec::new().with_object(ObjectId::new(1), IntSetSpec::new());
+    let stats = explore(
+        &factory,
+        &scripts,
+        &property_verifier(Protocol::Hybrid, spec),
+    );
+    assert!(stats.leaves > 0);
+    assert_eq!(stats.stuck, 0, "audits cannot participate in wedges");
+}
+
+/// Coherence between the static `lock_producible` predicate (used by the
+/// E5 census) and the real locking engine: every history the serial-
+/// locking engine actually produces is lock-producible under the same
+/// (nothing-commutes) table.
+#[test]
+fn lock_producible_predicate_matches_engine_behavior() {
+    use atomicity::bench::enumerate::lock_producible;
+    let factory = engine_factory(Engine::CommutativityLocking, vec![FifoQueueSpec::new()]);
+    let scripts = vec![
+        Script::update(vec![(0, op("enqueue", [1])), (0, op("enqueue", [2]))]),
+        Script::update(vec![(0, op("enqueue", [3]))]),
+    ];
+    let verify = |mgr: &atomicity::core::TxnManager| {
+        let h = mgr.history();
+        assert!(
+            lock_producible(&h, |_, _| false),
+            "the serial-locking engine produced a non-lock-producible history:
+{h}"
+        );
+    };
+    let stats = explore(&factory, &scripts, &verify);
+    assert!(stats.leaves > 0);
+}
+
+/// Static atomicity: schedules where an early-timestamp insert arrives
+/// after a later-timestamp member committed force the insert to abort.
+#[test]
+fn static_schedules_include_forced_aborts() {
+    let factory = engine_factory(Engine::Static, vec![IntSetSpec::new()]);
+    let scripts = vec![
+        Script::update(vec![(0, op("insert", [3]))]), // ts 1
+        Script::update(vec![(0, op("member", [3]))]), // ts 2
+    ];
+    let spec = SystemSpec::new().with_object(ObjectId::new(1), IntSetSpec::new());
+    let stats = explore(
+        &factory,
+        &scripts,
+        &property_verifier(Protocol::Static, spec),
+    );
+    assert!(stats.leaves > 0);
+    assert!(
+        stats.forced_aborts > 0,
+        "some schedule must force the late insert to abort: {stats:?}"
+    );
+}

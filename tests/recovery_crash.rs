@@ -1,0 +1,146 @@
+//! Recoverability under crashes: exhaustive crash-point sweeps on the
+//! distributed simulation and strategy-equivalence checks (E6's backing
+//! tests).
+
+use atomicity::core::recovery::{IntentionsStore, StableLog, UndoStore};
+use atomicity::sim::{Cluster, NodeId, SimConfig};
+use atomicity::spec::specs::KvMapSpec;
+use atomicity::spec::{op, ActivityId, ObjectId, Value};
+use proptest::prelude::*;
+
+/// Crash every node at every event index of a two-transfer run: atomicity
+/// and conservation must survive every single point.
+#[test]
+fn exhaustive_crash_sweep_two_transfers() {
+    let cfg = SimConfig::default();
+    let baseline_events = {
+        let mut c = Cluster::new(cfg.clone());
+        c.submit_transfer(0, 5, 30);
+        c.submit_transfer(2, 7, 10);
+        c.run_to_quiescence();
+        c.stats().events
+    };
+    for crash_at in 0..=baseline_events {
+        for node in 0..cfg.nodes {
+            let mut c = Cluster::new(cfg.clone());
+            let t1 = c.submit_transfer(0, 5, 30);
+            let t2 = c.submit_transfer(2, 7, 10);
+            c.schedule_crash(crash_at, NodeId::new(node), 25_000);
+            c.run_to_quiescence();
+            c.heal();
+            assert!(c.decision(t1).is_some() && c.decision(t2).is_some());
+            c.verify_atomicity()
+                .unwrap_or_else(|e| panic!("crash@{crash_at} n{node}: {e}"));
+            c.verify_conservation()
+                .unwrap_or_else(|e| panic!("crash@{crash_at} n{node}: {e}"));
+        }
+    }
+}
+
+/// Two simultaneous node crashes: still atomic after healing.
+#[test]
+fn double_crash_still_atomic() {
+    let cfg = SimConfig::default();
+    for crash_at in [0u64, 3, 6, 9] {
+        let mut c = Cluster::new(cfg.clone());
+        for i in 0..5i64 {
+            c.submit_transfer(i % 16, (i * 3 + 1) % 16, 7);
+        }
+        c.schedule_crash(crash_at, NodeId::new(0), 20_000);
+        c.schedule_crash(crash_at + 2, NodeId::new(2), 35_000);
+        c.run_to_quiescence();
+        c.heal();
+        c.verify_atomicity().unwrap();
+        c.verify_conservation().unwrap();
+        assert!(c.stats().crashes >= 2);
+    }
+}
+
+/// A node that crashes repeatedly (crash-loop) eventually converges.
+#[test]
+fn repeated_crashes_converge() {
+    let mut c = Cluster::new(SimConfig::default());
+    for i in 0..4i64 {
+        c.submit_transfer(i, i + 4, 9);
+    }
+    c.schedule_crash(2, NodeId::new(1), 8_000);
+    c.schedule_crash(10, NodeId::new(1), 8_000);
+    c.schedule_crash(18, NodeId::new(1), 8_000);
+    c.run_to_quiescence();
+    c.heal();
+    c.verify_atomicity().unwrap();
+    c.verify_conservation().unwrap();
+    assert!(c.node(NodeId::new(1)).crash_count() >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any interleaving of prepares/commits/aborts, intentions-list
+    /// recovery and undo-log rollback reconstruct the same state.
+    #[test]
+    fn strategies_agree_on_random_schedules(
+        script in prop::collection::vec((0..6i64, -3..4i64, 0..3u8), 1..25)
+    ) {
+        let object = ObjectId::new(1);
+        let redo = IntentionsStore::new(KvMapSpec::new(), object, StableLog::new());
+        let undo = UndoStore::new(KvMapSpec::new(), object);
+        for (i, (key, delta, fate)) in script.iter().enumerate() {
+            let txn = ActivityId::new(i as u32 + 1);
+            let pair = (op("adjust", [*key, *delta]), Value::ok());
+            redo.prepare(txn, vec![pair.clone()]);
+            undo.apply(txn, pair);
+            match fate {
+                0 => { redo.commit(txn); undo.commit(txn); }
+                1 => { redo.abort(txn); undo.abort(txn); }
+                _ => {} // left in doubt
+            }
+        }
+        redo.crash();
+        let outcome = redo.recover();
+        let undone = undo.recover();
+        prop_assert_eq!(redo.committed_frontier(), undo.state());
+        // In-doubt sets must agree with the script's "left open" entries.
+        let open = script.iter().filter(|(_, _, f)| *f >= 2).count();
+        prop_assert_eq!(outcome.in_doubt.len(), open);
+        prop_assert!(undone.len() >= open);
+    }
+
+    /// Recovery is idempotent: recovering twice yields the same state.
+    #[test]
+    fn recovery_is_idempotent(
+        script in prop::collection::vec((0..4i64, 1..5i64, prop::bool::ANY), 1..15)
+    ) {
+        let object = ObjectId::new(1);
+        let store = IntentionsStore::new(KvMapSpec::new(), object, StableLog::new());
+        for (i, (key, delta, commit)) in script.iter().enumerate() {
+            let txn = ActivityId::new(i as u32 + 1);
+            store.prepare(txn, vec![(op("adjust", [*key, *delta]), Value::ok())]);
+            if *commit {
+                store.commit(txn);
+            }
+        }
+        store.crash();
+        store.recover();
+        let first = store.committed_frontier();
+        store.crash();
+        store.recover();
+        prop_assert_eq!(first, store.committed_frontier());
+    }
+
+    /// The simulation is deterministic: identical seeds yield identical
+    /// statistics, even with a crash.
+    #[test]
+    fn simulation_determinism(seed in 0u64..1_000, crash_at in 0u64..12) {
+        let run = || {
+            let mut c = Cluster::new(SimConfig { seed, ..SimConfig::default() });
+            c.submit_transfer(0, 1, 10);
+            c.submit_transfer(2, 3, 20);
+            c.schedule_crash(crash_at, NodeId::new(0), 15_000);
+            c.run_to_quiescence();
+            c.heal();
+            c.stats().clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

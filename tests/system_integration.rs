@@ -1,0 +1,216 @@
+//! Cross-crate integration: multi-object transactions over the typed
+//! ADTs, baselines under the same checkers, and local-property
+//! composition (the substance of Theorem 1 across heterogeneous objects).
+
+use atomicity::adts::{
+    AtomicAccount, AtomicCounter, AtomicMap, AtomicQueue, AtomicSemiqueue, AtomicSet,
+    WithdrawOutcome,
+};
+use atomicity::baselines::{
+    bank_commutativity, CommutativityLockedObject, ReedRegister, TwoPhaseLockedObject,
+};
+use atomicity::core::{AtomicObject, Protocol, TxnManager};
+use atomicity::spec::atomicity::{is_atomic, is_dynamic_atomic, is_static_atomic};
+use atomicity::spec::specs::{
+    BankAccountSpec, CounterSpec, FifoQueueSpec, IntSetSpec, KvMapSpec, RegisterSpec, SemiqueueSpec,
+};
+use atomicity::spec::{op, ObjectId, SystemSpec};
+use std::sync::Arc;
+
+fn full_system() -> SystemSpec {
+    SystemSpec::new()
+        .with_object(ObjectId::new(1), BankAccountSpec::new())
+        .with_object(ObjectId::new(2), IntSetSpec::new())
+        .with_object(ObjectId::new(3), FifoQueueSpec::new())
+        .with_object(ObjectId::new(4), CounterSpec::new())
+        .with_object(ObjectId::new(5), KvMapSpec::new())
+        .with_object(ObjectId::new(6), SemiqueueSpec::new())
+}
+
+/// One transaction touching six differently-typed objects, then a
+/// concurrent pair, all checked as a single computation — local
+/// properties composing across heterogeneous objects.
+#[test]
+fn heterogeneous_multi_object_transactions_compose() {
+    for protocol in [Protocol::Dynamic, Protocol::Static, Protocol::Hybrid] {
+        let mgr = TxnManager::new(protocol);
+        let account = AtomicAccount::new(ObjectId::new(1), &mgr);
+        let set = AtomicSet::new(ObjectId::new(2), &mgr);
+        let queue = AtomicQueue::new(ObjectId::new(3), &mgr);
+        let counter = AtomicCounter::new(ObjectId::new(4), &mgr);
+        let map = AtomicMap::new(ObjectId::new(5), &mgr);
+        let semiq = AtomicSemiqueue::new(ObjectId::new(6), &mgr);
+
+        let t = mgr.begin();
+        account.deposit(&t, 100).unwrap();
+        set.insert(&t, 7).unwrap();
+        queue.enqueue(&t, 1).unwrap();
+        assert_eq!(counter.increment(&t).unwrap(), 1);
+        map.put(&t, 1, 10).unwrap();
+        semiq.enq(&t, 5).unwrap();
+        mgr.commit(t).unwrap();
+
+        // Two concurrent transactions on disjoint objects.
+        let t1 = mgr.begin();
+        let t2 = mgr.begin();
+        assert_eq!(
+            account.withdraw(&t1, 30).unwrap(),
+            WithdrawOutcome::Withdrawn
+        );
+        set.delete(&t2, 7).unwrap();
+        queue.enqueue(&t1, 2).unwrap();
+        map.add(&t2, 1, 5).unwrap();
+        mgr.commit(t2).unwrap();
+        mgr.commit(t1).unwrap();
+
+        let h = mgr.history();
+        let spec = full_system();
+        assert!(is_atomic(&h, &spec), "{protocol:?}:\n{h}");
+        match protocol {
+            Protocol::Dynamic => assert!(is_dynamic_atomic(&h, &spec)),
+            Protocol::Static => assert!(is_static_atomic(&h, &spec)),
+            Protocol::Hybrid => {
+                assert!(atomicity::spec::atomicity::is_hybrid_atomic(&h, &spec))
+            }
+        }
+    }
+}
+
+/// An aborted multi-object transaction leaves no trace at any object.
+#[test]
+fn multi_object_abort_is_all_or_nothing() {
+    let mgr = TxnManager::new(Protocol::Dynamic);
+    let account = AtomicAccount::new(ObjectId::new(1), &mgr);
+    let set = AtomicSet::new(ObjectId::new(2), &mgr);
+    let t = mgr.begin();
+    account.deposit(&t, 500).unwrap();
+    set.insert(&t, 42).unwrap();
+    mgr.abort(t);
+    let t2 = mgr.begin();
+    assert_eq!(account.balance(&t2).unwrap(), 0);
+    assert!(!set.member(&t2, 42).unwrap());
+    mgr.commit(t2).unwrap();
+    assert!(is_dynamic_atomic(&mgr.history(), &full_system()));
+}
+
+/// The locking baselines are (sub-optimal) implementations of dynamic
+/// atomicity: their histories satisfy the same property.
+#[test]
+fn locking_baselines_produce_dynamic_atomic_histories() {
+    let mgr = TxnManager::new(Protocol::Dynamic);
+    let locked_acct = TwoPhaseLockedObject::new(ObjectId::new(1), BankAccountSpec::new(), &mgr);
+    let commut_acct = CommutativityLockedObject::new(
+        ObjectId::new(2),
+        BankAccountSpec::new(),
+        &mgr,
+        bank_commutativity,
+    );
+    let mut handles = Vec::new();
+    for i in 0..3u32 {
+        let mgr = mgr.clone();
+        let a = Arc::clone(&locked_acct);
+        let b = Arc::clone(&commut_acct);
+        handles.push(std::thread::spawn(move || {
+            for j in 0..4 {
+                let t = mgr.begin();
+                let r1 = a.invoke(&t, op("deposit", [i64::from(i + 1)]));
+                let r2 = b.invoke(&t, op("deposit", [i64::from(j + 1)]));
+                if r1.is_ok() && r2.is_ok() {
+                    let _ = mgr.commit(t);
+                } else {
+                    mgr.abort(t);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let spec = SystemSpec::new()
+        .with_object(ObjectId::new(1), BankAccountSpec::new())
+        .with_object(ObjectId::new(2), BankAccountSpec::new());
+    assert!(is_dynamic_atomic(&mgr.history(), &spec));
+}
+
+/// Reed registers under concurrent readers/writers stay static atomic.
+#[test]
+fn reed_registers_produce_static_atomic_histories() {
+    let mgr = TxnManager::new(Protocol::Static);
+    let r1 = ReedRegister::new(ObjectId::new(1), 0, &mgr);
+    let r2 = ReedRegister::new(ObjectId::new(2), 0, &mgr);
+    let mut handles = Vec::new();
+    for i in 0..4u32 {
+        let mgr = mgr.clone();
+        let r1 = Arc::clone(&r1);
+        let r2 = Arc::clone(&r2);
+        handles.push(std::thread::spawn(move || {
+            for j in 0..4 {
+                let t = mgr.begin();
+                let ok = if (i + j) % 2 == 0 {
+                    r1.invoke(&t, op("write", [i64::from(i * 10 + j)])).is_ok()
+                        && r2.invoke(&t, op("read", [] as [i64; 0])).is_ok()
+                } else {
+                    r1.invoke(&t, op("read", [] as [i64; 0])).is_ok()
+                        && r2.invoke(&t, op("write", [i64::from(j)])).is_ok()
+                };
+                if ok {
+                    let _ = mgr.commit(t);
+                } else {
+                    mgr.abort(t);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let spec = SystemSpec::new()
+        .with_object(ObjectId::new(1), RegisterSpec::new())
+        .with_object(ObjectId::new(2), RegisterSpec::new());
+    let h = mgr.history();
+    assert!(is_static_atomic(&h, &spec), "history:\n{h}");
+}
+
+/// The semiqueue's non-determinism buys concurrency that a FIFO queue
+/// cannot offer: two concurrent dequeuers proceed without blocking.
+#[test]
+fn semiqueue_concurrency_exceeds_fifo() {
+    let mgr = TxnManager::new(Protocol::Dynamic);
+    let semiq = AtomicSemiqueue::new(ObjectId::new(6), &mgr);
+    let setup = mgr.begin();
+    for v in [10, 20, 30] {
+        semiq.enq(&setup, v).unwrap();
+    }
+    mgr.commit(setup).unwrap();
+
+    let a = mgr.begin();
+    let b = mgr.begin();
+    let va = semiq.deq(&a).unwrap().unwrap();
+    let vb = semiq.deq(&b).unwrap().unwrap();
+    assert_ne!(va, vb);
+    mgr.commit(a).unwrap();
+    mgr.commit(b).unwrap();
+    let spec = SystemSpec::new().with_object(ObjectId::new(6), SemiqueueSpec::new());
+    assert!(is_dynamic_atomic(&mgr.history(), &spec));
+}
+
+/// Mixed fates under load: some commit, some abort, one stays active; the
+/// recorded computation is still dynamic atomic (recoverability online).
+#[test]
+fn mixed_fates_remain_atomic() {
+    let mgr = TxnManager::new(Protocol::Dynamic);
+    let map = AtomicMap::new(ObjectId::new(5), &mgr);
+    let committed = mgr.begin();
+    map.put(&committed, 1, 1).unwrap();
+    mgr.commit(committed).unwrap();
+    let aborted = mgr.begin();
+    map.put(&aborted, 2, 2).unwrap();
+    mgr.abort(aborted);
+    let active = mgr.begin();
+    map.put(&active, 3, 3).unwrap();
+    // `active` neither commits nor aborts: perm(h) must still serialize.
+    let h = mgr.history();
+    let spec = SystemSpec::new().with_object(ObjectId::new(5), KvMapSpec::new());
+    assert!(is_dynamic_atomic(&h, &spec));
+    mgr.abort(active);
+}
