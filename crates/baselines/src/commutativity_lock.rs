@@ -135,10 +135,7 @@ impl<S: SequentialSpec> AtomicObject for CommutativityLockedObject<S> {
         txn.register(self.self_participant());
         let me = txn.id();
         let commutes = self.commutes;
-        if !self
-            .lock
-            .try_acquire(txn, operation.clone(), commutes)
-        {
+        if !self.lock.try_acquire(txn, operation.clone(), commutes) {
             return Err(TxnError::WouldBlock { object: self.id });
         }
         let v = self.execute_locked(me, operation.clone())?;

@@ -1,6 +1,7 @@
 //! Strict two-phase locking with read/write locks.
 
 use crate::locks::{LockMode, ModeLock};
+use atomicity_core::stats::{ObjectStats, StatsSnapshot};
 use atomicity_core::{AtomicObject, HistoryLog, Participant, Txn, TxnError, TxnManager};
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
@@ -43,6 +44,7 @@ pub struct TwoPhaseLockedObject<S: SequentialSpec> {
     log: HistoryLog,
     lock: ModeLock<LockMode>,
     state: Mutex<State<S>>,
+    stats: ObjectStats,
     self_ref: Weak<TwoPhaseLockedObject<S>>,
 }
 
@@ -64,6 +66,7 @@ impl<S: SequentialSpec> TwoPhaseLockedObject<S> {
                 committed: initial,
                 intentions: BTreeMap::new(),
             }),
+            stats: ObjectStats::default(),
             self_ref: self_ref.clone(),
         })
     }
@@ -71,6 +74,11 @@ impl<S: SequentialSpec> TwoPhaseLockedObject<S> {
     /// Number of transactions currently holding locks here.
     pub fn holder_count(&self) -> usize {
         self.lock.holder_count()
+    }
+
+    /// A snapshot of this object's contention counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
     }
 
     fn self_participant(&self) -> Arc<dyn Participant> {
@@ -93,10 +101,12 @@ impl<S: SequentialSpec> AtomicObject for TwoPhaseLockedObject<S> {
             LockMode::Write
         };
         if !self.lock.try_acquire(txn, mode, |a, b| a.compatible(*b)) {
+            self.stats.record_block();
             return Err(TxnError::WouldBlock { object: self.id });
         }
         // Lock taken; execute and record invoke+respond atomically.
         let v = self.execute_locked(me, operation.clone())?;
+        self.stats.record_admission();
         self.log.record_all([
             Event::invoke(me, self.id, operation),
             Event::respond(me, self.id, v.clone()),
@@ -133,8 +143,15 @@ impl<S: SequentialSpec> AtomicObject for TwoPhaseLockedObject<S> {
         }
         self.log
             .record(Event::invoke(me, self.id, operation.clone()));
-        self.lock
-            .acquire(txn, self.id, mode, |a, b| a.compatible(*b))?;
+        if let Err(e) = self
+            .lock
+            .acquire(txn, self.id, mode, |a, b| a.compatible(*b))
+        {
+            if matches!(e, TxnError::Deadlock { .. }) {
+                self.stats.record_deadlock_kill();
+            }
+            return Err(e);
+        }
         let mut st = self.state.lock();
         let empty = Vec::new();
         let own = st.intentions.get(&me).unwrap_or(&empty);
@@ -154,8 +171,13 @@ impl<S: SequentialSpec> AtomicObject for TwoPhaseLockedObject<S> {
             .entry(me)
             .or_default()
             .push((operation, v.clone()));
+        self.stats.record_admission();
         self.log.record(Event::respond(me, self.id, v.clone()));
         Ok(v)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats()
     }
 }
 
@@ -206,6 +228,7 @@ impl<S: SequentialSpec> Participant for TwoPhaseLockedObject<S> {
             Some(t) => Event::commit_ts(txn, self.id, t),
             None => Event::commit(txn, self.id),
         };
+        self.stats.record_commit();
         self.log.record(event);
         drop(st);
         self.lock.release_all(txn);
@@ -213,6 +236,7 @@ impl<S: SequentialSpec> Participant for TwoPhaseLockedObject<S> {
 
     fn abort(&self, txn: ActivityId) {
         self.state.lock().intentions.remove(&txn);
+        self.stats.record_abort();
         self.log.record(Event::abort(txn, self.id));
         self.lock.release_all(txn);
     }

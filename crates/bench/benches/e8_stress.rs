@@ -1,0 +1,58 @@
+//! Criterion bench for E8: recorder contention under threaded stress.
+//!
+//! Sweeps thread count for every engine, then pits the sharded recorder
+//! against the single-mutex (`coarse`) baseline on the record-heaviest
+//! configuration — the sharded log's win grows with core count.
+
+use atomicity_bench::engines::Engine;
+use atomicity_bench::workloads::stress::{run_stress, StressParams, STRESS_ENGINES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_stress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_stress");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for engine in STRESS_ENGINES {
+        for threads in [1usize, 2, 4, 8] {
+            let params = StressParams {
+                threads,
+                txns_per_thread: 50,
+                ops_per_txn: 4,
+                hold_micros: 0,
+                coarse_log: false,
+                verify: false,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(engine.label(), format!("threads-{threads}")),
+                &params,
+                |b, p| b.iter(|| run_stress(engine, p)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e8_recorder");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for coarse in [false, true] {
+        let params = StressParams {
+            threads: 8,
+            txns_per_thread: 50,
+            ops_per_txn: 8,
+            hold_micros: 0,
+            coarse_log: coarse,
+            verify: false,
+        };
+        let label = if coarse { "coarse" } else { "sharded" };
+        group.bench_with_input(BenchmarkId::new(label, "threads-8"), &params, |b, p| {
+            b.iter(|| run_stress(Engine::Dynamic, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stress);
+criterion_main!(benches);

@@ -56,6 +56,9 @@ fn main() {
     if want("e7") {
         e7_skew(quick);
     }
+    if want("e8") {
+        e8_stress(quick);
+    }
     if want("a1") {
         a1_ablation(quick);
     }
@@ -464,6 +467,73 @@ fn e6_recovery(quick: bool) {
         ]);
     }
     println!("{audits}");
+}
+
+/// E8 (DESIGN.md §2): recorder contention under threaded stress —
+/// throughput vs. thread count per engine, then the sharded recorder
+/// against the single-mutex baseline.
+fn e8_stress(quick: bool) {
+    use atomicity_bench::workloads::stress::{run_stress, StressParams, STRESS_ENGINES};
+
+    println!("== E8: threaded stress — sharded history recording (DESIGN.md §2)\n");
+    let txns = if quick { 50 } else { 200 };
+    let mut table = Table::new(vec![
+        "engine",
+        "threads",
+        "txn/s",
+        "committed",
+        "aborted",
+        "events",
+        "blocks",
+    ])
+    .with_title("per-thread accounts; the shared recorder is the serialization point");
+    for engine in STRESS_ENGINES {
+        for threads in [1usize, 2, 4, 8] {
+            let params = StressParams {
+                threads,
+                txns_per_thread: txns,
+                ops_per_txn: 4,
+                hold_micros: 0,
+                coarse_log: false,
+                verify: false,
+            };
+            let out = run_stress(engine, &params);
+            table.row(vec![
+                engine.label().into(),
+                threads.to_string(),
+                f1(out.throughput),
+                out.committed.to_string(),
+                out.aborted.to_string(),
+                out.events.to_string(),
+                out.stats.blocks.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let mut recorder = Table::new(vec!["recorder", "shards", "threads", "txn/s", "events"])
+        .with_title("sharded recorder vs the single-mutex baseline (dynamic engine)");
+    for coarse in [false, true] {
+        for threads in [1usize, 4, 8] {
+            let params = StressParams {
+                threads,
+                txns_per_thread: txns,
+                ops_per_txn: 8,
+                hold_micros: 0,
+                coarse_log: coarse,
+                verify: false,
+            };
+            let out = run_stress(Engine::Dynamic, &params);
+            recorder.row(vec![
+                if coarse { "coarse" } else { "sharded" }.into(),
+                out.log_shards.to_string(),
+                threads.to_string(),
+                f1(out.throughput),
+                out.events.to_string(),
+            ]);
+        }
+    }
+    println!("{recorder}");
 }
 
 /// A1 (ablation, DESIGN.md §4): the dynamic engine's permutation-check

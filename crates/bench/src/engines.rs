@@ -4,7 +4,7 @@ use atomicity_baselines::{
     bank_commutativity, queue_commutativity, set_commutativity, CommutativityLockedObject,
     TwoPhaseLockedObject,
 };
-use atomicity_core::{AtomicObject, Protocol, TxnManager};
+use atomicity_core::{AtomicObject, DeadlockPolicy, HistoryLog, Protocol, TxnManager};
 use atomicity_spec::specs::{BankAccountSpec, FifoQueueSpec, IntSetSpec, KvMapSpec};
 use atomicity_spec::ObjectId;
 use std::fmt;
@@ -50,15 +50,27 @@ impl Engine {
         }
     }
 
-    /// A manager running the protocol this engine needs.
-    pub fn manager(self) -> TxnManager {
+    /// The protocol this engine's manager runs.
+    pub fn protocol(self) -> Protocol {
         match self {
-            Engine::Static => TxnManager::new(Protocol::Static),
-            Engine::Hybrid => TxnManager::new(Protocol::Hybrid),
+            Engine::Static => Protocol::Static,
+            Engine::Hybrid => Protocol::Hybrid,
             Engine::Dynamic | Engine::TwoPhaseLocking | Engine::CommutativityLocking => {
-                TxnManager::new(Protocol::Dynamic)
+                Protocol::Dynamic
             }
         }
+    }
+
+    /// A manager running the protocol this engine needs.
+    pub fn manager(self) -> TxnManager {
+        TxnManager::new(self.protocol())
+    }
+
+    /// A manager recording into an explicit [`HistoryLog`] — the E8 hook
+    /// for comparing the sharded recorder against the single-mutex
+    /// baseline ([`HistoryLog::coarse`]).
+    pub fn manager_with_log(self, log: HistoryLog) -> TxnManager {
+        TxnManager::with_log(self.protocol(), DeadlockPolicy::default(), log)
     }
 
     /// A bank-account object (initial balance) under this engine.

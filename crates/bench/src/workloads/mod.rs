@@ -6,6 +6,7 @@ pub mod lamport;
 pub mod queue;
 pub mod recovery;
 pub mod skew;
+pub mod stress;
 
 use std::time::Duration;
 

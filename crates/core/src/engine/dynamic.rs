@@ -186,6 +186,10 @@ impl<S: SequentialSpec> AtomicObject for DynamicObject<S> {
         self.try_invoke_once(txn, operation)
     }
 
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats()
+    }
+
     fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
         if !txn.is_active() {
             return Err(TxnError::NotActive { txn: txn.id() });

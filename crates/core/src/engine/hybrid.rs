@@ -289,6 +289,10 @@ impl<S: SequentialSpec> HybridObject<S> {
 }
 
 impl<S: SequentialSpec> AtomicObject for HybridObject<S> {
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats()
+    }
+
     fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
         if !txn.is_active() {
             return Err(TxnError::NotActive { txn: txn.id() });

@@ -349,6 +349,10 @@ fn enumerate_futures(actives: &[ActivityId]) -> Vec<BTreeSet<ActivityId>> {
 }
 
 impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats()
+    }
+
     fn try_invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
         if !txn.is_active() {
             return Err(TxnError::NotActive { txn: txn.id() });

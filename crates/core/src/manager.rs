@@ -9,8 +9,12 @@ use crate::txn::{Txn, TxnKind, TxnStatus};
 use atomicity_spec::{ActivityId, History, Timestamp};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Number of shards for the transaction table. Transactions map to shards
+/// by id, so begin/commit/abort of distinct transactions rarely contend.
+const TXN_SHARDS: usize = 16;
 
 /// Which local atomicity property the system is run under.
 ///
@@ -64,8 +68,17 @@ pub(crate) struct ManagerInner {
     /// against read-only initiation, so a reader's timestamp cleanly
     /// partitions "committed before" from "committed after".
     commit_gate: Mutex<()>,
-    txns: Mutex<HashMap<ActivityId, TxnRecord>>,
+    /// The transaction table, sharded by [`ActivityId`] so the hot
+    /// begin/commit/abort path contends only when two threads touch the
+    /// same transaction (or collide in a shard), not on every lifecycle
+    /// transition in the system.
+    txns: Box<[Mutex<HashMap<ActivityId, TxnRecord>>]>,
     waits: Mutex<WaitGraph>,
+    /// Fast-path flag mirroring "the wait graph has at least one waiter".
+    /// Maintained under the `waits` lock; read without it by `finish`, so
+    /// commits and aborts skip the wait-graph mutex entirely while nothing
+    /// is blocked (the common case in low-contention workloads).
+    has_waiters: AtomicBool,
 }
 
 struct TxnRecord {
@@ -82,16 +95,29 @@ impl TxnManager {
 
     /// Creates a manager with an explicit deadlock policy.
     pub fn with_policy(protocol: Protocol, policy: DeadlockPolicy) -> Self {
+        Self::with_log(protocol, policy, HistoryLog::new())
+    }
+
+    /// Creates a manager recording into an explicitly configured log.
+    ///
+    /// Objects built against this manager obtain the log through
+    /// [`TxnManager::log`], so this is the hook benchmarks use to compare
+    /// recorder configurations (e.g. [`HistoryLog::coarse`] vs. the default
+    /// sharded log in experiment E8).
+    pub fn with_log(protocol: Protocol, policy: DeadlockPolicy, log: HistoryLog) -> Self {
         TxnManager {
             inner: Arc::new(ManagerInner {
                 protocol,
                 policy,
                 next_id: AtomicU32::new(1),
                 clock: Arc::new(LamportClock::new()),
-                log: HistoryLog::new(),
+                log,
                 commit_gate: Mutex::new(()),
-                txns: Mutex::new(HashMap::new()),
+                txns: (0..TXN_SHARDS)
+                    .map(|_| Mutex::new(HashMap::new()))
+                    .collect(),
                 waits: Mutex::new(WaitGraph::new()),
+                has_waiters: AtomicBool::new(false),
             }),
         }
     }
@@ -168,7 +194,7 @@ impl TxnManager {
 
     fn make_txn(&self, kind: TxnKind, start_ts: Option<Timestamp>) -> Txn {
         let id = ActivityId::new(self.inner.next_id.fetch_add(1, Ordering::SeqCst));
-        self.inner.txns.lock().insert(
+        self.inner.txn_shard(id).lock().insert(
             id,
             TxnRecord {
                 status: TxnStatus::Active,
@@ -198,8 +224,8 @@ impl TxnManager {
     pub fn commit(&self, txn: Txn) -> Result<Option<Timestamp>, TxnError> {
         let id = txn.id;
         let participants = {
-            let mut txns = self.inner.txns.lock();
-            let rec = txns.get_mut(&id).ok_or(TxnError::NotActive { txn: id })?;
+            let mut shard = self.inner.txn_shard(id).lock();
+            let rec = shard.get_mut(&id).ok_or(TxnError::NotActive { txn: id })?;
             if rec.status != TxnStatus::Active {
                 return Err(TxnError::NotActive { txn: id });
             }
@@ -220,9 +246,20 @@ impl TxnManager {
         // Phase 2: install, with a commit timestamp where required.
         let commit_ts = match (self.inner.protocol, txn.kind) {
             (Protocol::Hybrid, TxnKind::Update) => {
-                let _gate = self.inner.commit_gate.lock();
-                let ts = self.inner.clock.tick();
-                self.finish(id, &participants, TxnStatus::Committed, Some(ts));
+                // The gate's invariant is only about timestamp assignment
+                // and version installation racing read-only initiation, so
+                // the critical section is exactly that: tick + installs.
+                // Record bookkeeping (status, wait edges) happens after the
+                // gate is released.
+                let ts = {
+                    let _gate = self.inner.commit_gate.lock();
+                    let ts = self.inner.clock.tick();
+                    for p in &participants {
+                        p.commit(id, Some(ts));
+                    }
+                    ts
+                };
+                self.complete(id, TxnStatus::Committed);
                 Some(ts)
             }
             _ => {
@@ -239,8 +276,8 @@ impl TxnManager {
     pub fn abort(&self, txn: Txn) {
         let id = txn.id;
         let participants = {
-            let mut txns = self.inner.txns.lock();
-            match txns.get_mut(&id) {
+            let mut shard = self.inner.txn_shard(id).lock();
+            match shard.get_mut(&id) {
                 Some(rec) if rec.status == TxnStatus::Active => rec.participants.clone(),
                 _ => return,
             }
@@ -263,10 +300,28 @@ impl TxnManager {
                 TxnStatus::Active => unreachable!("finish with Active status"),
             }
         }
-        if let Some(rec) = self.inner.txns.lock().get_mut(&id) {
+        self.complete(id, status);
+    }
+
+    /// Final record bookkeeping: status transition and wake-up of waiters.
+    ///
+    /// When nothing is blocked (`has_waiters` false) the wait-graph lock is
+    /// skipped entirely. The flag is maintained under the `waits` lock; the
+    /// unlocked read here can race a waiter inserting its first edge, in
+    /// which case that waiter's timed wait simply expires and it re-checks
+    /// the (now completed) holder — the same bounded retry that already
+    /// backstops the status-check/edge-insert race in the engines.
+    fn complete(&self, id: ActivityId, status: TxnStatus) {
+        if let Some(rec) = self.inner.txn_shard(id).lock().get_mut(&id) {
             rec.status = status;
         }
-        self.inner.waits.lock().clear_target(id);
+        if self.inner.has_waiters.load(Ordering::SeqCst) {
+            let mut waits = self.inner.waits.lock();
+            waits.clear_target(id);
+            self.inner
+                .has_waiters
+                .store(waits.waiter_count() > 0, Ordering::SeqCst);
+        }
     }
 
     /// The status of a transaction, if known.
@@ -290,13 +345,18 @@ impl std::fmt::Debug for TxnManager {
 }
 
 impl ManagerInner {
+    /// The transaction-table shard holding `id`'s record.
+    fn txn_shard(&self, id: ActivityId) -> &Mutex<HashMap<ActivityId, TxnRecord>> {
+        &self.txns[id.raw() as usize % TXN_SHARDS]
+    }
+
     pub(crate) fn status(&self, id: ActivityId) -> Option<TxnStatus> {
-        self.txns.lock().get(&id).map(|r| r.status)
+        self.txn_shard(id).lock().get(&id).map(|r| r.status)
     }
 
     pub(crate) fn register_participant(&self, id: ActivityId, p: Arc<dyn Participant>) {
-        let mut txns = self.txns.lock();
-        if let Some(rec) = txns.get_mut(&id) {
+        let mut shard = self.txn_shard(id).lock();
+        if let Some(rec) = shard.get_mut(&id) {
             let oid = p.object_id();
             if !rec.participants.iter().any(|q| q.object_id() == oid) {
                 rec.participants.push(p);
@@ -311,27 +371,33 @@ impl ManagerInner {
     ) -> WaitDecision {
         // Never wait on transactions that already completed: their effects
         // are final, waiting on them cannot help.
-        let live: std::collections::BTreeSet<ActivityId> = {
-            let txns = self.txns.lock();
-            holders
-                .iter()
-                .filter(|h| {
-                    txns.get(h)
-                        .map(|r| r.status == TxnStatus::Active)
-                        .unwrap_or(false)
-                })
-                .copied()
-                .collect()
-        };
+        let live: std::collections::BTreeSet<ActivityId> = holders
+            .iter()
+            .filter(|h| {
+                self.txn_shard(**h)
+                    .lock()
+                    .get(h)
+                    .map(|r| r.status == TxnStatus::Active)
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect();
         if live.is_empty() {
             // Nothing live to wait on: let the caller retry immediately.
             return WaitDecision::Wait;
         }
-        self.waits.lock().request_wait(waiter, &live, self.policy)
+        let mut waits = self.waits.lock();
+        let decision = waits.request_wait(waiter, &live, self.policy);
+        self.has_waiters
+            .store(waits.waiter_count() > 0, Ordering::SeqCst);
+        decision
     }
 
     pub(crate) fn clear_wait(&self, waiter: ActivityId) {
-        self.waits.lock().clear_waiter(waiter);
+        let mut waits = self.waits.lock();
+        waits.clear_waiter(waiter);
+        self.has_waiters
+            .store(waits.waiter_count() > 0, Ordering::SeqCst);
     }
 }
 

@@ -78,4 +78,12 @@ pub trait AtomicObject: Participant {
     fn try_invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
         self.invoke(txn, operation)
     }
+
+    /// A snapshot of this object's contention counters
+    /// ([`crate::stats::ObjectStats`]), so workloads can aggregate
+    /// statistics across objects behind the trait. Objects that do not
+    /// track statistics return the zero snapshot.
+    fn stats_snapshot(&self) -> crate::stats::StatsSnapshot {
+        crate::stats::StatsSnapshot::default()
+    }
 }

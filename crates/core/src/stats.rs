@@ -88,6 +88,33 @@ impl ObjectStats {
     }
 }
 
+impl StatsSnapshot {
+    /// Adds `other`'s counters into `self` (workloads aggregate per-object
+    /// snapshots into one system-wide figure).
+    pub fn merge(&mut self, other: StatsSnapshot) {
+        self.admissions += other.admissions;
+        self.blocks += other.blocks;
+        self.deadlock_kills += other.deadlock_kills;
+        self.timestamp_conflicts += other.timestamp_conflicts;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+    }
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn add(mut self, other: StatsSnapshot) -> StatsSnapshot {
+        self.merge(other);
+        self
+    }
+}
+
+impl std::iter::Sum for StatsSnapshot {
+    fn sum<I: Iterator<Item = StatsSnapshot>>(iter: I) -> StatsSnapshot {
+        iter.fold(StatsSnapshot::default(), |acc, s| acc + s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +144,23 @@ mod tests {
         let copy = snap;
         assert_eq!(copy, snap);
         assert_eq!(copy.admissions, 0);
+    }
+
+    #[test]
+    fn snapshots_merge_and_sum() {
+        let a = StatsSnapshot {
+            admissions: 2,
+            blocks: 1,
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            admissions: 3,
+            commits: 4,
+            ..StatsSnapshot::default()
+        };
+        let total: StatsSnapshot = [a, b].into_iter().sum();
+        assert_eq!(total.admissions, 5);
+        assert_eq!(total.blocks, 1);
+        assert_eq!(total.commits, 4);
     }
 }

@@ -9,7 +9,9 @@
 use atomicity::bench::engines::Engine;
 use atomicity::bench::explore::{engine_factory, explore, property_verifier, Script};
 use atomicity::core::Protocol;
-use atomicity::spec::specs::{BankAccountSpec, FifoQueueSpec, IntSetSpec};
+use atomicity::spec::specs::{
+    BankAccountSpec, BoundedBufferSpec, FifoQueueSpec, IntSetSpec, SemiqueueSpec,
+};
 use atomicity::spec::{op, ObjectId, SystemSpec};
 
 /// The §5.1 bank scenario, tight funds: every schedule of two withdrawals
@@ -187,6 +189,110 @@ fn lock_producible_predicate_matches_engine_behavior() {
     };
     let stats = explore(&factory, &scripts, &verify);
     assert!(stats.leaves > 0);
+}
+
+/// The §5.2 semiqueue: concurrent enqueues plus a dequeue, all schedules,
+/// under every property engine. Non-deterministic `deq` is exactly what
+/// the permutation-based checkers must handle: any present element may
+/// come back, and the engines must admit the interleavings that keep some
+/// serialization valid.
+#[test]
+fn semiqueue_enq_deq_all_schedules() {
+    for (engine, protocol) in [
+        (Engine::Dynamic, Protocol::Dynamic),
+        (Engine::Static, Protocol::Static),
+        (Engine::Hybrid, Protocol::Hybrid),
+    ] {
+        let factory = engine_factory(engine, vec![SemiqueueSpec::new()]);
+        let scripts = vec![
+            Script::update(vec![(0, op("enq", [1]))]),
+            Script::update(vec![(0, op("enq", [2]))]),
+            Script::update(vec![(0, op("deq", [] as [i64; 0]))]),
+        ];
+        let spec = SystemSpec::new().with_object(ObjectId::new(1), SemiqueueSpec::new());
+        let stats = explore(&factory, &scripts, &property_verifier(protocol, spec));
+        assert!(stats.leaves > 0, "{engine}: no schedules completed");
+        assert_eq!(
+            stats.stuck, 0,
+            "{engine}: single-object scripts never wedge"
+        );
+    }
+}
+
+/// Semiqueue enqueues commute (a multiset insert is order-independent),
+/// so the dynamic engine must admit every interleaving of two enqueue
+/// batches without blocking — the §5.2 concurrency argument, exhaustively.
+#[test]
+fn semiqueue_enqueues_never_block_dynamically() {
+    let factory = engine_factory(Engine::Dynamic, vec![SemiqueueSpec::new()]);
+    let scripts = vec![
+        Script::update(vec![(0, op("enq", [1])), (0, op("enq", [2]))]),
+        Script::update(vec![(0, op("enq", [3])), (0, op("enq", [4]))]),
+    ];
+    let spec = SystemSpec::new().with_object(ObjectId::new(1), SemiqueueSpec::new());
+    let stats = explore(
+        &factory,
+        &scripts,
+        &property_verifier(Protocol::Dynamic, spec),
+    );
+    // 2 txns × 3 actions: 6!/(3!3!) = 20 schedules, none block.
+    assert_eq!(stats.leaves, 20);
+    assert_eq!(
+        stats.blocked_edges, 0,
+        "multiset enqueues interleave freely"
+    );
+    assert_eq!(stats.forced_aborts, 0);
+}
+
+/// Bounded buffer at capacity 1: two puts genuinely conflict (only one
+/// can see room), so every property engine must block or abort some
+/// schedules — the state-dependence the §5.1 argument turns on, on the
+/// producer side.
+#[test]
+fn bounded_buffer_at_capacity_contends_in_all_schedules() {
+    for (engine, protocol) in [
+        (Engine::Dynamic, Protocol::Dynamic),
+        (Engine::Static, Protocol::Static),
+        (Engine::Hybrid, Protocol::Hybrid),
+    ] {
+        let factory = engine_factory(engine, vec![BoundedBufferSpec::with_capacity(1)]);
+        let scripts = vec![
+            Script::update(vec![(0, op("put", [1]))]),
+            Script::update(vec![(0, op("put", [2]))]),
+            Script::update(vec![(0, op("take", [] as [i64; 0]))]),
+        ];
+        let spec =
+            SystemSpec::new().with_object(ObjectId::new(1), BoundedBufferSpec::with_capacity(1));
+        let stats = explore(&factory, &scripts, &property_verifier(protocol, spec));
+        assert!(stats.leaves > 0, "{engine}: no schedules completed");
+        assert!(
+            stats.blocked_edges > 0 || stats.forced_aborts > 0,
+            "{engine}: puts at capacity 1 must contend: {stats:?}"
+        );
+    }
+}
+
+/// Bounded buffer with room for everyone: capacity 2 holds both puts, so
+/// the dynamic engine admits every interleaving without blocking —
+/// capacity, like bank headroom, is the data the admission decision
+/// depends on.
+#[test]
+fn bounded_buffer_with_room_never_blocks_dynamically() {
+    let factory = engine_factory(Engine::Dynamic, vec![BoundedBufferSpec::with_capacity(2)]);
+    let scripts = vec![
+        Script::update(vec![(0, op("put", [1]))]),
+        Script::update(vec![(0, op("put", [2]))]),
+    ];
+    let spec = SystemSpec::new().with_object(ObjectId::new(1), BoundedBufferSpec::with_capacity(2));
+    let stats = explore(
+        &factory,
+        &scripts,
+        &property_verifier(Protocol::Dynamic, spec),
+    );
+    // 2 txns × 2 actions: 4!/(2!2!) = 6 schedules.
+    assert_eq!(stats.leaves, 6);
+    assert_eq!(stats.blocked_edges, 0, "room for both ⇒ no blocks");
+    assert_eq!(stats.forced_aborts, 0);
 }
 
 /// Static atomicity: schedules where an early-timestamp insert arrives

@@ -2,7 +2,7 @@
 //! distributed simulation and strategy-equivalence checks (E6's backing
 //! tests).
 
-use atomicity::core::recovery::{IntentionsStore, StableLog, UndoStore};
+use atomicity::core::recovery::{IntentionsStore, RecordKind, StableLog, UndoStore};
 use atomicity::sim::{Cluster, NodeId, SimConfig};
 use atomicity::spec::specs::KvMapSpec;
 use atomicity::spec::{op, ActivityId, ObjectId, Value};
@@ -104,6 +104,62 @@ proptest! {
         let open = script.iter().filter(|(_, _, f)| *f >= 2).count();
         prop_assert_eq!(outcome.in_doubt.len(), open);
         prop_assert!(undone.len() >= open);
+    }
+
+    /// Crash at an **arbitrary prefix** of the stable log: replaying the
+    /// surviving records must reconstruct exactly the state of the
+    /// transactions whose Commit record survived the cut — a
+    /// committed-prefix state, never a torn one — and the in-doubt set
+    /// must be exactly the prepares left without an outcome in the
+    /// prefix.
+    #[test]
+    fn crash_at_any_log_prefix_recovers_a_committed_prefix_state(
+        script in prop::collection::vec((0..6i64, -3..4i64, 0..3u8), 1..20),
+        cut in 0..64usize,
+    ) {
+        let object = ObjectId::new(1);
+        let log = StableLog::new();
+        let store = IntentionsStore::new(KvMapSpec::new(), object, log.clone());
+        for (i, (key, delta, fate)) in script.iter().enumerate() {
+            let txn = ActivityId::new(i as u32 + 1);
+            store.prepare(txn, vec![(op("adjust", [*key, *delta]), Value::ok())]);
+            match fate {
+                0 => store.commit(txn),
+                1 => store.abort(txn),
+                _ => {} // left in doubt
+            }
+        }
+        // The crash loses an arbitrary log suffix.
+        let keep = cut % (log.len() + 1);
+        log.truncate(keep);
+        store.crash();
+        let outcome = store.recover();
+
+        // Oracle: fold the surviving records directly. Adjusts commute,
+        // so the expected state is the per-key delta sum of exactly the
+        // transactions whose Commit record index is below the cut.
+        let prefix = log.records();
+        let mut prepared = std::collections::BTreeSet::new();
+        let mut resolved = std::collections::BTreeSet::new();
+        let mut expected = std::collections::BTreeMap::new();
+        for r in &prefix {
+            match &r.kind {
+                RecordKind::Prepare { .. } => { prepared.insert(r.txn); }
+                RecordKind::Commit => {
+                    resolved.insert(r.txn);
+                    let (key, delta, _) = script[r.txn.raw() as usize - 1];
+                    *expected.entry(key).or_insert(0i64) += delta;
+                }
+                RecordKind::Abort => { resolved.insert(r.txn); }
+            }
+        }
+        prop_assert_eq!(store.committed_frontier(), vec![expected]);
+        let open: std::collections::BTreeSet<_> =
+            prepared.difference(&resolved).copied().collect();
+        prop_assert_eq!(outcome.in_doubt.len(), open.len());
+        for txn in &outcome.in_doubt {
+            prop_assert!(open.contains(txn));
+        }
     }
 
     /// Recovery is idempotent: recovering twice yields the same state.

@@ -1,0 +1,5 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The workspace declares `crossbeam` in a few manifests but never uses it
+//! from source, so an empty crate satisfies the dependency graph in an
+//! air-gapped build environment.

@@ -1,0 +1,319 @@
+//! Offline stand-in for `serde`, implementing the subset this workspace
+//! uses: `#[derive(Serialize, Deserialize)]` on plain structs and enums,
+//! with JSON (de)serialization provided by the companion `serde_json`
+//! stand-in.
+//!
+//! Instead of serde's visitor architecture, values convert to and from a
+//! small [`Content`] tree that mirrors the JSON data model. The derive
+//! macros (re-exported from `serde_derive`) generate `to_content` /
+//! `from_content` implementations matching serde's externally-tagged enum
+//! representation, `#[serde(rename_all = "snake_case")]`, and field-level
+//! `#[serde(default)]` — the only attributes the workspace uses.
+
+use std::collections::BTreeMap;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized data model: a JSON-shaped content tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object, in insertion order, keys stringified.
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into content.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, reporting a human-readable error on mismatch.
+    fn from_content(content: &Content) -> Result<Self, String>;
+}
+
+/// Map keys: serialized as JSON object keys (always strings).
+pub trait MapKey: Ord + Sized {
+    /// The key's string form.
+    fn to_key(&self) -> String;
+    /// Parses the string form back.
+    fn from_key(key: &str) -> Result<Self, String>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, String> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, String> {
+                key.parse().map_err(|e| format!("bad {} map key {key:?}: {e}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_int_map_key!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                let wide: i128 = match content {
+                    Content::I64(v) => *v as i128,
+                    Content::U64(v) => *v as i128,
+                    other => return Err(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    )),
+                };
+                <$t>::try_from(wide).map_err(|_| format!(
+                    "{} out of range for {}", wide, stringify!($t)
+                ))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let wide = *self as u64;
+                if let Ok(narrow) = i64::try_from(wide) {
+                    Content::I64(narrow)
+                } else {
+                    Content::U64(wide)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, String> {
+                let wide: i128 = match content {
+                    Content::I64(v) => *v as i128,
+                    Content::U64(v) => *v as i128,
+                    other => return Err(format!(
+                        "expected {}, found {other:?}", stringify!($t)
+                    )),
+                };
+                <$t>::try_from(wide).map_err(|_| format!(
+                    "{} out of range for {}", wide, stringify!($t)
+                ))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Seq(items) => items.iter().map(Deserialize::from_content).collect(),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(format!("expected object, found {other:?}")),
+        }
+    }
+}
+
+/// Derive-support helper: views content as an object's entry list.
+pub fn content_as_map<'c>(
+    content: &'c Content,
+    what: &str,
+) -> Result<&'c [(String, Content)], String> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        other => Err(format!("expected object for {what}, found {other:?}")),
+    }
+}
+
+/// Derive-support helper: first value under `key` in an entry list.
+pub fn map_get<'c>(entries: &'c [(String, Content)], key: &str) -> Option<&'c Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Derive-support helper: views content as a single-entry externally-tagged
+/// enum variant, returning `(tag, payload)`.
+pub fn content_as_variant<'c>(
+    content: &'c Content,
+    what: &str,
+) -> Result<(&'c str, &'c Content), String> {
+    match content {
+        Content::Map(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+        other => Err(format!(
+            "expected single-key variant object for {what}, found {other:?}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [-5i64, 0, 7, i64::MAX, i64::MIN] {
+            assert_eq!(i64::from_content(&v.to_content()).unwrap(), v);
+        }
+        assert_eq!(u64::from_content(&u64::MAX.to_content()).unwrap(), u64::MAX);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_content(&s.to_content()).unwrap(), s);
+    }
+
+    #[test]
+    fn int_keyed_maps_use_string_keys() {
+        let m: BTreeMap<i64, i64> = [(1, 2), (-3, 4)].into_iter().collect();
+        match m.to_content() {
+            Content::Map(entries) => {
+                assert!(entries.iter().any(|(k, _)| k == "1"));
+                assert!(entries.iter().any(|(k, _)| k == "-3"));
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+        let back = BTreeMap::<i64, i64>::from_content(&m.to_content()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn unsigned_values_cross_check_signed_content() {
+        // Small unsigned values serialize as I64 and must read back.
+        assert_eq!(u32::from_content(&Content::I64(7)).unwrap(), 7);
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+        assert!(i64::from_content(&Content::U64(u64::MAX)).is_err());
+    }
+}

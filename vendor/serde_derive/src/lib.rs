@@ -1,0 +1,572 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually contains — plain (non-generic) structs
+//! with named fields, tuple structs, and enums with unit / newtype / tuple
+//! / struct variants — generating `to_content` / `from_content` impls for
+//! the companion `serde` stand-in's content-tree model.
+//!
+//! Supported attributes (the only ones the workspace uses):
+//! `#[serde(rename_all = "snake_case")]` on enums and
+//! `#[serde(default)]` on named fields. The token stream is parsed by
+//! hand (no `syn`/`quote`, which are unavailable offline); generated code
+//! is assembled as a string and reparsed.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize` (the content-model flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the content-model flavor).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    rename_all_snake: bool,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    rename_all_snake: bool,
+    default: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_is_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, merging any `#[serde(...)]` contents.
+    fn take_attrs(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while self.peek_is_punct('#') {
+            self.bump();
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    merge_serde_attr(&g, &mut attrs);
+                }
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            }
+        }
+        attrs
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_visibility(&mut self) {
+        if self.peek_is_ident("pub") {
+            self.bump();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.bump();
+            }
+        }
+    }
+
+    /// Skips a type expression: consumes until a `,` at angle-bracket depth
+    /// zero (which is also consumed) or the end of the stream.
+    fn skip_type_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+}
+
+fn merge_serde_attr(attr_body: &Group, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = attr_body.stream().into_iter().collect();
+    // Shape: `serde ( ... )`. Anything else (doc comments, `#[default]`,
+    // other derives' helpers) is skipped.
+    let [TokenTree::Ident(name), TokenTree::Group(inner)] = &tokens[..] else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        match &inner[i] {
+            TokenTree::Ident(word) if word.to_string() == "default" => {
+                attrs.default = true;
+                i += 1;
+            }
+            TokenTree::Ident(word) if word.to_string() == "rename_all" => {
+                // Expect `= "snake_case"` — the only rule the workspace uses.
+                let value = inner.get(i + 2).map(|t| t.to_string());
+                match value.as_deref() {
+                    Some("\"snake_case\"") => attrs.rename_all_snake = true,
+                    other => panic!("serde derive: unsupported rename_all rule {other:?}"),
+                }
+                i += 3;
+            }
+            other => panic!("serde derive: unsupported serde attribute {other}"),
+        }
+        if i < inner.len() {
+            if let TokenTree::Punct(p) = &inner[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let container_attrs = cur.take_attrs();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("item name");
+    if cur.peek_is_punct('<') {
+        panic!("serde derive stand-in: generic types are not supported ({name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::TupleStruct(0),
+            other => panic!("serde derive: malformed struct body for {name}: {other:?}"),
+        },
+        "enum" => match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: malformed enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+    Item {
+        name,
+        rename_all_snake: container_attrs.rename_all_snake,
+        kind,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = cur.take_attrs();
+        cur.skip_visibility();
+        let name = cur.expect_ident("field name");
+        match cur.bump() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field {name}, found {other:?}"),
+        }
+        cur.skip_type_until_comma();
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        let _attrs = cur.take_attrs();
+        let name = cur.expect_ident("variant name");
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.bump();
+                match count_top_level_items(g) {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                cur.bump();
+                Shape::Struct(parse_named_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        if cur.peek_is_punct(',') {
+            cur.bump();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+/// Counts comma-separated items at angle-bracket depth zero. Tuple-struct
+/// and tuple-variant field lists may carry attributes and visibility; only
+/// the comma structure matters here.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0;
+    let mut saw_tokens = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_tag(item: &Item, variant: &str) -> String {
+    if item.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_content(&self.{f})),",
+                    f = f.name
+                );
+            }
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let _ = write!(items, "::serde::Serialize::to_content(&self.{i}),");
+            }
+            format!("::serde::Content::Seq(::std::vec![{items}])")
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = variant_tag(item, &v.name);
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from(\"{tag}\")),"
+                        );
+                    }
+                    Shape::Newtype => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(__f0) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{tag}\"), \
+                             ::serde::Serialize::to_content(__f0))]),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut items = String::new();
+                        for b in &binders {
+                            let _ = write!(items, "::serde::Serialize::to_content({b}),");
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({binds}) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{tag}\"), \
+                             ::serde::Content::Seq(::std::vec![{items}]))]),",
+                            binds = binders.join(", ")
+                        );
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut entries = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                entries,
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_content({f})),",
+                                f = f.name
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {binds} }} => \
+                             ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{tag}\"), \
+                             ::serde::Content::Map(::std::vec![{entries}]))]),",
+                            binds = binds.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Emits the expression deserializing one named field from `__fields`.
+fn named_field_expr(owner: &str, f: &Field) -> String {
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(\
+             ::std::format!(\"missing field `{field}` in {owner}\"))",
+            field = f.name
+        )
+    };
+    format!(
+        "{field}: match ::serde::map_get(__fields, \"{field}\") {{\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?,\
+             ::std::option::Option::None => {missing},\
+         }},",
+        field = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&named_field_expr(name, f));
+            }
+            format!(
+                "let __fields = ::serde::content_as_map(__content, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let _ = write!(items, "::serde::Deserialize::from_content(&__items[{i}])?,");
+            }
+            format!(
+                "match __content {{\
+                     ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({items})),\
+                     __other => ::std::result::Result::Err(\
+                         ::std::format!(\"expected {n}-element array for {name}, found {{:?}}\", __other)),\
+                 }}"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let tag = variant_tag(item, &v.name);
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    Shape::Newtype => {
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{tag}\" => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_content(__inner)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let mut items = String::new();
+                        for i in 0..*n {
+                            let _ = write!(
+                                items,
+                                "::serde::Deserialize::from_content(&__items[{i}])?,"
+                            );
+                        }
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{tag}\" => match __inner {{\
+                                 ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{vname}({items})),\
+                                 __other => ::std::result::Result::Err(::std::format!(\
+                                     \"expected {n}-element array for {name}::{vname}, found {{:?}}\", __other)),\
+                             }},"
+                        );
+                    }
+                    Shape::Struct(fields) => {
+                        let owner = format!("{name}::{vname}");
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&named_field_expr(&owner, f));
+                        }
+                        let _ = write!(
+                            tagged_arms,
+                            "\"{tag}\" => {{\
+                                 let __fields = ::serde::content_as_map(__inner, \"{owner}\")?;\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\
+                             }},"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __content {{\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(\
+                             ::std::format!(\"unknown variant {{:?}} for {name}\", __other)),\
+                     }},\
+                     __tagged => {{\
+                         let (__tag, __inner) = ::serde::content_as_variant(__tagged, \"{name}\")?;\
+                         match __tag {{\
+                             {tagged_arms}\
+                             __other => ::std::result::Result::Err(\
+                                 ::std::format!(\"unknown variant {{:?}} for {name}\", __other)),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
