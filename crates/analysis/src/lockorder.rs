@@ -1,0 +1,848 @@
+//! The lock-order audit (pass 3).
+//!
+//! The wait-graph machinery in `core::deadlock` handles deadlocks between
+//! *transactions*. Underneath it, the engines synchronize with ordinary
+//! mutexes — object locks (`mu`, `state`), the manager's transaction-table
+//! shards, the wait graph, the hybrid commit gate, the recorder shards —
+//! and a cycle among *those* would hang the process no matter what the
+//! transaction-level policy says. This pass recovers the lock-acquisition
+//! order actually used from the sources and flags cycles.
+//!
+//! # How the scan works
+//!
+//! A deliberately simple line-oriented scan (no full parser, no syntax
+//! tree), tuned to the workspace's lock idiom:
+//!
+//! - an acquisition is a `.lock()` call; the lock's identity is
+//!   `file_stem.receiver` (`manager.commit_gate`, `dynamic.mu`, …), so
+//!   same-named fields in different modules stay distinct;
+//! - `let g = recv.lock();` binds a **guard** that lives to the end of its
+//!   brace scope (or an explicit `drop(g)`); any other `.lock()` form is a
+//!   temporary that dies at the end of its statement and therefore never
+//!   *holds* anything;
+//! - while a guard is held, every further acquisition adds an edge
+//!   `held → acquired`. Calls are followed one level deep in spirit:
+//!   each scanned function's transitively acquired lock set is computed by
+//!   fixpoint over the (name-resolved) call graph, and a call made while
+//!   holding a guard adds edges to everything the callee may acquire.
+//!   Name resolution over-approximates dynamic dispatch (`p.commit(…)`
+//!   reaches every scanned `fn commit`), which is exactly what trait
+//!   objects call for; the self-edges this over-approximation manufactures
+//!   are suppressed;
+//! - `#[cfg(test)]` modules are skipped — test-only lock nesting is not
+//!   part of the shipped ordering.
+//!
+//! The result is an [`LockOrderReport`]: the acquisition edges with
+//! example sites, the strongly connected components with more than one
+//! lock (cycles — hard errors for the lint gate), and a topological order
+//! of the locks when the graph is clean, which *is* the documented lock
+//! ordering of the system.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// One source file to scan: a display label (used in sites and lock
+/// names) plus its text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Display label; the portion before the first `.` (the file stem)
+    /// prefixes lock names.
+    pub label: String,
+    /// The file's contents.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// Reads a file from disk, labelling it with its file name.
+    pub fn read(path: &Path) -> std::io::Result<SourceFile> {
+        Ok(SourceFile {
+            label: path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
+            text: std::fs::read_to_string(path)?,
+        })
+    }
+}
+
+/// Reads every `*.rs` file directly inside each of `dirs`.
+pub fn read_sources(dirs: &[&Path]) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for dir in dirs {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            out.push(SourceFile::read(&path)?);
+        }
+    }
+    Ok(out)
+}
+
+/// A directed acquisition edge: `acquired` was (possibly transitively)
+/// taken while `held` was held.
+#[derive(Debug, Clone)]
+pub struct AcquisitionEdge {
+    /// The lock already held.
+    pub held: String,
+    /// The lock acquired under it.
+    pub acquired: String,
+    /// Example sites (`file:line`, capped at 3).
+    pub sites: Vec<String>,
+}
+
+/// The derived lock-ordering structure of the scanned sources.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrderReport {
+    /// Every lock that was acquired anywhere.
+    pub locks: Vec<String>,
+    /// The acquisition edges.
+    pub edges: Vec<AcquisitionEdge>,
+    /// Strongly connected components with more than one lock: each is a
+    /// potential deadlock cycle (hard error).
+    pub cycles: Vec<Vec<String>>,
+    /// A topological order of the locks (the system's lock ordering);
+    /// empty when the graph has cycles.
+    pub order: Vec<String>,
+}
+
+impl LockOrderReport {
+    /// Whether the scan found no ordering cycles.
+    pub fn is_clean(&self) -> bool {
+        self.cycles.is_empty()
+    }
+}
+
+/// Scans `files` and derives the lock-order report.
+pub fn audit_lock_order(files: &[SourceFile]) -> LockOrderReport {
+    let functions = parse_functions(files);
+    let transitive = transitive_lock_sets(&functions);
+    let mut edges: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+    let mut locks: BTreeSet<String> = BTreeSet::new();
+    for f in &functions {
+        for acq in &f.acquisitions {
+            locks.insert(acq.lock.clone());
+            for held in &acq.held {
+                add_edge(&mut edges, held, &acq.lock, &acq.site);
+            }
+        }
+        for call in &f.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            if let Some(acquired) = transitive.get(&call.callee) {
+                for lock in acquired {
+                    locks.insert(lock.clone());
+                    for held in &call.held {
+                        add_edge(&mut edges, held, lock, &call.site);
+                    }
+                }
+            }
+        }
+    }
+    let edges: Vec<AcquisitionEdge> = edges
+        .into_iter()
+        .map(|((held, acquired), sites)| AcquisitionEdge {
+            held,
+            acquired,
+            sites,
+        })
+        .collect();
+    let cycles = find_cycles(&locks, &edges);
+    let order = if cycles.is_empty() {
+        topo_order(&locks, &edges)
+    } else {
+        Vec::new()
+    };
+    LockOrderReport {
+        locks: locks.into_iter().collect(),
+        edges,
+        cycles,
+        order,
+    }
+}
+
+fn add_edge(
+    edges: &mut BTreeMap<(String, String), Vec<String>>,
+    held: &str,
+    acquired: &str,
+    site: &str,
+) {
+    if held == acquired {
+        // Self-edges come from name-resolved dynamic dispatch
+        // over-approximation; suppress rather than cry wolf.
+        return;
+    }
+    let sites = edges
+        .entry((held.to_string(), acquired.to_string()))
+        .or_default();
+    if sites.len() < 3 && !sites.iter().any(|s| s == site) {
+        sites.push(site.to_string());
+    }
+}
+
+/// One `.lock()` acquisition inside a function.
+#[derive(Debug)]
+struct Acquisition {
+    lock: String,
+    held: Vec<String>,
+    site: String,
+}
+
+/// One call made inside a function, with the guards held at the call.
+#[derive(Debug)]
+struct Call {
+    callee: String,
+    held: Vec<String>,
+    site: String,
+}
+
+#[derive(Debug)]
+struct FnInfo {
+    name: String,
+    acquisitions: Vec<Acquisition>,
+    calls: Vec<Call>,
+}
+
+/// A live guard: variable name, lock it protects, brace depth it lives at.
+struct Guard {
+    var: String,
+    lock: String,
+    depth: i32,
+}
+
+fn parse_functions(files: &[SourceFile]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    for file in files {
+        let stem = file.label.split('.').next().unwrap_or(&file.label);
+        let mut current: Option<FnInfo> = None;
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth: i32 = 0;
+        for (lineno, raw) in file.text.lines().enumerate() {
+            if raw.contains("#[cfg(test)]") {
+                break; // test modules sit at the end of each file
+            }
+            let line = sanitize(raw);
+            let site = format!("{}:{}", file.label, lineno + 1);
+            if let Some(name) = fn_definition_name(&line) {
+                if let Some(f) = current.take() {
+                    out.push(f);
+                }
+                current = Some(FnInfo {
+                    name,
+                    acquisitions: Vec::new(),
+                    calls: Vec::new(),
+                });
+                guards.clear();
+            }
+            let depth_after = depth + brace_delta(&line);
+            if let Some(f) = current.as_mut() {
+                let held: Vec<String> = guards.iter().map(|g| g.lock.clone()).collect();
+                for recv in lock_receivers(&line) {
+                    let lock = format!("{stem}.{recv}");
+                    f.acquisitions.push(Acquisition {
+                        lock,
+                        held: held.clone(),
+                        site: site.clone(),
+                    });
+                }
+                for callee in call_names(&line) {
+                    f.calls.push(Call {
+                        callee,
+                        held: held.clone(),
+                        site: site.clone(),
+                    });
+                }
+                if let Some((var, recv)) = guard_binding(&line) {
+                    guards.push(Guard {
+                        var,
+                        lock: format!("{stem}.{recv}"),
+                        depth: depth_after,
+                    });
+                }
+                for dropped in drop_targets(&line) {
+                    guards.retain(|g| g.var != dropped);
+                }
+            }
+            depth = depth_after;
+            guards.retain(|g| g.depth <= depth);
+        }
+        if let Some(f) = current.take() {
+            out.push(f);
+        }
+    }
+    out
+}
+
+/// Fixpoint: for each function name, every lock it may acquire directly
+/// or through calls to scanned functions (names merged across files, which
+/// over-approximates dynamic dispatch).
+fn transitive_lock_sets(functions: &[FnInfo]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut sets: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut callees: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in functions {
+        let set = sets.entry(f.name.clone()).or_default();
+        set.extend(f.acquisitions.iter().map(|a| a.lock.clone()));
+        callees
+            .entry(f.name.clone())
+            .or_default()
+            .extend(f.calls.iter().map(|c| c.callee.clone()));
+    }
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = sets.keys().cloned().collect();
+        for name in &names {
+            let mut add = BTreeSet::new();
+            for callee in callees.get(name).into_iter().flatten() {
+                if let Some(their) = sets.get(callee) {
+                    add.extend(their.iter().cloned());
+                }
+            }
+            let mine = sets.get_mut(name).expect("seeded above");
+            let before = mine.len();
+            mine.extend(add);
+            changed |= mine.len() != before;
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+/// Strips line comments and blanks out string/char literal contents so
+/// brace counting and token scans are not fooled.
+fn sanitize(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'"' => {
+                out.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n') vs lifetime ('a): literals close
+                // with a quote one or two characters on.
+                if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    i += 4; // '\x'
+                    out.push(' ');
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    i += 3; // 'x'
+                    out.push(' ');
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn brace_delta(line: &str) -> i32 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The name in a `fn name(...)` definition line, if any.
+fn fn_definition_name(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = line[search..].find("fn ") {
+        let at = search + pos;
+        // Must be the keyword, not a suffix of another identifier.
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            search = at + 3;
+            continue;
+        }
+        let rest = &line[at + 3..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            return None;
+        }
+        return Some(name);
+    }
+    None
+}
+
+/// Receivers of every `.lock()` call on the line, in textual order.
+fn lock_receivers(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = line[search..].find(".lock()") {
+        let dot = search + pos;
+        if let Some(recv) = receiver_before(bytes, dot) {
+            // Single-letter receivers are closure parameters
+            // (`shards.iter().map(|s| s.lock()…)`) — no stable identity.
+            if recv.len() > 1 {
+                out.push(recv);
+            }
+        }
+        search = dot + ".lock()".len();
+    }
+    out
+}
+
+/// Walks backwards from the `.` of `.lock()` over one trailing call or
+/// index group to the receiver identifier (`self.inner.txn_shard(id)` →
+/// `txn_shard`, `self.mu` → `mu`).
+fn receiver_before(bytes: &[u8], dot: usize) -> Option<String> {
+    let mut i = dot;
+    loop {
+        if i == 0 {
+            return None;
+        }
+        let c = bytes[i - 1];
+        if c == b')' || c == b']' {
+            let (open, close) = if c == b')' {
+                (b'(', b')')
+            } else {
+                (b'[', b']')
+            };
+            let mut depth = 0;
+            while i > 0 {
+                i -= 1;
+                if bytes[i] == close {
+                    depth += 1;
+                } else if bytes[i] == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    let end = i;
+    let mut start = i;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&bytes[start..end]).into_owned())
+}
+
+/// The guard binding on the line, if it has the shape
+/// `let [mut] name = receiver.lock();`.
+fn guard_binding(line: &str) -> Option<(String, String)> {
+    let trimmed = line.trim();
+    let rest = trimmed.strip_prefix("let ")?;
+    if !trimmed.ends_with(".lock();") {
+        return None;
+    }
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let var: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if var.is_empty() {
+        return None;
+    }
+    let bytes = trimmed.as_bytes();
+    let dot = trimmed.len() - ".lock();".len();
+    let recv = receiver_before(bytes, dot)?;
+    Some((var, recv))
+}
+
+/// Variables released by `drop(...)` calls on the line.
+fn drop_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = line[search..].find("drop(") {
+        let at = search + pos;
+        if at == 0 || !is_ident_byte(bytes[at - 1]) {
+            let inner: String = line[at + "drop(".len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !inner.is_empty() {
+                out.push(inner);
+            }
+        }
+        search = at + "drop(".len();
+    }
+    out
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "fn", "return", "in", "as", "move", "drop",
+];
+
+/// Method names too generic to resolve through the name-merged call
+/// graph: `intentions.len()` must not inherit `HistoryLog::len`'s lock
+/// set just because the names coincide, and `hasher.finish()` must not
+/// inherit `TxnManager::finish`'s. Covers the ubiquitous container
+/// methods plus std trait-protocol names. Lock-relevant chains in this
+/// workspace (`record`, `request_wait`, `commit`, `prepare`, …) all have
+/// distinctive names and stay resolvable.
+const GENERIC_METHODS: &[&str] = &[
+    "new",
+    "default",
+    "len",
+    "is_empty",
+    "clear",
+    "clone",
+    "fmt",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "entry",
+    "extend",
+    "contains",
+    "iter",
+    "next",
+    "sort",
+    "to_string",
+    "hash",
+    "finish",
+    "with",
+    "eq",
+    "cmp",
+    "from",
+    "into",
+    "borrow",
+    "deref",
+    "index",
+];
+
+/// Names of functions *called* on the line (identifier followed by `(`,
+/// excluding definitions, keywords, macros, `.lock()` itself,
+/// type-qualified constructors like `Event::invoke(…)` — associated
+/// functions never participate in the lock chains this pass tracks — and
+/// the [`GENERIC_METHODS`] that would resolve to unrelated same-named
+/// functions).
+fn call_names(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident_byte(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let name = &line[start..i];
+        if i < bytes.len() && bytes[i] == b'(' && !name.as_bytes()[0].is_ascii_digit() {
+            let is_def = line[..start].trim_end().ends_with("fn");
+            if !is_def
+                && name != "lock"
+                && !KEYWORDS.contains(&name)
+                && !GENERIC_METHODS.contains(&name)
+                && !type_qualified(bytes, start)
+            {
+                out.push(name.to_string());
+            }
+        } else if i < bytes.len() && bytes[i] == b'!' {
+            i += 1; // macro: skip the bang so `vec!(` is not a call
+        }
+    }
+    out
+}
+
+/// Whether the identifier starting at `start` is preceded by
+/// `SomeType::` (an associated-function call, e.g. `Event::invoke(`).
+fn type_qualified(bytes: &[u8], start: usize) -> bool {
+    if start < 3 || bytes[start - 1] != b':' || bytes[start - 2] != b':' {
+        return false;
+    }
+    let end = start - 2;
+    let mut s = end;
+    while s > 0 && is_ident_byte(bytes[s - 1]) {
+        s -= 1;
+    }
+    s < end && bytes[s].is_ascii_uppercase()
+}
+
+fn adjacency(locks: &BTreeSet<String>, edges: &[AcquisitionEdge]) -> BTreeMap<String, Vec<String>> {
+    let mut adj: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for l in locks {
+        adj.entry(l.clone()).or_default();
+    }
+    for e in edges {
+        adj.entry(e.held.clone())
+            .or_default()
+            .push(e.acquired.clone());
+    }
+    adj
+}
+
+/// Tarjan's strongly connected components; returns the components with
+/// more than one lock (every such component contains a cycle).
+fn find_cycles(locks: &BTreeSet<String>, edges: &[AcquisitionEdge]) -> Vec<Vec<String>> {
+    let adj = adjacency(locks, edges);
+    let names: Vec<&String> = adj.keys().collect();
+    let index_of: BTreeMap<&String, usize> =
+        names.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let n = names.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan (explicit work stack, resumable frames).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some((v, pi)) = work.pop() {
+            if pi == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let succs = &adj[names[v]];
+            if pi < succs.len() {
+                work.push((v, pi + 1));
+                let w = index_of[&succs[pi]];
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(names[w].clone());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if comp.len() > 1 {
+                        comp.sort();
+                        components.push(comp);
+                    }
+                }
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    components.sort();
+    components
+}
+
+/// Kahn's algorithm with alphabetical tie-breaking: a deterministic
+/// topological order of the locks (callers check `cycles` first).
+fn topo_order(locks: &BTreeSet<String>, edges: &[AcquisitionEdge]) -> Vec<String> {
+    let adj = adjacency(locks, edges);
+    let mut indegree: BTreeMap<String, usize> = adj.keys().map(|k| (k.clone(), 0)).collect();
+    for succs in adj.values() {
+        for s in succs {
+            *indegree.get_mut(s).expect("edge endpoints seeded") += 1;
+        }
+    }
+    let mut ready: BTreeSet<String> = indegree
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(k, _)| k.clone())
+        .collect();
+    let mut out = Vec::new();
+    while let Some(next) = ready.iter().next().cloned() {
+        ready.remove(&next);
+        for s in &adj[&next] {
+            let d = indegree.get_mut(s).expect("edge endpoints seeded");
+            *d -= 1;
+            if *d == 0 {
+                ready.insert(s.clone());
+            }
+        }
+        out.push(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(label: &str, text: &str) -> SourceFile {
+        SourceFile {
+            label: label.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn direct_nesting_produces_an_edge() {
+        let src = file(
+            "engine.rs",
+            r#"
+            fn step(&self) {
+                let g = self.outer.lock();
+                self.inner.lock().push(1);
+            }
+            "#,
+        );
+        let report = audit_lock_order(&[src]);
+        assert!(report.is_clean());
+        assert_eq!(report.edges.len(), 1);
+        assert_eq!(report.edges[0].held, "engine.outer");
+        assert_eq!(report.edges[0].acquired, "engine.inner");
+        assert_eq!(report.order, vec!["engine.outer", "engine.inner"]);
+    }
+
+    #[test]
+    fn opposite_nesting_is_a_cycle() {
+        let src = file(
+            "engine.rs",
+            r#"
+            fn ab(&self) {
+                let g = self.alpha.lock();
+                self.beta.lock().touch();
+            }
+            fn ba(&self) {
+                let g = self.beta.lock();
+                self.alpha.lock().touch();
+            }
+            "#,
+        );
+        let report = audit_lock_order(&[src]);
+        assert!(!report.is_clean());
+        assert_eq!(
+            report.cycles,
+            vec![vec!["engine.alpha".to_string(), "engine.beta".to_string()]]
+        );
+    }
+
+    #[test]
+    fn scope_end_and_drop_release_guards() {
+        let src = file(
+            "engine.rs",
+            r#"
+            fn scoped(&self) {
+                {
+                    let g = self.alpha.lock();
+                }
+                self.beta.lock().touch();
+            }
+            fn dropped(&self) {
+                let g = self.gamma.lock();
+                drop(g);
+                self.alpha.lock().touch();
+            }
+            "#,
+        );
+        let report = audit_lock_order(&[src]);
+        assert!(report.edges.is_empty(), "edges: {:?}", report.edges);
+    }
+
+    #[test]
+    fn temporaries_do_not_hold() {
+        let src = file(
+            "engine.rs",
+            r#"
+            fn peek(&self) -> usize {
+                let n = self.alpha.lock().len();
+                self.beta.lock().len() + n
+            }
+            "#,
+        );
+        let report = audit_lock_order(&[src]);
+        assert!(report.edges.is_empty());
+    }
+
+    #[test]
+    fn calls_are_followed_transitively() {
+        let a = file(
+            "manager.rs",
+            r#"
+            fn commit_gateway(&self) {
+                let gate = self.commit_gate.lock();
+                self.apply_all();
+            }
+            fn apply_all(&self) {
+                self.install();
+            }
+            "#,
+        );
+        let b = file(
+            "engine.rs",
+            r#"
+            fn install(&self) {
+                let g = self.mu.lock();
+            }
+            "#,
+        );
+        let report = audit_lock_order(&[a, b]);
+        assert!(report.is_clean());
+        assert!(report
+            .edges
+            .iter()
+            .any(|e| e.held == "manager.commit_gate" && e.acquired == "engine.mu"));
+    }
+
+    #[test]
+    fn shipped_engine_sources_are_cycle_free() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let dirs = [
+            root.join("crates/core/src"),
+            root.join("crates/core/src/engine"),
+            root.join("crates/baselines/src"),
+        ];
+        let dir_refs: Vec<&Path> = dirs.iter().map(|p| p.as_path()).collect();
+        let sources = read_sources(&dir_refs).expect("workspace sources readable");
+        assert!(!sources.is_empty());
+        let report = audit_lock_order(&sources);
+        assert!(
+            report.is_clean(),
+            "lock-order cycles in shipped sources: {:?}\nedges: {:?}",
+            report.cycles,
+            report.edges
+        );
+        // The narrow hybrid commit gate sits above the engine object
+        // locks, which in turn sit above the wait graph.
+        assert!(!report.edges.is_empty());
+    }
+}

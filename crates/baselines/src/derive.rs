@@ -15,46 +15,85 @@
 //! [`crate::bank_commutativity`] etc. on their respective domains.
 
 use atomicity_spec::{OpResult, Operation, SequentialSpec, Value};
+use std::collections::BTreeSet;
 
-/// Samples states reachable from the initial state by applying up to
-/// `depth` operations drawn from `universe` (breadth-first, deduplicated,
-/// capped at `max_states`).
+/// The result of enumerating reachable states breadth-first: the states in
+/// discovery order, plus how many *distinct* discovered states were
+/// discarded because the `max_states` cap was reached. `truncated == 0`
+/// means the enumeration is exhaustive for the requested depth, so verdicts
+/// drawn from `states` are complete rather than sampled.
+#[derive(Debug, Clone)]
+pub struct StateSample<S> {
+    /// The explored states, initial state first, in breadth-first order.
+    pub states: Vec<S>,
+    /// Distinct discovered states cut by `max_states` (0 = exhaustive).
+    pub truncated: usize,
+}
+
+/// Enumerates states reachable from the initial state by applying up to
+/// `depth` operations drawn from `universe` (breadth-first, deduplicated
+/// through an ordered set, capped at `max_states`).
+///
+/// The returned [`StateSample::truncated`] count tells callers whether the
+/// enumeration was cut short by the cap — a non-zero value means derived
+/// verdicts are sampling-based, not exhaustive.
 pub fn sample_states<S: SequentialSpec>(
     spec: &S,
     universe: &[Operation],
     depth: usize,
     max_states: usize,
-) -> Vec<S::State> {
-    let mut states: Vec<S::State> = vec![spec.initial()];
-    let mut frontier: Vec<S::State> = states.clone();
-    for _ in 0..depth {
+) -> StateSample<S::State>
+where
+    S::State: Ord,
+{
+    let initial = spec.initial();
+    let mut seen: BTreeSet<S::State> = BTreeSet::new();
+    seen.insert(initial.clone());
+    let mut states: Vec<S::State> = vec![initial.clone()];
+    let mut frontier: Vec<S::State> = vec![initial];
+    let mut truncated = 0usize;
+    let expand = |frontier: &[S::State], seen: &mut BTreeSet<S::State>| -> Vec<S::State> {
         let mut next = Vec::new();
-        for s in &frontier {
+        for s in frontier {
             for op in universe {
                 for (_, s2) in spec.step(s, op) {
-                    if !states.contains(&s2) && !next.contains(&s2) {
+                    if seen.insert(s2.clone()) {
                         next.push(s2);
                     }
                 }
             }
         }
-        for s in &next {
-            if states.len() >= max_states {
-                break;
-            }
-            states.push(s.clone());
-        }
-        if states.len() >= max_states || next.is_empty() {
+        next
+    };
+    for level in 0..depth {
+        let mut next = expand(&frontier, &mut seen);
+        if next.is_empty() {
             break;
         }
+        let room = max_states.saturating_sub(states.len());
+        if next.len() >= room {
+            // The cap stops the walk here. Count the states cut at this
+            // level, then probe the surviving frontier one level deeper
+            // (count only) so `truncated == 0` really means exhaustive.
+            truncated += next.len() - room;
+            next.truncate(room);
+            states.extend(next.iter().cloned());
+            if level + 1 < depth {
+                truncated += expand(&next, &mut seen).len();
+            }
+            break;
+        }
+        states.extend(next.iter().cloned());
         frontier = next;
     }
-    states
+    StateSample { states, truncated }
 }
 
-/// All (result-pair, final-frontier) outcomes of running `p` then `q`
-/// from `state`, as a canonically ordered list.
-fn ordered_outcomes<S: SequentialSpec>(
+/// All result-pair outcomes of running `p` then `q` from `state`, as a
+/// canonically ordered list of `(result-of-p-first, result-of-q-second)`
+/// pairs. Exposed so the `atomicity-lint` conflict-table audit can embed
+/// the two orders' outcome lists in its counterexample certificates.
+pub fn ordered_outcomes<S: SequentialSpec>(
     spec: &S,
     state: &S::State,
     p: &Operation,
@@ -83,24 +122,35 @@ pub fn ops_commute<S: SequentialSpec>(
     p: &Operation,
     q: &Operation,
 ) -> bool {
-    for state in states {
-        let pq = ordered_outcomes(spec, state, p, q);
-        let qp: Vec<(Value, Value)> = ordered_outcomes(spec, state, q, p)
-            .into_iter()
-            .map(|(vq, vp)| (vp, vq))
-            .collect();
-        let mut qp_sorted = qp;
-        qp_sorted.sort();
-        if pq != qp_sorted {
+    states.iter().all(|s| commute_in_state(spec, s, p, q))
+}
+
+/// Whether `p` and `q` commute in the single `state`: both orders achieve
+/// the same (result-of-p, result-of-q) pairs, and for each matching result
+/// pair the reachable final-state sets coincide. This is the per-state
+/// predicate the conflict-table audit counts and certifies over.
+pub fn commute_in_state<S: SequentialSpec>(
+    spec: &S,
+    state: &S::State,
+    p: &Operation,
+    q: &Operation,
+) -> bool {
+    let pq = ordered_outcomes(spec, state, p, q);
+    let qp: Vec<(Value, Value)> = ordered_outcomes(spec, state, q, p)
+        .into_iter()
+        .map(|(vq, vp)| (vp, vq))
+        .collect();
+    let mut qp_sorted = qp;
+    qp_sorted.sort();
+    if pq != qp_sorted {
+        return false;
+    }
+    // Result pairs match; final states must too (under each pair).
+    for (vp, vq) in &pq {
+        let after_pq = replay_pair(spec, state, p, vp, q, vq);
+        let after_qp = replay_pair(spec, state, q, vq, p, vp);
+        if !same_state_set(&after_pq, &after_qp) {
             return false;
-        }
-        // Result pairs match; final states must too (under each pair).
-        for (vp, vq) in &pq {
-            let after_pq = replay_pair(spec, state, p, vp, q, vq);
-            let after_qp = replay_pair(spec, state, q, vq, p, vp);
-            if !same_state_set(&after_pq, &after_qp) {
-                return false;
-            }
         }
     }
     true
@@ -144,23 +194,29 @@ pub struct DerivedTable {
     universe: Vec<Operation>,
     /// `matrix[i][j]` = ops `i` and `j` commute.
     matrix: Vec<Vec<bool>>,
+    /// States discarded by the `max_states` cap during derivation
+    /// (0 = the enumeration was exhaustive to the requested depth).
+    truncated: usize,
 }
 
 impl DerivedTable {
-    /// Derives the table for every pair in `universe`, sampling states to
-    /// `depth` (capped at `max_states`).
+    /// Derives the table for every pair in `universe`, enumerating states
+    /// to `depth` (capped at `max_states`).
     pub fn derive<S: SequentialSpec>(
         spec: &S,
         universe: &[Operation],
         depth: usize,
         max_states: usize,
-    ) -> Self {
-        let states = sample_states(spec, universe, depth, max_states);
+    ) -> Self
+    where
+        S::State: Ord,
+    {
+        let sample = sample_states(spec, universe, depth, max_states);
         let n = universe.len();
         let mut matrix = vec![vec![false; n]; n];
         for i in 0..n {
             for j in i..n {
-                let c = ops_commute(spec, &states, &universe[i], &universe[j]);
+                let c = ops_commute(spec, &sample.states, &universe[i], &universe[j]);
                 matrix[i][j] = c;
                 matrix[j][i] = c;
             }
@@ -168,7 +224,15 @@ impl DerivedTable {
         DerivedTable {
             universe: universe.to_vec(),
             matrix,
+            truncated: sample.truncated,
         }
+    }
+
+    /// How many distinct reachable states the derivation discarded because
+    /// of its `max_states` cap; non-zero means the table is sampling-based
+    /// rather than exhaustive for the requested depth.
+    pub fn truncated(&self) -> usize {
+        self.truncated
     }
 
     /// Whether `p` and `q` commute per the derived table. Operations
@@ -271,15 +335,58 @@ mod tests {
     }
 
     #[test]
-    fn sampling_respects_caps() {
-        let states = sample_states(
+    fn sampling_respects_caps_and_reports_truncation() {
+        let sample = sample_states(
             &IntSetSpec::new(),
             &[op("insert", [1]), op("insert", [2])],
             5,
             3,
         );
-        assert!(states.len() <= 3);
+        assert!(sample.states.len() <= 3);
+        // {}, {1}, {2}, {1,2} are reachable: the cap of 3 cut at least one.
+        assert!(sample.truncated > 0, "cap of 3 must report cut states");
         let none = sample_states(&IntSetSpec::new(), &[], 5, 10);
-        assert_eq!(none.len(), 1, "only the initial state without a universe");
+        assert_eq!(
+            none.states.len(),
+            1,
+            "only the initial state without a universe"
+        );
+        assert_eq!(none.truncated, 0);
+    }
+
+    #[test]
+    fn uncapped_enumeration_is_exhaustive_and_reports_zero_truncation() {
+        let sample = sample_states(
+            &IntSetSpec::new(),
+            &[op("insert", [1]), op("insert", [2]), op("delete", [1])],
+            4,
+            1024,
+        );
+        // Subsets of {1,2}: exactly 4 reachable states, none cut.
+        assert_eq!(sample.states.len(), 4);
+        assert_eq!(sample.truncated, 0);
+        // No duplicates (the ordered-set frontier deduplicates).
+        let mut uniq = sample.states.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), sample.states.len());
+    }
+
+    #[test]
+    fn derived_table_exposes_truncation() {
+        let capped = DerivedTable::derive(
+            &IntSetSpec::new(),
+            &[op("insert", [1]), op("insert", [2])],
+            5,
+            2,
+        );
+        assert!(capped.truncated() > 0);
+        let full = DerivedTable::derive(
+            &IntSetSpec::new(),
+            &[op("insert", [1]), op("insert", [2])],
+            5,
+            64,
+        );
+        assert_eq!(full.truncated(), 0);
     }
 }

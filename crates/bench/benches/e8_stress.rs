@@ -23,6 +23,7 @@ fn bench_stress(c: &mut Criterion) {
                 hold_micros: 0,
                 coarse_log: false,
                 verify: false,
+                exhaustive: false,
             };
             group.bench_with_input(
                 BenchmarkId::new(engine.label(), format!("threads-{threads}")),
@@ -45,6 +46,7 @@ fn bench_stress(c: &mut Criterion) {
             hold_micros: 0,
             coarse_log: coarse,
             verify: false,
+            exhaustive: false,
         };
         let label = if coarse { "coarse" } else { "sharded" };
         group.bench_with_input(BenchmarkId::new(label, "threads-8"), &params, |b, p| {

@@ -1,12 +1,21 @@
 //! The experiment harness: regenerates every comparison in the paper.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 | all]
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 | all]
+//! experiments lint [--demo-unsound]
 //! ```
 //!
 //! Each experiment prints one or more tables; `EXPERIMENTS.md` records the
 //! paper's qualitative claim next to a captured run of this binary.
+//!
+//! `lint` is the CI gate: it audits every hand-written conflict table
+//! against the relation derived from its sequential specification and
+//! scans the engine sources for lock-ordering cycles, exiting non-zero on
+//! any unsound table entry, asymmetric entry, or lock cycle.
+//! `--demo-unsound` adds a deliberately corrupted bank table to the run to
+//! demonstrate (and test) the failure path.
 
+use atomicity_bench::engines::map_commutativity;
 use atomicity_bench::engines::Engine;
 use atomicity_bench::enumerate::{enumerate_histories, standard_programs};
 use atomicity_bench::explore::{engine_factory, explore, property_verifier, Script};
@@ -20,9 +29,14 @@ use atomicity_bench::workloads::recovery::{
     run_crash_sweep, run_distributed_audits, run_lossy, run_recovery_cost,
 };
 use atomicity_bench::workloads::skew::{run_skew, SkewParams};
+use atomicity_lint::lockorder::read_sources;
+use atomicity_lint::{
+    audit_lock_order, audit_table, certify, standard_audits, AuditConfig, LockOrderReport,
+    PairClass, Property, TableAudit,
+};
 use atomicity_spec::atomicity::{is_atomic, is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
 use atomicity_spec::well_formed::WellFormedness;
-use atomicity_spec::{paper, ObjectId, SystemSpec};
+use atomicity_spec::{op, paper, ObjectId, Operation, SystemSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +46,9 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
+    if wanted.contains(&"lint") {
+        std::process::exit(run_lint(args.iter().any(|a| a == "--demo-unsound")));
+    }
     let run_all = wanted.is_empty() || wanted.contains(&"all");
     let want = |name: &str| run_all || wanted.contains(&name);
 
@@ -58,6 +75,9 @@ fn main() {
     }
     if want("e8") {
         e8_stress(quick);
+    }
+    if want("e9") {
+        e9_static_analysis(quick);
     }
     if want("a1") {
         a1_ablation(quick);
@@ -496,6 +516,7 @@ fn e8_stress(quick: bool) {
                 hold_micros: 0,
                 coarse_log: false,
                 verify: false,
+                exhaustive: false,
             };
             let out = run_stress(engine, &params);
             table.row(vec![
@@ -522,6 +543,7 @@ fn e8_stress(quick: bool) {
                 hold_micros: 0,
                 coarse_log: coarse,
                 verify: false,
+                exhaustive: false,
             };
             let out = run_stress(Engine::Dynamic, &params);
             recorder.row(vec![
@@ -664,6 +686,249 @@ fn v1_model_check() {
         ]);
     }
     println!("{table}");
+}
+
+/// E9 (DESIGN.md §5): the static-analysis passes as an experiment — the
+/// audit verdict for every hand-written conflict table, the derived lock
+/// ordering, and the linear-time certifier against the exhaustive
+/// checkers on a real E8 history.
+fn e9_static_analysis(quick: bool) {
+    use atomicity_bench::workloads::stress::{stress_history, StressParams};
+    use atomicity_spec::specs::BankAccountSpec;
+    use std::time::Instant;
+
+    println!("== E9: static analysis — table audits & linear-time certification (DESIGN.md §5)\n");
+    let mut table = Table::new(vec![
+        "table",
+        "spec",
+        "pairs",
+        "commute",
+        "conflict",
+        "conservative",
+        "unsound",
+        "states",
+    ])
+    .with_title("hand-written conflict tables vs the relation derived from each spec");
+    for audit in all_table_audits() {
+        let (mut commute, mut conflict, mut conservative, mut unsound) = (0, 0, 0, 0);
+        for f in &audit.findings {
+            match f.class {
+                PairClass::AgreeCommute => commute += 1,
+                PairClass::AgreeConflict => conflict += 1,
+                PairClass::Conservative { .. } => conservative += 1,
+                PairClass::Unsound(_) | PairClass::Asymmetric => unsound += 1,
+                PairClass::Unsupported => {}
+            }
+        }
+        table.row(vec![
+            audit.table.clone(),
+            audit.spec_name.clone(),
+            audit.findings.len().to_string(),
+            commute.to_string(),
+            conflict.to_string(),
+            conservative.to_string(),
+            unsound.to_string(),
+            audit.states_explored.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    match lock_order_report() {
+        Ok(report) if report.is_clean() => {
+            println!(
+                "derived lock order ({} locks, {} edges): {}\n",
+                report.locks.len(),
+                report.edges.len(),
+                report.order.join(" < ")
+            );
+        }
+        Ok(report) => println!("lock-order audit found cycles: {:?}\n", report.cycles),
+        Err(e) => println!("lock-order audit skipped (sources unavailable: {e})\n"),
+    }
+
+    let threads = 4;
+    let txns = if quick { 50 } else { 200 };
+    let params = StressParams {
+        threads,
+        txns_per_thread: txns,
+        ops_per_txn: 4,
+        hold_micros: 0,
+        coarse_log: false,
+        verify: false,
+        exhaustive: false,
+    };
+    let (h, spec) = stress_history(Engine::Dynamic, &params);
+    let t0 = Instant::now();
+    let cert = certify(Property::Dynamic, &h, &spec);
+    let linear = t0.elapsed();
+    assert!(
+        cert.is_certified(),
+        "E9: certifier rejected a recorded history: {cert}"
+    );
+    let t0 = Instant::now();
+    let mut exhaustive_ok = true;
+    for t in 0..threads {
+        let oid = ObjectId::new(t as u32 + 1);
+        let ph = h.project_object(oid);
+        let os = SystemSpec::new().with_object(oid, BankAccountSpec::new());
+        exhaustive_ok &= is_dynamic_atomic(&ph, &os);
+    }
+    let exhaustive = t0.elapsed();
+    assert!(exhaustive_ok, "E9: exhaustive checker rejected the history");
+
+    let mut cmp = Table::new(vec!["checker", "wall µs", "verdict"]).with_title(format!(
+        "post-hoc verification of one E8 history ({threads} threads × {txns} txns, dynamic)"
+    ));
+    cmp.row(vec![
+        format!("linear-time certifier ({})", cert.method.label()),
+        linear.as_micros().to_string(),
+        "certified".into(),
+    ]);
+    cmp.row(vec![
+        "exhaustive per-object checker".into(),
+        exhaustive.as_micros().to_string(),
+        "atomic".into(),
+    ]);
+    println!("{cmp}");
+    println!(
+        "certifier speedup: {:.1}×\n",
+        exhaustive.as_secs_f64() / linear.as_secs_f64().max(1e-9)
+    );
+}
+
+/// Every hand-written conflict table in the workspace, audited against
+/// its specification: the four baseline tables plus the bench kv-map
+/// table.
+fn all_table_audits() -> Vec<TableAudit> {
+    let config = AuditConfig::default();
+    let mut audits = standard_audits(&config);
+    audits.push(audit_table(
+        "map_commutativity",
+        "KvMapSpec",
+        &atomicity_spec::specs::KvMapSpec::new(),
+        &map_universe(),
+        map_commutativity,
+        &config,
+    ));
+    audits
+}
+
+/// Operation universe for the kv-map audit: two keys, mutators and
+/// observers, plus the whole-map scans.
+fn map_universe() -> Vec<Operation> {
+    vec![
+        op("put", [1, 5]),
+        op("put", [2, 9]),
+        op("adjust", [1, 1]),
+        op("adjust", [2, 1]),
+        op("remove", [1]),
+        op("get", [1]),
+        op("sum", [] as [i64; 0]),
+        op("size", [] as [i64; 0]),
+    ]
+}
+
+/// Scans the engine sources (core, engines, baselines) for the
+/// lock-order audit. Paths resolve relative to this crate's manifest, so
+/// the scan works from any working directory as long as the source tree
+/// is present.
+fn lock_order_report() -> std::io::Result<LockOrderReport> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let files = read_sources(&[
+        &root.join("core/src"),
+        &root.join("core/src/engine"),
+        &root.join("baselines/src"),
+    ])?;
+    Ok(audit_lock_order(&files))
+}
+
+/// The `lint` subcommand: conflict-table audits plus the lock-order scan,
+/// exiting non-zero on any unsound entry, asymmetric entry, or lock
+/// cycle. Conservative entries are warnings — reported, never fatal.
+fn run_lint(demo_unsound: bool) -> i32 {
+    println!("== atomicity-lint: conflict-table audit + lock-order audit\n");
+    let mut audits = all_table_audits();
+    if demo_unsound {
+        audits.push(audit_table(
+            "bank_commutativity (CORRUPTED: withdraw/withdraw forced to commute)",
+            "BankAccountSpec",
+            &atomicity_spec::specs::BankAccountSpec::new(),
+            &atomicity_lint::audit::bank_universe(),
+            |p, q| {
+                (p.name() == "withdraw" && q.name() == "withdraw")
+                    || atomicity_baselines::bank_commutativity(p, q)
+            },
+            &AuditConfig::default(),
+        ));
+    }
+    let mut errors = 0usize;
+    for audit in &audits {
+        let unsound: Vec<_> = audit.errors().collect();
+        let warnings: Vec<_> = audit.warnings().collect();
+        println!(
+            "table `{}` vs {}: {} pairs over {} states{} — {} unsound, {} conservative",
+            audit.table,
+            audit.spec_name,
+            audit.findings.len(),
+            audit.states_explored,
+            if audit.truncated > 0 {
+                " (state sample TRUNCATED)"
+            } else {
+                ""
+            },
+            unsound.len(),
+            warnings.len(),
+        );
+        for f in &unsound {
+            match &f.class {
+                PairClass::Unsound(cx) => {
+                    println!("  ERROR unsound entry ({}, {}): {}", f.p, f.q, cx)
+                }
+                _ => println!("  ERROR {} entry ({}, {})", f.class.label(), f.p, f.q),
+            }
+        }
+        for f in &warnings {
+            if let PairClass::Conservative {
+                commuting_states,
+                total_states,
+            } = &f.class
+            {
+                println!(
+                    "  warning: ({}, {}) rejected by the table but commutes in {}/{} states",
+                    f.p, f.q, commuting_states, total_states
+                );
+            }
+        }
+        errors += unsound.len();
+    }
+    println!();
+    match lock_order_report() {
+        Ok(report) => {
+            println!(
+                "lock-order audit: {} locks, {} acquisition edges",
+                report.locks.len(),
+                report.edges.len()
+            );
+            if report.is_clean() {
+                println!("  derived order: {}", report.order.join(" < "));
+            } else {
+                for cycle in &report.cycles {
+                    println!("  ERROR lock-order cycle: {}", cycle.join(" -> "));
+                    errors += 1;
+                }
+            }
+        }
+        // Not an error: the lint still gates the tables when the binary
+        // runs from an installed artifact without the source tree.
+        Err(e) => println!("lock-order audit: skipped (sources unavailable: {e})"),
+    }
+    if errors > 0 {
+        println!("\nlint: {errors} error(s)");
+        1
+    } else {
+        println!("\nlint: clean");
+        0
+    }
 }
 
 fn yesno(b: bool) -> String {

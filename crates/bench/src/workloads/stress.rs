@@ -16,14 +16,19 @@
 //!   pre-sharding one-big-mutex recorder.
 //!
 //! When [`StressParams::verify`] is set, the run ends with post-hoc
-//! checks: the merged history must be well-formed, every object's
-//! projected history must satisfy the engine's local atomicity property,
-//! and the committed balances must equal the committed deposits — i.e. the
+//! checks: the merged history must be well-formed, the whole recorded
+//! history must satisfy the engine's local atomicity property, and the
+//! committed balances must equal the committed deposits — i.e. the
 //! sharded snapshot really is the linearization the engines enforced.
+//! The atomicity check runs through the linear-time certifier
+//! ([`atomicity_lint::certify()`]) by default; setting
+//! [`StressParams::exhaustive`] re-checks every object's projection with
+//! the exhaustive `spec::atomicity` decision procedures instead.
 
 use crate::engines::Engine;
 use crate::workloads::hold;
 use atomicity_core::{AtomicObject, HistoryLog, Protocol, StatsSnapshot};
+use atomicity_lint::{certify, Property};
 use atomicity_spec::atomicity::{is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
 use atomicity_spec::specs::BankAccountSpec;
 use atomicity_spec::well_formed::WellFormedness;
@@ -59,6 +64,10 @@ pub struct StressParams {
     /// Run the post-hoc atomicity checks on the recorded history (costs
     /// O(history); meant for correctness runs, not timing runs).
     pub verify: bool,
+    /// With [`StressParams::verify`]: also re-check every object's
+    /// projected history with the exhaustive `spec::atomicity` decision
+    /// procedures, instead of relying on the linear-time certifier alone.
+    pub exhaustive: bool,
 }
 
 impl Default for StressParams {
@@ -70,6 +79,7 @@ impl Default for StressParams {
             hold_micros: 0,
             coarse_log: false,
             verify: false,
+            exhaustive: false,
         }
     }
 }
@@ -113,9 +123,57 @@ pub fn run_stress(engine: Engine, params: &StressParams) -> StressOutcome {
         .map(|t| engine.account(ObjectId::new(t as u32 + 1), &mgr, 0))
         .collect();
 
+    let (committed, aborted, wall) = execute(&mgr, &objects, params);
+
+    if params.verify {
+        verify_run(engine, params, &mgr, &objects, committed);
+    }
+
+    let stats: StatsSnapshot = objects.iter().map(|o| o.stats_snapshot()).sum();
+    StressOutcome {
+        engine,
+        wall,
+        committed,
+        aborted,
+        throughput: committed as f64 / wall.as_secs_f64(),
+        events: log.len(),
+        log_shards: log.shard_count(),
+        stats,
+    }
+}
+
+/// Runs the workload and returns the merged recorded history together
+/// with a [`SystemSpec`] covering every account. This is the input for
+/// E9's linear-vs-exhaustive checker comparison: a real multi-thread
+/// history of the exact shape the post-hoc verifier certifies.
+pub fn stress_history(
+    engine: Engine,
+    params: &StressParams,
+) -> (atomicity_spec::history::History, SystemSpec) {
+    let mgr = engine.manager_with_log(HistoryLog::new());
+    let objects: Vec<Arc<dyn AtomicObject>> = (0..params.threads)
+        .map(|t| engine.account(ObjectId::new(t as u32 + 1), &mgr, 0))
+        .collect();
+    execute(&mgr, &objects, params);
+    (mgr.history(), account_spec(params.threads))
+}
+
+/// A [`SystemSpec`] with one zero-balance account per worker thread.
+fn account_spec(threads: usize) -> SystemSpec {
+    (0..threads).fold(SystemSpec::new(), |s, t| {
+        s.with_object(ObjectId::new(t as u32 + 1), BankAccountSpec::new())
+    })
+}
+
+/// Drives the worker threads; returns (committed, aborted, wall).
+fn execute(
+    mgr: &atomicity_core::TxnManager,
+    objects: &[Arc<dyn AtomicObject>],
+    params: &StressParams,
+) -> (u64, u64, Duration) {
     let start = Instant::now();
     let mut handles = Vec::new();
-    for obj in &objects {
+    for obj in objects {
         let mgr = mgr.clone();
         let obj = Arc::clone(obj);
         let params = params.clone();
@@ -149,33 +207,18 @@ pub fn run_stress(engine: Engine, params: &StressParams) -> StressOutcome {
         committed += c;
         aborted += a;
     }
-    let wall = start.elapsed();
-
-    if params.verify {
-        verify_run(engine, params, &mgr, &objects, committed);
-    }
-
-    let stats: StatsSnapshot = objects.iter().map(|o| o.stats_snapshot()).sum();
-    StressOutcome {
-        engine,
-        wall,
-        committed,
-        aborted,
-        throughput: committed as f64 / wall.as_secs_f64(),
-        events: log.len(),
-        log_shards: log.shard_count(),
-        stats,
-    }
+    (committed, aborted, start.elapsed())
 }
 
 /// Post-hoc checks: the merged snapshot is the linearization the engines
 /// enforced.
 ///
-/// Objects are private to one thread, so each object's projected history
-/// has a **total** precedes order — the atomicity checkers run in linear
-/// rather than exponential time, and any cross-thread merge error (a
-/// misplaced stamp, a lost shard entry) shows up as a well-formedness or
-/// balance violation.
+/// Objects are private to one thread, so each object's commit order is a
+/// **total** precedes order — the linear-time certifier stays on its
+/// single-replay fast path, and any cross-thread merge error (a misplaced
+/// stamp, a lost shard entry) shows up as a well-formedness, certificate,
+/// or balance violation. `exhaustive` re-checks each projection with the
+/// `spec::atomicity` decision procedures on top.
 fn verify_run(
     engine: Engine,
     params: &StressParams,
@@ -199,19 +242,31 @@ fn verify_run(
         wf.is_well_formed(&h),
         "{engine}: merged history is not well-formed"
     );
+    let property = match engine.protocol() {
+        Protocol::Dynamic => Property::Dynamic,
+        Protocol::Static => Property::Static,
+        Protocol::Hybrid => Property::Hybrid,
+    };
+    let cert = certify(property, &h, &account_spec(params.threads));
+    assert!(
+        cert.is_certified(),
+        "{engine}: history certification failed: {cert}"
+    );
     for (t, obj) in objects.iter().enumerate() {
         let oid = ObjectId::new(t as u32 + 1);
         let ph = h.project_object(oid);
         let spec = SystemSpec::new().with_object(oid, BankAccountSpec::new());
-        let ok = match engine.protocol() {
-            Protocol::Dynamic => is_dynamic_atomic(&ph, &spec),
-            Protocol::Static => is_static_atomic(&ph, &spec),
-            Protocol::Hybrid => is_hybrid_atomic(&ph, &spec),
-        };
-        assert!(
-            ok,
-            "{engine}: object {t} history violates the protocol's property"
-        );
+        if params.exhaustive {
+            let ok = match engine.protocol() {
+                Protocol::Dynamic => is_dynamic_atomic(&ph, &spec),
+                Protocol::Static => is_static_atomic(&ph, &spec),
+                Protocol::Hybrid => is_hybrid_atomic(&ph, &spec),
+            };
+            assert!(
+                ok,
+                "{engine}: object {t} history violates the protocol's property"
+            );
+        }
         // The committed state agrees with the committed deposits.
         let reader = mgr.begin();
         let balance = obj
@@ -239,6 +294,7 @@ mod tests {
             hold_micros: 0,
             coarse_log: coarse,
             verify: true,
+            exhaustive: true,
         }
     }
 
@@ -259,8 +315,16 @@ mod tests {
 
     #[test]
     fn coarse_log_produces_the_same_outcome() {
+        // Certifier-only verification (the default `exhaustive: false`
+        // path) on this variant, so both verify modes stay exercised.
         for engine in STRESS_ENGINES {
-            let out = run_stress(engine, &quick(true));
+            let out = run_stress(
+                engine,
+                &StressParams {
+                    exhaustive: false,
+                    ..quick(true)
+                },
+            );
             assert_eq!(out.committed, 24, "{engine}");
             assert_eq!(out.log_shards, 1, "{engine}");
         }
@@ -282,6 +346,7 @@ mod tests {
             hold_micros: 0,
             coarse_log: false,
             verify: false,
+            exhaustive: false,
         };
         let sharded = (0..3)
             .map(|_| run_stress(Engine::Dynamic, &params).wall)

@@ -1,0 +1,39 @@
+//! The CI gate, tested as a gate: `experiments lint` must exit zero on
+//! the shipped conflict tables and engine sources, and non-zero when an
+//! unsound table is injected (`--demo-unsound`).
+
+use std::process::Command;
+
+#[test]
+fn lint_passes_on_shipped_tables() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("lint")
+        .output()
+        .expect("run experiments lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "lint failed:\n{stdout}");
+    assert!(stdout.contains("lint: clean"), "{stdout}");
+    // The lock-order pass found the sources and derived an order.
+    assert!(stdout.contains("derived order:"), "{stdout}");
+    // The paper's showcase over-conservatism is reported as a warning.
+    assert!(
+        stdout.contains("(enq(1), enq(2)) rejected by the table"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn lint_fails_on_a_corrupted_table() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["lint", "--demo-unsound"])
+        .output()
+        .expect("run experiments lint --demo-unsound");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "corrupted table was not rejected:\n{stdout}"
+    );
+    assert!(stdout.contains("ERROR unsound entry"), "{stdout}");
+    // The counterexample certificate names the diverging result pairs.
+    assert!(stdout.contains("order p;q yields result pairs"), "{stdout}");
+}

@@ -19,6 +19,9 @@
 //!   scheduler model of Figure 5-1, and Reed's multi-version registers.
 //! - [`sim`] — the discrete-event distributed substrate (guardians,
 //!   two-phase commit, crashes).
+//! - [`analysis`] — static analysis (`atomicity-lint`): conflict-table
+//!   audits with counterexample certificates, linear-time history
+//!   certification, and the lock-order audit behind `experiments lint`.
 //! - `bench` ([`atomicity_bench`]) — workload generators and the
 //!   experiment harness that regenerates every comparison in the paper.
 //!
@@ -48,5 +51,6 @@ pub use atomicity_adts as adts;
 pub use atomicity_baselines as baselines;
 pub use atomicity_bench as bench;
 pub use atomicity_core as core;
+pub use atomicity_lint as analysis;
 pub use atomicity_sim as sim;
 pub use atomicity_spec as spec;
