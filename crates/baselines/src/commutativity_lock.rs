@@ -1,6 +1,7 @@
 //! Commutativity-table locking (Schwarz & Spector 82).
 
 use crate::locks::ModeLock;
+use atomicity_core::trace::ObjectMetrics;
 use atomicity_core::{AtomicObject, HistoryLog, Participant, Txn, TxnError, TxnManager};
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
@@ -89,6 +90,7 @@ pub struct CommutativityLockedObject<S: SequentialSpec> {
     log: HistoryLog,
     lock: ModeLock<Operation>,
     state: Mutex<State<S>>,
+    metrics: ObjectMetrics,
     self_ref: Weak<CommutativityLockedObject<S>>,
 }
 
@@ -111,6 +113,7 @@ impl<S: SequentialSpec> CommutativityLockedObject<S> {
                 committed: initial,
                 intentions: BTreeMap::new(),
             }),
+            metrics: mgr.metrics().object(id),
             self_ref: self_ref.clone(),
         })
     }
@@ -135,10 +138,13 @@ impl<S: SequentialSpec> AtomicObject for CommutativityLockedObject<S> {
         txn.register(self.self_participant());
         let me = txn.id();
         let commutes = self.commutes;
+        let invoke_sw = self.metrics.stopwatch();
         if !self.lock.try_acquire(txn, operation.clone(), commutes) {
+            self.metrics.record_block_round(me);
             return Err(TxnError::WouldBlock { object: self.id });
         }
         let v = self.execute_locked(me, operation.clone())?;
+        self.metrics.record_admission(me, &invoke_sw);
         self.log.record_all([
             Event::invoke(me, self.id, operation),
             Event::respond(me, self.id, v.clone()),
@@ -171,8 +177,20 @@ impl<S: SequentialSpec> AtomicObject for CommutativityLockedObject<S> {
         self.log
             .record(Event::invoke(me, self.id, operation.clone()));
         let commutes = self.commutes;
-        self.lock
-            .acquire(txn, self.id, operation.clone(), commutes)?;
+        let invoke_sw = self.metrics.stopwatch();
+        // Fast path first so block-wait time is only measured under
+        // contention.
+        if !self.lock.try_acquire(txn, operation.clone(), commutes) {
+            self.metrics.record_block_round(me);
+            let block_sw = self.metrics.stopwatch();
+            if let Err(e) = self.lock.acquire(txn, self.id, operation.clone(), commutes) {
+                if matches!(e, TxnError::Deadlock { .. }) {
+                    self.metrics.record_deadlock_kill(me);
+                }
+                return Err(e);
+            }
+            self.metrics.record_block_wait(&block_sw);
+        }
         let mut st = self.state.lock();
         let empty = Vec::new();
         let own = st.intentions.get(&me).unwrap_or(&empty);
@@ -192,8 +210,13 @@ impl<S: SequentialSpec> AtomicObject for CommutativityLockedObject<S> {
             .entry(me)
             .or_default()
             .push((operation, v.clone()));
+        self.metrics.record_admission(me, &invoke_sw);
         self.log.record(Event::respond(me, self.id, v.clone()));
         Ok(v)
+    }
+
+    fn metrics(&self) -> ObjectMetrics {
+        self.metrics.clone()
     }
 }
 
@@ -244,6 +267,7 @@ impl<S: SequentialSpec> Participant for CommutativityLockedObject<S> {
             Some(t) => Event::commit_ts(txn, self.id, t),
             None => Event::commit(txn, self.id),
         };
+        self.metrics.record_commit(txn);
         self.log.record(event);
         drop(st);
         self.lock.release_all(txn);
@@ -251,6 +275,7 @@ impl<S: SequentialSpec> Participant for CommutativityLockedObject<S> {
 
     fn abort(&self, txn: ActivityId) {
         self.state.lock().intentions.remove(&txn);
+        self.metrics.record_abort(txn);
         self.log.record(Event::abort(txn, self.id));
         self.lock.release_all(txn);
     }

@@ -1,7 +1,8 @@
 //! Strict two-phase locking with read/write locks.
 
 use crate::locks::{LockMode, ModeLock};
-use atomicity_core::stats::{ObjectStats, StatsSnapshot};
+use atomicity_core::stats::StatsSnapshot;
+use atomicity_core::trace::ObjectMetrics;
 use atomicity_core::{AtomicObject, HistoryLog, Participant, Txn, TxnError, TxnManager};
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
@@ -44,7 +45,7 @@ pub struct TwoPhaseLockedObject<S: SequentialSpec> {
     log: HistoryLog,
     lock: ModeLock<LockMode>,
     state: Mutex<State<S>>,
-    stats: ObjectStats,
+    metrics: ObjectMetrics,
     self_ref: Weak<TwoPhaseLockedObject<S>>,
 }
 
@@ -66,7 +67,7 @@ impl<S: SequentialSpec> TwoPhaseLockedObject<S> {
                 committed: initial,
                 intentions: BTreeMap::new(),
             }),
-            stats: ObjectStats::default(),
+            metrics: mgr.metrics().object(id),
             self_ref: self_ref.clone(),
         })
     }
@@ -78,7 +79,7 @@ impl<S: SequentialSpec> TwoPhaseLockedObject<S> {
 
     /// A snapshot of this object's contention counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.metrics.stats()
     }
 
     fn self_participant(&self) -> Arc<dyn Participant> {
@@ -100,13 +101,14 @@ impl<S: SequentialSpec> AtomicObject for TwoPhaseLockedObject<S> {
         } else {
             LockMode::Write
         };
+        let invoke_sw = self.metrics.stopwatch();
         if !self.lock.try_acquire(txn, mode, |a, b| a.compatible(*b)) {
-            self.stats.record_block();
+            self.metrics.record_block_round(me);
             return Err(TxnError::WouldBlock { object: self.id });
         }
         // Lock taken; execute and record invoke+respond atomically.
         let v = self.execute_locked(me, operation.clone())?;
-        self.stats.record_admission();
+        self.metrics.record_admission(me, &invoke_sw);
         self.log.record_all([
             Event::invoke(me, self.id, operation),
             Event::respond(me, self.id, v.clone()),
@@ -143,14 +145,22 @@ impl<S: SequentialSpec> AtomicObject for TwoPhaseLockedObject<S> {
         }
         self.log
             .record(Event::invoke(me, self.id, operation.clone()));
-        if let Err(e) = self
-            .lock
-            .acquire(txn, self.id, mode, |a, b| a.compatible(*b))
-        {
-            if matches!(e, TxnError::Deadlock { .. }) {
-                self.stats.record_deadlock_kill();
+        let invoke_sw = self.metrics.stopwatch();
+        // Fast path first so the blocking path (and its wait timing) is
+        // only entered when the lock is actually contended.
+        if !self.lock.try_acquire(txn, mode, |a, b| a.compatible(*b)) {
+            self.metrics.record_block_round(me);
+            let block_sw = self.metrics.stopwatch();
+            if let Err(e) = self
+                .lock
+                .acquire(txn, self.id, mode, |a, b| a.compatible(*b))
+            {
+                if matches!(e, TxnError::Deadlock { .. }) {
+                    self.metrics.record_deadlock_kill(me);
+                }
+                return Err(e);
             }
-            return Err(e);
+            self.metrics.record_block_wait(&block_sw);
         }
         let mut st = self.state.lock();
         let empty = Vec::new();
@@ -171,13 +181,13 @@ impl<S: SequentialSpec> AtomicObject for TwoPhaseLockedObject<S> {
             .entry(me)
             .or_default()
             .push((operation, v.clone()));
-        self.stats.record_admission();
+        self.metrics.record_admission(me, &invoke_sw);
         self.log.record(Event::respond(me, self.id, v.clone()));
         Ok(v)
     }
 
-    fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats()
+    fn metrics(&self) -> ObjectMetrics {
+        self.metrics.clone()
     }
 }
 
@@ -228,7 +238,7 @@ impl<S: SequentialSpec> Participant for TwoPhaseLockedObject<S> {
             Some(t) => Event::commit_ts(txn, self.id, t),
             None => Event::commit(txn, self.id),
         };
-        self.stats.record_commit();
+        self.metrics.record_commit(txn);
         self.log.record(event);
         drop(st);
         self.lock.release_all(txn);
@@ -236,7 +246,7 @@ impl<S: SequentialSpec> Participant for TwoPhaseLockedObject<S> {
 
     fn abort(&self, txn: ActivityId) {
         self.state.lock().intentions.remove(&txn);
-        self.stats.record_abort();
+        self.metrics.record_abort(txn);
         self.log.record(Event::abort(txn, self.id));
         self.lock.release_all(txn);
     }

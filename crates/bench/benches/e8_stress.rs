@@ -24,6 +24,8 @@ fn bench_stress(c: &mut Criterion) {
                 coarse_log: false,
                 verify: false,
                 exhaustive: false,
+                collect_metrics: false,
+                shared_objects: 0,
             };
             group.bench_with_input(
                 BenchmarkId::new(engine.label(), format!("threads-{threads}")),
@@ -47,6 +49,8 @@ fn bench_stress(c: &mut Criterion) {
             coarse_log: coarse,
             verify: false,
             exhaustive: false,
+            collect_metrics: false,
+            shared_objects: 0,
         };
         let label = if coarse { "coarse" } else { "sharded" };
         group.bench_with_input(BenchmarkId::new(label, "threads-8"), &params, |b, p| {

@@ -1,0 +1,20 @@
+//! E10 overhead probe: best-of-N E8 throughput (dynamic engine, metrics
+//! disabled) at fixed parameters. Run alternately against a pre-change
+//! baseline build to measure the disabled-path cost of the metrics layer
+//! (EXPERIMENTS.md, E10).
+
+fn main() {
+    use atomicity_bench::workloads::stress::{run_stress, StressParams};
+    use atomicity_bench::Engine;
+    let params = StressParams {
+        threads: 4,
+        txns_per_thread: 200,
+        ops_per_txn: 4,
+        ..StressParams::default()
+    };
+    run_stress(Engine::Dynamic, &params); // warmup
+    let best = (0..5)
+        .map(|_| run_stress(Engine::Dynamic, &params).throughput)
+        .fold(0.0f64, f64::max);
+    println!("{best:.1}");
+}

@@ -1,7 +1,8 @@
 //! The experiment harness: regenerates every comparison in the paper.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 | all]
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 | all]
+//! experiments e10 [--smoke] [--json=PATH]
 //! experiments lint [--demo-unsound]
 //! ```
 //!
@@ -14,6 +15,11 @@
 //! any unsound table entry, asymmetric entry, or lock cycle.
 //! `--demo-unsound` adds a deliberately corrupted bank table to the run to
 //! demonstrate (and test) the failure path.
+//!
+//! `e10` additionally writes its report as JSON (default `BENCH_e10.json`,
+//! override with `--json=PATH`); `--smoke` shrinks the workload to a CI
+//! wiring check. The run exits non-zero if any engine reports zero
+//! admissions — a mute metrics pipeline.
 
 use atomicity_bench::engines::map_commutativity;
 use atomicity_bench::engines::Engine;
@@ -41,6 +47,12 @@ use atomicity_spec::{op, paper, ObjectId, Operation, SystemSpec};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--json="))
+        .unwrap_or("BENCH_e10.json")
+        .to_string();
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -78,6 +90,9 @@ fn main() {
     }
     if want("e9") {
         e9_static_analysis(quick);
+    }
+    if want("e10") {
+        e10_observability(quick, smoke, &json_path);
     }
     if want("a1") {
         a1_ablation(quick);
@@ -517,6 +532,8 @@ fn e8_stress(quick: bool) {
                 coarse_log: false,
                 verify: false,
                 exhaustive: false,
+                collect_metrics: false,
+                shared_objects: 0,
             };
             let out = run_stress(engine, &params);
             table.row(vec![
@@ -544,6 +561,8 @@ fn e8_stress(quick: bool) {
                 coarse_log: coarse,
                 verify: false,
                 exhaustive: false,
+                collect_metrics: false,
+                shared_objects: 0,
             };
             let out = run_stress(Engine::Dynamic, &params);
             recorder.row(vec![
@@ -692,6 +711,94 @@ fn v1_model_check() {
 /// audit verdict for every hand-written conflict table, the derived lock
 /// ordering, and the linear-time certifier against the exhaustive
 /// checkers on a real E8 history.
+/// E10: the observability layer itself — per-engine latency percentiles
+/// and the abort-reason taxonomy over a contended variant of the E8
+/// stress workload (all workers share one account), exported as JSON.
+fn e10_observability(quick: bool, smoke: bool, json_path: &str) {
+    use atomicity_bench::report::ObservabilityReport;
+    use atomicity_bench::workloads::stress::{run_stress, StressParams};
+
+    println!("== E10: observability — txn tracing, latency histograms, abort taxonomy (DESIGN.md \u{a7}6)\n");
+    let (threads, txns) = if smoke {
+        (2, 20)
+    } else if quick {
+        (4, 60)
+    } else {
+        (4, 250)
+    };
+    // A modest in-transaction hold keeps the shared lock occupied long
+    // enough for the block/abort instrumentation to observe real waits.
+    let params = StressParams {
+        threads,
+        txns_per_thread: txns,
+        ops_per_txn: 4,
+        hold_micros: if smoke { 20 } else { 50 },
+        collect_metrics: true,
+        shared_objects: 1,
+        ..StressParams::default()
+    };
+    let outcomes: Vec<_> = Engine::ALL
+        .iter()
+        .map(|&e| run_stress(e, &params))
+        .collect();
+    let report = ObservabilityReport::new(&params, &outcomes);
+
+    let fmt_ns = |v: Option<u64>| v.map_or_else(|| "-".into(), |n| n.to_string());
+    let mut table = Table::new(vec![
+        "engine",
+        "txn/s",
+        "invoke p50",
+        "invoke p95",
+        "invoke p99",
+        "block p95",
+        "commit p95",
+        "aborted",
+        "trace ev",
+    ])
+    .with_title(format!(
+        "{threads} workers x {txns} txns on ONE shared account; latencies in ns"
+    ));
+    for row in &report.engines {
+        table.row(vec![
+            row.engine.clone(),
+            f1(row.throughput),
+            fmt_ns(row.invoke_ns.p50),
+            fmt_ns(row.invoke_ns.p95),
+            fmt_ns(row.invoke_ns.p99),
+            fmt_ns(row.block_ns.p95),
+            fmt_ns(row.commit_ns.p95),
+            row.aborted.to_string(),
+            row.trace_events.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let mut reasons = Table::new(vec!["engine", "reason", "count"])
+        .with_title("abort causes recorded at the error sites (may exceed txn aborts)");
+    let mut any = false;
+    for row in &report.engines {
+        for (reason, count) in &row.abort_reasons {
+            any = true;
+            reasons.row(vec![row.engine.clone(), reason.clone(), count.to_string()]);
+        }
+    }
+    if any {
+        println!("{reasons}");
+    } else {
+        println!("(no aborts recorded on this run)\n");
+    }
+
+    std::fs::write(json_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("report written to {json_path}\n");
+
+    let silent = report.silent_engines();
+    if !silent.is_empty() {
+        eprintln!("E10 FAILED: engines with zero admissions: {silent:?}");
+        std::process::exit(1);
+    }
+}
+
 fn e9_static_analysis(quick: bool) {
     use atomicity_bench::workloads::stress::{stress_history, StressParams};
     use atomicity_spec::specs::BankAccountSpec;
@@ -756,6 +863,8 @@ fn e9_static_analysis(quick: bool) {
         coarse_log: false,
         verify: false,
         exhaustive: false,
+        collect_metrics: false,
+        shared_objects: 0,
     };
     let (h, spec) = stress_history(Engine::Dynamic, &params);
     let t0 = Instant::now();

@@ -2,13 +2,35 @@
 
 use atomicity_baselines::{
     bank_commutativity, queue_commutativity, set_commutativity, CommutativityLockedObject,
-    TwoPhaseLockedObject,
+    Commutes, TwoPhaseLockedObject,
 };
-use atomicity_core::{AtomicObject, DeadlockPolicy, HistoryLog, Protocol, TxnManager};
+use atomicity_core::{
+    AtomicObject, DeadlockPolicy, HistoryLog, MetricsRegistry, Protocol, TxnManager,
+};
 use atomicity_spec::specs::{BankAccountSpec, FifoQueueSpec, IntSetSpec, KvMapSpec};
-use atomicity_spec::ObjectId;
+use atomicity_spec::{ObjectId, SequentialSpec};
 use std::fmt;
 use std::sync::Arc;
+
+/// The single construction point for every engine: one match instead of
+/// one per object shape. `table` is the static commutativity relation the
+/// [`Engine::CommutativityLocking`] baseline locks against; the other
+/// engines ignore it.
+fn construct<S: SequentialSpec>(
+    engine: Engine,
+    id: ObjectId,
+    spec: S,
+    mgr: &TxnManager,
+    table: Commutes,
+) -> Arc<dyn AtomicObject> {
+    match engine {
+        Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
+        Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
+        Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
+        Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
+        Engine::CommutativityLocking => CommutativityLockedObject::new(id, spec, mgr, table) as _,
+    }
+}
 
 /// Which concurrency-control implementation a workload runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,68 +95,185 @@ impl Engine {
         TxnManager::with_log(self.protocol(), DeadlockPolicy::default(), log)
     }
 
-    /// A bank-account object (initial balance) under this engine.
-    pub fn account(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn AtomicObject> {
-        let spec = BankAccountSpec::with_initial(initial);
-        match self {
-            Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
-            Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
-            Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
-            Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
-            Engine::CommutativityLocking => {
-                CommutativityLockedObject::new(id, spec, mgr, bank_commutativity) as _
-            }
-        }
+    /// Starts an [`EngineBuilder`] for this engine — the one-stop
+    /// construction path for workloads and examples.
+    pub fn builder(self) -> EngineBuilder {
+        EngineBuilder::new(self)
     }
 
-    /// A key/value map object (initial entries) under this engine.
+    /// A bank-account object (initial balance) under this engine, with
+    /// the §5.1 static table for the baseline.
+    pub fn account(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn AtomicObject> {
+        construct(
+            self,
+            id,
+            BankAccountSpec::with_initial(initial),
+            mgr,
+            bank_commutativity,
+        )
+    }
+
+    /// A key/value map object (initial entries) under this engine. The
+    /// baseline table is the natural one for maps: same-key operations
+    /// conflict, different keys commute ([`map_commutativity`]).
     pub fn map(
         self,
         id: ObjectId,
         mgr: &TxnManager,
         entries: impl IntoIterator<Item = (i64, i64)>,
     ) -> Arc<dyn AtomicObject> {
-        let spec = KvMapSpec::with_initial(entries);
-        match self {
-            Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
-            Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
-            Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
-            Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
-            Engine::CommutativityLocking => {
-                // The natural static table for maps: same-key operations
-                // conflict, different keys commute — reuse the set table's
-                // shape via a map-specific function below.
-                CommutativityLockedObject::new(id, spec, mgr, map_commutativity) as _
-            }
-        }
+        construct(
+            self,
+            id,
+            KvMapSpec::with_initial(entries),
+            mgr,
+            map_commutativity,
+        )
     }
 
     /// A FIFO-queue object under this engine.
     pub fn queue(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
-        let spec = FifoQueueSpec::new();
-        match self {
-            Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
-            Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
-            Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
-            Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
-            Engine::CommutativityLocking => {
-                CommutativityLockedObject::new(id, spec, mgr, queue_commutativity) as _
-            }
-        }
+        construct(self, id, FifoQueueSpec::new(), mgr, queue_commutativity)
     }
 
     /// An integer-set object under this engine.
     pub fn set(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
-        let spec = IntSetSpec::new();
-        match self {
-            Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
-            Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
-            Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
-            Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
-            Engine::CommutativityLocking => {
-                CommutativityLockedObject::new(id, spec, mgr, set_commutativity) as _
-            }
+        construct(self, id, IntSetSpec::new(), mgr, set_commutativity)
+    }
+}
+
+/// One place to assemble an engine's runtime: protocol, deadlock policy,
+/// history log, and metrics sink, replacing the per-workload construction
+/// glue (`manager()` / `manager_with_log()` / hand-rolled pairs).
+///
+/// # Example
+///
+/// ```
+/// use atomicity_bench::{Engine, EngineBuilder};
+/// use atomicity_spec::{op, ObjectId};
+///
+/// let handle = Engine::Dynamic.builder().collect_metrics().build();
+/// let acct = handle.account(ObjectId::new(1), 100);
+/// let t = handle.manager().begin();
+/// acct.invoke(&t, op("withdraw", [40]))?;
+/// handle.manager().commit(t)?;
+/// assert_eq!(handle.metrics().snapshot().txns_committed, 1);
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    engine: Engine,
+    policy: DeadlockPolicy,
+    log: Option<HistoryLog>,
+    metrics: MetricsRegistry,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for `engine` with the default deadlock policy, a
+    /// fresh sharded history log, and metrics disabled.
+    pub fn new(engine: Engine) -> Self {
+        EngineBuilder {
+            engine,
+            policy: DeadlockPolicy::default(),
+            log: None,
+            metrics: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Overrides the deadlock policy.
+    pub fn policy(mut self, policy: DeadlockPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Records into an explicit history log (e.g. [`HistoryLog::coarse`]
+    /// for the E8 recorder comparison).
+    pub fn log(mut self, log: HistoryLog) -> Self {
+        self.log = Some(log);
+        self
+    }
+
+    /// Attaches an explicit metrics registry (shared sinks, custom trace
+    /// capacity).
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Enables metrics with a fresh default-capacity registry.
+    pub fn collect_metrics(self) -> Self {
+        let metrics = MetricsRegistry::new();
+        self.metrics(metrics)
+    }
+
+    /// Builds the manager and wraps it in an [`EngineHandle`].
+    pub fn build(self) -> EngineHandle {
+        let mut b = TxnManager::builder(self.engine.protocol())
+            .policy(self.policy)
+            .metrics(self.metrics);
+        if let Some(log) = self.log {
+            b = b.log(log);
+        }
+        EngineHandle {
+            engine: self.engine,
+            mgr: b.build(),
+        }
+    }
+}
+
+/// A built engine: the manager plus typed object constructors that no
+/// longer need the manager threaded through by hand.
+#[derive(Debug, Clone)]
+pub struct EngineHandle {
+    engine: Engine,
+    mgr: TxnManager,
+}
+
+impl EngineHandle {
+    /// Which engine this handle runs.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The transaction manager (begin/commit/abort live here).
+    pub fn manager(&self) -> &TxnManager {
+        &self.mgr
+    }
+
+    /// The manager's metrics registry (disabled unless the builder
+    /// enabled it).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.mgr.metrics()
+    }
+
+    /// A bank-account object with the given initial balance.
+    pub fn account(&self, id: ObjectId, initial: i64) -> Arc<dyn AtomicObject> {
+        self.engine.account(id, &self.mgr, initial)
+    }
+
+    /// A key/value map object with the given initial entries.
+    pub fn map(
+        &self,
+        id: ObjectId,
+        entries: impl IntoIterator<Item = (i64, i64)>,
+    ) -> Arc<dyn AtomicObject> {
+        self.engine.map(id, &self.mgr, entries)
+    }
+
+    /// A FIFO-queue object.
+    pub fn queue(&self, id: ObjectId) -> Arc<dyn AtomicObject> {
+        self.engine.queue(id, &self.mgr)
+    }
+
+    /// An integer-set object.
+    pub fn set(&self, id: ObjectId) -> Arc<dyn AtomicObject> {
+        self.engine.set(id, &self.mgr)
+    }
+
+    /// An object for an arbitrary spec (see [`build_object`] for the
+    /// baseline-table caveat).
+    pub fn object<S: SequentialSpec>(&self, id: ObjectId, spec: S) -> Arc<dyn AtomicObject> {
+        build_object(self.engine, id, spec, &self.mgr)
     }
 }
 
@@ -149,21 +288,13 @@ impl fmt::Display for Engine {
 /// known for an arbitrary spec, so the most conservative table (nothing
 /// commutes — fully serial locking) is used; prefer the spec-specific
 /// constructors ([`Engine::account`] etc.) when a real table exists.
-pub fn build_object<S: atomicity_spec::SequentialSpec>(
+pub fn build_object<S: SequentialSpec>(
     engine: Engine,
     id: ObjectId,
     spec: S,
     mgr: &TxnManager,
 ) -> Arc<dyn AtomicObject> {
-    match engine {
-        Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
-        Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
-        Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
-        Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
-        Engine::CommutativityLocking => {
-            CommutativityLockedObject::new(id, spec, mgr, |_, _| false) as _
-        }
-    }
+    construct(engine, id, spec, mgr, |_, _| false)
 }
 
 /// Static commutativity for the kv-map: different keys always commute;

@@ -12,6 +12,8 @@
 //! | E5  | §4.2.3 incomparability of the three properties | [`enumerate`] |
 //! | E6  | §1/§3 online recoverability under crashes | [`workloads::recovery`] |
 //! | E7  | §4.2.3 timestamp (clock-skew) sensitivity | [`workloads::skew`] |
+//! | E8  | recorder contention under threaded stress | [`workloads::stress`] |
+//! | E10 | observability: latency percentiles + abort taxonomy | [`report`] |
 //!
 //! The `experiments` binary prints every table:
 //!
@@ -26,8 +28,9 @@ pub mod engines;
 pub mod enumerate;
 pub mod explore;
 pub mod histfile;
+pub mod report;
 pub mod table;
 pub mod workloads;
 
-pub use engines::Engine;
+pub use engines::{Engine, EngineBuilder, EngineHandle};
 pub use table::Table;

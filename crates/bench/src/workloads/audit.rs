@@ -88,11 +88,12 @@ pub struct AuditOutcome {
 
 /// Runs the E3 workload for one engine.
 pub fn run_audit(engine: Engine, params: &AuditParams) -> AuditOutcome {
-    let mgr = engine.manager();
+    let handle = engine.builder().build();
+    let mgr = handle.manager().clone();
     let shards: Vec<Arc<dyn AtomicObject>> = (0..params.shards)
         .map(|s| {
             let entries = (0..params.keys_per_shard).map(|k| (k, params.initial_balance));
-            engine.map(ObjectId::new(s as u32 + 1), &mgr, entries)
+            handle.map(ObjectId::new(s as u32 + 1), entries)
         })
         .collect();
     let expected_total = params.shards as i64 * params.keys_per_shard * params.initial_balance;

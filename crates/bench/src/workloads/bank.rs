@@ -66,8 +66,9 @@ pub struct BankOutcome {
 pub fn run_bank(engine: Engine, params: &BankParams) -> BankOutcome {
     let total_txns = (params.threads * params.txns_per_thread) as i64;
     let initial = (params.headroom * (total_txns * params.amount) as f64).round() as i64;
-    let mgr = engine.manager();
-    let account = engine.account(ObjectId::new(1), &mgr, initial);
+    let handle = engine.builder().build();
+    let mgr = handle.manager().clone();
+    let account = handle.account(ObjectId::new(1), initial);
 
     let start = Instant::now();
     let mut handles = Vec::new();

@@ -62,8 +62,9 @@ pub struct QueueOutcome {
 
 /// Runs the E2 producer workload for one engine, then drains.
 pub fn run_queue(engine: Engine, params: &QueueParams) -> QueueOutcome {
-    let mgr = engine.manager();
-    let queue = engine.queue(ObjectId::new(1), &mgr);
+    let handle = engine.builder().build();
+    let mgr = handle.manager().clone();
+    let queue = handle.queue(ObjectId::new(1));
 
     let start = Instant::now();
     let mut handles = Vec::new();

@@ -67,9 +67,10 @@ pub fn run_skew(engine: Engine, params: &SkewParams) -> SkewOutcome {
         matches!(engine, Engine::Static | Engine::Hybrid),
         "E7 compares the timestamped protocols"
     );
-    let mgr = engine.manager();
+    let handle = engine.builder().build();
+    let mgr = handle.manager().clone();
     let entries = (0..params.keys).map(|k| (k, 100));
-    let map = engine.map(ObjectId::new(1), &mgr, entries);
+    let map = handle.map(ObjectId::new(1), entries);
     // A shared logical "real time" source; each worker adds its skew.
     // Uniqueness: timestamp = (tick + skew) * workers + worker-index.
     let real_time = Arc::new(AtomicU64::new(1));
@@ -112,11 +113,9 @@ pub fn run_skew(engine: Engine, params: &SkewParams) -> SkewOutcome {
                     }
                     Err(e) => {
                         mgr.abort(txn);
-                        if matches!(
-                            e,
-                            atomicity_core::TxnError::TimestampConflict { .. }
-                                | atomicity_core::TxnError::TimestampTooOld { .. }
-                        ) {
+                        // Classify by the stable abort-reason code rather
+                        // than by matching error variants.
+                        if e.reason().is_timestamp() {
                             ts_aborts += 1;
                         } else {
                             other_aborts += 1;

@@ -27,7 +27,7 @@
 
 use crate::engines::Engine;
 use crate::workloads::hold;
-use atomicity_core::{AtomicObject, HistoryLog, Protocol, StatsSnapshot};
+use atomicity_core::{AtomicObject, HistoryLog, MetricsSnapshot, Protocol, StatsSnapshot};
 use atomicity_lint::{certify, Property};
 use atomicity_spec::atomicity::{is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
 use atomicity_spec::specs::BankAccountSpec;
@@ -68,6 +68,30 @@ pub struct StressParams {
     /// projected history with the exhaustive `spec::atomicity` decision
     /// procedures, instead of relying on the linear-time certifier alone.
     pub exhaustive: bool,
+    /// Attach an enabled [`atomicity_core::MetricsRegistry`] and return
+    /// its snapshot in [`StressOutcome::metrics`] (the E10 path). Off for
+    /// timing runs: the measured point of E8 is the recorder, not the
+    /// metrics layer.
+    pub collect_metrics: bool,
+    /// Number of accounts shared by all workers; `0` (the E8 default)
+    /// gives every worker a private account. E10 sets `1` so the engines
+    /// actually contend and the block/abort instrumentation has something
+    /// to observe. Shared transactions open with a `balance` read, so
+    /// read/write conflicts — lock-upgrade deadlocks, timestamp conflicts
+    /// — and their abort reasons actually arise.
+    pub shared_objects: usize,
+}
+
+impl StressParams {
+    /// Accounts the run creates: one per worker, or the explicit shared
+    /// pool.
+    pub fn object_count(&self) -> usize {
+        if self.shared_objects == 0 {
+            self.threads
+        } else {
+            self.shared_objects
+        }
+    }
 }
 
 impl Default for StressParams {
@@ -80,6 +104,8 @@ impl Default for StressParams {
             coarse_log: false,
             verify: false,
             exhaustive: false,
+            collect_metrics: false,
+            shared_objects: 0,
         }
     }
 }
@@ -103,6 +129,9 @@ pub struct StressOutcome {
     pub log_shards: usize,
     /// Contention counters aggregated over all objects.
     pub stats: StatsSnapshot,
+    /// Full metrics snapshot (latency percentiles, abort causes, trace
+    /// counts) when [`StressParams::collect_metrics`] was set.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Runs the E8 workload for one engine.
@@ -118,9 +147,14 @@ pub fn run_stress(engine: Engine, params: &StressParams) -> StressOutcome {
     } else {
         HistoryLog::new()
     };
-    let mgr = engine.manager_with_log(log.clone());
-    let objects: Vec<Arc<dyn AtomicObject>> = (0..params.threads)
-        .map(|t| engine.account(ObjectId::new(t as u32 + 1), &mgr, 0))
+    let mut builder = engine.builder().log(log.clone());
+    if params.collect_metrics {
+        builder = builder.collect_metrics();
+    }
+    let handle = builder.build();
+    let mgr = handle.manager().clone();
+    let objects: Vec<Arc<dyn AtomicObject>> = (0..params.object_count())
+        .map(|t| handle.account(ObjectId::new(t as u32 + 1), 0))
         .collect();
 
     let (committed, aborted, wall) = execute(&mgr, &objects, params);
@@ -129,7 +163,11 @@ pub fn run_stress(engine: Engine, params: &StressParams) -> StressOutcome {
         verify_run(engine, params, &mgr, &objects, committed);
     }
 
-    let stats: StatsSnapshot = objects.iter().map(|o| o.stats_snapshot()).sum();
+    let stats: StatsSnapshot = objects.iter().map(|o| o.metrics().stats()).sum();
+    let metrics = handle
+        .metrics()
+        .is_enabled()
+        .then(|| handle.metrics().snapshot());
     StressOutcome {
         engine,
         wall,
@@ -139,6 +177,7 @@ pub fn run_stress(engine: Engine, params: &StressParams) -> StressOutcome {
         events: log.len(),
         log_shards: log.shard_count(),
         stats,
+        metrics,
     }
 }
 
@@ -150,17 +189,18 @@ pub fn stress_history(
     engine: Engine,
     params: &StressParams,
 ) -> (atomicity_spec::history::History, SystemSpec) {
-    let mgr = engine.manager_with_log(HistoryLog::new());
-    let objects: Vec<Arc<dyn AtomicObject>> = (0..params.threads)
-        .map(|t| engine.account(ObjectId::new(t as u32 + 1), &mgr, 0))
+    let handle = engine.builder().build();
+    let mgr = handle.manager().clone();
+    let objects: Vec<Arc<dyn AtomicObject>> = (0..params.object_count())
+        .map(|t| handle.account(ObjectId::new(t as u32 + 1), 0))
         .collect();
     execute(&mgr, &objects, params);
-    (mgr.history(), account_spec(params.threads))
+    (mgr.history(), account_spec(params.object_count()))
 }
 
-/// A [`SystemSpec`] with one zero-balance account per worker thread.
-fn account_spec(threads: usize) -> SystemSpec {
-    (0..threads).fold(SystemSpec::new(), |s, t| {
+/// A [`SystemSpec`] with one zero-balance account per created object.
+fn account_spec(objects: usize) -> SystemSpec {
+    (0..objects).fold(SystemSpec::new(), |s, t| {
         s.with_object(ObjectId::new(t as u32 + 1), BankAccountSpec::new())
     })
 }
@@ -173,19 +213,29 @@ fn execute(
 ) -> (u64, u64, Duration) {
     let start = Instant::now();
     let mut handles = Vec::new();
-    for obj in objects {
+    for t in 0..params.threads {
         let mgr = mgr.clone();
-        let obj = Arc::clone(obj);
+        let obj = Arc::clone(&objects[t % objects.len()]);
         let params = params.clone();
         handles.push(std::thread::spawn(move || {
             let (mut committed, mut aborted) = (0u64, 0u64);
             for _ in 0..params.txns_per_thread {
                 let txn = mgr.begin();
                 let mut failed = false;
-                for _ in 0..params.ops_per_txn {
-                    if obj.invoke(&txn, op("deposit", [1])).is_err() {
-                        failed = true;
-                        break;
+                // Contended runs read before writing: the read/write
+                // upgrade is what makes conflicts (and abort reasons)
+                // observable.
+                if params.shared_objects > 0
+                    && obj.invoke(&txn, op("balance", [] as [i64; 0])).is_err()
+                {
+                    failed = true;
+                }
+                if !failed {
+                    for _ in 0..params.ops_per_txn {
+                        if obj.invoke(&txn, op("deposit", [1])).is_err() {
+                            failed = true;
+                            break;
+                        }
                     }
                 }
                 hold(params.hold_micros);
@@ -247,7 +297,7 @@ fn verify_run(
         Protocol::Static => Property::Static,
         Protocol::Hybrid => Property::Hybrid,
     };
-    let cert = certify(property, &h, &account_spec(params.threads));
+    let cert = certify(property, &h, &account_spec(params.object_count()));
     assert!(
         cert.is_certified(),
         "{engine}: history certification failed: {cert}"
@@ -295,6 +345,8 @@ mod tests {
             coarse_log: coarse,
             verify: true,
             exhaustive: true,
+            collect_metrics: true,
+            shared_objects: 0,
         }
     }
 
@@ -310,6 +362,14 @@ mod tests {
             // read per object from the verifier.
             assert_eq!(out.stats.admissions, 24 * 2 + 3, "{engine}");
             assert_eq!(out.stats.commits, 24 + 3, "{engine}");
+            // collect_metrics was set: the registry view must agree with
+            // the worker-counted outcomes and carry latency samples.
+            let m = out.metrics.expect("metrics requested");
+            assert!(m.enabled, "{engine}");
+            assert_eq!(m.txns_committed, out.committed + 3, "{engine}");
+            assert_eq!(m.invoke_ns.count, out.stats.admissions, "{engine}");
+            assert_eq!(m.commit_ns.count, m.txns_committed, "{engine}");
+            assert!(m.invoke_ns.percentile(0.50).is_some(), "{engine}");
         }
     }
 
@@ -347,6 +407,8 @@ mod tests {
             coarse_log: false,
             verify: false,
             exhaustive: false,
+            collect_metrics: false,
+            shared_objects: 0,
         };
         let sharded = (0..3)
             .map(|_| run_stress(Engine::Dynamic, &params).wall)

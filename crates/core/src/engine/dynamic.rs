@@ -22,7 +22,8 @@ use crate::error::TxnError;
 use crate::log::HistoryLog;
 use crate::manager::TxnManager;
 use crate::object::{AtomicObject, Participant};
-use crate::stats::{ObjectStats, StatsSnapshot};
+use crate::stats::StatsSnapshot;
+use crate::trace::ObjectMetrics;
 use crate::txn::Txn;
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
@@ -64,7 +65,7 @@ pub struct DynamicObject<S: SequentialSpec> {
     mu: Mutex<Inner<S>>,
     cv: Condvar,
     max_check: usize,
-    stats: ObjectStats,
+    metrics: ObjectMetrics,
     self_ref: Weak<DynamicObject<S>>,
 }
 
@@ -105,14 +106,14 @@ impl<S: SequentialSpec> DynamicObject<S> {
             }),
             cv: Condvar::new(),
             max_check,
-            stats: ObjectStats::default(),
+            metrics: mgr.metrics().object(id),
             self_ref: self_ref.clone(),
         })
     }
 
     /// Contention statistics for this object.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.metrics.stats()
     }
 
     /// The object's sequential specification.
@@ -186,8 +187,8 @@ impl<S: SequentialSpec> AtomicObject for DynamicObject<S> {
         self.try_invoke_once(txn, operation)
     }
 
-    fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats()
+    fn metrics(&self) -> ObjectMetrics {
+        self.metrics.clone()
     }
 
     fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
@@ -196,6 +197,8 @@ impl<S: SequentialSpec> AtomicObject for DynamicObject<S> {
         }
         txn.register(self.self_participant());
         let me = txn.id();
+        let invoke_sw = self.metrics.stopwatch();
+        let mut block_sw = crate::trace::Stopwatch::disarmed();
         let mut inner = self.mu.lock();
         let mut invoked = false;
         loop {
@@ -219,7 +222,10 @@ impl<S: SequentialSpec> AtomicObject for DynamicObject<S> {
                         .or_default()
                         .push((operation, v.clone()));
                     self.log.record_all(events);
-                    self.stats.record_admission();
+                    if block_sw.is_armed() {
+                        self.metrics.record_block_wait(&block_sw);
+                    }
+                    self.metrics.record_admission(me, &invoke_sw);
                     return Ok(v);
                 }
                 Admit::Conflict(holders) => {
@@ -231,14 +237,17 @@ impl<S: SequentialSpec> AtomicObject for DynamicObject<S> {
                     match txn.request_wait(&holders) {
                         crate::deadlock::WaitDecision::Die => {
                             txn.clear_wait();
-                            self.stats.record_deadlock_kill();
+                            self.metrics.record_deadlock_kill(me);
                             return Err(TxnError::Deadlock {
                                 txn: me,
                                 object: self.id,
                             });
                         }
                         crate::deadlock::WaitDecision::Wait => {
-                            self.stats.record_block();
+                            if !block_sw.is_armed() {
+                                block_sw = self.metrics.stopwatch();
+                            }
+                            self.metrics.record_block_round(me);
                             self.cv.wait_for(&mut inner, WAIT_SLICE);
                             txn.clear_wait();
                         }
@@ -258,6 +267,7 @@ impl<S: SequentialSpec> DynamicObject<S> {
         }
         txn.register(self.self_participant());
         let me = txn.id();
+        let invoke_sw = self.metrics.stopwatch();
         let mut inner = self.mu.lock();
         match self.try_admit(&inner, me, &operation) {
             Admit::Invalid => Err(TxnError::InvalidOperation {
@@ -274,7 +284,7 @@ impl<S: SequentialSpec> DynamicObject<S> {
                     .entry(me)
                     .or_default()
                     .push((operation, v.clone()));
-                self.stats.record_admission();
+                self.metrics.record_admission(me, &invoke_sw);
                 Ok(v)
             }
             Admit::Conflict(_) => Err(TxnError::WouldBlock { object: self.id }),
@@ -304,7 +314,7 @@ impl<S: SequentialSpec> Participant for DynamicObject<S> {
             None => Event::commit(txn, self.id),
         };
         self.log.record(event);
-        self.stats.record_commit();
+        self.metrics.record_commit(txn);
         self.cv.notify_all();
     }
 
@@ -312,7 +322,7 @@ impl<S: SequentialSpec> Participant for DynamicObject<S> {
         let mut inner = self.mu.lock();
         inner.intentions.remove(&txn);
         self.log.record(Event::abort(txn, self.id));
-        self.stats.record_abort();
+        self.metrics.record_abort(txn);
         self.cv.notify_all();
         drop(inner);
     }

@@ -19,7 +19,8 @@ use crate::error::TxnError;
 use crate::log::HistoryLog;
 use crate::manager::TxnManager;
 use crate::object::{AtomicObject, Participant};
-use crate::stats::{ObjectStats, StatsSnapshot};
+use crate::stats::StatsSnapshot;
+use crate::trace::ObjectMetrics;
 use crate::txn::{Txn, TxnKind};
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
@@ -63,7 +64,7 @@ pub struct HybridObject<S: SequentialSpec> {
     mu: Mutex<Inner<S>>,
     cv: Condvar,
     max_check: usize,
-    stats: ObjectStats,
+    metrics: ObjectMetrics,
     self_ref: Weak<HybridObject<S>>,
 }
 
@@ -105,14 +106,14 @@ impl<S: SequentialSpec> HybridObject<S> {
             }),
             cv: Condvar::new(),
             max_check,
-            stats: ObjectStats::default(),
+            metrics: mgr.metrics().object(id),
             self_ref: self_ref.clone(),
         })
     }
 
     /// Contention statistics for this object.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.metrics.stats()
     }
 
     /// Number of retained committed versions.
@@ -204,6 +205,7 @@ impl<S: SequentialSpec> HybridObject<S> {
         }
         txn.register(self.self_participant());
         let me = txn.id();
+        let invoke_sw = self.metrics.stopwatch();
         let mut inner = self.mu.lock();
         let states = self.snapshot_at(&inner, ts);
         let mut candidates: Vec<Value> = Vec::new();
@@ -229,13 +231,15 @@ impl<S: SequentialSpec> HybridObject<S> {
         events.push(Event::invoke(me, self.id, operation));
         events.push(Event::respond(me, self.id, v.clone()));
         self.log.record_all(events);
-        self.stats.record_admission();
+        self.metrics.record_admission(me, &invoke_sw);
         Ok(v)
     }
 
     fn invoke_update(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
         txn.register(self.self_participant());
         let me = txn.id();
+        let invoke_sw = self.metrics.stopwatch();
+        let mut block_sw = crate::trace::Stopwatch::disarmed();
         let mut inner = self.mu.lock();
         let mut invoked = false;
         loop {
@@ -258,7 +262,10 @@ impl<S: SequentialSpec> HybridObject<S> {
                         .or_default()
                         .push((operation, v.clone()));
                     self.log.record_all(events);
-                    self.stats.record_admission();
+                    if block_sw.is_armed() {
+                        self.metrics.record_block_wait(&block_sw);
+                    }
+                    self.metrics.record_admission(me, &invoke_sw);
                     return Ok(v);
                 }
                 Admit::Conflict(holders) => {
@@ -270,14 +277,17 @@ impl<S: SequentialSpec> HybridObject<S> {
                     match txn.request_wait(&holders) {
                         crate::deadlock::WaitDecision::Die => {
                             txn.clear_wait();
-                            self.stats.record_deadlock_kill();
+                            self.metrics.record_deadlock_kill(me);
                             return Err(TxnError::Deadlock {
                                 txn: me,
                                 object: self.id,
                             });
                         }
                         crate::deadlock::WaitDecision::Wait => {
-                            self.stats.record_block();
+                            if !block_sw.is_armed() {
+                                block_sw = self.metrics.stopwatch();
+                            }
+                            self.metrics.record_block_round(me);
                             self.cv.wait_for(&mut inner, WAIT_SLICE);
                             txn.clear_wait();
                         }
@@ -289,8 +299,8 @@ impl<S: SequentialSpec> HybridObject<S> {
 }
 
 impl<S: SequentialSpec> AtomicObject for HybridObject<S> {
-    fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats()
+    fn metrics(&self) -> ObjectMetrics {
+        self.metrics.clone()
     }
 
     fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
@@ -313,6 +323,7 @@ impl<S: SequentialSpec> AtomicObject for HybridObject<S> {
             TxnKind::Update => {
                 txn.register(self.self_participant());
                 let me = txn.id();
+                let invoke_sw = self.metrics.stopwatch();
                 let mut inner = self.mu.lock();
                 match self.try_admit_update(&inner, me, &operation) {
                     Admit::Invalid => Err(TxnError::InvalidOperation {
@@ -329,7 +340,7 @@ impl<S: SequentialSpec> AtomicObject for HybridObject<S> {
                             .entry(me)
                             .or_default()
                             .push((operation, v.clone()));
-                        self.stats.record_admission();
+                        self.metrics.record_admission(me, &invoke_sw);
                         Ok(v)
                     }
                     Admit::Conflict(_) => Err(TxnError::WouldBlock { object: self.id }),
@@ -348,7 +359,7 @@ impl<S: SequentialSpec> Participant for HybridObject<S> {
         let mut inner = self.mu.lock();
         if inner.readers.remove(&txn) {
             self.log.record(Event::commit(txn, self.id));
-            self.stats.record_commit();
+            self.metrics.record_commit(txn);
             self.cv.notify_all();
             return;
         }
@@ -375,7 +386,7 @@ impl<S: SequentialSpec> Participant for HybridObject<S> {
                 self.log.record(Event::commit(txn, self.id));
             }
         }
-        self.stats.record_commit();
+        self.metrics.record_commit(txn);
         self.cv.notify_all();
     }
 
@@ -384,7 +395,7 @@ impl<S: SequentialSpec> Participant for HybridObject<S> {
         inner.readers.remove(&txn);
         inner.intentions.remove(&txn);
         self.log.record(Event::abort(txn, self.id));
-        self.stats.record_abort();
+        self.metrics.record_abort(txn);
         self.cv.notify_all();
     }
 }

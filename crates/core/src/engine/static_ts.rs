@@ -25,7 +25,8 @@ use crate::error::TxnError;
 use crate::log::HistoryLog;
 use crate::manager::TxnManager;
 use crate::object::{AtomicObject, Participant};
-use crate::stats::{ObjectStats, StatsSnapshot};
+use crate::stats::StatsSnapshot;
+use crate::trace::ObjectMetrics;
 use crate::txn::Txn;
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
@@ -74,7 +75,7 @@ pub struct StaticObject<S: SequentialSpec> {
     cv: Condvar,
     max_futures: usize,
     compaction_threshold: usize,
-    stats: ObjectStats,
+    metrics: ObjectMetrics,
     self_ref: Weak<StaticObject<S>>,
 }
 
@@ -138,14 +139,14 @@ impl<S: SequentialSpec> StaticObject<S> {
             cv: Condvar::new(),
             max_futures,
             compaction_threshold,
-            stats: ObjectStats::default(),
+            metrics: mgr.metrics().object(id),
             self_ref: self_ref.clone(),
         })
     }
 
     /// Contention statistics for this object.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.metrics.stats()
     }
 
     /// Number of entries currently retained in the timestamp log.
@@ -349,8 +350,8 @@ fn enumerate_futures(actives: &[ActivityId]) -> Vec<BTreeSet<ActivityId>> {
 }
 
 impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
-    fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats()
+    fn metrics(&self) -> ObjectMetrics {
+        self.metrics.clone()
     }
 
     fn try_invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
@@ -363,8 +364,10 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
         })?;
         txn.register(self.self_participant());
         let me = txn.id();
+        let invoke_sw = self.metrics.stopwatch();
         let mut inner = self.mu.lock();
         if t <= inner.watermark {
+            self.metrics.record_timestamp_too_old(me);
             return Err(TxnError::TimestampTooOld {
                 txn: me,
                 object: self.id,
@@ -393,14 +396,14 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
                     },
                 );
                 self.log.record(Event::respond(me, self.id, v.clone()));
-                self.stats.record_admission();
+                self.metrics.record_admission(me, &invoke_sw);
                 Ok(v)
             }
             Admit::WaitOn(_) => Err(TxnError::WouldBlock { object: self.id }),
             Admit::MustAbort => {
                 let mut invoked = false;
                 self.record_first_events(&mut inner, me, t, &operation, &mut invoked);
-                self.stats.record_timestamp_conflict();
+                self.metrics.record_timestamp_conflict(me);
                 Err(TxnError::TimestampConflict {
                     txn: me,
                     object: self.id,
@@ -419,8 +422,11 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
         })?;
         txn.register(self.self_participant());
         let me = txn.id();
+        let invoke_sw = self.metrics.stopwatch();
+        let mut block_sw = crate::trace::Stopwatch::disarmed();
         let mut inner = self.mu.lock();
         if t <= inner.watermark {
+            self.metrics.record_timestamp_too_old(me);
             return Err(TxnError::TimestampTooOld {
                 txn: me,
                 object: self.id,
@@ -452,7 +458,10 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
                         },
                     );
                     self.log.record(Event::respond(me, self.id, v.clone()));
-                    self.stats.record_admission();
+                    if block_sw.is_armed() {
+                        self.metrics.record_block_wait(&block_sw);
+                    }
+                    self.metrics.record_admission(me, &invoke_sw);
                     return Ok(v);
                 }
                 Admit::WaitOn(holders) => {
@@ -460,14 +469,17 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
                     match txn.request_wait(&holders) {
                         crate::deadlock::WaitDecision::Die => {
                             txn.clear_wait();
-                            self.stats.record_deadlock_kill();
+                            self.metrics.record_deadlock_kill(me);
                             return Err(TxnError::Deadlock {
                                 txn: me,
                                 object: self.id,
                             });
                         }
                         crate::deadlock::WaitDecision::Wait => {
-                            self.stats.record_block();
+                            if !block_sw.is_armed() {
+                                block_sw = self.metrics.stopwatch();
+                            }
+                            self.metrics.record_block_round(me);
                             self.cv.wait_for(&mut inner, WAIT_SLICE);
                             txn.clear_wait();
                         }
@@ -475,7 +487,7 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
                 }
                 Admit::MustAbort => {
                     self.record_first_events(&mut inner, me, t, &operation, &mut invoked);
-                    self.stats.record_timestamp_conflict();
+                    self.metrics.record_timestamp_conflict(me);
                     return Err(TxnError::TimestampConflict {
                         txn: me,
                         object: self.id,
@@ -500,7 +512,7 @@ impl<S: SequentialSpec> Participant for StaticObject<S> {
         }
         self.compact(&mut inner);
         self.log.record(Event::commit(txn, self.id));
-        self.stats.record_commit();
+        self.metrics.record_commit(txn);
         self.cv.notify_all();
     }
 
@@ -508,7 +520,7 @@ impl<S: SequentialSpec> Participant for StaticObject<S> {
         let mut inner = self.mu.lock();
         inner.entries.retain(|e| e.owner != txn);
         self.log.record(Event::abort(txn, self.id));
-        self.stats.record_abort();
+        self.metrics.record_abort(txn);
         self.cv.notify_all();
     }
 }

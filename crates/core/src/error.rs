@@ -1,8 +1,96 @@
 //! Error types for the transaction runtime.
 
 use atomicity_spec::{ActivityId, ObjectId};
+use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+
+/// A stable, payload-free code classifying a [`TxnError`].
+///
+/// Every `TxnError` variant maps to exactly one reason via
+/// [`TxnError::reason`]. The metrics layer keys its abort taxonomy on
+/// these codes, and retry loops can branch on them instead of
+/// pattern-matching the (non-exhaustive, payload-carrying) error enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The transaction was already committed or aborted.
+    NotActive,
+    /// Waiting would deadlock (or wait-die killed the requester).
+    Deadlock,
+    /// Serializing at the transaction's timestamp would invalidate
+    /// results already returned (static engine).
+    TimestampConflict,
+    /// The operation is not permitted by the object's specification.
+    InvalidOperation,
+    /// The operation or transaction kind does not fit the protocol.
+    ProtocolMismatch,
+    /// The timestamp predates the object's compaction watermark.
+    TimestampTooOld,
+    /// A participant vetoed prepare; the transaction was aborted.
+    PrepareFailed,
+    /// A non-blocking invocation found the operation inadmissible.
+    WouldBlock,
+}
+
+impl AbortReason {
+    /// Every reason, in taxonomy (index) order.
+    pub const ALL: [AbortReason; 8] = [
+        AbortReason::NotActive,
+        AbortReason::Deadlock,
+        AbortReason::TimestampConflict,
+        AbortReason::InvalidOperation,
+        AbortReason::ProtocolMismatch,
+        AbortReason::TimestampTooOld,
+        AbortReason::PrepareFailed,
+        AbortReason::WouldBlock,
+    ];
+
+    /// A short stable label (used as JSON keys in metrics reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::NotActive => "not_active",
+            AbortReason::Deadlock => "deadlock",
+            AbortReason::TimestampConflict => "timestamp_conflict",
+            AbortReason::InvalidOperation => "invalid_operation",
+            AbortReason::ProtocolMismatch => "protocol_mismatch",
+            AbortReason::TimestampTooOld => "timestamp_too_old",
+            AbortReason::PrepareFailed => "prepare_failed",
+            AbortReason::WouldBlock => "would_block",
+        }
+    }
+
+    /// The reason's position in [`AbortReason::ALL`]; metrics use it to
+    /// index a fixed array of counters.
+    pub fn index(self) -> usize {
+        AbortReason::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("every reason is in ALL")
+    }
+
+    /// Whether errors with this reason oblige the caller to abort.
+    pub fn must_abort(self) -> bool {
+        matches!(
+            self,
+            AbortReason::Deadlock | AbortReason::TimestampConflict | AbortReason::TimestampTooOld
+        )
+    }
+
+    /// Whether this reason stems from timestamp-order validation (the
+    /// static engine's refusals, retryable with a fresh timestamp).
+    pub fn is_timestamp(self) -> bool {
+        matches!(
+            self,
+            AbortReason::TimestampConflict | AbortReason::TimestampTooOld
+        )
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// An error surfaced by the transaction runtime.
 ///
@@ -86,12 +174,21 @@ pub enum TxnError {
 impl TxnError {
     /// Whether this error obliges the caller to abort the transaction.
     pub fn must_abort(&self) -> bool {
-        matches!(
-            self,
-            TxnError::Deadlock { .. }
-                | TxnError::TimestampConflict { .. }
-                | TxnError::TimestampTooOld { .. }
-        )
+        self.reason().must_abort()
+    }
+
+    /// The stable [`AbortReason`] code for this error.
+    pub fn reason(&self) -> AbortReason {
+        match self {
+            TxnError::NotActive { .. } => AbortReason::NotActive,
+            TxnError::Deadlock { .. } => AbortReason::Deadlock,
+            TxnError::TimestampConflict { .. } => AbortReason::TimestampConflict,
+            TxnError::InvalidOperation { .. } => AbortReason::InvalidOperation,
+            TxnError::ProtocolMismatch { .. } => AbortReason::ProtocolMismatch,
+            TxnError::TimestampTooOld { .. } => AbortReason::TimestampTooOld,
+            TxnError::PrepareFailed { .. } => AbortReason::PrepareFailed,
+            TxnError::WouldBlock { .. } => AbortReason::WouldBlock,
+        }
     }
 }
 
@@ -149,6 +246,29 @@ mod tests {
         }
         .must_abort());
         assert!(!TxnError::WouldBlock { object }.must_abort());
+    }
+
+    #[test]
+    fn reason_is_stable_and_indexed() {
+        let txn = ActivityId::new(1);
+        let object = ObjectId::new(1);
+        assert_eq!(
+            TxnError::Deadlock { txn, object }.reason(),
+            AbortReason::Deadlock
+        );
+        assert_eq!(
+            TxnError::WouldBlock { object }.reason(),
+            AbortReason::WouldBlock
+        );
+        for (i, reason) in AbortReason::ALL.iter().enumerate() {
+            assert_eq!(reason.index(), i);
+        }
+        assert!(AbortReason::TimestampConflict.is_timestamp());
+        assert!(AbortReason::TimestampTooOld.is_timestamp());
+        assert!(!AbortReason::Deadlock.is_timestamp());
+        let labels: std::collections::BTreeSet<&str> =
+            AbortReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), AbortReason::ALL.len(), "labels are unique");
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod manager;
 pub mod object;
 pub mod recovery;
 pub mod stats;
+pub mod trace;
 pub mod txn;
 
 pub use clock::LamportClock;
@@ -67,9 +68,13 @@ pub use deadlock::{DeadlockPolicy, WaitDecision, WaitGraph};
 pub use engine::dynamic::DynamicObject;
 pub use engine::hybrid::HybridObject;
 pub use engine::static_ts::StaticObject;
-pub use error::TxnError;
+pub use error::{AbortReason, TxnError};
 pub use log::HistoryLog;
-pub use manager::{Protocol, TxnManager};
+pub use manager::{ManagerBuilder, Protocol, TxnManager};
 pub use object::{AtomicObject, Participant};
 pub use stats::{ObjectStats, StatsSnapshot};
+pub use trace::{
+    HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ObjectMetrics,
+    ObjectMetricsSnapshot, Stopwatch, TraceBuffer, TraceKind, TraceRecord,
+};
 pub use txn::{Txn, TxnKind, TxnStatus};

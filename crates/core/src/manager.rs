@@ -5,6 +5,7 @@ use crate::deadlock::{DeadlockPolicy, WaitDecision, WaitGraph};
 use crate::error::TxnError;
 use crate::log::HistoryLog;
 use crate::object::Participant;
+use crate::trace::MetricsRegistry;
 use crate::txn::{Txn, TxnKind, TxnStatus};
 use atomicity_spec::{ActivityId, History, Timestamp};
 use parking_lot::Mutex;
@@ -79,6 +80,68 @@ pub(crate) struct ManagerInner {
     /// commits and aborts skip the wait-graph mutex entirely while nothing
     /// is blocked (the common case in low-contention workloads).
     has_waiters: AtomicBool,
+    /// The observability sink shared by the manager and every object
+    /// built against it. Disabled (no-op) unless configured through
+    /// [`ManagerBuilder::metrics`].
+    metrics: MetricsRegistry,
+}
+
+/// Configures and builds a [`TxnManager`].
+///
+/// ```
+/// use atomicity_core::{DeadlockPolicy, MetricsRegistry, Protocol, TxnManager};
+/// let mgr = TxnManager::builder(Protocol::Hybrid)
+///     .policy(DeadlockPolicy::WaitDie)
+///     .metrics(MetricsRegistry::new())
+///     .build();
+/// assert!(mgr.metrics().is_enabled());
+/// ```
+#[derive(Debug)]
+pub struct ManagerBuilder {
+    protocol: Protocol,
+    policy: DeadlockPolicy,
+    log: HistoryLog,
+    metrics: MetricsRegistry,
+}
+
+impl ManagerBuilder {
+    /// The deadlock policy (default: [`DeadlockPolicy::Detect`]).
+    pub fn policy(mut self, policy: DeadlockPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The history log to record into (default: a fresh sharded log).
+    pub fn log(mut self, log: HistoryLog) -> Self {
+        self.log = log;
+        self
+    }
+
+    /// The metrics registry to report into (default: disabled).
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Builds the manager.
+    pub fn build(self) -> TxnManager {
+        TxnManager {
+            inner: Arc::new(ManagerInner {
+                protocol: self.protocol,
+                policy: self.policy,
+                next_id: AtomicU32::new(1),
+                clock: Arc::new(LamportClock::new()),
+                log: self.log,
+                commit_gate: Mutex::new(()),
+                txns: (0..TXN_SHARDS)
+                    .map(|_| Mutex::new(HashMap::new()))
+                    .collect(),
+                waits: Mutex::new(WaitGraph::new()),
+                has_waiters: AtomicBool::new(false),
+                metrics: self.metrics,
+            }),
+        }
+    }
 }
 
 struct TxnRecord {
@@ -105,26 +168,29 @@ impl TxnManager {
     /// recorder configurations (e.g. [`HistoryLog::coarse`] vs. the default
     /// sharded log in experiment E8).
     pub fn with_log(protocol: Protocol, policy: DeadlockPolicy, log: HistoryLog) -> Self {
-        TxnManager {
-            inner: Arc::new(ManagerInner {
-                protocol,
-                policy,
-                next_id: AtomicU32::new(1),
-                clock: Arc::new(LamportClock::new()),
-                log,
-                commit_gate: Mutex::new(()),
-                txns: (0..TXN_SHARDS)
-                    .map(|_| Mutex::new(HashMap::new()))
-                    .collect(),
-                waits: Mutex::new(WaitGraph::new()),
-                has_waiters: AtomicBool::new(false),
-            }),
+        Self::builder(protocol).policy(policy).log(log).build()
+    }
+
+    /// Starts configuring a manager: protocol plus optional deadlock
+    /// policy, history log, and metrics registry.
+    pub fn builder(protocol: Protocol) -> ManagerBuilder {
+        ManagerBuilder {
+            protocol,
+            policy: DeadlockPolicy::default(),
+            log: HistoryLog::new(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
     /// The protocol this manager runs.
     pub fn protocol(&self) -> Protocol {
         self.inner.protocol
+    }
+
+    /// The shared metrics registry (objects are constructed with handles
+    /// onto it; disabled unless configured via [`ManagerBuilder`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// The shared history log (objects are constructed with a clone of it).
@@ -201,6 +267,7 @@ impl TxnManager {
                 participants: Vec::new(),
             },
         );
+        self.inner.metrics.txn_begun(id);
         Txn {
             id,
             kind,
@@ -231,11 +298,16 @@ impl TxnManager {
             }
             rec.participants.clone()
         };
+        let sw = self.inner.metrics.stopwatch();
 
         // Phase 1: prepare.
+        self.inner.metrics.txn_prepare(id);
         for p in &participants {
             if let Err(_veto) = p.prepare(id) {
                 self.finish(id, &participants, TxnStatus::Aborted, None);
+                self.inner
+                    .metrics
+                    .txn_aborted(id, Some(crate::AbortReason::PrepareFailed));
                 return Err(TxnError::PrepareFailed {
                     txn: id,
                     object: p.object_id(),
@@ -267,6 +339,7 @@ impl TxnManager {
                 txn.start_ts
             }
         };
+        self.inner.metrics.txn_committed(id, sw.elapsed_ns());
         Ok(commit_ts)
     }
 
@@ -283,6 +356,7 @@ impl TxnManager {
             }
         };
         self.finish(id, &participants, TxnStatus::Aborted, None);
+        self.inner.metrics.txn_aborted(id, None);
     }
 
     /// Applies the final status at every participant and updates records.
@@ -552,6 +626,61 @@ mod tests {
         mgr.abort(stale);
         assert_eq!(probe.aborted.load(Ordering::SeqCst), 0);
         assert_eq!(mgr.status(id), Some(TxnStatus::Committed));
+    }
+
+    #[test]
+    fn builder_wires_metrics_through_lifecycle() {
+        let mgr = TxnManager::builder(Protocol::Dynamic)
+            .metrics(MetricsRegistry::new())
+            .build();
+        assert!(mgr.metrics().is_enabled());
+        let t1 = mgr.begin();
+        mgr.commit(t1).unwrap();
+        let t2 = mgr.begin();
+        mgr.abort(t2);
+        let probe = Arc::new(Probe {
+            veto: true,
+            ..Probe::default()
+        });
+        let t3 = mgr.begin();
+        t3.register(Arc::clone(&probe) as Arc<dyn Participant>);
+        assert!(mgr.commit(t3).is_err());
+        let snap = mgr.metrics().snapshot();
+        assert_eq!(snap.txns_begun, 3);
+        assert_eq!(snap.txns_committed, 1);
+        assert_eq!(snap.txns_aborted, 2);
+        assert_eq!(snap.abort_reasons["prepare_failed"], 1);
+        assert_eq!(snap.commit_ns.count, 1);
+        use crate::trace::TraceKind;
+        let kinds: Vec<TraceKind> = mgr
+            .metrics()
+            .trace_events()
+            .records
+            .iter()
+            .map(|r| r.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::Begin,
+                TraceKind::Prepare,
+                TraceKind::Commit,
+                TraceKind::Begin,
+                TraceKind::Abort,
+                TraceKind::Begin,
+                TraceKind::Prepare,
+                TraceKind::Abort,
+            ]
+        );
+    }
+
+    #[test]
+    fn default_manager_metrics_are_disabled() {
+        let mgr = TxnManager::new(Protocol::Static);
+        assert!(!mgr.metrics().is_enabled());
+        let t = mgr.begin();
+        mgr.commit(t).unwrap();
+        assert_eq!(mgr.metrics().snapshot().txns_begun, 0);
     }
 
     #[test]

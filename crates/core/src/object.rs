@@ -79,11 +79,21 @@ pub trait AtomicObject: Participant {
         self.invoke(txn, operation)
     }
 
-    /// A snapshot of this object's contention counters
-    /// ([`crate::stats::ObjectStats`]), so workloads can aggregate
-    /// statistics across objects behind the trait. Objects that do not
-    /// track statistics return the zero snapshot.
+    /// The object's metrics handle: always-on contention counters plus —
+    /// when the owning manager's [`crate::MetricsRegistry`] is enabled —
+    /// latency histograms, event tracing, and abort causes. Objects that
+    /// do not track metrics return a detached handle whose counters stay
+    /// zero.
+    fn metrics(&self) -> crate::trace::ObjectMetrics {
+        crate::trace::ObjectMetrics::detached(self.object_id())
+    }
+
+    /// A snapshot of this object's contention counters.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `metrics().stats()`; this shim will be removed next release"
+    )]
     fn stats_snapshot(&self) -> crate::stats::StatsSnapshot {
-        crate::stats::StatsSnapshot::default()
+        self.metrics().stats()
     }
 }

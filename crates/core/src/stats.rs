@@ -28,7 +28,7 @@ pub struct ObjectStats {
 }
 
 /// A point-in-time copy of [`ObjectStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct StatsSnapshot {
     /// Invocations admitted (a result was returned).
     pub admissions: u64,

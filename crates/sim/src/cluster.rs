@@ -3,6 +3,7 @@
 use crate::message::{Message, NodeId, SimEvent};
 use crate::node::Node;
 use crate::queue::EventQueue;
+use atomicity_core::{AbortReason, MetricsRegistry};
 use atomicity_spec::{op, ActivityId, OpResult, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,6 +137,12 @@ pub struct Cluster {
     audit_results: Vec<(u64, i64)>,
     next_audit: usize,
     stats: SimStats,
+    /// Observability sink (disabled unless [`Cluster::enable_metrics`] is
+    /// called): transaction begin/commit/abort counts and the
+    /// submit-to-decision latency histogram in simulated time.
+    metrics: MetricsRegistry,
+    /// Simulated submission time per undecided transaction.
+    submit_times: HashMap<ActivityId, u64>,
 }
 
 impl Cluster {
@@ -165,7 +172,22 @@ impl Cluster {
             audit_results: Vec::new(),
             next_audit: 0,
             stats: SimStats::default(),
+            metrics: MetricsRegistry::disabled(),
+            submit_times: HashMap::new(),
         }
+    }
+
+    /// Turns on metrics collection: subsequent transactions are counted
+    /// in a fresh [`MetricsRegistry`], with the commit-path histogram fed
+    /// the submit-to-decision latency in **simulated** nanoseconds (one
+    /// simulated time unit = 1\u{b5}s).
+    pub fn enable_metrics(&mut self) {
+        self.metrics = MetricsRegistry::new();
+    }
+
+    /// The cluster's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The node an account lives on.
@@ -329,6 +351,8 @@ impl Cluster {
     pub fn submit_transfer(&mut self, from: i64, to: i64, amount: i64) -> ActivityId {
         let txn = ActivityId::new(self.next_txn);
         self.next_txn += 1;
+        self.metrics.txn_begun(txn);
+        self.submit_times.insert(txn, self.time);
         let mut per_node: BTreeMap<NodeId, Vec<OpResult>> = BTreeMap::new();
         per_node
             .entry(self.home_of(from))
@@ -562,12 +586,25 @@ impl Cluster {
 
     fn decide(&mut self, txn: ActivityId, commit: bool) {
         self.decisions.insert(txn, commit);
+        // Simulated-time latency from submission to the decision; the
+        // remove also makes a duplicate decision metrics-silent.
+        let sim_ns = self.submit_times.remove(&txn).map(|t0| {
+            let delta = self.time.saturating_sub(t0);
+            delta.saturating_mul(1_000)
+        });
         if commit {
             self.stats.committed += 1;
             self.ts_clock += 1;
             self.commit_ts.insert(txn, self.ts_clock);
+            if sim_ns.is_some() {
+                self.metrics.txn_committed(txn, sim_ns);
+            }
         } else {
             self.stats.aborted += 1;
+            if sim_ns.is_some() {
+                self.metrics
+                    .txn_aborted(txn, Some(AbortReason::PrepareFailed));
+            }
         }
         let participants = self
             .pending
@@ -675,6 +712,40 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metrics_track_decisions_in_simulated_time() {
+        let mut cluster = Cluster::new(SimConfig::default());
+        cluster.enable_metrics();
+        for i in 0..5 {
+            cluster.submit_transfer(i, i + 1, 1);
+        }
+        cluster.run_to_quiescence();
+        let snap = cluster.metrics().snapshot();
+        assert!(snap.enabled);
+        assert_eq!(snap.txns_begun, 5);
+        assert_eq!(
+            snap.txns_committed + snap.txns_aborted,
+            5,
+            "every submitted transfer must be decided"
+        );
+        assert_eq!(snap.commit_ns.count, snap.txns_committed);
+        if snap.txns_committed > 0 {
+            // Decisions take at least one message round trip of simulated
+            // time, so the histogram carries nonzero latencies.
+            assert!(snap.commit_ns.percentile(0.5).unwrap_or(0) > 0);
+        }
+    }
+
+    #[test]
+    fn disabled_metrics_cost_nothing_and_count_nothing() {
+        let mut cluster = Cluster::new(SimConfig::default());
+        cluster.submit_transfer(0, 1, 1);
+        cluster.run_to_quiescence();
+        let snap = cluster.metrics().snapshot();
+        assert!(!snap.enabled);
+        assert_eq!(snap.txns_begun, 0);
+    }
 
     #[test]
     fn transfer_commits_and_conserves() {

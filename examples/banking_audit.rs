@@ -11,7 +11,7 @@
 //! ```
 
 use atomicity::adts::AtomicMap;
-use atomicity::core::{Protocol, TxnManager};
+use atomicity::core::{MetricsRegistry, Protocol, TxnManager};
 use std::sync::Arc;
 
 const SHARDS: usize = 4;
@@ -22,7 +22,11 @@ const WORKERS: usize = 3;
 const AUDITS: usize = 25;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mgr = TxnManager::new(Protocol::Hybrid);
+    // The builder API with an enabled metrics registry: the run reports
+    // commit-path latencies alongside the conservation check.
+    let mgr = TxnManager::builder(Protocol::Hybrid)
+        .metrics(MetricsRegistry::new())
+        .build();
     let shards: Vec<AtomicMap> = (0..SHARDS)
         .map(|s| {
             AtomicMap::with_initial(
@@ -93,6 +97,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         totals.len()
     );
     assert_eq!(consistent, totals.len(), "every audit must be consistent");
+
+    let m = mgr.metrics().snapshot();
+    println!(
+        "metrics: {} committed / {} aborted, commit p95 {:?} ns, abort causes {:?}",
+        m.txns_committed,
+        m.txns_aborted,
+        m.commit_ns.percentile(0.95),
+        m.abort_reasons,
+    );
 
     // Shared `Arc`s kept alive until the end of the run.
     let _keep = Arc::new(shards);

@@ -9,7 +9,7 @@
 //! ```
 
 use atomicity::adts::{AtomicAccount, WithdrawOutcome};
-use atomicity::core::{Protocol, TxnManager};
+use atomicity::core::{MetricsRegistry, Protocol, TxnManager};
 use atomicity::spec::atomicity::{is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
 use atomicity::spec::specs::BankAccountSpec;
 use atomicity::spec::{ObjectId, SystemSpec};
@@ -17,7 +17,11 @@ use atomicity::spec::{ObjectId, SystemSpec};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for protocol in [Protocol::Dynamic, Protocol::Static, Protocol::Hybrid] {
         println!("--- {protocol:?} atomicity ---");
-        let mgr = TxnManager::new(protocol);
+        // The builder API: protocol plus an enabled metrics registry, so
+        // the run below also demonstrates the observability layer.
+        let mgr = TxnManager::builder(protocol)
+            .metrics(MetricsRegistry::new())
+            .build();
         let account = AtomicAccount::new(ObjectId::new(1), &mgr);
 
         // Fund the account.
@@ -58,6 +62,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             history.len()
         );
         assert!(holds);
+
+        // What the metrics registry observed for this protocol's run.
+        let m = mgr.metrics().snapshot();
+        println!(
+            "metrics: {} txns committed, invoke p50 {:?} ns, commit p50 {:?} ns, {} trace events",
+            m.txns_committed,
+            m.invoke_ns.percentile(0.5),
+            m.commit_ns.percentile(0.5),
+            m.trace_written,
+        );
     }
     println!("\nAll three protocols executed and verified.");
     Ok(())
