@@ -1,8 +1,10 @@
 //! The experiment harness: regenerates every comparison in the paper.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 | all]
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 | all]
+//! experiments e6 [--disk]
 //! experiments e10 [--smoke] [--json=PATH]
+//! experiments e11 [--smoke] [--json=PATH]
 //! experiments lint [--demo-unsound]
 //! ```
 //!
@@ -16,10 +18,16 @@
 //! `--demo-unsound` adds a deliberately corrupted bank table to the run to
 //! demonstrate (and test) the failure path.
 //!
-//! `e10` additionally writes its report as JSON (default `BENCH_e10.json`,
-//! override with `--json=PATH`); `--smoke` shrinks the workload to a CI
-//! wiring check. The run exits non-zero if any engine reports zero
-//! admissions — a mute metrics pipeline.
+//! `e6 --disk` replays the crash sweep with every node's stable log
+//! backed by the real on-disk WAL (`atomicity-durable`, sync-each policy)
+//! instead of the in-memory simulated one.
+//!
+//! `e10` and `e11` additionally write their reports as JSON (defaults
+//! `BENCH_e10.json` / `BENCH_e11.json`, override with `--json=PATH`);
+//! `--smoke` shrinks the workloads to CI wiring checks. `e10` exits
+//! non-zero if any engine reports zero admissions — a mute metrics
+//! pipeline — and a full (non-smoke) `e11` exits non-zero if group commit
+//! fails to beat sync-each by at least 2× at the highest thread count.
 
 use atomicity_bench::engines::map_commutativity;
 use atomicity_bench::engines::Engine;
@@ -32,7 +40,7 @@ use atomicity_bench::workloads::bank::{run_bank, BankParams};
 use atomicity_bench::workloads::lamport::{run_lamport, AuditMode, LamportParams};
 use atomicity_bench::workloads::queue::{paper_history_verdicts, run_queue, QueueParams};
 use atomicity_bench::workloads::recovery::{
-    run_crash_sweep, run_distributed_audits, run_lossy, run_recovery_cost,
+    run_crash_sweep, run_crash_sweep_with, run_distributed_audits, run_lossy, run_recovery_cost,
 };
 use atomicity_bench::workloads::skew::{run_skew, SkewParams};
 use atomicity_lint::lockorder::read_sources;
@@ -48,11 +56,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let disk = args.iter().any(|a| a == "--disk");
     let json_path = args
         .iter()
         .find_map(|a| a.strip_prefix("--json="))
-        .unwrap_or("BENCH_e10.json")
-        .to_string();
+        .map(str::to_string);
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -80,7 +88,7 @@ fn main() {
         e5_enumeration();
     }
     if want("e6") {
-        e6_recovery(quick);
+        e6_recovery(quick, disk);
     }
     if want("e7") {
         e7_skew(quick);
@@ -92,7 +100,18 @@ fn main() {
         e9_static_analysis(quick);
     }
     if want("e10") {
-        e10_observability(quick, smoke, &json_path);
+        e10_observability(
+            quick,
+            smoke,
+            json_path.as_deref().unwrap_or("BENCH_e10.json"),
+        );
+    }
+    if want("e11") {
+        e11_wal(
+            quick,
+            smoke,
+            json_path.as_deref().unwrap_or("BENCH_e11.json"),
+        );
     }
     if want("a1") {
         a1_ablation(quick);
@@ -408,13 +427,42 @@ fn e5_enumeration() {
 }
 
 /// E6 (§1, §3): recoverability — crash sweep + recovery-cost comparison.
-fn e6_recovery(quick: bool) {
+/// With `disk`, the sweep's stable logs are the real on-disk WAL.
+fn e6_recovery(quick: bool, disk: bool) {
     println!("== E6: recovery — crash sweep over two-phase commit (paper §1, §3)\n");
     let transfers = if quick { 3 } else { 6 };
     let stride = if quick { 4 } else { 2 };
-    let out = run_crash_sweep(transfers, stride, 17);
+    let (out, backend) = if disk {
+        use atomicity_core::recovery::DurableLog;
+        use atomicity_durable::{SyncPolicy, Wal, WalOptions};
+        use std::sync::Arc;
+
+        let base = std::env::temp_dir().join(format!("atomicity-e6-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let factory = |run: u64, node: atomicity_sim::NodeId| {
+            let dir = base.join(format!("run{run}-n{}", node.raw()));
+            let (wal, _) = Wal::open(
+                &dir,
+                WalOptions {
+                    sync: SyncPolicy::SyncEach,
+                    ..WalOptions::default()
+                },
+            )
+            .expect("open per-node WAL");
+            Arc::new(wal) as Arc<dyn DurableLog>
+        };
+        let out = run_crash_sweep_with(transfers, stride, 17, &factory);
+        let _ = std::fs::remove_dir_all(&base);
+        (out, "on-disk WAL (sync-each)")
+    } else {
+        (
+            run_crash_sweep(transfers, stride, 17),
+            "in-memory StableLog",
+        )
+    };
     let mut table = Table::new(vec!["metric", "value"]).with_title(format!(
-        "crash of every node at every {stride}-th event of a {transfers}-transfer run"
+        "crash of every node at every {stride}-th event of a {transfers}-transfer run \
+         [logs: {backend}]"
     ));
     table.row(vec!["crash points tested".into(), out.points.to_string()]);
     table.row(vec![
@@ -796,6 +844,75 @@ fn e10_observability(quick: bool, smoke: bool, json_path: &str) {
     if !silent.is_empty() {
         eprintln!("E10 FAILED: engines with zero admissions: {silent:?}");
         std::process::exit(1);
+    }
+}
+
+/// E11 (DESIGN.md §7): WAL commit throughput — group commit vs.
+/// sync-each across writer-thread counts and batching windows, exported
+/// as JSON. A full run gates on group commit beating sync-each ≥2× at
+/// the highest thread count.
+fn e11_wal(quick: bool, smoke: bool, json_path: &str) {
+    use atomicity_bench::workloads::wal::{run_wal_bench, WalBenchParams};
+
+    println!("== E11: durability — WAL group commit vs sync-each (DESIGN.md \u{a7}7)\n");
+    let params = if smoke {
+        WalBenchParams::smoke()
+    } else if quick {
+        WalBenchParams::quick()
+    } else {
+        WalBenchParams::full()
+    };
+    let report = run_wal_bench(&params);
+
+    let fmt_ns = |v: Option<u64>| v.map_or_else(|| "-".into(), |n| n.to_string());
+    let mut table = Table::new(vec![
+        "mode",
+        "window µs",
+        "threads",
+        "commit/s",
+        "fsyncs",
+        "mean batch",
+        "flush p50 ns",
+        "flush p95 ns",
+    ])
+    .with_title(format!(
+        "{} txns/thread, 2 records + 1 durable sync per txn",
+        params.txns_per_thread
+    ));
+    for row in &report.rows {
+        table.row(vec![
+            row.mode.clone(),
+            row.window_us.map_or_else(|| "-".into(), |w| w.to_string()),
+            row.threads.to_string(),
+            f1(row.commits_per_sec),
+            row.fsyncs.to_string(),
+            f1(row.mean_batch),
+            fmt_ns(row.flush_ns.p50),
+            fmt_ns(row.flush_ns.p95),
+        ]);
+    }
+    println!("{table}");
+
+    let top_threads = params.threads.iter().copied().max().unwrap_or(0);
+    let speedup = report.group_commit_speedup(top_threads);
+    if let Some(s) = speedup {
+        println!("group-commit speedup over sync-each at {top_threads} threads: {s:.1}x\n");
+    }
+
+    std::fs::write(json_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("report written to {json_path}\n");
+
+    // The CI/acceptance gate: batching fsyncs must actually pay. Smoke
+    // runs are too small to measure and only check wiring.
+    if !smoke && !quick {
+        match speedup {
+            Some(s) if s >= 2.0 => {}
+            other => {
+                eprintln!("E11 FAILED: group-commit speedup at {top_threads} threads was {other:?}, need >= 2x");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -12,6 +12,50 @@ use atomicity_core::HistogramSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Version of the benchmark-report JSON layout. Bump when a committed
+/// `BENCH_*.json` file changes shape incompatibly, so CI artifact
+/// consumers can tell stale reports from current ones.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
+/// The header every benchmark report (`BENCH_e10.json`, `BENCH_e11.json`)
+/// carries, so an artifact is self-identifying: which experiment produced
+/// it, under which schema, from which commit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportHeader {
+    /// Report layout version ([`REPORT_SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Experiment tag (`"e10"`, `"e11"`).
+    pub experiment: String,
+    /// Short git commit the binary was run from, or `"unknown"` outside a
+    /// git checkout.
+    pub git_commit: String,
+}
+
+impl ReportHeader {
+    /// Builds a header for `experiment`, stamping the current git commit.
+    pub fn new(experiment: &str) -> Self {
+        ReportHeader {
+            schema_version: REPORT_SCHEMA_VERSION,
+            experiment: experiment.to_string(),
+            git_commit: current_git_commit(),
+        }
+    }
+}
+
+/// The short hash of `HEAD`, or `"unknown"` when git is unavailable (CI
+/// tarballs, vendored builds).
+fn current_git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// The percentile summary of one latency histogram. Values are
 /// nanoseconds from log₂-bucketed samples: exact counts, bucket-midpoint
 /// percentiles (see `DESIGN.md` §6).
@@ -125,8 +169,8 @@ impl From<&StressParams> for ReportParams {
 /// The complete E10 report: one row per engine over the same workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ObservabilityReport {
-    /// Report schema tag (`"e10"`).
-    pub experiment: String,
+    /// Shared report header (`experiment: "e10"`).
+    pub header: ReportHeader,
     /// The workload every row ran.
     pub params: ReportParams,
     /// Per-engine rows, in presentation order.
@@ -137,7 +181,7 @@ impl ObservabilityReport {
     /// Assembles the report from per-engine outcomes.
     pub fn new(params: &StressParams, outcomes: &[StressOutcome]) -> Self {
         ObservabilityReport {
-            experiment: "e10".to_string(),
+            header: ReportHeader::new("e10"),
             params: params.into(),
             engines: outcomes.iter().map(EngineReport::from_outcome).collect(),
         }
@@ -200,6 +244,10 @@ mod tests {
         let back = ObservabilityReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.engines.len(), report.engines.len());
         assert_eq!(back.engines[0].invoke_ns, report.engines[0].invoke_ns);
+        assert_eq!(back.header, report.header);
+        assert_eq!(back.header.experiment, "e10");
+        assert_eq!(back.header.schema_version, REPORT_SCHEMA_VERSION);
+        assert!(!back.header.git_commit.is_empty());
     }
 
     #[test]

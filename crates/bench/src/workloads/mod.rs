@@ -7,6 +7,7 @@ pub mod queue;
 pub mod recovery;
 pub mod skew;
 pub mod stress;
+pub mod wal;
 
 use std::time::Duration;
 

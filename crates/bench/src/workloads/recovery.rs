@@ -12,10 +12,11 @@
 //!    *uncommitted* operations — the trade the paper's §5.1 model-freedom
 //!    argument is about.
 
-use atomicity_core::recovery::{IntentionsStore, StableLog, UndoStore};
+use atomicity_core::recovery::{DurableLog, IntentionsStore, StableLog, UndoStore};
 use atomicity_sim::{Cluster, NodeId, SimConfig};
 use atomicity_spec::specs::KvMapSpec;
 use atomicity_spec::{op, ActivityId, ObjectId, Value};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Outcome of one crash-sweep run.
@@ -39,15 +40,37 @@ pub struct CrashSweepOutcome {
 }
 
 /// Sweeps a crash of every node over every `stride`-th event index of a
-/// transfer workload.
+/// transfer workload, each node backed by the in-memory simulated log.
 pub fn run_crash_sweep(transfers: usize, stride: u64, seed: u64) -> CrashSweepOutcome {
+    run_crash_sweep_with(transfers, stride, seed, &|_, _| {
+        Arc::new(StableLog::new()) as Arc<dyn DurableLog>
+    })
+}
+
+/// The crash sweep over an arbitrary durable-log factory. `factory` is
+/// called with `(run, node)` — `run` counts the clusters built so far —
+/// and must return a *fresh, empty* log for that pair (for the on-disk
+/// WAL: a distinct directory per run × node). This is the `experiments
+/// e6 --disk` path that replays the whole sweep on the real WAL.
+pub fn run_crash_sweep_with(
+    transfers: usize,
+    stride: u64,
+    seed: u64,
+    factory: &dyn Fn(u64, NodeId) -> Arc<dyn DurableLog>,
+) -> CrashSweepOutcome {
     let base_cfg = SimConfig {
         seed,
         ..SimConfig::default()
     };
+    let mut run = 0u64;
+    let mut cluster = |cfg: SimConfig| {
+        let c = Cluster::with_log_factory(cfg, |id| factory(run, id));
+        run += 1;
+        c
+    };
     // Baseline: how many events does the un-crashed run process?
     let baseline_events = {
-        let mut c = Cluster::new(base_cfg.clone());
+        let mut c = cluster(base_cfg.clone());
         submit_all(&mut c, transfers);
         c.run_to_quiescence();
         c.stats().events
@@ -65,7 +88,7 @@ pub fn run_crash_sweep(transfers: usize, stride: u64, seed: u64) -> CrashSweepOu
     let mut crash_at = 0u64;
     while crash_at <= baseline_events {
         for node in 0..base_cfg.nodes {
-            let mut c = Cluster::new(base_cfg.clone());
+            let mut c = cluster(base_cfg.clone());
             submit_all(&mut c, transfers);
             c.schedule_crash(crash_at, NodeId::new(node), 30_000);
             c.run_to_quiescence();
@@ -285,6 +308,40 @@ mod tests {
         assert!(out.points > 0);
         assert_eq!(out.atomic_points, out.points, "{out:?}");
         assert!(out.recoveries >= out.points, "every crash recovers");
+    }
+
+    #[test]
+    fn disk_backed_crash_sweep_matches_in_memory() {
+        use atomicity_durable::{SyncPolicy, Wal, WalOptions};
+
+        let base =
+            std::env::temp_dir().join(format!("atomicity-e6-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let factory = |run: u64, node: NodeId| {
+            let dir = base.join(format!("run{run}-n{}", node.raw()));
+            let (wal, info) = Wal::open(
+                &dir,
+                WalOptions {
+                    sync: SyncPolicy::SyncEach,
+                    ..WalOptions::default()
+                },
+            )
+            .expect("open node WAL");
+            assert_eq!(info.records, 0, "factory must hand out fresh logs");
+            Arc::new(wal) as Arc<dyn DurableLog>
+        };
+        let disk = run_crash_sweep_with(2, 6, 11, &factory);
+        let _ = std::fs::remove_dir_all(&base);
+
+        // The sweep is deterministic in everything but the log backend, so
+        // the on-disk WAL must reproduce the in-memory outcome exactly.
+        let memory = run_crash_sweep(2, 6, 11);
+        assert!(disk.points > 0);
+        assert_eq!(disk.atomic_points, disk.points, "{disk:?}");
+        assert_eq!(disk.committed, memory.committed);
+        assert_eq!(disk.aborted, memory.aborted);
+        assert_eq!(disk.redo_records, memory.redo_records);
+        assert_eq!(disk.in_doubt, memory.in_doubt);
     }
 
     #[test]

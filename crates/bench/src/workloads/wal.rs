@@ -1,0 +1,312 @@
+//! E11 — WAL commit throughput: group commit vs. sync-each.
+//!
+//! Every committer must wait for its log records to reach the disk, so
+//! commit throughput is gated by fsync. [`SyncPolicy::SyncEach`] pays one
+//! device flush per record; [`SyncPolicy::GroupCommit`] lets a dedicated
+//! flusher thread retire a whole batch of committers with a single fsync
+//! after lingering a tunable window. This workload measures the trade
+//! across thread counts and windows: committed transactions per second,
+//! fsyncs actually issued, mean batch size, and flush-latency percentiles
+//! (from [`MetricsRegistry::wal_flush`] instrumentation).
+//!
+//! Each configuration runs against a fresh WAL directory under the system
+//! temp dir; directories are removed when the run finishes.
+
+use crate::report::{LatencySummary, ReportHeader};
+use atomicity_core::recovery::{DurableLog, LogRecord, RecordKind};
+use atomicity_core::MetricsRegistry;
+use atomicity_durable::{SyncPolicy, Wal, WalOptions};
+use atomicity_spec::{op, ActivityId, ObjectId, Value};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workload shape for one E11 sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalBenchParams {
+    /// Transactions each writer thread commits (2 records + 1 sync per
+    /// transaction: a prepare and a commit).
+    pub txns_per_thread: usize,
+    /// Writer thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Group-commit windows (µs) to sweep; sync-each runs once per thread
+    /// count as the baseline.
+    pub windows_us: Vec<u64>,
+}
+
+impl WalBenchParams {
+    /// The full sweep the committed `BENCH_e11.json` is generated from.
+    pub fn full() -> Self {
+        WalBenchParams {
+            txns_per_thread: 200,
+            threads: vec![1, 2, 4, 8],
+            windows_us: vec![50, 200, 1000],
+        }
+    }
+
+    /// A reduced sweep for `--quick`.
+    pub fn quick() -> Self {
+        WalBenchParams {
+            txns_per_thread: 100,
+            threads: vec![1, 4, 8],
+            windows_us: vec![200],
+        }
+    }
+
+    /// A CI wiring check: tiny, but still multi-threaded.
+    pub fn smoke() -> Self {
+        WalBenchParams {
+            txns_per_thread: 25,
+            threads: vec![2],
+            windows_us: vec![100],
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalBenchRow {
+    /// `"sync-each"` or `"group-commit"`.
+    pub mode: String,
+    /// The group-commit window in µs (absent for sync-each).
+    pub window_us: Option<u64>,
+    /// Writer threads.
+    pub threads: usize,
+    /// Transactions committed (threads × txns_per_thread).
+    pub txns: u64,
+    /// Wall-clock time for the whole run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Committed transactions per second.
+    pub commits_per_sec: f64,
+    /// Device flushes issued (from the WAL's metrics instrumentation).
+    pub fsyncs: u64,
+    /// Mean records retired per flush.
+    pub mean_batch: f64,
+    /// Flush (fsync) latency percentiles, nanoseconds.
+    pub flush_ns: LatencySummary,
+}
+
+/// The complete E11 report, serialized to `BENCH_e11.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalBenchReport {
+    /// Shared report header (`experiment: "e11"`).
+    pub header: ReportHeader,
+    /// The sweep that produced the rows.
+    pub params: WalBenchParams,
+    /// One row per (mode, window, threads) configuration.
+    pub rows: Vec<WalBenchRow>,
+}
+
+impl WalBenchReport {
+    /// Group-commit speedup over sync-each at `threads` writers: the
+    /// *best* group-commit row's throughput divided by the sync-each
+    /// baseline. `None` if either side is missing.
+    pub fn group_commit_speedup(&self, threads: usize) -> Option<f64> {
+        let base = self
+            .rows
+            .iter()
+            .find(|r| r.mode == "sync-each" && r.threads == threads)?
+            .commits_per_sec;
+        let best = self
+            .rows
+            .iter()
+            .filter(|r| r.mode == "group-commit" && r.threads == threads)
+            .map(|r| r.commits_per_sec)
+            .fold(f64::NAN, f64::max);
+        (base > 0.0 && best.is_finite()).then(|| best / base)
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialize")
+    }
+
+    /// Parses a report back (CI artifact checks, tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parse error for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// A fresh, collision-free WAL directory under the system temp dir.
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("atomicity-e11-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs one (policy, threads) configuration and measures it.
+fn run_one(tag: &str, sync: SyncPolicy, threads: usize, txns_per_thread: usize) -> WalBenchRow {
+    let dir = bench_dir(tag);
+    let metrics = MetricsRegistry::new();
+    let (wal, _info) = Wal::open(
+        &dir,
+        WalOptions {
+            sync,
+            metrics: metrics.clone(),
+            ..WalOptions::default()
+        },
+    )
+    .expect("open bench WAL");
+    let log: Arc<dyn DurableLog> = Arc::new(wal);
+
+    let begun = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for n in 0..txns_per_thread {
+                    let txn = ActivityId::new((tid * txns_per_thread + n) as u32 + 1);
+                    let object = ObjectId::new(1);
+                    log.append(LogRecord {
+                        txn,
+                        object,
+                        kind: RecordKind::Prepare {
+                            ops: vec![(op("deposit", [5i64]), Value::ok())],
+                        },
+                    });
+                    log.append(LogRecord {
+                        txn,
+                        object,
+                        kind: RecordKind::Commit,
+                    });
+                    // The commit point: block until both records are
+                    // durable, exactly like `IntentionsStore::commit`.
+                    log.sync();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("bench writer panicked");
+    }
+    let elapsed = begun.elapsed();
+    drop(log);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let snap = metrics.snapshot();
+    let txns = (threads * txns_per_thread) as u64;
+    let (mode, window_us) = match sync {
+        SyncPolicy::SyncEach => ("sync-each".to_string(), None),
+        SyncPolicy::GroupCommit { window } => {
+            ("group-commit".to_string(), Some(window.as_micros() as u64))
+        }
+    };
+    WalBenchRow {
+        mode,
+        window_us,
+        threads,
+        txns,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        commits_per_sec: txns as f64 / elapsed.as_secs_f64().max(1e-9),
+        fsyncs: snap.wal_flush_ns.count,
+        mean_batch: if snap.wal_batch.count == 0 {
+            0.0
+        } else {
+            snap.wal_batch.sum_nanos as f64 / snap.wal_batch.count as f64
+        },
+        flush_ns: LatencySummary::from_histogram(&snap.wal_flush_ns),
+    }
+}
+
+/// Runs the full sweep: for every thread count, the sync-each baseline
+/// then group commit at every window.
+pub fn run_wal_bench(params: &WalBenchParams) -> WalBenchReport {
+    let mut rows = Vec::new();
+    for &threads in &params.threads {
+        rows.push(run_one(
+            &format!("se-{threads}"),
+            SyncPolicy::SyncEach,
+            threads,
+            params.txns_per_thread,
+        ));
+        for &window_us in &params.windows_us {
+            rows.push(run_one(
+                &format!("gc-{threads}-{window_us}"),
+                SyncPolicy::GroupCommit {
+                    window: Duration::from_micros(window_us),
+                },
+                threads,
+                params.txns_per_thread,
+            ));
+        }
+    }
+    WalBenchReport {
+        header: ReportHeader::new("e11"),
+        params: params.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_measures_every_configuration() {
+        let params = WalBenchParams::smoke();
+        let report = run_wal_bench(&params);
+        // One sync-each row + one per window, per thread count.
+        assert_eq!(
+            report.rows.len(),
+            params.threads.len() * (1 + params.windows_us.len())
+        );
+        for row in &report.rows {
+            assert_eq!(row.txns, (row.threads * params.txns_per_thread) as u64);
+            assert!(row.commits_per_sec > 0.0, "{row:?}");
+            assert!(row.fsyncs > 0, "flush instrumentation is mute: {row:?}");
+            assert!(row.mean_batch >= 1.0, "{row:?}");
+        }
+        // Sync-each issues at least one fsync per record; group commit
+        // must batch (strictly fewer fsyncs than records written).
+        let records = (params.threads[0] * params.txns_per_thread * 2) as u64;
+        let se = &report.rows[0];
+        assert_eq!(se.mode, "sync-each");
+        assert!(se.fsyncs >= records, "{se:?}");
+        let gc = report
+            .rows
+            .iter()
+            .find(|r| r.mode == "group-commit")
+            .unwrap();
+        assert!(gc.fsyncs < records, "group commit never batched: {gc:?}");
+        assert_eq!(report.header.experiment, "e11");
+        let back = WalBenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.rows.len(), report.rows.len());
+    }
+
+    #[test]
+    fn speedup_accessor_reads_the_right_rows() {
+        let mk = |mode: &str, window: Option<u64>, threads: usize, tput: f64| WalBenchRow {
+            mode: mode.to_string(),
+            window_us: window,
+            threads,
+            txns: 100,
+            elapsed_ms: 1.0,
+            commits_per_sec: tput,
+            fsyncs: 10,
+            mean_batch: 2.0,
+            flush_ns: LatencySummary {
+                count: 10,
+                p50: None,
+                p95: None,
+                p99: None,
+                mean: None,
+            },
+        };
+        let report = WalBenchReport {
+            header: ReportHeader::new("e11"),
+            params: WalBenchParams::smoke(),
+            rows: vec![
+                mk("sync-each", None, 8, 1000.0),
+                mk("group-commit", Some(50), 8, 1500.0),
+                mk("group-commit", Some(200), 8, 3500.0),
+            ],
+        };
+        assert_eq!(report.group_commit_speedup(8), Some(3.5));
+        assert_eq!(report.group_commit_speedup(4), None);
+    }
+}

@@ -18,6 +18,12 @@
 //! distributed simulation (`atomicity-sim`) injects crashes at every point
 //! of the two-phase commit and experiment E6 verifies all-or-nothing
 //! behavior across them.
+//!
+//! Both stores speak to storage through the [`DurableLog`] trait, so the
+//! same intentions-list machinery runs over the in-memory [`StableLog`]
+//! *or* the real on-disk segmented write-ahead log in `atomicity-durable`
+//! — the latter is what the kill-based crash harness and experiment E11
+//! exercise.
 
 use atomicity_spec::{ActivityId, ObjectId, OpResult, SequentialSpec};
 use parking_lot::Mutex;
@@ -47,6 +53,47 @@ pub struct LogRecord {
     pub object: ObjectId,
     /// The payload.
     pub kind: RecordKind,
+}
+
+/// The durable-log interface shared by every recovery substrate.
+///
+/// Three implementations speak it: the simulated in-memory [`StableLog`]
+/// here, the on-disk segmented write-ahead log in `atomicity-durable`
+/// (`Wal`), and whatever a test wants to inject. The contract mirrors
+/// what intentions-list recovery needs and nothing more:
+///
+/// - [`DurableLog::append`] stages a record in the log and returns its
+///   log sequence number (LSN — the zero-based position of the record in
+///   the logical record sequence). An appended record is **ordered** but
+///   not necessarily durable yet.
+/// - [`DurableLog::sync`] blocks until every record appended so far is
+///   durable. A store must force the log (append + sync) before acting on
+///   a record — before voting "prepared", and before acknowledging a
+///   commit. Group-commit logs batch many concurrent `sync` calls into
+///   one device flush.
+/// - [`DurableLog::records`] returns the surviving logical record
+///   sequence, in append order. After a crash this is the recovery
+///   input: a prefix of what was appended (never a subsequence with
+///   holes — torn tails are truncated, not skipped).
+pub trait DurableLog: Send + Sync + std::fmt::Debug {
+    /// Appends a record to the log, returning its LSN. The record is
+    /// ordered immediately but durable only once [`DurableLog::sync`]
+    /// returns (or the implementation syncs eagerly).
+    fn append(&self, record: LogRecord) -> u64;
+
+    /// Blocks until every record appended before this call is durable.
+    fn sync(&self);
+
+    /// A copy of all surviving records, in append order.
+    fn records(&self) -> Vec<LogRecord>;
+
+    /// Number of records in the logical sequence.
+    fn len(&self) -> usize;
+
+    /// Whether the log holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Simulated stable storage: an append-only record log that survives
@@ -91,6 +138,25 @@ impl StableLog {
     }
 }
 
+impl DurableLog for StableLog {
+    fn append(&self, record: LogRecord) -> u64 {
+        let mut records = self.records.lock();
+        records.push(record);
+        records.len() as u64 - 1
+    }
+
+    /// Simulated storage is durable the instant it is appended.
+    fn sync(&self) {}
+
+    fn records(&self) -> Vec<LogRecord> {
+        StableLog::records(self)
+    }
+
+    fn len(&self) -> usize {
+        StableLog::len(self)
+    }
+}
+
 /// The outcome of crash recovery at one object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryOutcome {
@@ -115,15 +181,24 @@ pub struct RecoveryOutcome {
 pub struct IntentionsStore<S: SequentialSpec> {
     spec: S,
     object: ObjectId,
-    log: StableLog,
+    log: Arc<dyn DurableLog>,
     /// Cached committed state frontier; `None` after a crash until
     /// recovery runs.
     volatile: Mutex<Option<Vec<S::State>>>,
 }
 
 impl<S: SequentialSpec> IntentionsStore<S> {
-    /// Creates the store over shared stable storage.
-    pub fn new(spec: S, object: ObjectId, log: StableLog) -> Self {
+    /// Creates the store over any durable log. Log implementations whose
+    /// clones share storage (like [`StableLog`] and the disk WAL) can be
+    /// passed by clone so several stores — or the crash injector — keep
+    /// handles onto the same log.
+    pub fn new<L: DurableLog + 'static>(spec: S, object: ObjectId, log: L) -> Self {
+        Self::shared(spec, object, Arc::new(log))
+    }
+
+    /// Creates the store over an already-shared durable log handle (the
+    /// form used when many objects multiplex one write-ahead log).
+    pub fn shared(spec: S, object: ObjectId, log: Arc<dyn DurableLog>) -> Self {
         let initial = vec![spec.initial()];
         IntentionsStore {
             spec,
@@ -139,13 +214,15 @@ impl<S: SequentialSpec> IntentionsStore<S> {
     }
 
     /// Durably stages `ops` as the transaction's intentions here
-    /// (the "prepared" vote of two-phase commit).
+    /// (the "prepared" vote of two-phase commit). The log is forced
+    /// before this returns: a vote is never given on a volatile prepare.
     pub fn prepare(&self, txn: ActivityId, ops: Vec<OpResult>) {
         self.log.append(LogRecord {
             txn,
             object: self.object,
             kind: RecordKind::Prepare { ops },
         });
+        self.log.sync();
     }
 
     /// Durably commits and applies the staged intentions to the cache.
@@ -162,6 +239,7 @@ impl<S: SequentialSpec> IntentionsStore<S> {
             object: self.object,
             kind: RecordKind::Commit,
         });
+        self.log.sync();
         let ops = self.staged_ops(txn);
         let mut vol = self.volatile.lock();
         if let Some(states) = vol.as_mut() {
@@ -183,6 +261,7 @@ impl<S: SequentialSpec> IntentionsStore<S> {
             object: self.object,
             kind: RecordKind::Abort,
         });
+        self.log.sync();
     }
 
     /// The committed state frontier.
@@ -286,8 +365,8 @@ impl<S: SequentialSpec> IntentionsStore<S> {
 
     /// The underlying stable storage (shared; its length is a recovery
     /// cost proxy).
-    pub fn stable_log(&self) -> &StableLog {
-        &self.log
+    pub fn stable_log(&self) -> &dyn DurableLog {
+        self.log.as_ref()
     }
 
     /// Whether `txn` has a durable prepare record here.

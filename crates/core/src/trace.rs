@@ -418,6 +418,12 @@ struct RegistryInner {
     txns_aborted: AtomicU64,
     /// Commit-path latency: prepare start (or commit call) → completion.
     commit_ns: LatencyHistogram,
+    /// Durable-log flush latency: one device sync (fsync) per sample.
+    wal_flush_ns: LatencyHistogram,
+    /// Durable-log group-commit batch sizes: records made durable per
+    /// flush (1 for sync-each logs). Abuses the log₂ histogram for a
+    /// count distribution: `count` = flushes, `sum_nanos` = records.
+    wal_batch: LatencyHistogram,
     /// Aborts by [`AbortReason::index`]; unattributed aborts are the
     /// difference between `txns_aborted` and this array's sum.
     abort_reasons: [AtomicU64; 8],
@@ -465,6 +471,8 @@ impl MetricsRegistry {
                 txns_committed: AtomicU64::new(0),
                 txns_aborted: AtomicU64::new(0),
                 commit_ns: LatencyHistogram::default(),
+                wal_flush_ns: LatencyHistogram::default(),
+                wal_batch: LatencyHistogram::default(),
                 abort_reasons: std::array::from_fn(|_| AtomicU64::new(0)),
                 objects: Mutex::new(Vec::new()),
             })),
@@ -598,6 +606,17 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records one durable-log flush: `batch` records were made durable
+    /// by a device sync that took `flush_ns` nanoseconds. Sync-each logs
+    /// record `batch = 1` per commit; group commit records the whole
+    /// batch a single fsync retired. No-op on a disabled registry.
+    pub fn wal_flush(&self, batch: u64, flush_ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.wal_flush_ns.record(flush_ns);
+            inner.wal_batch.record(batch);
+        }
+    }
+
     /// Drains the trace ring (empty on a disabled registry).
     pub fn trace_events(&self) -> TraceCollection {
         match &self.inner {
@@ -638,6 +657,8 @@ impl MetricsRegistry {
                     invoke_ns,
                     block_ns,
                     commit_ns: inner.commit_ns.snapshot(),
+                    wal_flush_ns: inner.wal_flush_ns.snapshot(),
+                    wal_batch: inner.wal_batch.snapshot(),
                     trace_written: inner.trace.written(),
                     objects,
                 }
@@ -844,6 +865,11 @@ pub struct MetricsSnapshot {
     pub block_ns: HistogramSnapshot,
     /// Commit-path time (prepare → completion).
     pub commit_ns: HistogramSnapshot,
+    /// Durable-log flush (fsync) latency; empty unless a WAL reports in.
+    pub wal_flush_ns: HistogramSnapshot,
+    /// Durable-log batch-size distribution: records per flush
+    /// (`count` = flushes performed, `sum_nanos` = records flushed).
+    pub wal_batch: HistogramSnapshot,
     /// Trace records written (≥ the count retained by the ring).
     pub trace_written: u64,
     /// Per-object detail.

@@ -1,0 +1,142 @@
+//! The victim process of the kill-based crash harness.
+//!
+//! `tests/kill_harness.rs` spawns this binary, lets it commit
+//! transactions against an on-disk WAL for a randomized slice of time,
+//! and SIGKILLs it mid-flight — then reopens the directory and checks
+//! that recovery kept every acknowledged commit and no loser.
+//!
+//! # Invocation
+//!
+//! ```text
+//! crash_child <dir> <mode> <window_us> <threads> <txn_limit>
+//! ```
+//!
+//! - `dir` — WAL directory (created if needed); the acknowledgement file
+//!   `acks.log` is written next to the segments.
+//! - `mode` — `group` ([`SyncPolicy::GroupCommit`]) or `sync`
+//!   ([`SyncPolicy::SyncEach`]).
+//! - `window_us` — group-commit window in microseconds (ignored for
+//!   `sync`).
+//! - `threads` — concurrent committer threads.
+//! - `txn_limit` — stop after this many transactions per thread (the
+//!   harness passes a number far beyond what the kill delay allows, so
+//!   death always lands mid-stream).
+//!
+//! # The workload contract (shared with the harness)
+//!
+//! Thread `i` runs transactions `t = i, i+threads, i+2·threads, …`, all
+//! against one bank account (object 1). Everything is a pure function of
+//! the transaction id, so the harness can recompute the oracle without a
+//! side channel:
+//!
+//! - `t % 11 == 5` — prepare only, walk away (an in-doubt transaction for
+//!   recovery to report);
+//! - `t % 7 == 3` — prepare then abort (a loser whose effects must never
+//!   surface);
+//! - otherwise — prepare `deposit(amount(t))` with
+//!   `amount(t) = t % 97 + 1`, commit, and only after the commit (and
+//!   therefore the log force) returns, append `t` to `acks.log`. An acked
+//!   transaction is one whose durability was promised.
+//!
+//! Thread 0 additionally takes a fuzzy checkpoint every 64 of its own
+//! transactions, so SIGKILL also lands inside checkpoint installation and
+//! segment truncation, not just inside appends.
+
+use atomicity_core::recovery::IntentionsStore;
+use atomicity_durable::{SyncPolicy, Wal, WalOptions};
+use atomicity_spec::specs::BankAccountSpec;
+use atomicity_spec::{op, ActivityId, ObjectId, Value};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The deterministic deposit amount of transaction `t`.
+pub fn amount(t: u32) -> i64 {
+    i64::from(t % 97 + 1)
+}
+
+/// Whether `t` is left in doubt (prepared, no outcome).
+pub fn is_in_doubt(t: u32) -> bool {
+    t % 11 == 5
+}
+
+/// Whether `t` is aborted.
+pub fn is_loser(t: u32) -> bool {
+    !is_in_doubt(t) && t % 7 == 3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 6 {
+        eprintln!("usage: crash_child <dir> <group|sync> <window_us> <threads> <txn_limit>");
+        std::process::exit(2);
+    }
+    let dir = std::path::PathBuf::from(&args[1]);
+    let sync = match args[2].as_str() {
+        "group" => SyncPolicy::GroupCommit {
+            window: Duration::from_micros(args[3].parse().expect("window_us")),
+        },
+        "sync" => SyncPolicy::SyncEach,
+        other => {
+            eprintln!("unknown mode {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let threads: u32 = args[4].parse().expect("threads");
+    let txn_limit: u32 = args[5].parse().expect("txn_limit");
+
+    let opts = WalOptions {
+        // Small segments so kills also land around rotation boundaries.
+        segment_bytes: 16 * 1024,
+        sync,
+        ..WalOptions::default()
+    };
+    let (wal, _info) = Wal::open(&dir, opts).expect("open wal");
+    let store = Arc::new(IntentionsStore::new(
+        BankAccountSpec::new(),
+        ObjectId::new(1),
+        wal.clone(),
+    ));
+    let acks = Arc::new(Mutex::new(
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("acks.log"))
+            .expect("open acks.log"),
+    ));
+
+    let workers: Vec<_> = (0..threads)
+        .map(|tid| {
+            let store = Arc::clone(&store);
+            let acks = Arc::clone(&acks);
+            let wal = wal.clone();
+            std::thread::spawn(move || {
+                for n in 0..txn_limit {
+                    let t = tid + n * threads;
+                    let txn = ActivityId::new(t);
+                    store.prepare(txn, vec![(op("deposit", [amount(t)]), Value::ok())]);
+                    if is_in_doubt(t) {
+                        continue;
+                    }
+                    if is_loser(t) {
+                        store.abort(txn);
+                        continue;
+                    }
+                    store.commit(txn);
+                    // The commit record is forced: promise durability.
+                    let mut f = acks.lock();
+                    writeln!(f, "{t}").expect("append ack");
+                    f.flush().expect("flush ack");
+                    drop(f);
+                    if tid == 0 && n % 64 == 63 {
+                        wal.checkpoint().expect("checkpoint");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+}

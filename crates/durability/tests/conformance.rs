@@ -1,0 +1,204 @@
+//! The shared `DurableLog` conformance suite.
+//!
+//! Every log implementation — the simulated in-memory `StableLog` and the
+//! on-disk `Wal` under both sync policies — must pass the same behavioral
+//! contract, exercised here through one generic suite: LSN monotonicity,
+//! append-order preservation, visibility after `sync`, thread-safety of
+//! concurrent appenders, and end-to-end intentions-list recovery.
+
+use atomicity_core::recovery::{DurableLog, IntentionsStore, LogRecord, RecordKind, StableLog};
+use atomicity_durable::{SyncPolicy, Wal, WalOptions};
+use atomicity_spec::specs::BankAccountSpec;
+use atomicity_spec::{op, ActivityId, ObjectId, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rec(txn: u32, kind: RecordKind) -> LogRecord {
+    LogRecord {
+        txn: ActivityId::new(txn),
+        object: ObjectId::new(1),
+        kind,
+    }
+}
+
+fn prepare(txn: u32, amt: i64) -> LogRecord {
+    rec(
+        txn,
+        RecordKind::Prepare {
+            ops: vec![(op("deposit", [amt]), Value::ok())],
+        },
+    )
+}
+
+/// The conformance suite. `log` must be empty.
+fn conformance_suite(log: Arc<dyn DurableLog>, label: &str) {
+    // --- Empty state. ---
+    assert!(log.is_empty(), "{label}: new log not empty");
+    assert_eq!(log.len(), 0, "{label}");
+    assert_eq!(log.records(), Vec::new(), "{label}");
+    log.sync(); // sync on empty must not hang
+
+    // --- LSNs are strictly increasing; order is append order. ---
+    let written: Vec<LogRecord> = (0..10)
+        .flat_map(|i| [prepare(i, i64::from(i) + 1), rec(i, RecordKind::Commit)])
+        .collect();
+    let mut last_lsn = None;
+    for r in &written {
+        let lsn = log.append(r.clone());
+        if let Some(prev) = last_lsn {
+            assert!(
+                lsn > prev,
+                "{label}: LSN not increasing ({prev} then {lsn})"
+            );
+        }
+        last_lsn = Some(lsn);
+    }
+    log.sync();
+    assert_eq!(log.len(), written.len(), "{label}");
+    assert!(!log.is_empty(), "{label}");
+    assert_eq!(
+        log.records(),
+        written,
+        "{label}: append order not preserved"
+    );
+
+    // --- records() is a stable copy, not a live view. ---
+    let snapshot = log.records();
+    log.append(rec(99, RecordKind::Abort));
+    log.sync();
+    assert_eq!(snapshot.len(), written.len(), "{label}: snapshot mutated");
+    assert_eq!(log.len(), written.len() + 1, "{label}");
+
+    // --- Concurrent appenders: every record lands exactly once, and the
+    // per-thread order is preserved within the interleaving. ---
+    let threads = 8;
+    let per_thread = 25u32;
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for n in 0..per_thread {
+                    let txn = 1000 + tid * 1000 + n;
+                    log.append(prepare(txn, 1));
+                    log.sync();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let records = log.records();
+    assert_eq!(
+        records.len(),
+        written.len() + 1 + (threads * per_thread) as usize,
+        "{label}: concurrent appends lost or duplicated records"
+    );
+    for tid in 0..threads {
+        let mine: Vec<u32> = records
+            .iter()
+            .filter(|r| r.txn.raw() >= 1000 + tid * 1000 && r.txn.raw() < 1000 + (tid + 1) * 1000)
+            .map(|r| r.txn.raw())
+            .collect();
+        let expected: Vec<u32> = (0..per_thread).map(|n| 1000 + tid * 1000 + n).collect();
+        assert_eq!(mine, expected, "{label}: thread {tid} order scrambled");
+    }
+}
+
+/// End-to-end: intentions-list recovery behaves identically over any log.
+fn recovery_suite(log: Arc<dyn DurableLog>, label: &str) {
+    let x = ObjectId::new(1);
+    let store = IntentionsStore::shared(BankAccountSpec::new(), x, Arc::clone(&log));
+    let (t1, t2, t3) = (ActivityId::new(1), ActivityId::new(2), ActivityId::new(3));
+    store.prepare(t1, vec![(op("deposit", [10]), Value::ok())]);
+    store.commit(t1);
+    store.prepare(t2, vec![(op("deposit", [100]), Value::ok())]);
+    store.abort(t2);
+    store.prepare(t3, vec![(op("deposit", [7]), Value::ok())]);
+    store.crash();
+    let outcome = store.recover();
+    assert_eq!(outcome.redone, vec![t1], "{label}");
+    assert_eq!(outcome.discarded, vec![t2], "{label}");
+    assert_eq!(outcome.in_doubt, vec![t3], "{label}");
+    assert_eq!(store.committed_frontier(), vec![10], "{label}");
+    store.resolve_in_doubt(t3, true);
+    assert_eq!(store.committed_frontier(), vec![17], "{label}");
+}
+
+struct WalDir(PathBuf);
+
+impl Drop for WalDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn wal(tag: &str, sync: SyncPolicy) -> (Arc<dyn DurableLog>, WalDir) {
+    let dir = std::env::temp_dir().join(format!("atomicity-conform-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = WalOptions {
+        segment_bytes: 2048, // small enough that the suite crosses segments
+        sync,
+        ..WalOptions::default()
+    };
+    let (w, info) = Wal::open(&dir, opts).unwrap();
+    assert_eq!(info.records, 0);
+    (Arc::new(w), WalDir(dir))
+}
+
+#[test]
+fn stable_log_conforms() {
+    conformance_suite(Arc::new(StableLog::new()), "StableLog");
+    recovery_suite(Arc::new(StableLog::new()), "StableLog");
+}
+
+#[test]
+fn wal_sync_each_conforms() {
+    let (log, _guard) = wal("synceach", SyncPolicy::SyncEach);
+    conformance_suite(log, "Wal/SyncEach");
+    let (log, _guard) = wal("synceach-rec", SyncPolicy::SyncEach);
+    recovery_suite(log, "Wal/SyncEach");
+}
+
+#[test]
+fn wal_group_commit_conforms() {
+    let policy = SyncPolicy::GroupCommit {
+        window: Duration::from_micros(100),
+    };
+    let (log, _guard) = wal("group", policy);
+    conformance_suite(log, "Wal/GroupCommit");
+    let (log, _guard) = wal("group-rec", policy);
+    recovery_suite(log, "Wal/GroupCommit");
+}
+
+/// The disk logs additionally survive reopen with identical contents —
+/// beyond the in-memory contract, but the property E11 and the kill
+/// harness rely on.
+#[test]
+fn wal_reopen_preserves_conformant_history() {
+    for (tag, policy) in [
+        ("reopen-se", SyncPolicy::SyncEach),
+        (
+            "reopen-gc",
+            SyncPolicy::GroupCommit {
+                window: Duration::from_micros(100),
+            },
+        ),
+    ] {
+        let (log, guard) = wal(tag, policy);
+        conformance_suite(Arc::clone(&log), tag);
+        let before = log.records();
+        drop(log);
+        let (w, info) = Wal::open(
+            &guard.0,
+            WalOptions {
+                sync: SyncPolicy::SyncEach,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(info.records, before.len(), "{tag}");
+        assert_eq!(w.records(), before, "{tag}: reopen changed history");
+    }
+}

@@ -8,6 +8,7 @@ use atomicity_spec::{op, ActivityId, OpResult, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Configuration of a simulated cluster.
 #[derive(Debug, Clone)]
@@ -146,13 +147,29 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Creates the cluster with all accounts at their initial balance.
+    /// Creates the cluster with all accounts at their initial balance,
+    /// each node backed by the in-memory simulated stable log.
     pub fn new(cfg: SimConfig) -> Self {
+        Cluster::with_log_factory(cfg, |_id| {
+            Arc::new(atomicity_core::recovery::StableLog::new()) as _
+        })
+    }
+
+    /// Creates the cluster with each node's durable log supplied by
+    /// `factory` — the hook for running the same protocol and crash
+    /// sweeps over the on-disk WAL (`experiments e6 --disk`). The factory
+    /// must hand out logs that sync on the calling thread (no background
+    /// flusher) or the simulation loses determinism.
+    pub fn with_log_factory(
+        cfg: SimConfig,
+        factory: impl Fn(NodeId) -> Arc<dyn atomicity_core::DurableLog>,
+    ) -> Self {
         let nodes = (0..cfg.nodes)
             .map(|n| {
                 let accounts = (0..cfg.accounts_per_node)
                     .map(|i| ((i * cfg.nodes + n) as i64, cfg.initial_balance));
-                Node::new(NodeId::new(n), accounts)
+                let id = NodeId::new(n);
+                Node::with_log(id, accounts, factory(id))
             })
             .collect();
         Cluster {

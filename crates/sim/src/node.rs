@@ -1,9 +1,10 @@
 //! A simulated node: a guardian host with recoverable stable storage.
 
 use crate::message::NodeId;
-use atomicity_core::recovery::{IntentionsStore, RecoveryOutcome, StableLog};
+use atomicity_core::recovery::{DurableLog, IntentionsStore, RecoveryOutcome, StableLog};
 use atomicity_spec::specs::KvMapSpec;
 use atomicity_spec::{ActivityId, ObjectId, OpResult};
+use std::sync::Arc;
 
 /// One node of the cluster: hosts a shard of accounts behind an
 /// intentions-list recoverable store, and can crash and recover.
@@ -20,14 +21,29 @@ pub struct Node {
 }
 
 impl Node {
-    /// Creates a node holding `accounts` (key → initial balance).
+    /// Creates a node holding `accounts` (key → initial balance), backed
+    /// by the in-memory simulated [`StableLog`].
     pub fn new(id: NodeId, accounts: impl IntoIterator<Item = (i64, i64)>) -> Self {
+        Node::with_log(id, accounts, Arc::new(StableLog::new()))
+    }
+
+    /// Creates a node over an arbitrary durable log — the hook through
+    /// which the experiment harness runs the simulation's crash sweeps on
+    /// the real on-disk WAL (`experiments e6 --disk`) instead of the
+    /// simulated one. The log should sync synchronously on the caller's
+    /// thread (like `SyncPolicy::SyncEach`) to keep the simulation
+    /// deterministic.
+    pub fn with_log(
+        id: NodeId,
+        accounts: impl IntoIterator<Item = (i64, i64)>,
+        log: Arc<dyn DurableLog>,
+    ) -> Self {
         let spec = KvMapSpec::with_initial(accounts);
         let object = ObjectId::new(id.raw() + 1);
         Node {
             id,
             up: true,
-            store: IntentionsStore::new(spec, object, StableLog::new()),
+            store: IntentionsStore::shared(spec, object, log),
             crash_count: 0,
         }
     }

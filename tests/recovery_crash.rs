@@ -162,6 +162,72 @@ proptest! {
         }
     }
 
+    /// Undo-log recovery restores exactly the pre-transaction state at
+    /// **every** crash prefix of the action stream: replaying the first
+    /// `k` actions into a fresh store and crashing must leave precisely
+    /// the effects of the transactions that committed within those `k`
+    /// actions — uncommitted work is rolled back to the state it found,
+    /// aborted work stays gone, and the undone set is exactly the
+    /// transactions caught mid-flight.
+    #[test]
+    fn undo_recovery_restores_pre_transaction_state_at_every_prefix(
+        script in prop::collection::vec((0..5i64, -3..4i64, 0..3u8), 1..12)
+    ) {
+        #[derive(Clone, Copy)]
+        enum Action { Apply(u32, i64, i64), Commit(u32), Abort(u32) }
+        let mut actions = Vec::new();
+        for (i, (key, delta, fate)) in script.iter().enumerate() {
+            let t = i as u32 + 1;
+            actions.push(Action::Apply(t, *key, *delta));
+            match fate {
+                0 => actions.push(Action::Commit(t)),
+                1 => actions.push(Action::Abort(t)),
+                _ => {} // crash will catch it mid-flight
+            }
+        }
+        for k in 0..=actions.len() {
+            let store = UndoStore::new(KvMapSpec::new(), ObjectId::new(1));
+            let mut committed = std::collections::BTreeSet::new();
+            let mut aborted = std::collections::BTreeSet::new();
+            let mut applied = std::collections::BTreeSet::new();
+            let mut oracle = std::collections::BTreeMap::new();
+            for a in &actions[..k] {
+                match *a {
+                    Action::Apply(t, key, delta) => {
+                        store.apply(ActivityId::new(t), (op("adjust", [key, delta]), Value::ok()));
+                        applied.insert(t);
+                    }
+                    Action::Commit(t) => {
+                        store.commit(ActivityId::new(t));
+                        committed.insert(t);
+                        let (key, delta, _) = script[t as usize - 1];
+                        *oracle.entry(key).or_insert(0i64) += delta;
+                    }
+                    Action::Abort(t) => {
+                        store.abort(ActivityId::new(t));
+                        aborted.insert(t);
+                    }
+                }
+            }
+            // Crash here: exactly the committed effects must remain.
+            let undone = store.recover();
+            // (prefix k: state must be the committed fold)
+            prop_assert_eq!(store.state(), vec![oracle]);
+            let expected_undone: std::collections::BTreeSet<u32> = applied
+                .difference(&committed)
+                .copied()
+                .filter(|t| !aborted.contains(t))
+                .collect();
+            let undone: std::collections::BTreeSet<u32> =
+                undone.iter().map(|t| t.raw()).collect();
+            prop_assert_eq!(undone, expected_undone);
+            // Idempotence: a second recovery changes nothing further.
+            let state = store.state();
+            prop_assert!(store.recover().is_empty());
+            prop_assert_eq!(store.state(), state);
+        }
+    }
+
     /// Recovery is idempotent: recovering twice yields the same state.
     #[test]
     fn recovery_is_idempotent(
