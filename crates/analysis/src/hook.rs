@@ -1,0 +1,108 @@
+//! The linear-time certifier packaged as a reusable invariant-checker
+//! hook.
+//!
+//! Deterministic simulation (and any other harness that accumulates a
+//! [`History`] while running) wants to ask, at arbitrary checkpoints,
+//! "is the history so far still certifiably atomic?" without knowing the
+//! certifier's internals. [`CertifierHook`] owns the property and the
+//! system specification and exposes a single [`CertifierHook::check`]
+//! call mapping the certifier's three-valued verdict onto the
+//! pass/violation shape checkpoint hooks expect: `Refuted` is a
+//! violation, `Certified` passes, and `Unknown` (the certifier declining
+//! to decide, e.g. on a malformed prefix) passes by default but is
+//! available verbatim via [`CertifierHook::certify_now`] for callers
+//! that want to treat it as suspicious.
+
+use crate::certify::{certify, Certificate, Property, Verdict};
+use atomicity_spec::{History, SystemSpec};
+use std::fmt;
+
+/// A reusable "certify this history" checkpoint hook.
+#[derive(Clone)]
+pub struct CertifierHook {
+    property: Property,
+    spec: SystemSpec,
+}
+
+impl fmt::Debug for CertifierHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `SystemSpec` holds trait objects and is not `Debug`; the
+        // property is the identity that matters.
+        f.debug_struct("CertifierHook")
+            .field("property", &self.property)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CertifierHook {
+    /// Builds a hook certifying `property` against `spec`.
+    pub fn new(property: Property, spec: SystemSpec) -> Self {
+        CertifierHook { property, spec }
+    }
+
+    /// The property this hook certifies.
+    pub fn property(&self) -> Property {
+        self.property
+    }
+
+    /// Runs the certifier and returns the raw certificate.
+    pub fn certify_now(&self, history: &History) -> Certificate {
+        certify(self.property, history, &self.spec)
+    }
+
+    /// Checkpoint form: `Err` with the refutation text when the certifier
+    /// refutes the history, `Ok` otherwise (including `Unknown`).
+    pub fn check(&self, history: &History) -> Result<(), String> {
+        match self.certify_now(history).verdict {
+            Verdict::Refuted(reason) => Err(format!("certifier refuted history: {reason}")),
+            Verdict::Certified | Verdict::Unknown(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::specs::KvMapSpec;
+    use atomicity_spec::{op, ActivityId, Event, History, ObjectId, Value};
+
+    fn spec_with(object: ObjectId, entries: &[(i64, i64)]) -> SystemSpec {
+        SystemSpec::new().with_object(object, KvMapSpec::with_initial(entries.iter().copied()))
+    }
+
+    #[test]
+    fn empty_history_certifies() {
+        let obj = ObjectId::new(1);
+        let hook = CertifierHook::new(Property::Hybrid, spec_with(obj, &[(1, 100)]));
+        assert!(hook.check(&History::new()).is_ok());
+        assert!(hook.certify_now(&History::new()).is_certified());
+    }
+
+    #[test]
+    fn committed_transfer_certifies_and_property_is_exposed() {
+        let obj = ObjectId::new(1);
+        let hook = CertifierHook::new(Property::Hybrid, spec_with(obj, &[(1, 100), (2, 100)]));
+        assert_eq!(hook.property(), Property::Hybrid);
+        let a = ActivityId::new(1);
+        let mut h = History::new();
+        h.push(Event::invoke(a, obj, op("adjust", [1, -30])));
+        h.push(Event::respond(a, obj, Value::ok()));
+        h.push(Event::commit_ts(a, obj, 1));
+        assert!(hook.check(&h).is_ok(), "{:?}", hook.certify_now(&h));
+    }
+
+    #[test]
+    fn refuted_history_is_reported_as_a_violation() {
+        let obj = ObjectId::new(1);
+        let hook = CertifierHook::new(Property::Hybrid, spec_with(obj, &[(1, 100)]));
+        let a = ActivityId::new(1);
+        let mut h = History::new();
+        // A response the sequential spec cannot produce: reading a balance
+        // that was never there.
+        h.push(Event::invoke(a, obj, op("get", [1])));
+        h.push(Event::respond(a, obj, Value::Int(999)));
+        h.push(Event::commit_ts(a, obj, 1));
+        let res = hook.check(&h);
+        assert!(res.is_err(), "expected refutation, got {res:?}");
+    }
+}

@@ -40,8 +40,10 @@
 
 pub mod audit;
 pub mod certify;
+pub mod hook;
 pub mod lockorder;
 
 pub use audit::{audit_table, standard_audits, AuditConfig, Counterexample, PairClass, TableAudit};
 pub use certify::{certify, Certificate, Method, Property, Verdict};
+pub use hook::CertifierHook;
 pub use lockorder::{audit_lock_order, LockOrderReport, SourceFile};

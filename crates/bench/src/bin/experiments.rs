@@ -1,10 +1,11 @@
 //! The experiment harness: regenerates every comparison in the paper.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 | all]
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 | all]
 //! experiments e6 [--disk]
 //! experiments e10 [--smoke] [--json=PATH]
 //! experiments e11 [--smoke] [--json=PATH]
+//! experiments e12 [--smoke] [--seeds=N] [--json=PATH] [--demo-lost-ack] [--replay=SEED]
 //! experiments lint [--demo-unsound]
 //! ```
 //!
@@ -28,6 +29,15 @@
 //! non-zero if any engine reports zero admissions — a mute metrics
 //! pipeline — and a full (non-smoke) `e11` exits non-zero if group commit
 //! fails to beat sync-each by at least 2× at the highest thread count.
+//!
+//! `e12` is the deterministic-simulation seed sweep: every seed runs the
+//! cluster under the full fault matrix with checkpointed invariant
+//! checkers, shrinking any violation to a minimal reproducer. It writes
+//! `BENCH_e12.json` and exits non-zero on any violation.
+//! `--demo-lost-ack` injects a known atomicity bug and instead exits
+//! non-zero unless the sweep catches *and shrinks* it; `--replay=SEED`
+//! runs one seed twice and exits non-zero unless the replay is
+//! bit-identical (trace hash and state digest).
 
 use atomicity_bench::engines::map_commutativity;
 use atomicity_bench::engines::Engine;
@@ -111,6 +121,23 @@ fn main() {
             quick,
             smoke,
             json_path.as_deref().unwrap_or("BENCH_e11.json"),
+        );
+    }
+    if want("e12") {
+        let seeds = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--seeds="))
+            .and_then(|s| s.parse::<u64>().ok());
+        let replay = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--replay="))
+            .and_then(|s| s.parse::<u64>().ok());
+        e12_simulation(
+            smoke,
+            seeds,
+            args.iter().any(|a| a == "--demo-lost-ack"),
+            replay,
+            json_path.as_deref().unwrap_or("BENCH_e12.json"),
         );
     }
     if want("a1") {
@@ -913,6 +940,131 @@ fn e11_wal(quick: bool, smoke: bool, json_path: &str) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// E12: the deterministic-simulation seed sweep — full fault matrix per
+/// seed, checkpointed invariants, failure shrinking, replayable seeds.
+fn e12_simulation(
+    smoke: bool,
+    seeds: Option<u64>,
+    demo_lost_ack: bool,
+    replay: Option<u64>,
+    json_path: &str,
+) {
+    use atomicity_bench::workloads::e12::{run_seed, run_sweep, E12Params, FaultPlan};
+
+    println!("== E12: deterministic simulation — seed sweep with failure shrinking (DESIGN.md \u{a7}8)\n");
+    let mut params = if smoke {
+        E12Params::smoke()
+    } else {
+        E12Params::full()
+    };
+    if let Some(n) = seeds {
+        params.seeds = n;
+    }
+    params.demo_lost_ack = demo_lost_ack;
+
+    if let Some(seed) = replay {
+        // Replay gate: the same seed, twice, must be bit-identical.
+        let plan = FaultPlan::full(params.transfers);
+        let a = run_seed(seed, &plan, &params, true);
+        let b = run_seed(seed, &plan, &params, true);
+        println!(
+            "replay seed {seed}: trace {:#018x} / {:#018x}, state {:#018x} / {:#018x}",
+            a.trace_hash, b.trace_hash, a.state_digest, b.state_digest
+        );
+        if (a.trace_hash, a.state_digest) != (b.trace_hash, b.state_digest) {
+            eprintln!("E12 FAILED: seed {seed} did not replay identically");
+            std::process::exit(1);
+        }
+        println!("replay is bit-identical\n");
+        return;
+    }
+
+    let report = run_sweep(&params);
+
+    let mut table = Table::new(vec!["metric", "value"]).with_title(format!(
+        "{} seeds x {} transfers, all fault classes enabled",
+        report.seeds, params.transfers
+    ));
+    table.row(vec!["seeds/sec".into(), f1(report.seeds_per_sec)]);
+    table.row(vec![
+        "txns committed".into(),
+        report.faults.committed.to_string(),
+    ]);
+    table.row(vec![
+        "txns aborted".into(),
+        report.faults.aborted.to_string(),
+    ]);
+    table.row(vec!["crashes".into(), report.faults.crashes.to_string()]);
+    table.row(vec![
+        "  of which MTTF".into(),
+        report.faults.mttf_crashes.to_string(),
+    ]);
+    table.row(vec![
+        "recoveries".into(),
+        report.faults.recoveries.to_string(),
+    ]);
+    table.row(vec!["messages lost".into(), report.faults.lost.to_string()]);
+    table.row(vec![
+        "messages duplicated".into(),
+        report.faults.duplicated.to_string(),
+    ]);
+    table.row(vec![
+        "messages reordered".into(),
+        report.faults.reordered.to_string(),
+    ]);
+    table.row(vec![
+        "messages cut by partitions".into(),
+        report.faults.cut.to_string(),
+    ]);
+    table.row(vec!["resends".into(), report.faults.resends.to_string()]);
+    table.row(vec![
+        "invariant checks".into(),
+        report.invariant_checks.to_string(),
+    ]);
+    table.row(vec![
+        "checker overhead".into(),
+        format!("{:.1}%", report.checker_overhead_pct),
+    ]);
+    table.row(vec![
+        "violations".into(),
+        report.violations.len().to_string(),
+    ]);
+    println!("{table}");
+
+    for case in &report.violations {
+        println!(
+            "VIOLATION seed {}: {}\n  shrunk to [{}]: {}\n  replay: experiments e12 --replay={} (trace {})",
+            case.seed, case.detail, case.minimal_schedule, case.minimal_detail, case.seed, case.trace_hash
+        );
+    }
+
+    std::fs::write(json_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("report written to {json_path}\n");
+
+    if demo_lost_ack {
+        // The gate inverts: the sweep must catch and fully shrink the bug.
+        let caught = report
+            .violations
+            .iter()
+            .any(|c| !c.minimal_plan.drop && !c.minimal_plan.mttf && c.minimal_plan.transfers <= 2);
+        if !caught {
+            eprintln!("E12 FAILED: injected lost-ack bug was not caught and shrunk");
+            std::process::exit(1);
+        }
+        println!(
+            "demo: injected bug caught on {} seed(s) and shrunk to a minimal reproducer\n",
+            report.violations.len()
+        );
+    } else if !report.violations.is_empty() {
+        eprintln!(
+            "E12 FAILED: {} violating seed(s); replay with --replay=<seed>",
+            report.violations.len()
+        );
+        std::process::exit(1);
     }
 }
 

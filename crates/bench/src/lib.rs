@@ -14,6 +14,7 @@
 //! | E7  | §4.2.3 timestamp (clock-skew) sensitivity | [`workloads::skew`] |
 //! | E8  | recorder contention under threaded stress | [`workloads::stress`] |
 //! | E10 | observability: latency percentiles + abort taxonomy | [`report`] |
+//! | E12 | deterministic simulation: seed sweep + failure shrinking | [`workloads::e12`] |
 //!
 //! The `experiments` binary prints every table:
 //!

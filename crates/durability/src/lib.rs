@@ -29,6 +29,8 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod restart;
 pub mod wal;
 
+pub use restart::RestartableWal;
 pub use wal::{CheckpointStats, SyncPolicy, Wal, WalOptions, WalRecoveryInfo};

@@ -1,0 +1,145 @@
+//! Checkpointed invariant checking inside the event loop.
+//!
+//! An [`InvariantChecker`] is called every `checkpoint_every` processed
+//! events (and once more at [`crate::Cluster::heal`]) with a read-only
+//! view of the whole cluster — the online-monitor shape of Mathur &
+//! Viswanathan's vector-clock atomicity checker, specialized to this
+//! simulation. A failing check becomes a [`Violation`] carried in the
+//! cluster, stamping the logical time and event index at which the
+//! invariant first broke; the seed plus that index is a complete
+//! reproducer.
+//!
+//! Two checkers ship with the crate:
+//!
+//! - [`StandardChecker`] — the mid-run-safe all-or-nothing check (a
+//!   participant may still be *undecided* about a decided transaction,
+//!   but must never hold the *opposite* durable outcome) and the balance
+//!   oracle (the set of fully-applied committed transfers must conserve
+//!   the grand total, read from the durable logs alone so it holds even
+//!   while nodes are down).
+//! - [`CertifierCheck`] — the linear-time hybrid-atomicity certifier from
+//!   `atomicity-lint` run over the history the cluster records (requires
+//!   [`crate::SimConfig::record_history`]).
+
+use crate::cluster::Cluster;
+use atomicity_lint::{CertifierHook, Property};
+use std::fmt;
+
+/// One invariant failure observed at a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Logical time of the failing checkpoint.
+    pub time: u64,
+    /// Events processed when the check ran (replay `run_events` to here).
+    pub events: u64,
+    /// Name of the checker that failed.
+    pub checker: String,
+    /// What it saw.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[t={} ev={}] {}: {}",
+            self.time, self.events, self.checker, self.detail
+        )
+    }
+}
+
+/// A checkpoint invariant over the cluster.
+pub trait InvariantChecker: fmt::Debug {
+    /// Short name used in violation reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks the invariant; `Err` describes the violation.
+    fn check(&mut self, cluster: &Cluster) -> Result<(), String>;
+}
+
+/// All-or-nothing plus balance-conservation oracle, safe to run mid-run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardChecker;
+
+impl InvariantChecker for StandardChecker {
+    fn name(&self) -> &'static str {
+        "standard"
+    }
+
+    fn check(&mut self, cluster: &Cluster) -> Result<(), String> {
+        // All-or-nothing, mid-run form: participants lag but never
+        // contradict the coordinator's durable decision.
+        for (txn, commit) in cluster.decided() {
+            for node in cluster.participants_of(txn) {
+                if let Some(o) = cluster.node(node).outcome(txn) {
+                    if o != commit {
+                        return Err(format!(
+                            "txn {txn} decided {commit} but {node} durably recorded {o}"
+                        ));
+                    }
+                }
+            }
+        }
+        // Balance oracle: every transfer whose commit has durably applied
+        // at ALL of its participants moves money without creating it, so
+        // replaying exactly that set must reproduce the initial total.
+        let applied: Vec<_> = cluster
+            .decided()
+            .into_iter()
+            .filter(|&(txn, commit)| {
+                commit
+                    && cluster
+                        .participants_of(txn)
+                        .iter()
+                        .all(|&n| cluster.node(n).outcome(txn) == Some(true))
+            })
+            .map(|(txn, _)| txn)
+            .collect();
+        let total: i64 = cluster
+            .node_ids()
+            .into_iter()
+            .map(|n| cluster.node(n).committed_total_at(|t| applied.contains(&t)))
+            .sum();
+        let expected = cluster.initial_total();
+        if total != expected {
+            return Err(format!(
+                "fully-applied committed set totals {total}, expected {expected} \
+                 ({} transfers applied)",
+                applied.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The linear-time certifier as a checkpoint invariant: certifies the
+/// cluster's recorded history for hybrid atomicity.
+#[derive(Debug)]
+pub struct CertifierCheck {
+    hook: CertifierHook,
+}
+
+impl CertifierCheck {
+    /// Builds the checker for `cluster` (captures its system spec). The
+    /// cluster must have been configured with
+    /// [`crate::SimConfig::record_history`], otherwise the check passes
+    /// vacuously.
+    pub fn hybrid(cluster: &Cluster) -> Self {
+        CertifierCheck {
+            hook: CertifierHook::new(Property::Hybrid, cluster.system_spec()),
+        }
+    }
+}
+
+impl InvariantChecker for CertifierCheck {
+    fn name(&self) -> &'static str {
+        "certifier"
+    }
+
+    fn check(&mut self, cluster: &Cluster) -> Result<(), String> {
+        match cluster.history() {
+            Some(h) => self.hook.check(h),
+            None => Ok(()),
+        }
+    }
+}

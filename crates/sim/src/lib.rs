@@ -7,13 +7,26 @@
 //! provides that substrate: a [`Cluster`] of [`Node`]s, each holding a
 //! shard of bank accounts behind an intentions-list recoverable store
 //! ([`atomicity_core::recovery::IntentionsStore`]), connected by a
-//! message-passing network with seeded random latencies, driven by a
-//! two-phase-commit coordinator, with **crash injection at any event
-//! boundary** and recovery with in-doubt resolution.
+//! fault-injecting [`Network`] (latency jitter, loss, bounded
+//! duplication, reordering, and scheduled [`PartitionWindow`]s), driven
+//! by a two-phase-commit coordinator, with **crash injection at any
+//! event boundary** — scheduled or via [`MttfConfig`] failure clocks —
+//! and recovery with in-doubt resolution.
+//!
+//! Every run is a pure function of [`SimConfig::seed`]: randomness comes
+//! from split [`SimRng`] streams (one per component, so one component's
+//! draws never shift another's), time is logical, and all state lives in
+//! ordered maps. [`Cluster::trace_hash`] and [`Cluster::state_digest`]
+//! make the determinism checkable; a failing seed is a complete
+//! reproducer. Invariants ([`InvariantChecker`]) run at configurable
+//! checkpoints inside the loop, including the linear-time hybrid
+//! atomicity certifier from `atomicity-lint` ([`CertifierCheck`]).
 //!
 //! Experiment E6 sweeps a crash over every event of a transfer and checks
 //! that the all-or-nothing guarantee — `perm(h)` containing only whole
-//! transactions — survives every crash point.
+//! transactions — survives every crash point. Experiment E12 sweeps
+//! *seeds*: thousands of full-fault-matrix runs, shrinking any failure to
+//! a minimal reproducer.
 //!
 //! # Example
 //!
@@ -27,16 +40,50 @@
 //! cluster.verify_atomicity().unwrap();
 //! cluster.verify_conservation().unwrap();
 //! ```
+//!
+//! # Reproducing a failure by seed
+//!
+//! ```
+//! use atomicity_sim::{Cluster, SimConfig, StandardChecker, TransferClient};
+//!
+//! let mut cluster = Cluster::new(SimConfig {
+//!     seed: 0xBAD5EED,
+//!     drop_probability: 0.1,
+//!     record_trace: true,
+//!     ..SimConfig::default()
+//! });
+//! cluster.add_checker(Box::new(StandardChecker));
+//! let rng = cluster.client_rng(0);
+//! let accounts = cluster.account_count();
+//! cluster.add_client(Box::new(TransferClient::new(rng, accounts, 10)));
+//! cluster.run_events(50_000);
+//! cluster.heal();
+//! // Same seed ⇒ same trace_hash ⇒ same violations (if any), every time.
+//! println!("trace hash {:#x}", cluster.trace_hash());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cluster;
+mod invariant;
 mod message;
+mod model;
+mod network;
 mod node;
+mod partition;
 mod queue;
+mod rng;
 
-pub use cluster::{Cluster, SimConfig, SimStats};
-pub use message::{Message, NodeId};
+pub use cluster::{Cluster, MttfConfig, SimConfig, SimStats};
+pub use invariant::{CertifierCheck, InvariantChecker, StandardChecker, Violation};
+pub use message::{Endpoint, Message, NodeId, SimEvent};
+pub use model::{
+    Action, ClientRequest, ClientTurn, DeterministicClient, DeterministicNode, NodeTimer,
+    TransferClient,
+};
+pub use network::{FaultConfig, NetStats, Network};
 pub use node::Node;
+pub use partition::{PartitionSchedule, PartitionWindow};
 pub use queue::{EventQueue, Scheduled};
+pub use rng::SimRng;

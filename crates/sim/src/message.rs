@@ -25,8 +25,27 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// A network endpoint: a participant node or the coordinator. Partition
+/// schedules and per-link fault configurations key on endpoint pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// The two-phase-commit coordinator (also the clients' ingress).
+    Coordinator,
+    /// A participant node.
+    Node(NodeId),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Coordinator => write!(f, "coord"),
+            Endpoint::Node(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 /// A network message of the two-phase-commit protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// Coordinator → participant: durably stage these intentions and vote.
     Prepare {
@@ -52,17 +71,12 @@ pub enum Message {
 }
 
 /// An event in the simulation's queue.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimEvent {
-    /// Deliver a message to a node (dropped if the node is down).
-    DeliverToNode {
-        /// Destination.
-        node: NodeId,
-        /// Payload.
-        message: Message,
-    },
-    /// Deliver a message to the coordinator.
-    DeliverToCoordinator {
+    /// Deliver a message to an endpoint (dropped if the endpoint is down).
+    Deliver {
+        /// Destination endpoint.
+        dst: Endpoint,
         /// Payload.
         message: Message,
     },
@@ -113,5 +127,15 @@ pub enum SimEvent {
         id: usize,
         /// The audit's timestamp.
         ts: u64,
+    },
+    /// A mean-time-to-failure crash clock fires for a node.
+    MttfCrash {
+        /// The node whose failure clock expired.
+        node: NodeId,
+    },
+    /// A deterministic workload client wakes up to submit requests.
+    ClientTick {
+        /// Index of the client in the cluster's client list.
+        client: usize,
     },
 }

@@ -1,6 +1,7 @@
 //! A simulated node: a guardian host with recoverable stable storage.
 
-use crate::message::NodeId;
+use crate::message::{Endpoint, Message, NodeId};
+use crate::model::{Action, DeterministicNode, NodeTimer};
 use atomicity_core::recovery::{DurableLog, IntentionsStore, RecoveryOutcome, StableLog};
 use atomicity_spec::specs::KvMapSpec;
 use atomicity_spec::{ActivityId, ObjectId, OpResult};
@@ -18,6 +19,10 @@ pub struct Node {
     up: bool,
     store: IntentionsStore<KvMapSpec>,
     crash_count: u64,
+    /// Delay before re-sending an unanswered vote (simulated µs).
+    resend_interval: u64,
+    /// Bound on vote retransmissions.
+    max_resends: u32,
 }
 
 impl Node {
@@ -45,7 +50,17 @@ impl Node {
             up: true,
             store: IntentionsStore::shared(spec, object, log),
             crash_count: 0,
+            resend_interval: 2_000,
+            max_resends: 8,
         }
+    }
+
+    /// Configures the vote-retransmission policy (the cluster sets this
+    /// from [`crate::SimConfig::decision_timeout`] and
+    /// [`crate::SimConfig::max_resends`]).
+    pub fn configure_retransmit(&mut self, resend_interval: u64, max_resends: u32) {
+        self.resend_interval = resend_interval;
+        self.max_resends = max_resends;
     }
 
     /// The node's identity.
@@ -140,6 +155,69 @@ impl Node {
             .first()
             .map(|m| m.values().sum())
             .unwrap_or(0)
+    }
+}
+
+impl DeterministicNode for Node {
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::Node(self.id)
+    }
+
+    fn online(&self) -> bool {
+        self.up
+    }
+
+    fn on_message(&mut self, _now: u64, message: &Message) -> Vec<Action> {
+        match message {
+            Message::Prepare { txn, ops } => {
+                // Durably stage and vote yes; arm the resend timer in case
+                // the decision never arrives.
+                self.prepare(*txn, ops.clone());
+                vec![
+                    Action::Send {
+                        dst: Endpoint::Coordinator,
+                        message: Message::PrepareAck {
+                            txn: *txn,
+                            node: self.id,
+                        },
+                    },
+                    Action::Timer {
+                        delay: self.resend_interval,
+                        timer: NodeTimer::ResendAck {
+                            txn: *txn,
+                            attempt: 1,
+                        },
+                    },
+                ]
+            }
+            Message::Decision { txn, commit } => {
+                self.decide(*txn, *commit);
+                Vec::new()
+            }
+            // A stray ack delivered to a node (duplication artifacts).
+            Message::PrepareAck { .. } => Vec::new(),
+        }
+    }
+
+    fn on_timer(&mut self, _now: u64, timer: &NodeTimer) -> Vec<Action> {
+        let NodeTimer::ResendAck { txn, attempt } = *timer;
+        let undecided = self.up && self.prepared(txn) && self.outcome(txn).is_none();
+        if !undecided || attempt > self.max_resends {
+            return Vec::new();
+        }
+        vec![
+            Action::Send {
+                dst: Endpoint::Coordinator,
+                message: Message::PrepareAck { txn, node: self.id },
+            },
+            Action::Timer {
+                delay: self.resend_interval,
+                timer: NodeTimer::ResendAck {
+                    txn,
+                    attempt: attempt + 1,
+                },
+            },
+        ]
     }
 }
 

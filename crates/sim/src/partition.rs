@@ -1,0 +1,129 @@
+//! Explicit network partition schedules.
+//!
+//! A [`PartitionWindow`] isolates a group of endpoints from everyone else
+//! for an interval of simulated time; a [`PartitionSchedule`] is a set of
+//! such windows. The [`crate::Network`] consults the schedule on every
+//! send and refuses to carry messages across an active cut — partitioned
+//! traffic is counted, never delivered.
+
+use crate::message::Endpoint;
+use std::collections::BTreeSet;
+
+/// One partition interval: during `[start, end)` the endpoints in `group`
+/// can talk among themselves and everyone outside the group can talk among
+/// themselves, but no message crosses the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Simulated time at which the partition forms (inclusive).
+    pub start: u64,
+    /// Simulated time at which the partition heals (exclusive).
+    pub end: u64,
+    /// The isolated side of the cut.
+    pub group: BTreeSet<Endpoint>,
+}
+
+impl PartitionWindow {
+    /// Builds a window isolating `group` during `[start, end)`.
+    pub fn new(start: u64, end: u64, group: impl IntoIterator<Item = Endpoint>) -> Self {
+        PartitionWindow {
+            start,
+            end,
+            group: group.into_iter().collect(),
+        }
+    }
+
+    /// Whether this window is active at `now`.
+    pub fn active_at(&self, now: u64) -> bool {
+        self.start <= now && now < self.end
+    }
+
+    /// Whether this window cuts the link `a → b` at `now`.
+    pub fn cuts(&self, now: u64, a: Endpoint, b: Endpoint) -> bool {
+        self.active_at(now) && (self.group.contains(&a) != self.group.contains(&b))
+    }
+}
+
+/// A set of partition windows, consulted per send.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionSchedule {
+    windows: Vec<PartitionWindow>,
+}
+
+impl PartitionSchedule {
+    /// An empty schedule (fully connected network).
+    pub fn new() -> Self {
+        PartitionSchedule::default()
+    }
+
+    /// Adds a window to the schedule.
+    pub fn add(&mut self, window: PartitionWindow) {
+        self.windows.push(window);
+    }
+
+    /// Builder form of [`PartitionSchedule::add`].
+    pub fn with(mut self, window: PartitionWindow) -> Self {
+        self.add(window);
+        self
+    }
+
+    /// Whether any window cuts the link `a → b` at `now`.
+    pub fn cuts(&self, now: u64, a: Endpoint, b: Endpoint) -> bool {
+        self.windows.iter().any(|w| w.cuts(now, a, b))
+    }
+
+    /// The configured windows.
+    pub fn windows(&self) -> &[PartitionWindow] {
+        &self.windows
+    }
+
+    /// Whether the schedule has no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The latest heal time across all windows (0 when empty) — the time
+    /// after which the network is guaranteed fully connected.
+    pub fn healed_after(&self) -> u64 {
+        self.windows.iter().map(|w| w.end).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::NodeId;
+
+    fn n(i: u32) -> Endpoint {
+        Endpoint::Node(NodeId::new(i))
+    }
+
+    #[test]
+    fn cuts_only_across_the_boundary_during_the_window() {
+        let w = PartitionWindow::new(100, 200, [n(0), n(1)]);
+        assert!(w.cuts(100, n(0), n(2)));
+        assert!(w.cuts(150, n(2), n(1)), "cuts are symmetric");
+        assert!(!w.cuts(150, n(0), n(1)), "same side stays connected");
+        assert!(!w.cuts(150, n(2), n(3)), "other side stays connected");
+        assert!(!w.cuts(99, n(0), n(2)), "inactive before start");
+        assert!(!w.cuts(200, n(0), n(2)), "end is exclusive");
+    }
+
+    #[test]
+    fn coordinator_can_be_partitioned() {
+        let w = PartitionWindow::new(0, 50, [Endpoint::Coordinator]);
+        assert!(w.cuts(10, Endpoint::Coordinator, n(0)));
+        assert!(!w.cuts(10, n(0), n(1)));
+    }
+
+    #[test]
+    fn schedule_unions_windows() {
+        let s = PartitionSchedule::new()
+            .with(PartitionWindow::new(0, 10, [n(0)]))
+            .with(PartitionWindow::new(20, 30, [n(1)]));
+        assert!(s.cuts(5, n(0), n(1)));
+        assert!(!s.cuts(15, n(0), n(1)));
+        assert!(s.cuts(25, n(0), n(1)));
+        assert_eq!(s.healed_after(), 30);
+        assert!(PartitionSchedule::new().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the fault-injecting network layer.
+//!
+//! Whatever the fault configuration, [`Network::plan`] must respect its
+//! stated bounds: at most `1 + max_duplicates` copies of any message,
+//! every delivery inside the latency (+ reorder boost) band, zero copies
+//! across an active partition, and exactly one copy on a fault-free link.
+
+use atomicity_sim::{
+    Endpoint, FaultConfig, Network, NodeId, PartitionSchedule, PartitionWindow, SimRng,
+};
+use proptest::prelude::*;
+
+fn ep(i: u32) -> Endpoint {
+    if i == 0 {
+        Endpoint::Coordinator
+    } else {
+        Endpoint::Node(NodeId::new(i - 1))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A message is delivered at most `1 + max_duplicates` times, and
+    /// every scheduled copy falls inside the configured timing band.
+    #[test]
+    fn delivery_count_and_latency_respect_bounds(
+        seed in any::<u64>(),
+        min_latency in 1u64..200,
+        extra_latency in 0u64..500,
+        drop_permille in 0u32..1000,
+        dup_permille in 0u32..1000,
+        max_duplicates in 0u32..4,
+        reorder_permille in 0u32..1000,
+        reorder_extra in 0u64..2_000,
+        sends in prop::collection::vec((0u32..5, 0u32..5, 0u64..100_000), 1..40),
+    ) {
+        let faults = FaultConfig {
+            min_latency,
+            max_latency: min_latency + extra_latency,
+            drop_probability: f64::from(drop_permille) / 1000.0,
+            duplicate_probability: f64::from(dup_permille) / 1000.0,
+            max_duplicates,
+            reorder_probability: f64::from(reorder_permille) / 1000.0,
+            reorder_extra,
+        };
+        let mut net = Network::new(SimRng::new(seed), faults.clone(), PartitionSchedule::new());
+        for (src, dst, now) in sends {
+            let times = net.plan(now, ep(src), ep(dst));
+            prop_assert!(
+                times.len() <= 1 + max_duplicates as usize,
+                "{} copies exceeds duplication factor {}",
+                times.len(),
+                max_duplicates
+            );
+            for &at in &times {
+                prop_assert!(at >= now + faults.min_latency, "delivered before min latency");
+                prop_assert!(
+                    at <= now + faults.max_latency + faults.reorder_extra,
+                    "delivered after max latency + reorder boost"
+                );
+            }
+        }
+        let stats = *net.stats();
+        prop_assert_eq!(stats.scheduled + stats.lost, stats.sent + stats.duplicated);
+    }
+
+    /// No message ever crosses an active partition, whatever the faults;
+    /// the same link delivers again once the window closes.
+    #[test]
+    fn partitions_are_absolute(
+        seed in any::<u64>(),
+        start in 0u64..50_000,
+        len in 1u64..50_000,
+        dup_permille in 0u32..1000,
+        inside_offset in 0u64..50_000,
+    ) {
+        let isolated = ep(2);
+        let other = ep(1);
+        let schedule = PartitionSchedule::new().with(PartitionWindow::new(
+            start,
+            start + len,
+            [isolated],
+        ));
+        let faults = FaultConfig {
+            drop_probability: 0.0,
+            duplicate_probability: f64::from(dup_permille) / 1000.0,
+            ..FaultConfig::default()
+        };
+        let mut net = Network::new(SimRng::new(seed), faults, schedule);
+        let inside = start + inside_offset % len;
+        prop_assert!(net.plan(inside, other, isolated).is_empty(), "delivered into partition");
+        prop_assert!(net.plan(inside, isolated, other).is_empty(), "delivered out of partition");
+        // Links wholly inside (or outside) the partitioned group still work.
+        prop_assert!(!net.plan(inside, other, ep(3)).is_empty(), "cut an uncut link");
+        // After the window closes the link heals.
+        prop_assert!(
+            !net.plan(start + len, other, isolated).is_empty(),
+            "link still cut after the window closed"
+        );
+        prop_assert!(net.stats().cut == 2, "cut counter wrong");
+    }
+
+    /// A fault-free link delivers exactly once.
+    #[test]
+    fn reliable_links_deliver_exactly_once(
+        seed in any::<u64>(),
+        now in 0u64..1_000_000,
+        src in 0u32..5,
+        dst in 0u32..5,
+    ) {
+        let mut net = Network::new(
+            SimRng::new(seed),
+            FaultConfig::reliable(50, 500),
+            PartitionSchedule::new(),
+        );
+        prop_assert_eq!(net.plan(now, ep(src), ep(dst)).len(), 1);
+    }
+}

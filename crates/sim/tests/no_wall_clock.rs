@@ -1,0 +1,47 @@
+//! Guard against wall-clock leaks into the simulation.
+//!
+//! Determinism dies quietly: one `Instant::now()` in a simulated path and
+//! replays stop being bit-identical without any test failing loudly. This
+//! scan pins the rule structurally — no source file in `crates/sim/src`
+//! may reference the process clock at all. (Benches may time themselves
+//! with the wall clock; the simulation may not.)
+
+use std::fs;
+use std::path::Path;
+
+const FORBIDDEN: &[&str] = &[
+    "Instant::now",
+    "SystemTime",
+    "std::time::Instant",
+    "UNIX_EPOCH",
+];
+
+fn scan(dir: &Path, hits: &mut Vec<String>) {
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            scan(&path, hits);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let src = fs::read_to_string(&path).unwrap();
+            for pattern in FORBIDDEN {
+                for (lineno, line) in src.lines().enumerate() {
+                    if line.contains(pattern) {
+                        hits.push(format!("{}:{}: {}", path.display(), lineno + 1, pattern));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_sources_never_touch_the_wall_clock() {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut hits = Vec::new();
+    scan(&src, &mut hits);
+    assert!(
+        hits.is_empty(),
+        "wall-clock references leaked into simulated code:\n{}",
+        hits.join("\n")
+    );
+}
