@@ -1,0 +1,185 @@
+//! The atomic escrow counter (decrement-if-at-least reservations).
+
+use crate::{expect_int, object_for_protocol};
+use atomicity_core::{AtomicObject, Txn, TxnError, TxnManager};
+use atomicity_spec::specs::EscrowCounterSpec;
+use atomicity_spec::{op, ObjectId, Value};
+use std::sync::Arc;
+
+/// The outcome of a debit: the operation terminates normally or refuses,
+/// it does not error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DebitOutcome {
+    /// The requested quantity was debited.
+    Debited,
+    /// The debit was refused; nothing changed. Refusal is always a
+    /// permissible outcome of the escrow specification, so a refused debit
+    /// never constrains serialization order.
+    Refused,
+}
+
+impl DebitOutcome {
+    /// Whether the debit succeeded.
+    pub fn is_debited(self) -> bool {
+        matches!(self, DebitOutcome::Debited)
+    }
+}
+
+/// An atomic escrow counter: `credit`, `debit` (may refuse), `available`.
+///
+/// Because refusal is *always* replayable, credits and debits commute in
+/// every state — the synthesis pass derives this table entirely from
+/// [`EscrowCounterSpec`], no hand-written conflict table exists for this
+/// type. Under the dynamic engine a debit never blocks on a concurrent
+/// credit: when the committed funds do not cover it, it degrades to
+/// [`DebitOutcome::Refused`] instead of waiting.
+///
+/// # Example
+///
+/// ```
+/// use atomicity_core::{TxnManager, Protocol};
+/// use atomicity_adts::{AtomicEscrow, DebitOutcome};
+/// use atomicity_spec::ObjectId;
+///
+/// let mgr = TxnManager::new(Protocol::Dynamic);
+/// let esc = AtomicEscrow::new(ObjectId::new(1), &mgr);
+/// let t = mgr.begin();
+/// esc.credit(&t, 10)?;
+/// assert_eq!(esc.debit(&t, 4)?, DebitOutcome::Debited);
+/// assert_eq!(esc.debit(&t, 40)?, DebitOutcome::Refused);
+/// assert_eq!(esc.available(&t)?, 6);
+/// mgr.commit(t)?;
+/// # Ok::<(), atomicity_core::TxnError>(())
+/// ```
+#[derive(Clone)]
+pub struct AtomicEscrow {
+    id: ObjectId,
+    obj: Arc<dyn AtomicObject>,
+}
+
+impl AtomicEscrow {
+    /// Creates an escrow counter with 0 available under the manager's
+    /// protocol.
+    pub fn new(id: ObjectId, mgr: &TxnManager) -> Self {
+        Self::with_initial(id, mgr, 0)
+    }
+
+    /// Creates an escrow counter with a given initial quantity.
+    pub fn with_initial(id: ObjectId, mgr: &TxnManager, available: i64) -> Self {
+        AtomicEscrow {
+            id,
+            obj: object_for_protocol(id, EscrowCounterSpec::with_initial(available), mgr),
+        }
+    }
+
+    /// The counter's object identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Credits `amount` (non-negative) into the escrow.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only; see
+    /// [`AtomicObject::invoke`](atomicity_core::AtomicObject::invoke).
+    pub fn credit(&self, txn: &Txn, amount: i64) -> Result<(), TxnError> {
+        self.obj.invoke(txn, op("credit", [amount])).map(|_| ())
+    }
+
+    /// Debits `amount`, terminating normally or with
+    /// [`DebitOutcome::Refused`].
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only (deadlock, timestamp conflict, …).
+    pub fn debit(&self, txn: &Txn, amount: i64) -> Result<DebitOutcome, TxnError> {
+        let v = self.obj.invoke(txn, op("debit", [amount]))?;
+        Ok(if v == Value::ok() {
+            DebitOutcome::Debited
+        } else {
+            DebitOutcome::Refused
+        })
+    }
+
+    /// The quantity available as seen by `txn`.
+    ///
+    /// # Errors
+    ///
+    /// Transaction-level errors only.
+    pub fn available(&self, txn: &Txn) -> Result<i64, TxnError> {
+        let v = self.obj.invoke(txn, op("available", [] as [i64; 0]))?;
+        expect_int(v, self.id)
+    }
+}
+
+impl std::fmt::Debug for AtomicEscrow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicEscrow")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_core::Protocol;
+    use atomicity_spec::atomicity::{is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
+    use atomicity_spec::SystemSpec;
+
+    fn spec() -> SystemSpec {
+        SystemSpec::new().with_object(ObjectId::new(1), EscrowCounterSpec::new())
+    }
+
+    #[test]
+    fn basic_flow_under_all_protocols() {
+        for protocol in [Protocol::Dynamic, Protocol::Static, Protocol::Hybrid] {
+            let mgr = TxnManager::new(protocol);
+            let esc = AtomicEscrow::new(ObjectId::new(1), &mgr);
+            let t = mgr.begin();
+            esc.credit(&t, 10).unwrap();
+            assert_eq!(esc.debit(&t, 4).unwrap(), DebitOutcome::Debited);
+            assert_eq!(esc.debit(&t, 7).unwrap(), DebitOutcome::Refused);
+            assert_eq!(esc.available(&t).unwrap(), 6);
+            mgr.commit(t).unwrap();
+            let h = mgr.history();
+            let ok = match protocol {
+                Protocol::Dynamic => is_dynamic_atomic(&h, &spec()),
+                Protocol::Static => is_static_atomic(&h, &spec()),
+                Protocol::Hybrid => is_hybrid_atomic(&h, &spec()),
+            };
+            assert!(ok, "{protocol:?} history fails its property");
+        }
+    }
+
+    #[test]
+    fn concurrent_credit_and_debit_are_admitted() {
+        // The escrow discipline: a debit against insufficient *committed*
+        // funds is refused rather than blocked, even while a concurrent
+        // credit is in flight — refusal replays in every serialization
+        // order, so the dynamic engine admits it immediately.
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let esc = AtomicEscrow::with_initial(ObjectId::new(1), &mgr, 5);
+        let creditor = mgr.begin();
+        let debtor = mgr.begin();
+        esc.credit(&creditor, 100).unwrap();
+        // Committed funds are 5; the uncommitted credit may serialize after.
+        assert_eq!(esc.debit(&debtor, 50).unwrap(), DebitOutcome::Refused);
+        assert_eq!(esc.debit(&debtor, 5).unwrap(), DebitOutcome::Debited);
+        mgr.commit(debtor).unwrap();
+        mgr.commit(creditor).unwrap();
+        let sys =
+            SystemSpec::new().with_object(ObjectId::new(1), EscrowCounterSpec::with_initial(5));
+        assert!(is_dynamic_atomic(&mgr.history(), &sys));
+    }
+
+    #[test]
+    fn initial_quantity() {
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let esc = AtomicEscrow::with_initial(ObjectId::new(1), &mgr, 50);
+        let t = mgr.begin();
+        assert_eq!(esc.available(&t).unwrap(), 50);
+        mgr.commit(t).unwrap();
+    }
+}

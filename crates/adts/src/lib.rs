@@ -3,7 +3,9 @@
 //! Each type here wraps one of the engines from [`atomicity_core`] behind
 //! a strongly-typed interface: [`AtomicCounter`], [`AtomicSet`],
 //! [`AtomicQueue`], [`AtomicAccount`], [`AtomicMap`], [`AtomicRegister`],
-//! [`AtomicBuffer`], and the non-deterministic [`AtomicSemiqueue`]. Constructors select the
+//! [`AtomicBuffer`], the escrow-style [`AtomicEscrow`] (whose conflict
+//! table is machine-derived by `atomicity-lint`), and the non-deterministic
+//! [`AtomicSemiqueue`]. Constructors select the
 //! engine matching the manager's [`atomicity_core::Protocol`] — the
 //! paper's rule that every object in a system satisfies the *same* local
 //! atomicity property (§4) is thus upheld by construction.
@@ -30,6 +32,7 @@
 mod account;
 mod buffer;
 mod counter;
+mod escrow;
 mod map;
 mod queue;
 mod register;
@@ -39,6 +42,7 @@ mod set;
 pub use account::{AtomicAccount, WithdrawOutcome};
 pub use buffer::{AtomicBuffer, PutOutcome};
 pub use counter::AtomicCounter;
+pub use escrow::{AtomicEscrow, DebitOutcome};
 pub use map::AtomicMap;
 pub use queue::AtomicQueue;
 pub use register::AtomicRegister;

@@ -31,19 +31,50 @@
 //!    machinery of `core::deadlock` cannot see because they live *under*
 //!    it, in the engines' own mutexes.
 //!
-//! The `experiments lint` subcommand in `atomicity-bench` runs passes 1
-//! and 3 as a CI gate: any unsound table entry or lock-order cycle makes
-//! it exit non-zero.
+//! 4. [`synth`] — **conflict-table synthesis**. The auditor inverted: the
+//!    commutativity relation is *derived* from the specification (pairwise
+//!    forward commutativity over an exhaustive bounded state universe,
+//!    generalized into argument-shape buckets) and shipped to the engines
+//!    as a generated [`atomicity_core::ConflictTable`], replacing the
+//!    hand-written tables. The pass re-proves its own output
+//!    ([`verify_table`]), certifies where each hand table is minimal or
+//!    provably over-conservative ([`gap_against`]), and reports the
+//!    right-mover/recoverability asymmetries of Malta & Martinez.
+//!
+//! 5. [`nondet`] — the **nondeterminism lint**, generalizing the
+//!    simulator's wall-clock scan: a configurable source scan for
+//!    nondeterminism escape hatches (wall clocks in deterministic code,
+//!    unseeded RNG anywhere) with a per-rule allowlist.
+//!
+//! 6. [`footprint`] — the **dependency-footprint extractor**: a static
+//!    read/write-set analysis of the transaction programs in the bench
+//!    workloads, the seed format for dependency-logged parallel recovery.
+//!
+//! The `experiments lint` subcommand in `atomicity-bench` runs passes 1,
+//! 3 and 5 as a CI gate (any unsound table entry, lock-order cycle, or
+//! nondeterminism finding makes it exit non-zero); `experiments lint
+//! --synth` additionally runs pass 4 end-to-end and writes the gap-report
+//! JSON artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod certify;
+pub mod footprint;
 pub mod hook;
 pub mod lockorder;
+pub mod nondet;
+pub mod synth;
 
 pub use audit::{audit_table, standard_audits, AuditConfig, Counterexample, PairClass, TableAudit};
 pub use certify::{certify, Certificate, Method, Property, Verdict};
+pub use footprint::{extract_footprints, FnFootprint, FootprintReport, OpClass};
 pub use hook::CertifierHook;
 pub use lockorder::{audit_lock_order, LockOrderReport, SourceFile};
+pub use nondet::{scan_nondeterminism, NondetConfig, NondetFinding, NondetRule};
+pub use synth::{
+    forward_commute_in_state, gap_against, right_mover_in_state, standard_syntheses,
+    synthesize_table, verify_table, Asymmetry, ForwardCounterexample, GapEntry, HandTableGap,
+    InstanceVerdict, SoundnessViolation, SynthConfig, SynthSuite, TableSynthesis,
+};

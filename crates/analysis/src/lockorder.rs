@@ -375,7 +375,7 @@ fn is_ident_byte(b: u8) -> bool {
 }
 
 /// The name in a `fn name(...)` definition line, if any.
-fn fn_definition_name(line: &str) -> Option<String> {
+pub(crate) fn fn_definition_name(line: &str) -> Option<String> {
     let bytes = line.as_bytes();
     let mut search = 0;
     while let Some(pos) = line[search..].find("fn ") {

@@ -2,7 +2,9 @@
 
 use crate::locks::ModeLock;
 use atomicity_core::trace::ObjectMetrics;
-use atomicity_core::{AtomicObject, HistoryLog, Participant, Txn, TxnError, TxnManager};
+use atomicity_core::{
+    AtomicObject, CommutesRel, HistoryLog, Participant, Txn, TxnError, TxnManager,
+};
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
 };
@@ -13,6 +15,11 @@ use std::sync::{Arc, Weak};
 /// A static commutativity predicate over operations: `true` iff the two
 /// operations commute **in every state** — the state-independent relation
 /// the conventional locking protocols are built on.
+///
+/// Function pointers of this type implement
+/// [`CommutesRel`](atomicity_core::CommutesRel), as do the generated
+/// [`ConflictTable`](atomicity_core::ConflictTable)s from `atomicity-lint`;
+/// [`CommutativityLockedObject::with_relation`] accepts either.
 pub type Commutes = fn(&Operation, &Operation) -> bool;
 
 /// The §5.1 commutativity table for the bank account: only
@@ -86,7 +93,7 @@ pub fn set_commutativity(p: &Operation, q: &Operation) -> bool {
 pub struct CommutativityLockedObject<S: SequentialSpec> {
     id: ObjectId,
     spec: S,
-    commutes: Commutes,
+    commutes: Arc<dyn CommutesRel>,
     log: HistoryLog,
     lock: ModeLock<Operation>,
     state: Mutex<State<S>>,
@@ -100,8 +107,20 @@ struct State<S: SequentialSpec> {
 }
 
 impl<S: SequentialSpec> CommutativityLockedObject<S> {
-    /// Creates the object with the given commutativity table.
+    /// Creates the object with the given hand-written commutativity table.
     pub fn new(id: ObjectId, spec: S, mgr: &TxnManager, commutes: Commutes) -> Arc<Self> {
+        Self::with_relation(id, spec, mgr, Arc::new(commutes))
+    }
+
+    /// Creates the object with any [`CommutesRel`] — in particular a
+    /// machine-generated [`ConflictTable`](atomicity_core::ConflictTable)
+    /// from the `atomicity-lint` synthesis pass.
+    pub fn with_relation(
+        id: ObjectId,
+        spec: S,
+        mgr: &TxnManager,
+        commutes: Arc<dyn CommutesRel>,
+    ) -> Arc<Self> {
         let initial = vec![spec.initial()];
         Arc::new_cyclic(|self_ref| CommutativityLockedObject {
             id,
@@ -137,7 +156,7 @@ impl<S: SequentialSpec> AtomicObject for CommutativityLockedObject<S> {
         }
         txn.register(self.self_participant());
         let me = txn.id();
-        let commutes = self.commutes;
+        let commutes = |a: &Operation, b: &Operation| self.commutes.commutes(a, b);
         let invoke_sw = self.metrics.stopwatch();
         if !self.lock.try_acquire(txn, operation.clone(), commutes) {
             self.metrics.record_block_round(me);
@@ -176,7 +195,7 @@ impl<S: SequentialSpec> AtomicObject for CommutativityLockedObject<S> {
         }
         self.log
             .record(Event::invoke(me, self.id, operation.clone()));
-        let commutes = self.commutes;
+        let commutes = |a: &Operation, b: &Operation| self.commutes.commutes(a, b);
         let invoke_sw = self.metrics.stopwatch();
         // Fast path first so block-wait time is only measured under
         // contention.
@@ -406,6 +425,47 @@ mod tests {
         mgr.commit(a).unwrap();
         mgr.commit(b).unwrap();
         let spec = SystemSpec::new().with_object(x(), IntSetSpec::new());
+        assert!(is_dynamic_atomic(&mgr.history(), &spec));
+    }
+
+    #[test]
+    fn generated_conflict_table_drives_the_lock() {
+        use atomicity_core::{ArgRelation, ConflictRule, ConflictTable};
+        // A miniature machine-generated table: deposits share, everything
+        // else conflicts (missing rule => conflict, conservatively).
+        let table = ConflictTable {
+            adt: "bank".to_string(),
+            spec: "BankAccountSpec".to_string(),
+            depth: 2,
+            states_explored: 0,
+            truncated: 0,
+            universe: vec!["deposit(3)".to_string(), "deposit(5)".to_string()],
+            rules: vec![ConflictRule {
+                p_name: "deposit".to_string(),
+                q_name: "deposit".to_string(),
+                relation: ArgRelation::DistinctKey,
+                commutes: true,
+                instance_pairs: 1,
+            }],
+        };
+        let mgr = TxnManager::new(Protocol::Dynamic);
+        let acct = CommutativityLockedObject::with_relation(
+            x(),
+            BankAccountSpec::new(),
+            &mgr,
+            Arc::new(table),
+        );
+        let a = mgr.begin();
+        let b = mgr.begin();
+        acct.invoke(&a, op("deposit", [3])).unwrap();
+        acct.invoke(&b, op("deposit", [5])).unwrap();
+        assert_eq!(acct.holder_count(), 2);
+        // No rule covers withdraw: the generated table conservatively
+        // blocks it while the deposits hold the lock.
+        assert!(acct.try_invoke(&mgr.begin(), op("withdraw", [1])).is_err());
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        let spec = SystemSpec::new().with_object(x(), BankAccountSpec::new());
         assert!(is_dynamic_atomic(&mgr.history(), &spec));
     }
 }

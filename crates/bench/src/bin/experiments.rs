@@ -1,23 +1,30 @@
 //! The experiment harness: regenerates every comparison in the paper.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 | all]
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 | all]
 //! experiments e6 [--disk]
 //! experiments e10 [--smoke] [--json=PATH]
 //! experiments e11 [--smoke] [--json=PATH]
 //! experiments e12 [--smoke] [--seeds=N] [--json=PATH] [--demo-lost-ack] [--replay=SEED]
-//! experiments lint [--demo-unsound]
+//! experiments lint [--synth] [--json=PATH] [--demo-unsound]
 //! ```
 //!
 //! Each experiment prints one or more tables; `EXPERIMENTS.md` records the
 //! paper's qualitative claim next to a captured run of this binary.
 //!
 //! `lint` is the CI gate: it audits every hand-written conflict table
-//! against the relation derived from its sequential specification and
-//! scans the engine sources for lock-ordering cycles, exiting non-zero on
-//! any unsound table entry, asymmetric entry, or lock cycle.
-//! `--demo-unsound` adds a deliberately corrupted bank table to the run to
-//! demonstrate (and test) the failure path.
+//! against the relation derived from its sequential specification, scans
+//! the engine sources for lock-ordering cycles, and scans the workspace
+//! for nondeterminism escape hatches (wall clocks in the deterministic
+//! simulator, unseeded RNG anywhere), exiting non-zero on any unsound
+//! table entry, asymmetric entry, lock cycle, or nondeterminism finding.
+//! `--synth` additionally runs the conflict-table **synthesis** pass:
+//! every generated table is re-proved sound from scratch, every hand table
+//! is diffed against the synthesized relation, and the full gap report is
+//! written as JSON (default `BENCH_synth_gap.json`, override with
+//! `--json=PATH`). `--demo-unsound` corrupts a bank table (the hand one,
+//! or the generated one under `--synth`) to demonstrate (and test) the
+//! failure path.
 //!
 //! `e6 --disk` replays the crash sweep with every node's stable log
 //! backed by the real on-disk WAL (`atomicity-durable`, sync-each policy)
@@ -60,7 +67,7 @@ use atomicity_lint::{
 };
 use atomicity_spec::atomicity::{is_atomic, is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
 use atomicity_spec::well_formed::WellFormedness;
-use atomicity_spec::{op, paper, ObjectId, Operation, SystemSpec};
+use atomicity_spec::{op, paper, ObjectId, SystemSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,7 +84,11 @@ fn main() {
         .map(String::as_str)
         .collect();
     if wanted.contains(&"lint") {
-        std::process::exit(run_lint(args.iter().any(|a| a == "--demo-unsound")));
+        std::process::exit(run_lint(
+            args.iter().any(|a| a == "--demo-unsound"),
+            args.iter().any(|a| a == "--synth"),
+            json_path.as_deref(),
+        ));
     }
     let run_all = wanted.is_empty() || wanted.contains(&"all");
     let want = |name: &str| run_all || wanted.contains(&name);
@@ -139,6 +150,9 @@ fn main() {
             replay,
             json_path.as_deref().unwrap_or("BENCH_e12.json"),
         );
+    }
+    if want("e13") {
+        e13_synthesis();
     }
     if want("a1") {
         a1_ablation(quick);
@@ -1174,6 +1188,128 @@ fn e9_static_analysis(quick: bool) {
     );
 }
 
+/// E13 (DESIGN.md §5): conflict-table synthesis — the generated tables
+/// the engines lock with, the hand-table minimality gap report, the
+/// recoverability asymmetries, and the dependency-footprint extraction.
+fn e13_synthesis() {
+    println!(
+        "== E13: conflict-table synthesis — generated tables & minimality gaps (DESIGN.md §5)\n"
+    );
+    let suite = full_synth_suite();
+
+    let mut table = Table::new(vec![
+        "adt",
+        "spec",
+        "universe",
+        "states",
+        "rules",
+        "commute",
+        "asymmetries",
+    ])
+    .with_title("machine-synthesized conflict tables (pairwise forward commutativity)");
+    for s in &suite.syntheses {
+        table.row(vec![
+            s.table.adt.clone(),
+            s.table.spec.clone(),
+            s.table.universe.len().to_string(),
+            s.table.states_explored.to_string(),
+            s.table.rules.len().to_string(),
+            s.table.commuting_rules().to_string(),
+            s.asymmetries.len().to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let mut gaps = Table::new(vec![
+        "hand table",
+        "adt",
+        "justified",
+        "data-dep",
+        "over-conservative",
+        "unsound",
+        "verdict",
+    ])
+    .with_title("hand-written tables vs the synthesized relation (minimality report)");
+    for g in &suite.gaps {
+        gaps.row(vec![
+            g.hand_table.clone(),
+            g.adt.clone(),
+            g.justified.len().to_string(),
+            g.data_dependent.len().to_string(),
+            g.over_conservative.len().to_string(),
+            g.unsound.len().to_string(),
+            if g.minimal { "minimal" } else { "gap" }.to_string(),
+        ]);
+    }
+    println!("{gaps}");
+
+    for g in &suite.gaps {
+        for e in &g.over_conservative {
+            println!(
+                "lost concurrency in `{}`: ({}, {}) [{}] — {}",
+                g.hand_table, e.p, e.q, e.relation, e.witness
+            );
+        }
+    }
+    println!();
+    for s in &suite.syntheses {
+        let shown = s.asymmetries.len().min(3);
+        for a in &s.asymmetries[..shown] {
+            println!("recoverability asymmetry in `{}`: {}", s.table.adt, a);
+        }
+        if s.asymmetries.len() > shown {
+            println!(
+                "  (+{} more asymmetries in `{}`)",
+                s.asymmetries.len() - shown,
+                s.table.adt
+            );
+        }
+    }
+    println!();
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/workloads");
+    match atomicity_lint::nondet::read_sources_recursive(&root, "bench/workloads/") {
+        Ok(files) => {
+            let report = atomicity_lint::extract_footprints(&files);
+            let mut fp = Table::new(vec!["file", "function", "reads", "writes", "unknown"])
+                .with_title("static dependency footprints of the workload transaction programs");
+            for f in &report.functions {
+                fp.row(vec![
+                    f.file.clone(),
+                    f.function.clone(),
+                    f.reads.join(" "),
+                    f.writes.join(" "),
+                    f.unknown.join(" "),
+                ]);
+            }
+            println!("{fp}");
+            println!(
+                "{} writer function(s), {} read-only — the dependency-logging seed for parallel recovery\n",
+                report.writers(),
+                report.read_only()
+            );
+        }
+        Err(e) => println!("footprint extraction skipped (sources unavailable: {e})\n"),
+    }
+}
+
+/// The full synthesis suite: the workspace-standard one plus the bench
+/// kv-map hand table's gap report (the map hand table lives in this crate,
+/// so `atomicity-lint` cannot diff it itself).
+fn full_synth_suite() -> atomicity_lint::SynthSuite {
+    let mut suite = atomicity_bench::synthesized_suite().clone();
+    let map = suite
+        .synthesis("map")
+        .expect("map table synthesized")
+        .clone();
+    suite.gaps.push(atomicity_lint::gap_against(
+        &map,
+        "map_commutativity",
+        &map_commutativity,
+    ));
+    suite
+}
+
 /// Every hand-written conflict table in the workspace, audited against
 /// its specification: the four baseline tables plus the bench kv-map
 /// table.
@@ -1184,26 +1320,11 @@ fn all_table_audits() -> Vec<TableAudit> {
         "map_commutativity",
         "KvMapSpec",
         &atomicity_spec::specs::KvMapSpec::new(),
-        &map_universe(),
+        &atomicity_lint::synth::map_universe(),
         map_commutativity,
         &config,
     ));
     audits
-}
-
-/// Operation universe for the kv-map audit: two keys, mutators and
-/// observers, plus the whole-map scans.
-fn map_universe() -> Vec<Operation> {
-    vec![
-        op("put", [1, 5]),
-        op("put", [2, 9]),
-        op("adjust", [1, 1]),
-        op("adjust", [2, 1]),
-        op("remove", [1]),
-        op("get", [1]),
-        op("sum", [] as [i64; 0]),
-        op("size", [] as [i64; 0]),
-    ]
 }
 
 /// Scans the engine sources (core, engines, baselines) for the
@@ -1220,11 +1341,166 @@ fn lock_order_report() -> std::io::Result<LockOrderReport> {
     Ok(audit_lock_order(&files))
 }
 
-/// The `lint` subcommand: conflict-table audits plus the lock-order scan,
-/// exiting non-zero on any unsound entry, asymmetric entry, or lock
-/// cycle. Conservative entries are warnings — reported, never fatal.
-fn run_lint(demo_unsound: bool) -> i32 {
-    println!("== atomicity-lint: conflict-table audit + lock-order audit\n");
+/// Scans the workspace sources for nondeterminism escape hatches: the
+/// strict deterministic-simulation rules over `crates/sim`, the
+/// reproduce-by-seed rules (unseeded RNG) over every crate.
+fn nondet_findings() -> std::io::Result<Vec<atomicity_lint::NondetFinding>> {
+    use atomicity_lint::nondet::read_sources_recursive;
+    use atomicity_lint::{scan_nondeterminism, NondetConfig};
+    let crates_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let mut findings = Vec::new();
+    let sim = read_sources_recursive(&crates_root.join("sim/src"), "sim/")?;
+    findings.extend(scan_nondeterminism(
+        &sim,
+        &NondetConfig::deterministic_sim(),
+    ));
+    for krate in [
+        "adts",
+        "analysis",
+        "baselines",
+        "bench",
+        "core",
+        "durability",
+        "sim",
+        "spec",
+    ] {
+        let files =
+            read_sources_recursive(&crates_root.join(krate).join("src"), &format!("{krate}/"))?;
+        findings.extend(scan_nondeterminism(&files, &NondetConfig::workspace()));
+    }
+    Ok(findings)
+}
+
+/// Re-proves a generated table from scratch against its own spec and
+/// universe — the independent soundness check `lint --synth` gates on.
+fn verify_generated(
+    table: &atomicity_core::ConflictTable,
+    config: &atomicity_lint::SynthConfig,
+) -> Vec<atomicity_lint::SoundnessViolation> {
+    use atomicity_lint::audit::{bank_universe, queue_universe, semiqueue_universe, set_universe};
+    use atomicity_lint::synth::{escrow_universe, map_universe};
+    use atomicity_lint::verify_table;
+    use atomicity_spec::specs::{
+        BankAccountSpec, EscrowCounterSpec, FifoQueueSpec, IntSetSpec, KvMapSpec, SemiqueueSpec,
+    };
+    match table.adt.as_str() {
+        "bank" => verify_table(&BankAccountSpec::new(), &bank_universe(), config, table),
+        "queue" => verify_table(&FifoQueueSpec::new(), &queue_universe(), config, table),
+        "set" => verify_table(&IntSetSpec::new(), &set_universe(), config, table),
+        "semiqueue" => verify_table(&SemiqueueSpec::new(), &semiqueue_universe(), config, table),
+        "map" => verify_table(&KvMapSpec::new(), &map_universe(), config, table),
+        "escrow" => verify_table(&EscrowCounterSpec::new(), &escrow_universe(), config, table),
+        other => vec![atomicity_lint::SoundnessViolation {
+            p: op("?", [] as [i64; 0]),
+            q: op("?", [] as [i64; 0]),
+            detail: format!("no verification universe for adt `{other}`"),
+        }],
+    }
+}
+
+/// The synthesis section of the lint gate: re-prove every generated table,
+/// diff every hand table, write the gap-report JSON. Returns the error
+/// count. With `demo_unsound` the generated bank table is corrupted
+/// (withdraw/withdraw forced to commute) before verification to
+/// demonstrate the failure path.
+fn run_synth_lint(demo_unsound: bool, json_path: Option<&str>) -> usize {
+    let config = atomicity_lint::SynthConfig::default();
+    let suite = full_synth_suite();
+    let mut errors = 0usize;
+
+    for s in &suite.syntheses {
+        let mut table = s.table.clone();
+        if demo_unsound && table.adt == "bank" {
+            for rule in &mut table.rules {
+                if rule.p_name == "withdraw" && rule.q_name == "withdraw" {
+                    rule.commutes = true;
+                }
+            }
+        }
+        let violations = verify_generated(&table, &config);
+        println!(
+            "synthesized `{}` table{}: {} rules ({} commuting) over {} states — {} soundness violation(s)",
+            table.adt,
+            if demo_unsound && table.adt == "bank" {
+                " (CORRUPTED: withdraw/withdraw forced to commute)"
+            } else {
+                ""
+            },
+            table.rules.len(),
+            table.commuting_rules(),
+            table.states_explored,
+            violations.len(),
+        );
+        for v in &violations {
+            println!("  ERROR unsound entry ({}, {}): {}", v.p, v.q, v.detail);
+        }
+        errors += violations.len();
+    }
+
+    println!();
+    for g in &suite.gaps {
+        println!(
+            "gap report `{}` vs synthesized `{}`: {} justified, {} data-dependent, {} over-conservative, {} unsound — {}",
+            g.hand_table,
+            g.adt,
+            g.justified.len(),
+            g.data_dependent.len(),
+            g.over_conservative.len(),
+            g.unsound.len(),
+            if g.minimal { "minimal" } else { "NOT minimal" },
+        );
+        for e in &g.unsound {
+            println!(
+                "  ERROR hand table admits non-commuting ({}, {}): {}",
+                e.p, e.q, e.witness
+            );
+        }
+        for e in &g.over_conservative {
+            println!(
+                "  warning: hand table rejects ({}, {}) but it {}",
+                e.p, e.q, e.witness
+            );
+        }
+        errors += g.unsound.len();
+    }
+
+    #[derive(serde::Serialize)]
+    struct SynthGapReport {
+        tables: Vec<atomicity_core::ConflictTable>,
+        gaps: Vec<atomicity_lint::HandTableGap>,
+        asymmetries: Vec<String>,
+    }
+    let report = SynthGapReport {
+        tables: suite.syntheses.iter().map(|s| s.table.clone()).collect(),
+        gaps: suite.gaps.clone(),
+        asymmetries: suite
+            .syntheses
+            .iter()
+            .flat_map(|s| {
+                s.asymmetries
+                    .iter()
+                    .map(move |a| format!("{}: {}", s.table.adt, a))
+            })
+            .collect(),
+    };
+    let path = json_path.unwrap_or("BENCH_synth_gap.json");
+    match std::fs::write(path, serde_json::to_string_pretty(&report).unwrap()) {
+        Ok(()) => println!("\ngap report written to {path}"),
+        Err(e) => {
+            println!("\nERROR writing gap report to {path}: {e}");
+            errors += 1;
+        }
+    }
+    errors
+}
+
+/// The `lint` subcommand: conflict-table audits, the lock-order scan, and
+/// the nondeterminism scan — plus, with `--synth`, the synthesis gate —
+/// exiting non-zero on any unsound entry, asymmetric entry, lock cycle,
+/// or nondeterminism finding. Conservative entries are warnings —
+/// reported, never fatal.
+fn run_lint(demo_unsound: bool, synth: bool, json_path: Option<&str>) -> i32 {
+    println!("== atomicity-lint: conflict-table audit + lock-order audit + nondeterminism scan\n");
     let mut audits = all_table_audits();
     if demo_unsound {
         audits.push(audit_table(
@@ -1299,6 +1575,20 @@ fn run_lint(demo_unsound: bool) -> i32 {
         // Not an error: the lint still gates the tables when the binary
         // runs from an installed artifact without the source tree.
         Err(e) => println!("lock-order audit: skipped (sources unavailable: {e})"),
+    }
+    match nondet_findings() {
+        Ok(findings) => {
+            println!("nondeterminism scan: {} finding(s)", findings.len());
+            for f in &findings {
+                println!("  ERROR {f}");
+            }
+            errors += findings.len();
+        }
+        Err(e) => println!("nondeterminism scan: skipped (sources unavailable: {e})"),
+    }
+    if synth {
+        println!();
+        errors += run_synth_lint(demo_unsound, json_path);
     }
     if errors > 0 {
         println!("\nlint: {errors} error(s)");

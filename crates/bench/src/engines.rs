@@ -1,19 +1,43 @@
 //! A uniform factory over the engines and baselines under comparison.
+//!
+//! The commutativity-locking baseline no longer locks against hand-written
+//! tables: every typed constructor here pulls its relation from the
+//! [`synthesized_suite`] — the conflict tables machine-derived from the
+//! sequential specifications by `atomicity-lint`'s synthesis pass. The
+//! hand tables survive only as the *baselines* the gap report (E13) diffs
+//! the synthesized relations against.
 
-use atomicity_baselines::{
-    bank_commutativity, queue_commutativity, set_commutativity, CommutativityLockedObject,
-    Commutes, TwoPhaseLockedObject,
-};
+use atomicity_baselines::{CommutativityLockedObject, TwoPhaseLockedObject};
 use atomicity_core::{
-    AtomicObject, DeadlockPolicy, HistoryLog, MetricsRegistry, Protocol, TxnManager,
+    AtomicObject, CommutesRel, DeadlockPolicy, HistoryLog, MetricsRegistry, Protocol, TxnManager,
 };
-use atomicity_spec::specs::{BankAccountSpec, FifoQueueSpec, IntSetSpec, KvMapSpec};
-use atomicity_spec::{ObjectId, SequentialSpec};
+use atomicity_lint::{standard_syntheses, SynthConfig, SynthSuite};
+use atomicity_spec::specs::{
+    BankAccountSpec, EscrowCounterSpec, FifoQueueSpec, IntSetSpec, KvMapSpec, SemiqueueSpec,
+};
+use atomicity_spec::{ObjectId, Operation, SequentialSpec};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The machine-synthesized conflict tables every typed constructor locks
+/// with, computed once per process from the sequential specifications.
+pub fn synthesized_suite() -> &'static SynthSuite {
+    static SUITE: OnceLock<SynthSuite> = OnceLock::new();
+    SUITE.get_or_init(|| standard_syntheses(&SynthConfig::default()))
+}
+
+/// The generated table for `adt` as a shareable lock relation.
+fn generated(adt: &str) -> Arc<dyn CommutesRel> {
+    Arc::new(
+        synthesized_suite()
+            .table(adt)
+            .unwrap_or_else(|| panic!("no synthesized table for `{adt}`"))
+            .clone(),
+    )
+}
 
 /// The single construction point for every engine: one match instead of
-/// one per object shape. `table` is the static commutativity relation the
+/// one per object shape. `table` is the commutativity relation the
 /// [`Engine::CommutativityLocking`] baseline locks against; the other
 /// engines ignore it.
 fn construct<S: SequentialSpec>(
@@ -21,14 +45,16 @@ fn construct<S: SequentialSpec>(
     id: ObjectId,
     spec: S,
     mgr: &TxnManager,
-    table: Commutes,
+    table: Arc<dyn CommutesRel>,
 ) -> Arc<dyn AtomicObject> {
     match engine {
         Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
         Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
         Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
         Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
-        Engine::CommutativityLocking => CommutativityLockedObject::new(id, spec, mgr, table) as _,
+        Engine::CommutativityLocking => {
+            CommutativityLockedObject::with_relation(id, spec, mgr, table) as _
+        }
     }
 }
 
@@ -101,21 +127,22 @@ impl Engine {
         EngineBuilder::new(self)
     }
 
-    /// A bank-account object (initial balance) under this engine, with
-    /// the §5.1 static table for the baseline.
+    /// A bank-account object (initial balance) under this engine. The
+    /// locking baseline uses the synthesized bank table (provably equal to
+    /// the §5.1 hand table — see the E13 gap report).
     pub fn account(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn AtomicObject> {
         construct(
             self,
             id,
             BankAccountSpec::with_initial(initial),
             mgr,
-            bank_commutativity,
+            generated("bank"),
         )
     }
 
-    /// A key/value map object (initial entries) under this engine. The
-    /// baseline table is the natural one for maps: same-key operations
-    /// conflict, different keys commute ([`map_commutativity`]).
+    /// A key/value map object (initial entries) under this engine, locking
+    /// against the synthesized map table (same-key mutators conflict,
+    /// distinct keys and same-key `adjust` pairs commute).
     pub fn map(
         self,
         id: ObjectId,
@@ -127,18 +154,36 @@ impl Engine {
             id,
             KvMapSpec::with_initial(entries),
             mgr,
-            map_commutativity,
+            generated("map"),
         )
     }
 
     /// A FIFO-queue object under this engine.
     pub fn queue(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
-        construct(self, id, FifoQueueSpec::new(), mgr, queue_commutativity)
+        construct(self, id, FifoQueueSpec::new(), mgr, generated("queue"))
     }
 
     /// An integer-set object under this engine.
     pub fn set(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
-        construct(self, id, IntSetSpec::new(), mgr, set_commutativity)
+        construct(self, id, IntSetSpec::new(), mgr, generated("set"))
+    }
+
+    /// A semiqueue object (§5.2's weak queue) under this engine.
+    pub fn semiqueue(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
+        construct(self, id, SemiqueueSpec::new(), mgr, generated("semiqueue"))
+    }
+
+    /// An escrow counter (initial quantity) under this engine — the fully
+    /// machine-derived table: credits and successful debits all commute,
+    /// only debit/debit pairs conflict.
+    pub fn escrow(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn AtomicObject> {
+        construct(
+            self,
+            id,
+            EscrowCounterSpec::with_initial(initial),
+            mgr,
+            generated("escrow"),
+        )
     }
 }
 
@@ -270,6 +315,16 @@ impl EngineHandle {
         self.engine.set(id, &self.mgr)
     }
 
+    /// A semiqueue object.
+    pub fn semiqueue(&self, id: ObjectId) -> Arc<dyn AtomicObject> {
+        self.engine.semiqueue(id, &self.mgr)
+    }
+
+    /// An escrow counter with the given initial quantity.
+    pub fn escrow(&self, id: ObjectId, initial: i64) -> Arc<dyn AtomicObject> {
+        self.engine.escrow(id, &self.mgr, initial)
+    }
+
     /// An object for an arbitrary spec (see [`build_object`] for the
     /// baseline-table caveat).
     pub fn object<S: SequentialSpec>(&self, id: ObjectId, spec: S) -> Arc<dyn AtomicObject> {
@@ -294,12 +349,17 @@ pub fn build_object<S: SequentialSpec>(
     spec: S,
     mgr: &TxnManager,
 ) -> Arc<dyn AtomicObject> {
-    construct(engine, id, spec, mgr, |_, _| false)
+    let serial: Arc<dyn CommutesRel> = Arc::new(|_: &Operation, _: &Operation| false);
+    construct(engine, id, spec, mgr, serial)
 }
 
-/// Static commutativity for the kv-map: different keys always commute;
-/// same-key `adjust`/`adjust` commutes; observers commute with observers.
+/// The hand-written kv-map table: different keys always commute; same-key
+/// `adjust`/`adjust` commutes; observers commute with observers.
 /// Whole-map scans (`sum`, `size`) conflict with every mutator.
+///
+/// Kept as the **gap-report baseline** only — the engines lock against
+/// the synthesized map table ([`synthesized_suite`]), and E13 diffs this
+/// table against it.
 pub fn map_commutativity(p: &atomicity_spec::Operation, q: &atomicity_spec::Operation) -> bool {
     let observer = |n: &str| matches!(n, "get" | "sum" | "size");
     let scan = |n: &str| matches!(n, "sum" | "size");
@@ -348,6 +408,43 @@ mod tests {
             s.invoke(&t, op("insert", [3])).unwrap();
             mgr.commit(t).unwrap();
         }
+    }
+
+    #[test]
+    fn every_engine_runs_semiqueue_and_escrow() {
+        for engine in Engine::ALL {
+            let mgr = engine.manager();
+            let sq = engine.semiqueue(ObjectId::new(1), &mgr);
+            let esc = engine.escrow(ObjectId::new(2), &mgr, 10);
+            let t = mgr.begin();
+            sq.invoke(&t, op("enq", [7])).unwrap();
+            esc.invoke(&t, op("credit", [5])).unwrap();
+            esc.invoke(&t, op("debit", [3])).unwrap();
+            mgr.commit(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn synthesized_tables_drive_the_locking_baseline() {
+        // Concurrent deposits share the lock under the generated bank
+        // table, exactly as under the old §5.1 hand table...
+        let mgr = Engine::CommutativityLocking.manager();
+        let acct = Engine::CommutativityLocking.account(ObjectId::new(1), &mgr, 100);
+        let a = mgr.begin();
+        let b = mgr.begin();
+        acct.invoke(&a, op("deposit", [3])).unwrap();
+        acct.invoke(&b, op("deposit", [5])).unwrap();
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        // ...and the escrow table admits concurrent credit and debit — the
+        // concurrency no hand table in this workspace ever granted.
+        let esc = Engine::CommutativityLocking.escrow(ObjectId::new(2), &mgr, 10);
+        let c = mgr.begin();
+        let d = mgr.begin();
+        esc.invoke(&c, op("credit", [5])).unwrap();
+        esc.invoke(&d, op("debit", [3])).unwrap();
+        mgr.commit(c).unwrap();
+        mgr.commit(d).unwrap();
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod report;
 pub mod table;
 pub mod workloads;
 
-pub use engines::{Engine, EngineBuilder, EngineHandle};
+pub use engines::{map_commutativity, synthesized_suite, Engine, EngineBuilder, EngineHandle};
 pub use table::Table;

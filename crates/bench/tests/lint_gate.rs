@@ -1,6 +1,9 @@
 //! The CI gate, tested as a gate: `experiments lint` must exit zero on
 //! the shipped conflict tables and engine sources, and non-zero when an
-//! unsound table is injected (`--demo-unsound`).
+//! unsound table is injected (`--demo-unsound`); `experiments lint
+//! --synth` must additionally re-prove every synthesized table sound,
+//! certify the hand tables' minimality gaps, and write the JSON gap
+//! report.
 
 use std::process::Command;
 
@@ -36,4 +39,70 @@ fn lint_fails_on_a_corrupted_table() {
     assert!(stdout.contains("ERROR unsound entry"), "{stdout}");
     // The counterexample certificate names the diverging result pairs.
     assert!(stdout.contains("order p;q yields result pairs"), "{stdout}");
+}
+
+#[test]
+fn synth_lint_proves_generated_tables_and_reports_gaps() {
+    let json = std::env::temp_dir().join("lint_gate_synth_gap.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["lint", "--synth", &format!("--json={}", json.display())])
+        .output()
+        .expect("run experiments lint --synth");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "synth lint failed:\n{stdout}");
+    assert!(stdout.contains("lint: clean"), "{stdout}");
+    // Every generated table re-proves sound from scratch.
+    for adt in ["bank", "queue", "set", "semiqueue", "map", "escrow"] {
+        assert!(
+            stdout.contains(&format!("synthesized `{adt}` table")),
+            "{stdout}"
+        );
+    }
+    // The minimality report certifies the bank hand table and exposes the
+    // paper's lost-concurrency showcase on the borrowed semiqueue table.
+    let bank_gap = stdout
+        .lines()
+        .find(|l| l.contains("vs synthesized `bank`"))
+        .expect("bank gap line");
+    assert!(
+        bank_gap.ends_with("minimal") && !bank_gap.contains("NOT minimal"),
+        "{bank_gap}"
+    );
+    assert!(
+        stdout.contains("hand table rejects (enq(1), enq(2))"),
+        "{stdout}"
+    );
+    // The gap-report artifact exists and round-trips as JSON.
+    let text = std::fs::read_to_string(&json).expect("gap report written");
+    assert!(text.contains("\"tables\""), "{text}");
+    assert!(text.contains("\"over_conservative\""), "{text}");
+    assert!(text.contains("escrow"), "{text}");
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
+fn synth_lint_fails_on_a_corrupted_generated_table() {
+    let json = std::env::temp_dir().join("lint_gate_synth_demo.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            "lint",
+            "--synth",
+            "--demo-unsound",
+            &format!("--json={}", json.display()),
+        ])
+        .output()
+        .expect("run experiments lint --synth --demo-unsound");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "corrupted generated table was not rejected:\n{stdout}"
+    );
+    // The independent verifier catches the corruption in the generated
+    // bank table, with a forward-commutativity counterexample.
+    assert!(stdout.contains("CORRUPTED: withdraw/withdraw"), "{stdout}");
+    assert!(
+        stdout.contains("admitted pair does not forward-commute"),
+        "{stdout}"
+    );
+    std::fs::remove_file(&json).ok();
 }

@@ -1,0 +1,268 @@
+//! Machine-generated conflict tables and the commutativity-relation
+//! abstraction consumed by table-driven lockers.
+//!
+//! Hand-written commutativity tables (the Schwarz & Spector style baseline
+//! in `atomicity-baselines`) are plain `fn(&Operation, &Operation) -> bool`
+//! pointers. The synthesis pass in `atomicity-lint` instead *derives* the
+//! relation from the object's sequential specification and ships it as a
+//! [`ConflictTable`]: a small set of generalized rules keyed by operation
+//! names plus an [`ArgRelation`] bucket, with provenance recording exactly
+//! which bounded state universe the rules were proven over.
+//!
+//! Both representations implement [`CommutesRel`], so a locker can hold an
+//! `Arc<dyn CommutesRel>` and stay agnostic about whether its table was
+//! written by a human or synthesized by the analyzer.
+//!
+//! Lookups are **conservative by construction**: an operation pair that
+//! matches no rule (unknown name, or an argument shape the universe never
+//! exercised) is reported as conflicting. A generated table can therefore
+//! lose concurrency on out-of-universe operations, but never admits a pair
+//! the synthesis did not prove commutative.
+
+use atomicity_spec::Operation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the arguments of two operation instances relate — the bucketing used
+/// to generalize per-instance commutativity verdicts into table rules.
+///
+/// The buckets are deliberately coarse: they only distinguish shapes that
+/// the shipped ADT specifications actually branch on (equality of the whole
+/// invocation, and equality of an integer first argument — the "key" of
+/// sets, maps and keyed queues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ArgRelation {
+    /// Same name and identical argument list (e.g. `withdraw(5)` twice).
+    Identical,
+    /// Both operations carry an integer first argument and the keys are
+    /// equal, but the invocations are not identical (e.g. `put(1,5)` vs
+    /// `put(1,9)`, or `adjust(1,1)` vs `adjust(1,2)`).
+    SameKey,
+    /// Both operations carry an integer first argument and the keys differ
+    /// (e.g. `insert(1)` vs `insert(2)`).
+    DistinctKey,
+    /// At least one side has no integer first argument (nullary observers,
+    /// scans, …) and the invocations are not identical.
+    Unkeyed,
+}
+
+impl ArgRelation {
+    /// Short label used in reports (`identical`, `same-key`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArgRelation::Identical => "identical",
+            ArgRelation::SameKey => "same-key",
+            ArgRelation::DistinctKey => "distinct-key",
+            ArgRelation::Unkeyed => "unkeyed",
+        }
+    }
+}
+
+impl fmt::Display for ArgRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies how the arguments of `p` and `q` relate.
+///
+/// The relation is symmetric: `arg_relation(p, q) == arg_relation(q, p)`.
+pub fn arg_relation(p: &Operation, q: &Operation) -> ArgRelation {
+    if p == q {
+        return ArgRelation::Identical;
+    }
+    match (p.int_arg(0), q.int_arg(0)) {
+        (Some(a), Some(b)) if a == b => ArgRelation::SameKey,
+        (Some(_), Some(_)) => ArgRelation::DistinctKey,
+        _ => ArgRelation::Unkeyed,
+    }
+}
+
+/// One generalized table rule: a verdict for every pair of operations with
+/// these names whose arguments fall in `relation`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictRule {
+    /// First operation name; rules are stored with `p_name <= q_name`.
+    pub p_name: String,
+    /// Second operation name.
+    pub q_name: String,
+    /// Argument bucket the rule covers.
+    pub relation: ArgRelation,
+    /// Whether every universe instance pair in this bucket commutes in
+    /// every explored state.
+    pub commutes: bool,
+    /// How many universe instance pairs back this rule (provenance; a rule
+    /// supported by more pairs generalizes from more evidence).
+    pub instance_pairs: usize,
+}
+
+/// A machine-generated commutativity table with provenance.
+///
+/// Produced by the synthesis pass in `atomicity-lint`; consumed by the
+/// commutativity-locking baseline through [`CommutesRel`]. Serializes to
+/// JSON for the gap report artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictTable {
+    /// Human name of the ADT the table covers (`"bank"`, `"escrow"`, …).
+    pub adt: String,
+    /// Name of the sequential specification the rules were derived from.
+    pub spec: String,
+    /// BFS depth of the state universe the verdicts were proven over.
+    pub depth: usize,
+    /// Number of distinct states explored.
+    pub states_explored: usize,
+    /// Number of states cut off by the exploration cap (0 means the bounded
+    /// universe was exhausted).
+    pub truncated: usize,
+    /// Display form of the operation instances that seeded the universe.
+    pub universe: Vec<String>,
+    /// The generalized rules. Absent (name pair, relation) combinations are
+    /// treated as conflicting.
+    pub rules: Vec<ConflictRule>,
+}
+
+impl ConflictTable {
+    /// Looks up the rule covering `(p, q)`, if any.
+    pub fn rule_for(&self, p: &Operation, q: &Operation) -> Option<&ConflictRule> {
+        let relation = arg_relation(p, q);
+        let (a, b) = if p.name() <= q.name() {
+            (p.name(), q.name())
+        } else {
+            (q.name(), p.name())
+        };
+        self.rules
+            .iter()
+            .find(|r| r.relation == relation && r.p_name == a && r.q_name == b)
+    }
+
+    /// Whether the table declares `p` and `q` commutative. Pairs covered by
+    /// no rule conflict (conservative default).
+    pub fn commutes(&self, p: &Operation, q: &Operation) -> bool {
+        self.rule_for(p, q).is_some_and(|r| r.commutes)
+    }
+
+    /// Number of rules declaring commutativity.
+    pub fn commuting_rules(&self) -> usize {
+        self.rules.iter().filter(|r| r.commutes).count()
+    }
+}
+
+/// A symmetric commutativity relation over operations — the interface a
+/// table-driven locker needs, abstracting over hand-written function
+/// pointers and generated [`ConflictTable`]s.
+pub trait CommutesRel: Send + Sync {
+    /// Whether `p` and `q` may be held concurrently by distinct
+    /// transactions.
+    fn commutes(&self, p: &Operation, q: &Operation) -> bool;
+}
+
+impl CommutesRel for ConflictTable {
+    fn commutes(&self, p: &Operation, q: &Operation) -> bool {
+        ConflictTable::commutes(self, p, q)
+    }
+}
+
+impl<F> CommutesRel for F
+where
+    F: Fn(&Operation, &Operation) -> bool + Send + Sync,
+{
+    fn commutes(&self, p: &Operation, q: &Operation) -> bool {
+        self(p, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::op;
+
+    fn table() -> ConflictTable {
+        ConflictTable {
+            adt: "bank".into(),
+            spec: "BankAccountSpec".into(),
+            depth: 4,
+            states_explored: 19,
+            truncated: 0,
+            universe: vec!["deposit(5)".into(), "withdraw(5)".into()],
+            rules: vec![
+                ConflictRule {
+                    p_name: "deposit".into(),
+                    q_name: "deposit".into(),
+                    relation: ArgRelation::Identical,
+                    commutes: true,
+                    instance_pairs: 2,
+                },
+                ConflictRule {
+                    p_name: "deposit".into(),
+                    q_name: "withdraw".into(),
+                    relation: ArgRelation::DistinctKey,
+                    commutes: false,
+                    instance_pairs: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn arg_relation_buckets() {
+        assert_eq!(
+            arg_relation(&op("withdraw", [5]), &op("withdraw", [5])),
+            ArgRelation::Identical
+        );
+        assert_eq!(
+            arg_relation(&op("put", [1, 5]), &op("put", [1, 9])),
+            ArgRelation::SameKey
+        );
+        assert_eq!(
+            arg_relation(&op("insert", [1]), &op("insert", [2])),
+            ArgRelation::DistinctKey
+        );
+        assert_eq!(
+            arg_relation(&op("front", [] as [i64; 0]), &op("len", [] as [i64; 0])),
+            ArgRelation::Unkeyed
+        );
+        // Identical nullary invocations are Identical, not Unkeyed.
+        assert_eq!(
+            arg_relation(&op("deq", [] as [i64; 0]), &op("deq", [] as [i64; 0])),
+            ArgRelation::Identical
+        );
+    }
+
+    #[test]
+    fn lookup_is_symmetric_and_conservative() {
+        let t = table();
+        let d = op("deposit", [5]);
+        assert!(t.commutes(&d, &d));
+        let w = op("withdraw", [9]);
+        // Covered rule with commutes=false.
+        assert!(!t.commutes(&d, &w));
+        assert!(!t.commutes(&w, &d));
+        // Unknown name: no rule, conservative conflict.
+        let z = op("zap", [1]);
+        assert!(!t.commutes(&d, &z));
+        // Unknown bucket for a known pair: conservative conflict.
+        let d2 = op("deposit", [3]);
+        assert!(!t.commutes(&d, &d2)); // distinct-key deposit/deposit has no rule here
+        assert_eq!(t.commuting_rules(), 1);
+    }
+
+    #[test]
+    fn fn_pointers_and_tables_share_the_relation_trait() {
+        fn never(_: &Operation, _: &Operation) -> bool {
+            false
+        }
+        let as_rel: &dyn CommutesRel = &never;
+        assert!(!as_rel.commutes(&op("a", [] as [i64; 0]), &op("b", [] as [i64; 0])));
+        let t = table();
+        let as_rel: &dyn CommutesRel = &t;
+        assert!(as_rel.commutes(&op("deposit", [5]), &op("deposit", [5])));
+    }
+
+    #[test]
+    fn tables_round_trip_through_json() {
+        let t = table();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ConflictTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

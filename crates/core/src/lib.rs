@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod conflict;
 pub mod deadlock;
 pub mod engine;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod trace;
 pub mod txn;
 
 pub use clock::LamportClock;
+pub use conflict::{arg_relation, ArgRelation, CommutesRel, ConflictRule, ConflictTable};
 pub use deadlock::{DeadlockPolicy, WaitDecision, WaitGraph};
 pub use engine::dynamic::DynamicObject;
 pub use engine::hybrid::HybridObject;

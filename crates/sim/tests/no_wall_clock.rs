@@ -2,46 +2,36 @@
 //!
 //! Determinism dies quietly: one `Instant::now()` in a simulated path and
 //! replays stop being bit-identical without any test failing loudly. This
-//! scan pins the rule structurally — no source file in `crates/sim/src`
-//! may reference the process clock at all. (Benches may time themselves
-//! with the wall clock; the simulation may not.)
+//! test pins the rule structurally through `atomicity-lint`'s reusable
+//! nondeterminism lint — no source file in `crates/sim/src` may reference
+//! the process clock or an OS entropy source at all. (Benches may time
+//! themselves with the wall clock; the simulation may not.)
+//!
+//! `experiments lint` runs the same scan over the whole workspace as a CI
+//! gate; this test keeps the guarantee local to the crate so `cargo test
+//! -p atomicity-sim` alone still enforces it.
 
-use std::fs;
+use atomicity_lint::nondet::read_sources_recursive;
+use atomicity_lint::{scan_nondeterminism, NondetConfig};
 use std::path::Path;
-
-const FORBIDDEN: &[&str] = &[
-    "Instant::now",
-    "SystemTime",
-    "std::time::Instant",
-    "UNIX_EPOCH",
-];
-
-fn scan(dir: &Path, hits: &mut Vec<String>) {
-    for entry in fs::read_dir(dir).unwrap() {
-        let path = entry.unwrap().path();
-        if path.is_dir() {
-            scan(&path, hits);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            let src = fs::read_to_string(&path).unwrap();
-            for pattern in FORBIDDEN {
-                for (lineno, line) in src.lines().enumerate() {
-                    if line.contains(pattern) {
-                        hits.push(format!("{}:{}: {}", path.display(), lineno + 1, pattern));
-                    }
-                }
-            }
-        }
-    }
-}
 
 #[test]
 fn simulation_sources_never_touch_the_wall_clock() {
     let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
-    let mut hits = Vec::new();
-    scan(&src, &mut hits);
+    let files = read_sources_recursive(&src, "sim/").expect("read sim sources");
     assert!(
-        hits.is_empty(),
-        "wall-clock references leaked into simulated code:\n{}",
-        hits.join("\n")
+        !files.is_empty(),
+        "no sources found under {}",
+        src.display()
+    );
+    let findings = scan_nondeterminism(&files, &NondetConfig::deterministic_sim());
+    assert!(
+        findings.is_empty(),
+        "nondeterminism leaked into simulated code:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }

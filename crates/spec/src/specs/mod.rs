@@ -19,10 +19,15 @@
 //! - [`BoundedBufferSpec`] — a capacity-limited weak buffer whose `put`s
 //!   commute exactly when there is room for both: the producer-side dual
 //!   of the bank account's data-dependent withdrawals.
+//! - [`EscrowCounterSpec`] — an escrow counter whose `debit` *may refuse*
+//!   even when funds suffice (decrement-if-at-least, Malta & Martinez):
+//!   refusal is always replayable, so credits and debits commute in every
+//!   state — the maximally concurrent reservation discipline.
 
 mod account;
 mod bounded;
 mod counter;
+mod escrow;
 mod fifo;
 mod intset;
 mod kvmap;
@@ -32,6 +37,7 @@ mod semiqueue;
 pub use account::BankAccountSpec;
 pub use bounded::{BoundedBufferSpec, BufferState};
 pub use counter::CounterSpec;
+pub use escrow::EscrowCounterSpec;
 pub use fifo::FifoQueueSpec;
 pub use intset::IntSetSpec;
 pub use kvmap::KvMapSpec;
