@@ -29,16 +29,24 @@
 //! their responses' concurrency window) the certifier enumerates the
 //! induced suborder's linear extensions — sound because projections of the
 //! global order's extensions onto an object's activities are exactly the
-//! extensions of the induced suborder. Only when a history falls outside
-//! the basic discipline entirely (arbitrary event soup, as the proptest
-//! generators produce) does the certifier fall back to the exhaustive
-//! checker, and only for small activity counts; otherwise it answers
-//! [`Verdict::Unknown`] rather than guess.
+//! extensions of the induced suborder. Past the enumeration bound,
+//! [`certify_with_relation`] can still decide genuinely partial orders by
+//! the *table reduction*: when every incomparable pair of activities
+//! holds pairwise-commuting operations per a [`CommutesRel`] (e.g. the
+//! synthesized conflict tables), all linear extensions replay to the
+//! same behavior and checking the commit-order extension decides them
+//! all — the certified direction then trusts the table, which the
+//! [`Method::TableReduction`] tag records. Only when a history falls
+//! outside the basic discipline entirely (arbitrary event soup, as the
+//! proptest generators produce) does the certifier fall back to the
+//! exhaustive checker, and only for small activity counts; otherwise it
+//! answers [`Verdict::Unknown`] rather than guess.
 //!
 //! Static and hybrid atomicity need no such machinery: serializability in
 //! *timestamp order* is already a single-order check, and the certifier
 //! simply packages it with the same [`Certificate`] interface.
 
+use atomicity_core::CommutesRel;
 use atomicity_spec::atomicity::{is_dynamic_atomic, timestamp_order};
 use atomicity_spec::serial::is_serializable_in_order;
 use atomicity_spec::{ActivityId, EventKind, History, ObjectId, OpResult, Operation, SystemSpec};
@@ -87,6 +95,13 @@ pub enum Method {
     Watermark,
     /// The single timestamp-order check (static/hybrid).
     TimestampOrder,
+    /// The commutativity reduction: a genuinely partial induced order
+    /// past the enumeration bound, decided by checking ONE linear
+    /// extension because every incomparable pair of activities holds
+    /// pairwise-commuting operations per the supplied [`CommutesRel`].
+    /// Unlike the other methods this one *trusts the table* for the
+    /// certified direction (refutations remain table-independent).
+    TableReduction,
     /// Full fallback to the exhaustive checker (history outside the basic
     /// discipline).
     Exhaustive,
@@ -98,6 +113,7 @@ impl Method {
         match self {
             Method::Watermark => "watermark",
             Method::TimestampOrder => "timestamp-order",
+            Method::TableReduction => "table-reduction",
             Method::Exhaustive => "exhaustive-fallback",
         }
     }
@@ -175,13 +191,43 @@ pub fn certify(property: Property, h: &History, spec: &SystemSpec) -> Certificat
     }
 }
 
+/// [`certify`] with a commutativity relation available for the dynamic
+/// table reduction: when the per-object induced order is genuinely
+/// partial with more activities than the enumeration bound — precisely
+/// the histories contended commuting workloads produce — but every
+/// incomparable pair of activities holds pairwise-commuting operations
+/// per `rel`, all linear extensions yield equivalent serial behaviors
+/// and checking the commit-order extension decides them all. Static and
+/// hybrid certification are unchanged (already single-order checks).
+pub fn certify_with_relation(
+    property: Property,
+    h: &History,
+    spec: &SystemSpec,
+    rel: &dyn CommutesRel,
+) -> Certificate {
+    match property {
+        Property::Dynamic => certify_dynamic_impl(h, spec, Some(rel)),
+        Property::Static | Property::Hybrid => certify_timestamped(property, h, spec),
+    }
+}
+
 /// Certifies dynamic atomicity via the watermark fast path.
 ///
 /// Agrees exactly with [`is_dynamic_atomic`] whenever the verdict is
 /// decisive (proptested in `tests/checker_vc.rs`); answers
 /// [`Verdict::Unknown`] only for histories outside the basic discipline
-/// with more than `MAX_FALLBACK_ACTIVITIES` committed activities.
+/// with more than `MAX_FALLBACK_ACTIVITIES` committed activities, or for
+/// partial induced orders past the enumeration bound (which
+/// [`certify_with_relation`] can often still decide).
 pub fn certify_dynamic(h: &History, spec: &SystemSpec) -> Certificate {
+    certify_dynamic_impl(h, spec, None)
+}
+
+fn certify_dynamic_impl(
+    h: &History,
+    spec: &SystemSpec,
+    rel: Option<&dyn CommutesRel>,
+) -> Certificate {
     let committed = h.committed_activities();
 
     // One pass: commit/response watermarks and per-object committed ops
@@ -230,13 +276,15 @@ pub fn certify_dynamic(h: &History, spec: &SystemSpec) -> Certificate {
         return exhaustive_fallback(h, spec, committed.len(), objects.len());
     }
 
-    let done = |verdict: Verdict| Certificate {
+    let done = |method: Method, verdict: Verdict| Certificate {
         property: Property::Dynamic,
-        method: Method::Watermark,
+        method,
         verdict,
         committed: committed.len(),
         objects: objects.len(),
     };
+    // Whether any object's verdict leaned on the commutativity relation.
+    let mut used_table = false;
 
     // `⟨a,b⟩ ∈ precedes(h)` restricted to committed activities.
     let prec = |a: ActivityId, b: ActivityId| match last_resp.get(&b) {
@@ -251,9 +299,12 @@ pub fn certify_dynamic(h: &History, spec: &SystemSpec) -> Certificate {
             Some(s) => s,
             None => {
                 if by_act.values().any(|v| !v.is_empty()) {
-                    return done(Verdict::Refuted(format!(
-                        "object {x:?} has committed operations but no specification"
-                    )));
+                    return done(
+                        Method::Watermark,
+                        Verdict::Refuted(format!(
+                            "object {x:?} has committed operations but no specification"
+                        )),
+                    );
                 }
                 continue;
             }
@@ -269,29 +320,127 @@ pub fn certify_dynamic(h: &History, spec: &SystemSpec) -> Certificate {
         if acts.windows(2).all(|w| prec(w[0], w[1])) {
             // Total induced order: exactly one consistent serial order.
             if !obj_spec.accepts(&serial(&acts)) {
-                return done(Verdict::Refuted(format!(
-                    "object {x:?}: the only precedes-consistent order {acts:?} \
-                     is rejected by the specification"
-                )));
+                return done(
+                    Method::Watermark,
+                    Verdict::Refuted(format!(
+                        "object {x:?}: the only precedes-consistent order {acts:?} \
+                         is rejected by the specification"
+                    )),
+                );
             }
         } else if acts.len() <= MAX_LOCAL_ENUM {
             for order in local_extensions(&acts, &prec) {
                 if !obj_spec.accepts(&serial(&order)) {
-                    return done(Verdict::Refuted(format!(
-                        "object {x:?}: precedes-consistent order {order:?} \
-                         is rejected by the specification"
-                    )));
+                    return done(
+                        Method::Watermark,
+                        Verdict::Refuted(format!(
+                            "object {x:?}: precedes-consistent order {order:?} \
+                             is rejected by the specification"
+                        )),
+                    );
                 }
             }
+        } else if let Some(rel) = rel {
+            // Table reduction. Two linear extensions of the induced order
+            // differ by adjacent transpositions of incomparable
+            // activities; when every such pair's operations pairwise
+            // commute per `rel`, every extension replays to the same
+            // responses and final state, so the commit-order extension
+            // (acts is sorted by first commit, and `⟨a,b⟩ ∈ precedes`
+            // implies `firstcommit(a) < firstcommit(b)`) decides them all.
+            if let Some((a, b)) = non_commuting_concurrent_pair(&acts, by_act, &prec, rel) {
+                return done(
+                    Method::TableReduction,
+                    Verdict::Unknown(format!(
+                        "object {x:?}: {} committed activities with a genuinely \
+                         partial precedes order exceed the enumeration bound \
+                         {MAX_LOCAL_ENUM}, and concurrent activities {a:?} and \
+                         {b:?} hold non-commuting operations",
+                        acts.len()
+                    )),
+                );
+            }
+            used_table = true;
+            if !obj_spec.accepts(&serial(&acts)) {
+                // Table-independent refutation: commit order is itself a
+                // precedes-consistent order.
+                return done(
+                    Method::TableReduction,
+                    Verdict::Refuted(format!(
+                        "object {x:?}: the commit-order extension {acts:?} \
+                         is rejected by the specification"
+                    )),
+                );
+            }
         } else {
-            return done(Verdict::Unknown(format!(
-                "object {x:?}: {} committed activities with a genuinely partial \
-                 precedes order exceed the enumeration bound {MAX_LOCAL_ENUM}",
-                acts.len()
-            )));
+            return done(
+                Method::Watermark,
+                Verdict::Unknown(format!(
+                    "object {x:?}: {} committed activities with a genuinely partial \
+                     precedes order exceed the enumeration bound {MAX_LOCAL_ENUM}",
+                    acts.len()
+                )),
+            );
         }
     }
-    done(Verdict::Certified)
+    let method = if used_table {
+        Method::TableReduction
+    } else {
+        Method::Watermark
+    };
+    done(method, Verdict::Certified)
+}
+
+/// Searches the incomparable (genuinely concurrent) activity pairs of
+/// `acts` for one holding operations the relation does not declare
+/// commutative. `acts` is sorted by first commit, so for `i < j` only
+/// `⟨acts[i], acts[j]⟩` can be in `precedes`; incomparability reduces to
+/// the one test. Commutes lookups are memoized over the (tiny) distinct
+/// operation universe.
+fn non_commuting_concurrent_pair<F>(
+    acts: &[ActivityId],
+    by_act: &BTreeMap<ActivityId, Vec<OpResult>>,
+    prec: &F,
+    rel: &dyn CommutesRel,
+) -> Option<(ActivityId, ActivityId)>
+where
+    F: Fn(ActivityId, ActivityId) -> bool,
+{
+    let mut universe: Vec<Operation> = Vec::new();
+    let mut op_ids: BTreeMap<ActivityId, Vec<usize>> = BTreeMap::new();
+    for &a in acts {
+        let ids = op_ids.entry(a).or_default();
+        for (operation, _) in &by_act[&a] {
+            let id = universe
+                .iter()
+                .position(|u| u == operation)
+                .unwrap_or_else(|| {
+                    universe.push(operation.clone());
+                    universe.len() - 1
+                });
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+    }
+    let n = universe.len();
+    let commutes: Vec<bool> = (0..n * n)
+        .map(|k| rel.commutes(&universe[k / n], &universe[k % n]))
+        .collect();
+    for i in 0..acts.len() {
+        for j in i + 1..acts.len() {
+            if prec(acts[i], acts[j]) {
+                continue;
+            }
+            let conflict = op_ids[&acts[i]]
+                .iter()
+                .any(|&p| op_ids[&acts[j]].iter().any(|&q| !commutes[p * n + q]));
+            if conflict {
+                return Some((acts[i], acts[j]));
+            }
+        }
+    }
+    None
 }
 
 /// Static/hybrid certification: a single serializability check in
@@ -463,6 +612,55 @@ mod tests {
         let cert = certify(Property::Dynamic, &h, &spec);
         assert_eq!(cert.method, Method::Exhaustive);
         assert_eq!(cert.is_certified(), is_dynamic_atomic(&h, &spec));
+    }
+
+    /// Twenty deposit activities whose responses all precede every
+    /// commit: every pair is incomparable under `precedes`, far past the
+    /// enumeration bound.
+    fn contended_deposits() -> History {
+        let x = paper::Y;
+        let mut events = Vec::new();
+        for i in 1..=20u32 {
+            let a = ActivityId::new(i);
+            events.push(Event::invoke(a, x, op("deposit", [5])));
+            events.push(Event::respond(a, x, Value::ok()));
+        }
+        for i in 1..=20u32 {
+            events.push(Event::commit(ActivityId::new(i), x));
+        }
+        History::from_events(events)
+    }
+
+    #[test]
+    fn table_reduction_decides_past_the_enumeration_bound() {
+        let spec = paper::bank_system();
+        let h = contended_deposits();
+
+        // Without a relation the partial order is undecidable.
+        let cert = certify(Property::Dynamic, &h, &spec);
+        assert!(!cert.is_decisive(), "{cert}");
+
+        // With a relation declaring deposits commutative, one extension
+        // decides all of them.
+        let deposits =
+            |p: &Operation, q: &Operation| p.name() == "deposit" && q.name() == "deposit";
+        let cert = certify_with_relation(Property::Dynamic, &h, &spec, &deposits);
+        assert!(cert.is_certified(), "{cert}");
+        assert_eq!(cert.method, Method::TableReduction);
+        assert_eq!(cert.committed, 20);
+    }
+
+    #[test]
+    fn table_reduction_declines_on_non_commuting_concurrency() {
+        let spec = paper::bank_system();
+        let h = contended_deposits();
+        let nothing = |_: &Operation, _: &Operation| false;
+        let cert = certify_with_relation(Property::Dynamic, &h, &spec, &nothing);
+        assert!(!cert.is_decisive(), "{cert}");
+        assert!(
+            matches!(&cert.verdict, Verdict::Unknown(why) if why.contains("non-commuting")),
+            "{cert}"
+        );
     }
 
     #[test]

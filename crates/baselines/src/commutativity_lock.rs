@@ -3,7 +3,8 @@
 use crate::locks::ModeLock;
 use atomicity_core::trace::ObjectMetrics;
 use atomicity_core::{
-    AtomicObject, CommutesRel, HistoryLog, Participant, Txn, TxnError, TxnManager,
+    Admission, AdmissionOutcome, AdmissionRequest, AtomicObject, CommutesRel, HistoryLog,
+    Participant, Txn, TxnError, TxnManager,
 };
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
@@ -155,20 +156,8 @@ impl<S: SequentialSpec> AtomicObject for CommutativityLockedObject<S> {
             return Err(TxnError::NotActive { txn: txn.id() });
         }
         txn.register(self.self_participant());
-        let me = txn.id();
-        let commutes = |a: &Operation, b: &Operation| self.commutes.commutes(a, b);
-        let invoke_sw = self.metrics.stopwatch();
-        if !self.lock.try_acquire(txn, operation.clone(), commutes) {
-            self.metrics.record_block_round(me);
-            return Err(TxnError::WouldBlock { object: self.id });
-        }
-        let v = self.execute_locked(me, operation.clone())?;
-        self.metrics.record_admission(me, &invoke_sw);
-        self.log.record_all([
-            Event::invoke(me, self.id, operation),
-            Event::respond(me, self.id, v.clone()),
-        ]);
-        Ok(v)
+        self.admit_one(&AdmissionRequest::from_txn(txn, operation))
+            .into_result(self.id)
     }
 
     fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
@@ -266,6 +255,36 @@ impl<S: SequentialSpec> CommutativityLockedObject<S> {
             .or_default()
             .push((operation, v.clone()));
         Ok(v)
+    }
+}
+
+impl<S: SequentialSpec> Admission for CommutativityLockedObject<S> {
+    fn register_txn(&self, txn: &Txn) {
+        txn.register(self.self_participant());
+    }
+
+    fn admit_one(&self, request: &AdmissionRequest) -> AdmissionOutcome {
+        let me = request.txn;
+        let operation = &request.operation;
+        let commutes = |a: &Operation, b: &Operation| self.commutes.commutes(a, b);
+        let invoke_sw = self.metrics.stopwatch();
+        if let Err(holders) = self.lock.try_acquire_id(me, operation.clone(), commutes) {
+            self.metrics.record_block_round(me);
+            return AdmissionOutcome::Blocked { holders };
+        }
+        // Mode taken; on an invalid operation it stays held until
+        // commit/abort, as in the classic path.
+        match self.execute_locked(me, operation.clone()) {
+            Ok(v) => {
+                self.metrics.record_admission(me, &invoke_sw);
+                self.log.record_all([
+                    Event::invoke(me, self.id, operation.clone()),
+                    Event::respond(me, self.id, v.clone()),
+                ]);
+                AdmissionOutcome::Admitted(v)
+            }
+            Err(e) => AdmissionOutcome::Rejected(e),
+        }
     }
 }
 

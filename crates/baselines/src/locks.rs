@@ -89,16 +89,33 @@ impl<M: Clone + Send> ModeLock<M> {
     /// Non-blocking acquisition attempt: takes the mode and returns
     /// `true` iff no *other* transaction holds an incompatible mode.
     pub fn try_acquire(&self, txn: &Txn, mode: M, compatible: impl Fn(&M, &M) -> bool) -> bool {
-        let me = txn.id();
+        self.try_acquire_id(txn.id(), mode, compatible).is_ok()
+    }
+
+    /// Non-blocking acquisition attempt by transaction id (for detached
+    /// admission requests whose [`Txn`] handle lives on another thread).
+    ///
+    /// # Errors
+    ///
+    /// The set of other transactions holding incompatible modes; the mode
+    /// is not taken.
+    pub fn try_acquire_id(
+        &self,
+        me: ActivityId,
+        mode: M,
+        compatible: impl Fn(&M, &M) -> bool,
+    ) -> Result<(), BTreeSet<ActivityId>> {
         let mut held = self.held.lock();
-        let blocked = held
+        let blockers: BTreeSet<ActivityId> = held
             .iter()
-            .any(|(id, modes)| *id != me && modes.iter().any(|m| !compatible(&mode, m)));
-        if blocked {
-            false
-        } else {
+            .filter(|(id, modes)| **id != me && modes.iter().any(|m| !compatible(&mode, m)))
+            .map(|(id, _)| *id)
+            .collect();
+        if blockers.is_empty() {
             held.entry(me).or_default().push(mode);
-            true
+            Ok(())
+        } else {
+            Err(blockers)
         }
     }
 

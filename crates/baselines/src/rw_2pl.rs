@@ -3,7 +3,10 @@
 use crate::locks::{LockMode, ModeLock};
 use atomicity_core::stats::StatsSnapshot;
 use atomicity_core::trace::ObjectMetrics;
-use atomicity_core::{AtomicObject, HistoryLog, Participant, Txn, TxnError, TxnManager};
+use atomicity_core::{
+    Admission, AdmissionOutcome, AdmissionRequest, AtomicObject, HistoryLog, Participant, Txn,
+    TxnError, TxnManager,
+};
 use atomicity_spec::{
     ActivityId, Event, ObjectId, OpResult, Operation, SequentialSpec, Timestamp, Value,
 };
@@ -95,25 +98,8 @@ impl<S: SequentialSpec> AtomicObject for TwoPhaseLockedObject<S> {
             return Err(TxnError::NotActive { txn: txn.id() });
         }
         txn.register(self.self_participant());
-        let me = txn.id();
-        let mode = if self.spec.is_read_only(&operation) {
-            LockMode::Read
-        } else {
-            LockMode::Write
-        };
-        let invoke_sw = self.metrics.stopwatch();
-        if !self.lock.try_acquire(txn, mode, |a, b| a.compatible(*b)) {
-            self.metrics.record_block_round(me);
-            return Err(TxnError::WouldBlock { object: self.id });
-        }
-        // Lock taken; execute and record invoke+respond atomically.
-        let v = self.execute_locked(me, operation.clone())?;
-        self.metrics.record_admission(me, &invoke_sw);
-        self.log.record_all([
-            Event::invoke(me, self.id, operation),
-            Event::respond(me, self.id, v.clone()),
-        ]);
-        Ok(v)
+        self.admit_one(&AdmissionRequest::from_txn(txn, operation))
+            .into_result(self.id)
     }
 
     fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
@@ -218,6 +204,41 @@ impl<S: SequentialSpec> TwoPhaseLockedObject<S> {
             .or_default()
             .push((operation, v.clone()));
         Ok(v)
+    }
+}
+
+impl<S: SequentialSpec> Admission for TwoPhaseLockedObject<S> {
+    fn register_txn(&self, txn: &Txn) {
+        txn.register(self.self_participant());
+    }
+
+    fn admit_one(&self, request: &AdmissionRequest) -> AdmissionOutcome {
+        let me = request.txn;
+        let operation = &request.operation;
+        let mode = if self.spec.is_read_only(operation) {
+            LockMode::Read
+        } else {
+            LockMode::Write
+        };
+        let invoke_sw = self.metrics.stopwatch();
+        if let Err(holders) = self.lock.try_acquire_id(me, mode, |a, b| a.compatible(*b)) {
+            self.metrics.record_block_round(me);
+            return AdmissionOutcome::Blocked { holders };
+        }
+        // Lock taken; execute and record invoke+respond atomically. On an
+        // invalid operation the mode stays held until commit/abort, as in
+        // the classic path.
+        match self.execute_locked(me, operation.clone()) {
+            Ok(v) => {
+                self.metrics.record_admission(me, &invoke_sw);
+                self.log.record_all([
+                    Event::invoke(me, self.id, operation.clone()),
+                    Event::respond(me, self.id, v.clone()),
+                ]);
+                AdmissionOutcome::Admitted(v)
+            }
+            Err(e) => AdmissionOutcome::Rejected(e),
+        }
     }
 }
 

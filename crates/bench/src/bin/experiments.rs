@@ -1,11 +1,12 @@
 //! The experiment harness: regenerates every comparison in the paper.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 | all]
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 | all]
 //! experiments e6 [--disk]
 //! experiments e10 [--smoke] [--json=PATH]
 //! experiments e11 [--smoke] [--json=PATH]
 //! experiments e12 [--smoke] [--seeds=N] [--json=PATH] [--demo-lost-ack] [--replay=SEED]
+//! experiments e14 [--smoke] [--json=PATH] [--baseline=PATH]
 //! experiments lint [--synth] [--json=PATH] [--demo-unsound]
 //! ```
 //!
@@ -36,6 +37,17 @@
 //! non-zero if any engine reports zero admissions — a mute metrics
 //! pipeline — and a full (non-smoke) `e11` exits non-zero if group commit
 //! fails to beat sync-each by at least 2× at the highest thread count.
+//!
+//! `e14` is the contended hot-path admission sweep: every admission-path
+//! variant (locked, fast-path, batched) of the unified `Admission` API is
+//! measured on ONE shared account across thread counts, with hybrid
+//! read-only auditors driving the seqlock read path and every run
+//! re-certified by the linear certifier. It writes `BENCH_e14.json` and
+//! gates against the committed E10 trajectory (`--baseline=PATH`,
+//! default `BENCH_e10.json`): any run fails if the contended
+//! highest-thread throughput of a fast-path engine drops below the
+//! recorded E10 baseline for that engine, and a full run additionally
+//! requires a ≥4x speedup over the baseline for at least one engine.
 //!
 //! `e12` is the deterministic-simulation seed sweep: every seed runs the
 //! cluster under the full fault matrix with checkpointed invariant
@@ -153,6 +165,18 @@ fn main() {
     }
     if want("e13") {
         e13_synthesis();
+    }
+    if want("e14") {
+        let baseline = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--baseline="))
+            .unwrap_or("BENCH_e10.json");
+        e14_contention(
+            quick,
+            smoke,
+            json_path.as_deref().unwrap_or("BENCH_e14.json"),
+            baseline,
+        );
     }
     if want("a1") {
         a1_ablation(quick);
@@ -885,6 +909,146 @@ fn e10_observability(quick: bool, smoke: bool, json_path: &str) {
     if !silent.is_empty() {
         eprintln!("E10 FAILED: engines with zero admissions: {silent:?}");
         std::process::exit(1);
+    }
+}
+
+/// E14: contended hot-path admission — the unified `Admission` API's
+/// three variants (locked / fast-path / batched) on ONE shared account,
+/// gated against the committed E10 trajectory.
+fn e14_contention(quick: bool, smoke: bool, json_path: &str, baseline_path: &str) {
+    use atomicity_bench::report::{ContentionReport, ObservabilityReport};
+    use atomicity_bench::workloads::e14::{e14_matrix, run_e14, E14Params};
+    use atomicity_bench::AdmissionPath;
+
+    println!("== E14: contended admission — locked vs table fast path vs flat combining\n");
+    let params = if smoke {
+        E14Params::smoke()
+    } else if quick {
+        E14Params::quick()
+    } else {
+        E14Params::full()
+    };
+
+    let mut outcomes = Vec::new();
+    for &threads in &params.threads {
+        for (engine, path) in e14_matrix() {
+            outcomes.push(run_e14(engine, path, threads, &params));
+        }
+    }
+    let report = ContentionReport::new(&params, &outcomes);
+
+    let mut table = Table::new(vec![
+        "engine",
+        "path",
+        "threads",
+        "txn/s",
+        "committed",
+        "aborted",
+        "fast adm",
+        "blocks",
+        "reads",
+    ])
+    .with_title(format!(
+        "{} txns/worker x {} deposits on ONE shared account; every run certified",
+        params.txns_per_thread, params.ops_per_txn
+    ));
+    for row in &report.rows {
+        table.row(vec![
+            row.engine.clone(),
+            row.admission_path.clone(),
+            row.threads.to_string(),
+            f1(row.throughput),
+            row.committed.to_string(),
+            row.aborted.to_string(),
+            row.fast_admissions.to_string(),
+            row.blocks.to_string(),
+            row.reads_committed.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    std::fs::write(json_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("report written to {json_path}\n");
+
+    // The trajectory gates: compare against the committed E10 report.
+    let top = params.threads.iter().copied().max().unwrap_or(0);
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(json) => match ObservabilityReport::from_json(&json) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("E14 FAILED: baseline {baseline_path} unparseable: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("E14 FAILED: baseline {baseline_path} unreadable: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let fast_engines = [Engine::Dynamic, Engine::Hybrid];
+    let mut best_speedup: Option<(Engine, f64)> = None;
+    for engine in fast_engines {
+        let Some(base) = baseline
+            .engines
+            .iter()
+            .find(|r| r.engine == engine.label())
+            .map(|r| r.throughput)
+        else {
+            continue;
+        };
+        let Some(measured) = report.best_throughput_at(engine.label(), top) else {
+            continue;
+        };
+        let speedup = measured / base;
+        println!(
+            "{engine}: {measured:.1} txn/s at {top} threads vs E10 baseline {base:.1} — {speedup:.1}x"
+        );
+        // Regression floor (all runs, smoke included): the redesigned hot
+        // path must never fall below the recorded pre-change trajectory.
+        if measured < base {
+            eprintln!(
+                "E14 FAILED: {engine} contended throughput at {top} threads ({measured:.1}) \
+                 dropped below the E10 baseline ({base:.1})"
+            );
+            std::process::exit(1);
+        }
+        if best_speedup.is_none_or(|(_, s)| speedup > s) {
+            best_speedup = Some((engine, speedup));
+        }
+        // The fast path must actually engage under contention.
+        let fast_hits = report
+            .rows
+            .iter()
+            .filter(|r| {
+                r.engine == engine.label()
+                    && r.threads == top
+                    && r.admission_path != AdmissionPath::Locked.label()
+            })
+            .map(|r| r.fast_admissions)
+            .sum::<u64>();
+        if fast_hits == 0 {
+            eprintln!("E14 FAILED: {engine} recorded zero fast-path admissions at {top} threads");
+            std::process::exit(1);
+        }
+    }
+
+    // The acceptance gate: a full run must show the redesign paying off
+    // ≥4x for at least one engine. Smoke/quick runs are too small to
+    // measure and only check wiring plus the floor above.
+    if !smoke && !quick {
+        match best_speedup {
+            Some((engine, s)) if s >= 4.0 => {
+                println!("\nbest contended speedup vs E10: {engine} at {s:.1}x (gate: >= 4x)\n");
+            }
+            other => {
+                eprintln!(
+                    "E14 FAILED: best contended speedup vs the E10 baseline was {other:?}, need >= 4x"
+                );
+                std::process::exit(1);
+            }
+        }
     }
 }
 

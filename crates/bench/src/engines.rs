@@ -9,7 +9,7 @@
 
 use atomicity_baselines::{CommutativityLockedObject, TwoPhaseLockedObject};
 use atomicity_core::{
-    AtomicObject, CommutesRel, DeadlockPolicy, HistoryLog, MetricsRegistry, Protocol, TxnManager,
+    Admission, CommutesRel, DeadlockPolicy, HistoryLog, MetricsRegistry, Protocol, TxnManager,
 };
 use atomicity_lint::{standard_syntheses, SynthConfig, SynthSuite};
 use atomicity_spec::specs::{
@@ -36,20 +36,62 @@ fn generated(adt: &str) -> Arc<dyn CommutesRel> {
     )
 }
 
+/// Which hot-path admission variant a run drives an engine through —
+/// recorded in report headers so bench trajectories stay comparable
+/// across PRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPath {
+    /// Classic per-operation admission under the object mutex.
+    Locked,
+    /// Synthesized-table fast path installed
+    /// ([`EngineBuilder::fast_path`]): commuting operations skip
+    /// permutation replay, hybrid reads skip the mutex.
+    FastPath,
+    /// Fast path plus flat-combined batch admission
+    /// ([`atomicity_core::Combiner`]).
+    Batched,
+}
+
+impl AdmissionPath {
+    /// Stable label used in JSON report headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPath::Locked => "locked",
+            AdmissionPath::FastPath => "fast-path",
+            AdmissionPath::Batched => "batched",
+        }
+    }
+}
+
+impl fmt::Display for AdmissionPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The single construction point for every engine: one match instead of
-/// one per object shape. `table` is the commutativity relation the
-/// [`Engine::CommutativityLocking`] baseline locks against; the other
-/// engines ignore it.
+/// one per object shape, returning the unified [`Admission`] surface.
+/// `table` is the commutativity relation the
+/// [`Engine::CommutativityLocking`] baseline locks against — and, with
+/// `fast` set, the fast-path relation installed into the dynamic and
+/// hybrid engines; the static engine and 2PL ignore it.
 fn construct<S: SequentialSpec>(
     engine: Engine,
     id: ObjectId,
     spec: S,
     mgr: &TxnManager,
     table: Arc<dyn CommutesRel>,
-) -> Arc<dyn AtomicObject> {
+    fast: bool,
+) -> Arc<dyn Admission> {
     match engine {
+        Engine::Dynamic if fast => {
+            atomicity_core::DynamicObject::with_relation(id, spec, mgr, table) as _
+        }
         Engine::Dynamic => atomicity_core::DynamicObject::new(id, spec, mgr) as _,
         Engine::Static => atomicity_core::StaticObject::new(id, spec, mgr) as _,
+        Engine::Hybrid if fast => {
+            atomicity_core::HybridObject::with_relation(id, spec, mgr, table) as _
+        }
         Engine::Hybrid => atomicity_core::HybridObject::new(id, spec, mgr) as _,
         Engine::TwoPhaseLocking => TwoPhaseLockedObject::new(id, spec, mgr) as _,
         Engine::CommutativityLocking => {
@@ -130,13 +172,14 @@ impl Engine {
     /// A bank-account object (initial balance) under this engine. The
     /// locking baseline uses the synthesized bank table (provably equal to
     /// the §5.1 hand table — see the E13 gap report).
-    pub fn account(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn AtomicObject> {
+    pub fn account(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn Admission> {
         construct(
             self,
             id,
             BankAccountSpec::with_initial(initial),
             mgr,
             generated("bank"),
+            false,
         )
     }
 
@@ -148,41 +191,57 @@ impl Engine {
         id: ObjectId,
         mgr: &TxnManager,
         entries: impl IntoIterator<Item = (i64, i64)>,
-    ) -> Arc<dyn AtomicObject> {
+    ) -> Arc<dyn Admission> {
         construct(
             self,
             id,
             KvMapSpec::with_initial(entries),
             mgr,
             generated("map"),
+            false,
         )
     }
 
     /// A FIFO-queue object under this engine.
-    pub fn queue(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
-        construct(self, id, FifoQueueSpec::new(), mgr, generated("queue"))
+    pub fn queue(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn Admission> {
+        construct(
+            self,
+            id,
+            FifoQueueSpec::new(),
+            mgr,
+            generated("queue"),
+            false,
+        )
     }
 
     /// An integer-set object under this engine.
-    pub fn set(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
-        construct(self, id, IntSetSpec::new(), mgr, generated("set"))
+    pub fn set(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn Admission> {
+        construct(self, id, IntSetSpec::new(), mgr, generated("set"), false)
     }
 
     /// A semiqueue object (§5.2's weak queue) under this engine.
-    pub fn semiqueue(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn AtomicObject> {
-        construct(self, id, SemiqueueSpec::new(), mgr, generated("semiqueue"))
+    pub fn semiqueue(self, id: ObjectId, mgr: &TxnManager) -> Arc<dyn Admission> {
+        construct(
+            self,
+            id,
+            SemiqueueSpec::new(),
+            mgr,
+            generated("semiqueue"),
+            false,
+        )
     }
 
     /// An escrow counter (initial quantity) under this engine — the fully
     /// machine-derived table: credits and successful debits all commute,
     /// only debit/debit pairs conflict.
-    pub fn escrow(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn AtomicObject> {
+    pub fn escrow(self, id: ObjectId, mgr: &TxnManager, initial: i64) -> Arc<dyn Admission> {
         construct(
             self,
             id,
             EscrowCounterSpec::with_initial(initial),
             mgr,
             generated("escrow"),
+            false,
         )
     }
 }
@@ -211,18 +270,31 @@ pub struct EngineBuilder {
     policy: DeadlockPolicy,
     log: Option<HistoryLog>,
     metrics: MetricsRegistry,
+    fast: bool,
 }
 
 impl EngineBuilder {
     /// Starts a builder for `engine` with the default deadlock policy, a
-    /// fresh sharded history log, and metrics disabled.
+    /// fresh sharded history log, metrics disabled, and the classic
+    /// locked admission path.
     pub fn new(engine: Engine) -> Self {
         EngineBuilder {
             engine,
             policy: DeadlockPolicy::default(),
             log: None,
             metrics: MetricsRegistry::disabled(),
+            fast: false,
         }
+    }
+
+    /// Installs the synthesized-table fast path into the dynamic and
+    /// hybrid engines built from this handle: commuting update pairs are
+    /// admitted without permutation replay, and hybrid read-only
+    /// activities admit off the seqlock snapshot without the object
+    /// mutex. Other engines are unaffected.
+    pub fn fast_path(mut self, fast: bool) -> Self {
+        self.fast = fast;
+        self
     }
 
     /// Overrides the deadlock policy.
@@ -262,22 +334,33 @@ impl EngineBuilder {
         EngineHandle {
             engine: self.engine,
             mgr: b.build(),
+            fast: self.fast,
         }
     }
 }
 
 /// A built engine: the manager plus typed object constructors that no
-/// longer need the manager threaded through by hand.
+/// longer need the manager threaded through by hand. Every constructor
+/// routes through one generic [`Admission`]-dispatch point
+/// ([`EngineHandle::make`]) — no per-engine matching outside
+/// `construct`.
 #[derive(Debug, Clone)]
 pub struct EngineHandle {
     engine: Engine,
     mgr: TxnManager,
+    fast: bool,
 }
 
 impl EngineHandle {
     /// Which engine this handle runs.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Whether the fast admission path is installed (see
+    /// [`EngineBuilder::fast_path`]).
+    pub fn fast(&self) -> bool {
+        self.fast
     }
 
     /// The transaction manager (begin/commit/abort live here).
@@ -291,9 +374,24 @@ impl EngineHandle {
         self.mgr.metrics()
     }
 
+    /// The single construction path every typed constructor funnels
+    /// through: spec + synthesized table in, [`Admission`] object out.
+    pub fn make<S: SequentialSpec>(
+        &self,
+        id: ObjectId,
+        spec: S,
+        table: Arc<dyn CommutesRel>,
+    ) -> Arc<dyn Admission> {
+        construct(self.engine, id, spec, &self.mgr, table, self.fast)
+    }
+
     /// A bank-account object with the given initial balance.
-    pub fn account(&self, id: ObjectId, initial: i64) -> Arc<dyn AtomicObject> {
-        self.engine.account(id, &self.mgr, initial)
+    pub fn account(&self, id: ObjectId, initial: i64) -> Arc<dyn Admission> {
+        self.make(
+            id,
+            BankAccountSpec::with_initial(initial),
+            generated("bank"),
+        )
     }
 
     /// A key/value map object with the given initial entries.
@@ -301,34 +399,39 @@ impl EngineHandle {
         &self,
         id: ObjectId,
         entries: impl IntoIterator<Item = (i64, i64)>,
-    ) -> Arc<dyn AtomicObject> {
-        self.engine.map(id, &self.mgr, entries)
+    ) -> Arc<dyn Admission> {
+        self.make(id, KvMapSpec::with_initial(entries), generated("map"))
     }
 
     /// A FIFO-queue object.
-    pub fn queue(&self, id: ObjectId) -> Arc<dyn AtomicObject> {
-        self.engine.queue(id, &self.mgr)
+    pub fn queue(&self, id: ObjectId) -> Arc<dyn Admission> {
+        self.make(id, FifoQueueSpec::new(), generated("queue"))
     }
 
     /// An integer-set object.
-    pub fn set(&self, id: ObjectId) -> Arc<dyn AtomicObject> {
-        self.engine.set(id, &self.mgr)
+    pub fn set(&self, id: ObjectId) -> Arc<dyn Admission> {
+        self.make(id, IntSetSpec::new(), generated("set"))
     }
 
     /// A semiqueue object.
-    pub fn semiqueue(&self, id: ObjectId) -> Arc<dyn AtomicObject> {
-        self.engine.semiqueue(id, &self.mgr)
+    pub fn semiqueue(&self, id: ObjectId) -> Arc<dyn Admission> {
+        self.make(id, SemiqueueSpec::new(), generated("semiqueue"))
     }
 
     /// An escrow counter with the given initial quantity.
-    pub fn escrow(&self, id: ObjectId, initial: i64) -> Arc<dyn AtomicObject> {
-        self.engine.escrow(id, &self.mgr, initial)
+    pub fn escrow(&self, id: ObjectId, initial: i64) -> Arc<dyn Admission> {
+        self.make(
+            id,
+            EscrowCounterSpec::with_initial(initial),
+            generated("escrow"),
+        )
     }
 
     /// An object for an arbitrary spec (see [`build_object`] for the
     /// baseline-table caveat).
-    pub fn object<S: SequentialSpec>(&self, id: ObjectId, spec: S) -> Arc<dyn AtomicObject> {
-        build_object(self.engine, id, spec, &self.mgr)
+    pub fn object<S: SequentialSpec>(&self, id: ObjectId, spec: S) -> Arc<dyn Admission> {
+        let serial: Arc<dyn CommutesRel> = Arc::new(|_: &Operation, _: &Operation| false);
+        self.make(id, spec, serial)
     }
 }
 
@@ -348,9 +451,9 @@ pub fn build_object<S: SequentialSpec>(
     id: ObjectId,
     spec: S,
     mgr: &TxnManager,
-) -> Arc<dyn AtomicObject> {
+) -> Arc<dyn Admission> {
     let serial: Arc<dyn CommutesRel> = Arc::new(|_: &Operation, _: &Operation| false);
-    construct(engine, id, spec, mgr, serial)
+    construct(engine, id, spec, mgr, serial, false)
 }
 
 /// The hand-written kv-map table: different keys always commute; same-key

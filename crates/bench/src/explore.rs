@@ -13,7 +13,7 @@
 //! schedules, but *all* of them for the given scripts.
 
 use crate::engines::Engine;
-use atomicity_core::{AtomicObject, Protocol, Txn, TxnError, TxnManager};
+use atomicity_core::{Admission, Protocol, Txn, TxnError, TxnManager};
 use atomicity_spec::atomicity::{is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
 use atomicity_spec::well_formed::WellFormedness;
 use atomicity_spec::{ObjectId, Operation, SequentialSpec, SystemSpec};
@@ -51,7 +51,7 @@ impl Script {
 }
 
 /// A factory building a fresh system under test (manager + objects).
-pub type Factory = dyn Fn() -> (TxnManager, Vec<Arc<dyn AtomicObject>>);
+pub type Factory = dyn Fn() -> (TxnManager, Vec<Arc<dyn Admission>>);
 
 /// Aggregate outcomes of one exploration.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +75,7 @@ fn replay(
     stats: &mut ExploreStats,
 ) -> Option<(
     TxnManager,
-    Vec<Arc<dyn AtomicObject>>,
+    Vec<Arc<dyn Admission>>,
     Vec<Option<Txn>>,
     Vec<usize>,
 )> {

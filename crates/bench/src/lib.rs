@@ -15,6 +15,7 @@
 //! | E8  | recorder contention under threaded stress | [`workloads::stress`] |
 //! | E10 | observability: latency percentiles + abort taxonomy | [`report`] |
 //! | E12 | deterministic simulation: seed sweep + failure shrinking | [`workloads::e12`] |
+//! | E14 | contended hot-path admission: locked vs fast-path vs batched | [`workloads::e14`] |
 //!
 //! The `experiments` binary prints every table:
 //!
@@ -33,5 +34,7 @@ pub mod report;
 pub mod table;
 pub mod workloads;
 
-pub use engines::{map_commutativity, synthesized_suite, Engine, EngineBuilder, EngineHandle};
+pub use engines::{
+    map_commutativity, synthesized_suite, AdmissionPath, Engine, EngineBuilder, EngineHandle,
+};
 pub use table::Table;

@@ -15,30 +15,48 @@ use std::collections::BTreeMap;
 /// Version of the benchmark-report JSON layout. Bump when a committed
 /// `BENCH_*.json` file changes shape incompatibly, so CI artifact
 /// consumers can tell stale reports from current ones.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: [`ReportHeader::admission_path`] records which admission-path
+/// variant(s) produced the report's rows.
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
 
-/// The header every benchmark report (`BENCH_e10.json`, `BENCH_e11.json`)
+/// The header every benchmark report (`BENCH_e10.json`, `BENCH_e14.json`)
 /// carries, so an artifact is self-identifying: which experiment produced
-/// it, under which schema, from which commit.
+/// it, under which schema, from which commit, through which admission
+/// path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReportHeader {
     /// Report layout version ([`REPORT_SCHEMA_VERSION`] at write time).
     pub schema_version: u32,
-    /// Experiment tag (`"e10"`, `"e11"`).
+    /// Experiment tag (`"e10"`, `"e11"`, `"e14"`).
     pub experiment: String,
     /// Short git commit the binary was run from, or `"unknown"` outside a
     /// git checkout.
     pub git_commit: String,
+    /// The admission-path variant the rows were driven through
+    /// ([`crate::AdmissionPath::label`]), `"+"`-joined when the report
+    /// sweeps several variants (E14). Empty in pre-v3 artifacts.
+    #[serde(default)]
+    pub admission_path: String,
 }
 
 impl ReportHeader {
-    /// Builds a header for `experiment`, stamping the current git commit.
+    /// Builds a header for `experiment` on the classic locked admission
+    /// path, stamping the current git commit.
     pub fn new(experiment: &str) -> Self {
         ReportHeader {
             schema_version: REPORT_SCHEMA_VERSION,
             experiment: experiment.to_string(),
             git_commit: current_git_commit(),
+            admission_path: crate::AdmissionPath::Locked.label().to_string(),
         }
+    }
+
+    /// Overrides the recorded admission path (e.g. the `"+"`-joined
+    /// variant list of a sweep).
+    pub fn with_admission_path(mut self, path: impl Into<String>) -> Self {
+        self.admission_path = path.into();
+        self
     }
 }
 
@@ -194,6 +212,136 @@ impl ObservabilityReport {
             .filter(|e| e.admissions == 0)
             .map(|e| e.engine.as_str())
             .collect()
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialize")
+    }
+
+    /// Parses a report back (CI artifact checks, tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parse error for malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// One measured cell of the E14 contention sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionRow {
+    /// Engine label (see `Engine::label`).
+    pub engine: String,
+    /// Admission-path variant driven ([`crate::AdmissionPath::label`]).
+    pub admission_path: String,
+    /// Update workers.
+    pub threads: usize,
+    /// Update transactions committed.
+    pub committed: u64,
+    /// Update transactions aborted.
+    pub aborted: u64,
+    /// Read-only transactions committed (hybrid auditors).
+    pub reads_committed: u64,
+    /// Committed update transactions per second.
+    pub throughput: f64,
+    /// Operations admitted at the shared object.
+    pub admissions: u64,
+    /// Of those, admissions granted on a fast path (table hit or seqlock
+    /// read).
+    pub fast_admissions: u64,
+    /// Blocking rounds at the shared object.
+    pub blocks: u64,
+}
+
+impl ContentionRow {
+    /// Builds a row from one E14 outcome.
+    pub fn from_outcome(out: &crate::workloads::e14::E14Outcome) -> Self {
+        ContentionRow {
+            engine: out.engine.label().to_string(),
+            admission_path: out.path.label().to_string(),
+            threads: out.threads,
+            committed: out.committed,
+            aborted: out.aborted,
+            reads_committed: out.reads_committed,
+            throughput: out.throughput,
+            admissions: out.stats.admissions,
+            fast_admissions: out.stats.fast_admissions,
+            blocks: out.stats.blocks,
+        }
+    }
+}
+
+/// Workload shape of an E14 run, recorded alongside the rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionParams {
+    /// Update transactions per worker.
+    pub txns_per_thread: usize,
+    /// Deposits per transaction.
+    pub ops_per_txn: usize,
+    /// Read-only auditor threads (hybrid cells).
+    pub readers: usize,
+}
+
+impl From<&crate::workloads::e14::E14Params> for ContentionParams {
+    fn from(p: &crate::workloads::e14::E14Params) -> Self {
+        ContentionParams {
+            txns_per_thread: p.txns_per_thread,
+            ops_per_txn: p.ops_per_txn,
+            readers: p.readers,
+        }
+    }
+}
+
+/// The complete E14 report: the admission-path sweep on one contended
+/// object (`BENCH_e14.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionReport {
+    /// Shared report header (`experiment: "e14"`, the `"+"`-joined
+    /// variant list in `admission_path`).
+    pub header: ReportHeader,
+    /// The workload every cell ran.
+    pub params: ContentionParams,
+    /// Per-cell rows (engine × path × thread count).
+    pub rows: Vec<ContentionRow>,
+}
+
+impl ContentionReport {
+    /// Assembles the report from the sweep's outcomes.
+    pub fn new(
+        params: &crate::workloads::e14::E14Params,
+        outcomes: &[crate::workloads::e14::E14Outcome],
+    ) -> Self {
+        let mut paths: Vec<&str> = Vec::new();
+        for o in outcomes {
+            if !paths.contains(&o.path.label()) {
+                paths.push(o.path.label());
+            }
+        }
+        ContentionReport {
+            header: ReportHeader::new("e14").with_admission_path(paths.join("+")),
+            params: params.into(),
+            rows: outcomes.iter().map(ContentionRow::from_outcome).collect(),
+        }
+    }
+
+    /// The measured throughput of one cell, if it was run.
+    pub fn throughput_at(&self, engine: &str, path: &str, threads: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.engine == engine && r.admission_path == path && r.threads == threads)
+            .map(|r| r.throughput)
+    }
+
+    /// The best throughput any admission path reached for `engine` at
+    /// `threads` workers.
+    pub fn best_throughput_at(&self, engine: &str, threads: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.engine == engine && r.threads == threads)
+            .map(|r| r.throughput)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
     }
 
     /// Pretty-printed JSON.

@@ -18,7 +18,7 @@
 
 use crate::engines::Engine;
 use crate::workloads::hold;
-use atomicity_core::{AtomicObject, TxnManager};
+use atomicity_core::{Admission, TxnManager};
 use atomicity_spec::{op, ObjectId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -90,7 +90,7 @@ pub struct AuditOutcome {
 pub fn run_audit(engine: Engine, params: &AuditParams) -> AuditOutcome {
     let handle = engine.builder().build();
     let mgr = handle.manager().clone();
-    let shards: Vec<Arc<dyn AtomicObject>> = (0..params.shards)
+    let shards: Vec<Arc<dyn Admission>> = (0..params.shards)
         .map(|s| {
             let entries = (0..params.keys_per_shard).map(|k| (k, params.initial_balance));
             handle.map(ObjectId::new(s as u32 + 1), entries)

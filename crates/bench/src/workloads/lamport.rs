@@ -17,7 +17,7 @@
 
 use crate::engines::Engine;
 use crate::workloads::hold;
-use atomicity_core::{AtomicObject, TxnManager};
+use atomicity_core::{Admission, TxnManager};
 use atomicity_spec::{op, ObjectId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -117,7 +117,7 @@ pub fn run_lamport(mode: AuditMode, params: &LamportParams) -> LamportOutcome {
     let engine = mode.engine();
     let handle = engine.builder().build();
     let mgr = handle.manager().clone();
-    let shards: Vec<Arc<dyn AtomicObject>> = (0..params.shards)
+    let shards: Vec<Arc<dyn Admission>> = (0..params.shards)
         .map(|s| {
             let entries = (0..params.keys_per_shard).map(|k| (k, params.initial_balance));
             handle.map(ObjectId::new(s as u32 + 1), entries)
@@ -212,7 +212,7 @@ pub fn run_lamport(mode: AuditMode, params: &LamportParams) -> LamportOutcome {
 fn run_one_audit(
     mode: AuditMode,
     mgr: &TxnManager,
-    shards: &[Arc<dyn AtomicObject>],
+    shards: &[Arc<dyn Admission>],
     think_micros: u64,
 ) -> Option<i64> {
     let sum_op = op("sum", [] as [i64; 0]);

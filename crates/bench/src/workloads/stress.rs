@@ -27,7 +27,7 @@
 
 use crate::engines::Engine;
 use crate::workloads::hold;
-use atomicity_core::{AtomicObject, HistoryLog, MetricsSnapshot, Protocol, StatsSnapshot};
+use atomicity_core::{Admission, HistoryLog, MetricsSnapshot, Protocol, StatsSnapshot};
 use atomicity_lint::{certify, Property};
 use atomicity_spec::atomicity::{is_dynamic_atomic, is_hybrid_atomic, is_static_atomic};
 use atomicity_spec::specs::BankAccountSpec;
@@ -153,7 +153,7 @@ pub fn run_stress(engine: Engine, params: &StressParams) -> StressOutcome {
     }
     let handle = builder.build();
     let mgr = handle.manager().clone();
-    let objects: Vec<Arc<dyn AtomicObject>> = (0..params.object_count())
+    let objects: Vec<Arc<dyn Admission>> = (0..params.object_count())
         .map(|t| handle.account(ObjectId::new(t as u32 + 1), 0))
         .collect();
 
@@ -191,7 +191,7 @@ pub fn stress_history(
 ) -> (atomicity_spec::history::History, SystemSpec) {
     let handle = engine.builder().build();
     let mgr = handle.manager().clone();
-    let objects: Vec<Arc<dyn AtomicObject>> = (0..params.object_count())
+    let objects: Vec<Arc<dyn Admission>> = (0..params.object_count())
         .map(|t| handle.account(ObjectId::new(t as u32 + 1), 0))
         .collect();
     execute(&mgr, &objects, params);
@@ -208,7 +208,7 @@ fn account_spec(objects: usize) -> SystemSpec {
 /// Drives the worker threads; returns (committed, aborted, wall).
 fn execute(
     mgr: &atomicity_core::TxnManager,
-    objects: &[Arc<dyn AtomicObject>],
+    objects: &[Arc<dyn Admission>],
     params: &StressParams,
 ) -> (u64, u64, Duration) {
     let start = Instant::now();
@@ -273,7 +273,7 @@ fn verify_run(
     engine: Engine,
     params: &StressParams,
     mgr: &atomicity_core::TxnManager,
-    objects: &[Arc<dyn AtomicObject>],
+    objects: &[Arc<dyn Admission>],
     committed: u64,
 ) {
     let h = mgr.history();

@@ -17,6 +17,8 @@
 //! scheduler-model counterexample), while genuinely order-sensitive
 //! interleavings still block.
 
+use crate::admission::{Admission, AdmissionOutcome, AdmissionRequest, IntentionArena};
+use crate::conflict::CommutesRel;
 use crate::engine::{all_orders_replay, replay_frontier};
 use crate::error::TxnError;
 use crate::log::HistoryLog;
@@ -65,6 +67,10 @@ pub struct DynamicObject<S: SequentialSpec> {
     mu: Mutex<Inner<S>>,
     cv: Condvar,
     max_check: usize,
+    /// Optional state-independent commutativity relation (a synthesized
+    /// conflict table): operations that commute with every pending
+    /// operation are admitted without permutation replay.
+    fast_rel: Option<Arc<dyn CommutesRel>>,
     metrics: ObjectMetrics,
     self_ref: Weak<DynamicObject<S>>,
 }
@@ -76,6 +82,8 @@ struct Inner<S: SequentialSpec> {
     committed: Vec<S::State>,
     /// Intentions list per active transaction, in execution order.
     intentions: BTreeMap<ActivityId, Vec<OpResult>>,
+    /// Recycles intentions-list allocations across transactions.
+    arena: IntentionArena,
 }
 
 /// The outcome of one admission attempt.
@@ -95,6 +103,33 @@ impl<S: SequentialSpec> DynamicObject<S> {
     /// intention lists checked exhaustively (above it, conflicts are
     /// assumed).
     pub fn with_max_check(id: ObjectId, spec: S, mgr: &TxnManager, max_check: usize) -> Arc<Self> {
+        Self::build(id, spec, mgr, max_check, None)
+    }
+
+    /// Creates the object with a state-independent commutativity relation
+    /// (typically a machine-synthesized
+    /// [`ConflictTable`](crate::ConflictTable)): a deterministic operation
+    /// commuting with every pending operation of every other active
+    /// transaction is admitted directly — no permutation replay, and no
+    /// conservative block above the `max_check` bound. Pairs the relation
+    /// does not admit fall back to the state-dependent replay check, so
+    /// the engine stays strictly more permissive than table locking.
+    pub fn with_relation(
+        id: ObjectId,
+        spec: S,
+        mgr: &TxnManager,
+        rel: Arc<dyn CommutesRel>,
+    ) -> Arc<Self> {
+        Self::build(id, spec, mgr, DEFAULT_MAX_CHECK, Some(rel))
+    }
+
+    fn build(
+        id: ObjectId,
+        spec: S,
+        mgr: &TxnManager,
+        max_check: usize,
+        fast_rel: Option<Arc<dyn CommutesRel>>,
+    ) -> Arc<Self> {
         let initial = vec![spec.initial()];
         Arc::new_cyclic(|self_ref| DynamicObject {
             id,
@@ -103,9 +138,11 @@ impl<S: SequentialSpec> DynamicObject<S> {
             mu: Mutex::new(Inner {
                 committed: initial,
                 intentions: BTreeMap::new(),
+                arena: IntentionArena::new(),
             }),
             cv: Condvar::new(),
             max_check,
+            fast_rel,
             metrics: mgr.metrics().object(id),
             self_ref: self_ref.clone(),
         })
@@ -137,7 +174,7 @@ impl<S: SequentialSpec> DynamicObject<S> {
             .expect("DynamicObject used after its Arc was dropped")
     }
 
-    fn try_admit(&self, inner: &Inner<S>, me: ActivityId, op: &Operation) -> Admit {
+    fn decide_admit(&self, inner: &Inner<S>, me: ActivityId, op: &Operation) -> Admit {
         let empty = Vec::new();
         let own = inner.intentions.get(&me).unwrap_or(&empty);
         let own_frontier = replay_frontier(&self.spec, &inner.committed, own);
@@ -165,6 +202,24 @@ impl<S: SequentialSpec> DynamicObject<S> {
         if others.is_empty() {
             return Admit::Granted(candidates.remove(0));
         }
+        // Table fast path: a deterministic operation that commutes (per the
+        // installed state-independent relation) with every pending operation
+        // of every other active transaction replays identically in all
+        // orders, so it is admissible without permutation enumeration — and
+        // without the conservative block above `max_check`. Misses fall
+        // through to the state-dependent check, so the engine stays at
+        // least as permissive as with no relation installed.
+        if candidates.len() == 1 {
+            if let Some(rel) = &self.fast_rel {
+                if others
+                    .iter()
+                    .all(|(_, list)| list.iter().all(|(q, _)| rel.commutes(op, q)))
+                {
+                    self.metrics.record_fast_admission();
+                    return Admit::Granted(candidates.remove(0));
+                }
+            }
+        }
         if others.len() + 1 > self.max_check {
             return Admit::Conflict(others.iter().map(|(id, _)| **id).collect());
         }
@@ -179,6 +234,64 @@ impl<S: SequentialSpec> DynamicObject<S> {
             }
         }
         Admit::Conflict(others.iter().map(|(id, _)| **id).collect())
+    }
+
+    /// Appends `(op, v)` to `me`'s intentions list, drawing the list
+    /// allocation from the arena on first use.
+    fn push_intention(inner: &mut Inner<S>, me: ActivityId, op: Operation, v: Value) {
+        if !inner.intentions.contains_key(&me) {
+            let fresh = inner.arena.acquire();
+            inner.intentions.insert(me, fresh);
+        }
+        inner
+            .intentions
+            .get_mut(&me)
+            .expect("intentions list just ensured")
+            .push((op, v));
+    }
+
+    /// One admission attempt with the object lock already held: the shared
+    /// core of [`Admission::admit_one`], [`Admission::admit_batch`] and the
+    /// non-blocking `try_invoke`. Events are recorded only on a grant, so a
+    /// blocked attempt is as if the invocation never happened.
+    fn admit_locked(&self, inner: &mut Inner<S>, req: &AdmissionRequest) -> AdmissionOutcome {
+        let me = req.txn;
+        let invoke_sw = self.metrics.stopwatch();
+        match self.decide_admit(inner, me, &req.operation) {
+            Admit::Invalid => AdmissionOutcome::Rejected(TxnError::InvalidOperation {
+                object: self.id,
+                operation: req.operation.to_string(),
+            }),
+            Admit::Granted(v) => {
+                self.log.record_all([
+                    Event::invoke(me, self.id, req.operation.clone()),
+                    Event::respond(me, self.id, v.clone()),
+                ]);
+                Self::push_intention(inner, me, req.operation.clone(), v.clone());
+                self.metrics.record_admission(me, &invoke_sw);
+                AdmissionOutcome::Admitted(v)
+            }
+            Admit::Conflict(holders) => AdmissionOutcome::Blocked { holders },
+        }
+    }
+}
+
+impl<S: SequentialSpec> Admission for DynamicObject<S> {
+    fn register_txn(&self, txn: &Txn) {
+        txn.register(self.self_participant());
+    }
+
+    fn admit_one(&self, request: &AdmissionRequest) -> AdmissionOutcome {
+        let mut inner = self.mu.lock();
+        self.admit_locked(&mut inner, request)
+    }
+
+    fn admit_batch(&self, requests: &[AdmissionRequest]) -> Vec<AdmissionOutcome> {
+        let mut inner = self.mu.lock();
+        requests
+            .iter()
+            .map(|r| self.admit_locked(&mut inner, r))
+            .collect()
     }
 }
 
@@ -202,7 +315,7 @@ impl<S: SequentialSpec> AtomicObject for DynamicObject<S> {
         let mut inner = self.mu.lock();
         let mut invoked = false;
         loop {
-            match self.try_admit(&inner, me, &operation) {
+            match self.decide_admit(&inner, me, &operation) {
                 Admit::Invalid => {
                     // Nothing was recorded: the operation never happened.
                     return Err(TxnError::InvalidOperation {
@@ -216,11 +329,7 @@ impl<S: SequentialSpec> AtomicObject for DynamicObject<S> {
                         events.push(Event::invoke(me, self.id, operation.clone()));
                     }
                     events.push(Event::respond(me, self.id, v.clone()));
-                    inner
-                        .intentions
-                        .entry(me)
-                        .or_default()
-                        .push((operation, v.clone()));
+                    Self::push_intention(&mut inner, me, operation, v.clone());
                     self.log.record_all(events);
                     if block_sw.is_armed() {
                         self.metrics.record_block_wait(&block_sw);
@@ -266,29 +375,9 @@ impl<S: SequentialSpec> DynamicObject<S> {
             return Err(TxnError::NotActive { txn: txn.id() });
         }
         txn.register(self.self_participant());
-        let me = txn.id();
-        let invoke_sw = self.metrics.stopwatch();
         let mut inner = self.mu.lock();
-        match self.try_admit(&inner, me, &operation) {
-            Admit::Invalid => Err(TxnError::InvalidOperation {
-                object: self.id,
-                operation: operation.to_string(),
-            }),
-            Admit::Granted(v) => {
-                self.log.record_all([
-                    Event::invoke(me, self.id, operation.clone()),
-                    Event::respond(me, self.id, v.clone()),
-                ]);
-                inner
-                    .intentions
-                    .entry(me)
-                    .or_default()
-                    .push((operation, v.clone()));
-                self.metrics.record_admission(me, &invoke_sw);
-                Ok(v)
-            }
-            Admit::Conflict(_) => Err(TxnError::WouldBlock { object: self.id }),
-        }
+        self.admit_locked(&mut inner, &AdmissionRequest::from_txn(txn, operation))
+            .into_result(self.id)
     }
 }
 
@@ -308,6 +397,7 @@ impl<S: SequentialSpec> Participant for DynamicObject<S> {
             if !next.is_empty() {
                 inner.committed = next;
             }
+            inner.arena.release(list);
         }
         let event = match ts {
             Some(t) => Event::commit_ts(txn, self.id, t),
@@ -320,7 +410,9 @@ impl<S: SequentialSpec> Participant for DynamicObject<S> {
 
     fn abort(&self, txn: ActivityId) {
         let mut inner = self.mu.lock();
-        inner.intentions.remove(&txn);
+        if let Some(list) = inner.intentions.remove(&txn) {
+            inner.arena.release(list);
+        }
         self.log.record(Event::abort(txn, self.id));
         self.metrics.record_abort(txn);
         self.cv.notify_all();

@@ -14,6 +14,10 @@
 //! the implementation of hybrid atomicity do not interfere with any
 //! updates").
 
+use crate::admission::{
+    Admission, AdmissionOutcome, AdmissionRequest, IntentionArena, SeqlockCell,
+};
+use crate::conflict::CommutesRel;
 use crate::engine::{all_orders_replay, replay_frontier};
 use crate::error::TxnError;
 use crate::log::HistoryLog;
@@ -64,6 +68,18 @@ pub struct HybridObject<S: SequentialSpec> {
     mu: Mutex<Inner<S>>,
     cv: Condvar,
     max_check: usize,
+    /// Optional state-independent commutativity relation (a synthesized
+    /// conflict table) used as an update-admission fast path.
+    fast_rel: Option<Arc<dyn CommutesRel>>,
+    /// The newest committed version, published for the lock-free read
+    /// path. The manager's commit gate orders every publish with
+    /// timestamp below a reader's start timestamp before that reader
+    /// begins, so a reader whose timestamp exceeds the published
+    /// version's never needs the version chain (and never takes `mu`).
+    latest: SeqlockCell<(Timestamp, Vec<S::State>)>,
+    /// Read-only transactions that have touched this object. Kept outside
+    /// `mu` so the read path never contends with update admission.
+    readers: Mutex<BTreeSet<ActivityId>>,
     metrics: ObjectMetrics,
     self_ref: Weak<HybridObject<S>>,
 }
@@ -75,8 +91,8 @@ struct Inner<S: SequentialSpec> {
     versions: Vec<(Timestamp, Vec<S::State>)>,
     /// Intentions list per active update transaction.
     intentions: BTreeMap<ActivityId, Vec<OpResult>>,
-    /// Read-only transactions that have touched this object.
-    readers: BTreeSet<ActivityId>,
+    /// Recycles intentions-list allocations across transactions.
+    arena: IntentionArena,
 }
 
 enum Admit {
@@ -93,6 +109,29 @@ impl<S: SequentialSpec> HybridObject<S> {
 
     /// Creates the object with a custom concurrent-admission bound.
     pub fn with_max_check(id: ObjectId, spec: S, mgr: &TxnManager, max_check: usize) -> Arc<Self> {
+        Self::build(id, spec, mgr, max_check, None)
+    }
+
+    /// Creates the object with a state-independent commutativity relation
+    /// used as an update-admission fast path (see
+    /// [`DynamicObject::with_relation`](crate::DynamicObject::with_relation)
+    /// — update admission is identical under hybrid atomicity).
+    pub fn with_relation(
+        id: ObjectId,
+        spec: S,
+        mgr: &TxnManager,
+        rel: Arc<dyn CommutesRel>,
+    ) -> Arc<Self> {
+        Self::build(id, spec, mgr, DEFAULT_MAX_CHECK, Some(rel))
+    }
+
+    fn build(
+        id: ObjectId,
+        spec: S,
+        mgr: &TxnManager,
+        max_check: usize,
+        fast_rel: Option<Arc<dyn CommutesRel>>,
+    ) -> Arc<Self> {
         let initial = vec![spec.initial()];
         Arc::new_cyclic(|self_ref| HybridObject {
             id,
@@ -102,10 +141,13 @@ impl<S: SequentialSpec> HybridObject<S> {
                 current: initial,
                 versions: Vec::new(),
                 intentions: BTreeMap::new(),
-                readers: BTreeSet::new(),
+                arena: IntentionArena::new(),
             }),
             cv: Condvar::new(),
             max_check,
+            fast_rel,
+            latest: SeqlockCell::new(),
+            readers: Mutex::new(BTreeSet::new()),
             metrics: mgr.metrics().object(id),
             self_ref: self_ref.clone(),
         })
@@ -177,6 +219,21 @@ impl<S: SequentialSpec> HybridObject<S> {
         if others.is_empty() {
             return Admit::Granted(candidates.remove(0));
         }
+        // Table fast path — see `DynamicObject::decide_admit`: a
+        // deterministic operation commuting with every pending operation
+        // replays identically in all orders, so it is admissible without
+        // permutation enumeration and without the `max_check` block.
+        if candidates.len() == 1 {
+            if let Some(rel) = &self.fast_rel {
+                if others
+                    .iter()
+                    .all(|(_, list)| list.iter().all(|(q, _)| rel.commutes(op, q)))
+                {
+                    self.metrics.record_fast_admission();
+                    return Admit::Granted(candidates.remove(0));
+                }
+            }
+        }
         if others.len() + 1 > self.max_check {
             return Admit::Conflict(others.iter().map(|(id, _)| **id).collect());
         }
@@ -192,32 +249,60 @@ impl<S: SequentialSpec> HybridObject<S> {
         Admit::Conflict(others.iter().map(|(id, _)| **id).collect())
     }
 
-    fn invoke_read_only(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
-        let ts = txn.start_ts().ok_or_else(|| TxnError::ProtocolMismatch {
-            object: self.id,
-            detail: "read-only transactions require a start timestamp".into(),
-        })?;
-        if !self.spec.is_read_only(&operation) {
-            return Err(TxnError::ProtocolMismatch {
+    /// The state frontier a reader with timestamp `ts` observes, taken
+    /// from the seqlock-published newest version when possible.
+    ///
+    /// Lock-free case: the manager's commit gate serializes commit-
+    /// timestamp assignment and version publication against read-only
+    /// starts, so every version with timestamp below `ts` is published
+    /// before the reader begins, and published versions are monotone in
+    /// timestamp. Hence if the published newest version predates `ts`, it
+    /// *is* the reader's snapshot. Only historical readers (pinned below
+    /// the newest version) fall back to the version chain under `mu`.
+    /// Returns the snapshot states and whether they came off the
+    /// mutex-free seqlock path.
+    fn read_snapshot(&self, ts: Timestamp) -> (Vec<S::State>, bool) {
+        if let Some(latest) = self.latest.load() {
+            if latest.0 < ts {
+                return (latest.1.clone(), true);
+            }
+            let inner = self.mu.lock();
+            return (self.snapshot_at(&inner, ts), false);
+        }
+        // Nothing published: no update with a timestamp below `ts` has
+        // committed, so the reader sees the initial state.
+        (vec![self.spec.initial()], true)
+    }
+
+    /// One read-only admission against the reader's timestamped snapshot.
+    /// Never touches `mu` unless the read is historical.
+    fn admit_read_only(&self, req: &AdmissionRequest) -> AdmissionOutcome {
+        let me = req.txn;
+        let operation = &req.operation;
+        let Some(ts) = req.start_ts else {
+            return AdmissionOutcome::Rejected(TxnError::ProtocolMismatch {
+                object: self.id,
+                detail: "read-only transactions require a start timestamp".into(),
+            });
+        };
+        if !self.spec.is_read_only(operation) {
+            return AdmissionOutcome::Rejected(TxnError::ProtocolMismatch {
                 object: self.id,
                 detail: format!("operation {operation} may modify state"),
             });
         }
-        txn.register(self.self_participant());
-        let me = txn.id();
         let invoke_sw = self.metrics.stopwatch();
-        let mut inner = self.mu.lock();
-        let states = self.snapshot_at(&inner, ts);
+        let (states, fast) = self.read_snapshot(ts);
         let mut candidates: Vec<Value> = Vec::new();
         for s in &states {
-            for (v, _) in self.spec.step(s, &operation) {
+            for (v, _) in self.spec.step(s, operation) {
                 if !candidates.contains(&v) {
                     candidates.push(v);
                 }
             }
         }
         if candidates.is_empty() {
-            return Err(TxnError::InvalidOperation {
+            return AdmissionOutcome::Rejected(TxnError::InvalidOperation {
                 object: self.id,
                 operation: operation.to_string(),
             });
@@ -225,14 +310,23 @@ impl<S: SequentialSpec> HybridObject<S> {
         candidates.sort();
         let v = candidates.remove(0);
         let mut events = Vec::with_capacity(3);
-        if inner.readers.insert(me) {
+        if self.readers.lock().insert(me) {
             events.push(Event::initiate(me, self.id, ts));
         }
-        events.push(Event::invoke(me, self.id, operation));
+        events.push(Event::invoke(me, self.id, operation.clone()));
         events.push(Event::respond(me, self.id, v.clone()));
         self.log.record_all(events);
+        if fast {
+            self.metrics.record_fast_admission();
+        }
         self.metrics.record_admission(me, &invoke_sw);
-        Ok(v)
+        AdmissionOutcome::Admitted(v)
+    }
+
+    fn invoke_read_only(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        txn.register(self.self_participant());
+        self.admit_read_only(&AdmissionRequest::from_txn(txn, operation))
+            .into_result(self.id)
     }
 
     fn invoke_update(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
@@ -256,11 +350,7 @@ impl<S: SequentialSpec> HybridObject<S> {
                         events.push(Event::invoke(me, self.id, operation.clone()));
                     }
                     events.push(Event::respond(me, self.id, v.clone()));
-                    inner
-                        .intentions
-                        .entry(me)
-                        .or_default()
-                        .push((operation, v.clone()));
+                    Self::push_intention(&mut inner, me, operation, v.clone());
                     self.log.record_all(events);
                     if block_sw.is_armed() {
                         self.metrics.record_block_wait(&block_sw);
@@ -296,6 +386,96 @@ impl<S: SequentialSpec> HybridObject<S> {
             }
         }
     }
+
+    /// Appends `(op, v)` to `me`'s intentions list, drawing the list
+    /// allocation from the arena on first use.
+    fn push_intention(inner: &mut Inner<S>, me: ActivityId, op: Operation, v: Value) {
+        if !inner.intentions.contains_key(&me) {
+            let fresh = inner.arena.acquire();
+            inner.intentions.insert(me, fresh);
+        }
+        inner
+            .intentions
+            .get_mut(&me)
+            .expect("intentions list just ensured")
+            .push((op, v));
+    }
+
+    /// One update-admission attempt with the object lock already held:
+    /// the shared core of [`Admission::admit_one`],
+    /// [`Admission::admit_batch`] and the non-blocking `try_invoke`.
+    fn admit_locked(&self, inner: &mut Inner<S>, req: &AdmissionRequest) -> AdmissionOutcome {
+        let me = req.txn;
+        let invoke_sw = self.metrics.stopwatch();
+        match self.try_admit_update(inner, me, &req.operation) {
+            Admit::Invalid => AdmissionOutcome::Rejected(TxnError::InvalidOperation {
+                object: self.id,
+                operation: req.operation.to_string(),
+            }),
+            Admit::Granted(v) => {
+                self.log.record_all([
+                    Event::invoke(me, self.id, req.operation.clone()),
+                    Event::respond(me, self.id, v.clone()),
+                ]);
+                Self::push_intention(inner, me, req.operation.clone(), v.clone());
+                self.metrics.record_admission(me, &invoke_sw);
+                AdmissionOutcome::Admitted(v)
+            }
+            Admit::Conflict(holders) => AdmissionOutcome::Blocked { holders },
+        }
+    }
+}
+
+impl<S: SequentialSpec> Admission for HybridObject<S> {
+    fn register_txn(&self, txn: &Txn) {
+        txn.register(self.self_participant());
+    }
+
+    fn admit_one(&self, request: &AdmissionRequest) -> AdmissionOutcome {
+        match request.kind {
+            TxnKind::ReadOnly => self.admit_read_only(request),
+            TxnKind::Update => {
+                let mut inner = self.mu.lock();
+                self.admit_locked(&mut inner, request)
+            }
+        }
+    }
+
+    fn admit_batch(&self, requests: &[AdmissionRequest]) -> Vec<AdmissionOutcome> {
+        // Two passes: read-only requests go through the mutex-free read
+        // path first (they are timestamp-serialized, so their outcome is
+        // independent of the updates in the batch), then every update is
+        // admitted under a single acquisition of `mu`.
+        let mut outcomes: Vec<Option<AdmissionOutcome>> = requests
+            .iter()
+            .map(|r| match r.kind {
+                TxnKind::ReadOnly => Some(self.admit_read_only(r)),
+                TxnKind::Update => None,
+            })
+            .collect();
+        if outcomes.iter().any(Option::is_none) {
+            let mut inner = self.mu.lock();
+            for (slot, r) in outcomes.iter_mut().zip(requests) {
+                if slot.is_none() {
+                    *slot = Some(self.admit_locked(&mut inner, r));
+                }
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every request answered"))
+            .collect()
+    }
+
+    fn read_at(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
+        if !txn.is_active() {
+            return Err(TxnError::NotActive { txn: txn.id() });
+        }
+        match txn.kind() {
+            TxnKind::ReadOnly => self.invoke_read_only(txn, operation),
+            TxnKind::Update => self.invoke(txn, operation),
+        }
+    }
 }
 
 impl<S: SequentialSpec> AtomicObject for HybridObject<S> {
@@ -322,29 +502,9 @@ impl<S: SequentialSpec> AtomicObject for HybridObject<S> {
             TxnKind::ReadOnly => self.invoke_read_only(txn, operation),
             TxnKind::Update => {
                 txn.register(self.self_participant());
-                let me = txn.id();
-                let invoke_sw = self.metrics.stopwatch();
                 let mut inner = self.mu.lock();
-                match self.try_admit_update(&inner, me, &operation) {
-                    Admit::Invalid => Err(TxnError::InvalidOperation {
-                        object: self.id,
-                        operation: operation.to_string(),
-                    }),
-                    Admit::Granted(v) => {
-                        self.log.record_all([
-                            Event::invoke(me, self.id, operation.clone()),
-                            Event::respond(me, self.id, v.clone()),
-                        ]);
-                        inner
-                            .intentions
-                            .entry(me)
-                            .or_default()
-                            .push((operation, v.clone()));
-                        self.metrics.record_admission(me, &invoke_sw);
-                        Ok(v)
-                    }
-                    Admit::Conflict(_) => Err(TxnError::WouldBlock { object: self.id }),
-                }
+                self.admit_locked(&mut inner, &AdmissionRequest::from_txn(txn, operation))
+                    .into_result(self.id)
             }
         }
     }
@@ -356,13 +516,15 @@ impl<S: SequentialSpec> Participant for HybridObject<S> {
     }
 
     fn commit(&self, txn: ActivityId, ts: Option<Timestamp>) {
-        let mut inner = self.mu.lock();
-        if inner.readers.remove(&txn) {
+        // A transaction is either a reader or an updater here, never
+        // both, so the two sets can be checked sequentially.
+        if self.readers.lock().remove(&txn) {
             self.log.record(Event::commit(txn, self.id));
             self.metrics.record_commit(txn);
             self.cv.notify_all();
             return;
         }
+        let mut inner = self.mu.lock();
         if let Some(list) = inner.intentions.remove(&txn) {
             let next = replay_frontier(&self.spec, &inner.current, &list);
             debug_assert!(
@@ -372,11 +534,16 @@ impl<S: SequentialSpec> Participant for HybridObject<S> {
             if !next.is_empty() {
                 inner.current = next;
             }
+            inner.arena.release(list);
         }
         match ts {
             Some(t) => {
                 let snapshot = inner.current.clone();
-                inner.versions.push((t, snapshot));
+                inner.versions.push((t, snapshot.clone()));
+                // Publish under `mu` so published versions stay monotone
+                // in timestamp; the manager's commit gate orders this
+                // before any reader with a larger timestamp begins.
+                self.latest.publish(Arc::new((t, snapshot)));
                 self.log.record(Event::commit_ts(txn, self.id, t));
             }
             None => {
@@ -391,9 +558,15 @@ impl<S: SequentialSpec> Participant for HybridObject<S> {
     }
 
     fn abort(&self, txn: ActivityId) {
+        if self.readers.lock().remove(&txn) {
+            self.log.record(Event::abort(txn, self.id));
+            self.metrics.record_abort(txn);
+            return;
+        }
         let mut inner = self.mu.lock();
-        inner.readers.remove(&txn);
-        inner.intentions.remove(&txn);
+        if let Some(list) = inner.intentions.remove(&txn) {
+            inner.arena.release(list);
+        }
         self.log.record(Event::abort(txn, self.id));
         self.metrics.record_abort(txn);
         self.cv.notify_all();

@@ -20,6 +20,7 @@
 //! Because waiting is only ever on *smaller* timestamps, the engine cannot
 //! deadlock.
 
+use crate::admission::{Admission, AdmissionOutcome, AdmissionRequest};
 use crate::engine::replay_frontier;
 use crate::error::TxnError;
 use crate::log::HistoryLog;
@@ -216,7 +217,13 @@ impl<S: SequentialSpec> StaticObject<S> {
         !replay_frontier(&self.spec, &inner.base, &ops).is_empty()
     }
 
-    fn try_admit(&self, inner: &Inner<S>, me: ActivityId, t: Timestamp, op: &Operation) -> Admit {
+    fn decide_admit(
+        &self,
+        inner: &Inner<S>,
+        me: ActivityId,
+        t: Timestamp,
+        op: &Operation,
+    ) -> Admit {
         // Other active transactions with entries anywhere in the log.
         let actives: Vec<ActivityId> = {
             let mut s = BTreeSet::new();
@@ -317,6 +324,69 @@ impl<S: SequentialSpec> StaticObject<S> {
         self.log.record_all(events);
     }
 
+    /// One non-blocking admission attempt with the object lock already
+    /// held: the shared core of [`Admission::admit_one`],
+    /// [`Admission::admit_batch`] and the non-blocking `try_invoke`.
+    /// Contention maps to [`AdmissionOutcome::Blocked`] carrying the
+    /// earlier-timestamp holders; must-abort refusals record the paper's
+    /// required events and reject with
+    /// [`TxnError::TimestampConflict`].
+    fn admit_locked(&self, inner: &mut Inner<S>, req: &AdmissionRequest) -> AdmissionOutcome {
+        let me = req.txn;
+        let operation = &req.operation;
+        let Some(t) = req.start_ts else {
+            return AdmissionOutcome::Rejected(TxnError::ProtocolMismatch {
+                object: self.id,
+                detail: "static objects require a start timestamp".into(),
+            });
+        };
+        let invoke_sw = self.metrics.stopwatch();
+        if t <= inner.watermark {
+            self.metrics.record_timestamp_too_old(me);
+            return AdmissionOutcome::Rejected(TxnError::TimestampTooOld {
+                txn: me,
+                object: self.id,
+            });
+        }
+        match self.decide_admit(inner, me, t, operation) {
+            Admit::Invalid => AdmissionOutcome::Rejected(TxnError::InvalidOperation {
+                object: self.id,
+                operation: operation.to_string(),
+            }),
+            Admit::Granted(v) => {
+                let mut invoked = false;
+                self.record_first_events(inner, me, t, operation, &mut invoked);
+                let seq = inner.next_seq;
+                inner.next_seq += 1;
+                let pos = inner.entries.partition_point(|e| (e.ts, e.seq) < (t, seq));
+                inner.entries.insert(
+                    pos,
+                    Entry {
+                        ts: t,
+                        seq,
+                        owner: me,
+                        op: operation.clone(),
+                        value: v.clone(),
+                        committed: false,
+                    },
+                );
+                self.log.record(Event::respond(me, self.id, v.clone()));
+                self.metrics.record_admission(me, &invoke_sw);
+                AdmissionOutcome::Admitted(v)
+            }
+            Admit::WaitOn(holders) => AdmissionOutcome::Blocked { holders },
+            Admit::MustAbort => {
+                let mut invoked = false;
+                self.record_first_events(inner, me, t, operation, &mut invoked);
+                self.metrics.record_timestamp_conflict(me);
+                AdmissionOutcome::Rejected(TxnError::TimestampConflict {
+                    txn: me,
+                    object: self.id,
+                })
+            }
+        }
+    }
+
     fn compact(&self, inner: &mut Inner<S>) {
         while inner.entries.len() > self.compaction_threshold
             && inner.entries.first().is_some_and(|e| e.committed)
@@ -358,58 +428,10 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
         if !txn.is_active() {
             return Err(TxnError::NotActive { txn: txn.id() });
         }
-        let t = txn.start_ts().ok_or_else(|| TxnError::ProtocolMismatch {
-            object: self.id,
-            detail: "static objects require a start timestamp".into(),
-        })?;
         txn.register(self.self_participant());
-        let me = txn.id();
-        let invoke_sw = self.metrics.stopwatch();
         let mut inner = self.mu.lock();
-        if t <= inner.watermark {
-            self.metrics.record_timestamp_too_old(me);
-            return Err(TxnError::TimestampTooOld {
-                txn: me,
-                object: self.id,
-            });
-        }
-        match self.try_admit(&inner, me, t, &operation) {
-            Admit::Invalid => Err(TxnError::InvalidOperation {
-                object: self.id,
-                operation: operation.to_string(),
-            }),
-            Admit::Granted(v) => {
-                let mut invoked = false;
-                self.record_first_events(&mut inner, me, t, &operation, &mut invoked);
-                let seq = inner.next_seq;
-                inner.next_seq += 1;
-                let pos = inner.entries.partition_point(|e| (e.ts, e.seq) < (t, seq));
-                inner.entries.insert(
-                    pos,
-                    Entry {
-                        ts: t,
-                        seq,
-                        owner: me,
-                        op: operation,
-                        value: v.clone(),
-                        committed: false,
-                    },
-                );
-                self.log.record(Event::respond(me, self.id, v.clone()));
-                self.metrics.record_admission(me, &invoke_sw);
-                Ok(v)
-            }
-            Admit::WaitOn(_) => Err(TxnError::WouldBlock { object: self.id }),
-            Admit::MustAbort => {
-                let mut invoked = false;
-                self.record_first_events(&mut inner, me, t, &operation, &mut invoked);
-                self.metrics.record_timestamp_conflict(me);
-                Err(TxnError::TimestampConflict {
-                    txn: me,
-                    object: self.id,
-                })
-            }
-        }
+        self.admit_locked(&mut inner, &AdmissionRequest::from_txn(txn, operation))
+            .into_result(self.id)
     }
 
     fn invoke(&self, txn: &Txn, operation: Operation) -> Result<Value, TxnError> {
@@ -434,7 +456,7 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
         }
         let mut invoked = false;
         loop {
-            match self.try_admit(&inner, me, t, &operation) {
+            match self.decide_admit(&inner, me, t, &operation) {
                 Admit::Invalid => {
                     return Err(TxnError::InvalidOperation {
                         object: self.id,
@@ -495,6 +517,25 @@ impl<S: SequentialSpec> AtomicObject for StaticObject<S> {
                 }
             }
         }
+    }
+}
+
+impl<S: SequentialSpec> Admission for StaticObject<S> {
+    fn register_txn(&self, txn: &Txn) {
+        txn.register(self.self_participant());
+    }
+
+    fn admit_one(&self, request: &AdmissionRequest) -> AdmissionOutcome {
+        let mut inner = self.mu.lock();
+        self.admit_locked(&mut inner, request)
+    }
+
+    fn admit_batch(&self, requests: &[AdmissionRequest]) -> Vec<AdmissionOutcome> {
+        let mut inner = self.mu.lock();
+        requests
+            .iter()
+            .map(|r| self.admit_locked(&mut inner, r))
+            .collect()
     }
 }
 

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod clock;
 pub mod conflict;
 pub mod deadlock;
@@ -64,6 +65,9 @@ pub mod stats;
 pub mod trace;
 pub mod txn;
 
+pub use admission::{
+    Admission, AdmissionOutcome, AdmissionRequest, Combiner, IntentionArena, SeqlockCell,
+};
 pub use clock::LamportClock;
 pub use conflict::{arg_relation, ArgRelation, CommutesRel, ConflictRule, ConflictTable};
 pub use deadlock::{DeadlockPolicy, WaitDecision, WaitGraph};

@@ -87,13 +87,4 @@ pub trait AtomicObject: Participant {
     fn metrics(&self) -> crate::trace::ObjectMetrics {
         crate::trace::ObjectMetrics::detached(self.object_id())
     }
-
-    /// A snapshot of this object's contention counters.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `metrics().stats()`; this shim will be removed next release"
-    )]
-    fn stats_snapshot(&self) -> crate::stats::StatsSnapshot {
-        self.metrics().stats()
-    }
 }

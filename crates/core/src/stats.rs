@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 pub struct ObjectStats {
     admissions: AtomicU64,
+    fast_admissions: AtomicU64,
     blocks: AtomicU64,
     deadlock_kills: AtomicU64,
     timestamp_conflicts: AtomicU64,
@@ -32,6 +33,12 @@ pub struct ObjectStats {
 pub struct StatsSnapshot {
     /// Invocations admitted (a result was returned).
     pub admissions: u64,
+    /// Of the admissions, how many were granted on a hot path that
+    /// skipped the general admission check: a synthesized-table
+    /// commutativity hit (no permutation replay) or a hybrid seqlock
+    /// snapshot read (no object mutex).
+    #[serde(default)]
+    pub fast_admissions: u64,
     /// Times an invocation had to block and retry.
     pub blocks: u64,
     /// Invocations refused because waiting would deadlock.
@@ -48,6 +55,12 @@ impl ObjectStats {
     /// Records a granted invocation.
     pub fn record_admission(&self) {
         self.admissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a granted invocation took a fast path (table hit or
+    /// seqlock read) — always paired with [`ObjectStats::record_admission`].
+    pub fn record_fast_admission(&self) {
+        self.fast_admissions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one block-and-retry round.
@@ -79,6 +92,7 @@ impl ObjectStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             admissions: self.admissions.load(Ordering::Relaxed),
+            fast_admissions: self.fast_admissions.load(Ordering::Relaxed),
             blocks: self.blocks.load(Ordering::Relaxed),
             deadlock_kills: self.deadlock_kills.load(Ordering::Relaxed),
             timestamp_conflicts: self.timestamp_conflicts.load(Ordering::Relaxed),
@@ -93,6 +107,7 @@ impl StatsSnapshot {
     /// snapshots into one system-wide figure).
     pub fn merge(&mut self, other: StatsSnapshot) {
         self.admissions += other.admissions;
+        self.fast_admissions += other.fast_admissions;
         self.blocks += other.blocks;
         self.deadlock_kills += other.deadlock_kills;
         self.timestamp_conflicts += other.timestamp_conflicts;
@@ -124,6 +139,7 @@ mod tests {
         let s = ObjectStats::default();
         s.record_admission();
         s.record_admission();
+        s.record_fast_admission();
         s.record_block();
         s.record_deadlock_kill();
         s.record_timestamp_conflict();
@@ -131,6 +147,7 @@ mod tests {
         s.record_abort();
         let snap = s.snapshot();
         assert_eq!(snap.admissions, 2);
+        assert_eq!(snap.fast_admissions, 1);
         assert_eq!(snap.blocks, 1);
         assert_eq!(snap.deadlock_kills, 1);
         assert_eq!(snap.timestamp_conflicts, 1);

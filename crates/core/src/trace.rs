@@ -760,6 +760,14 @@ impl ObjectMetrics {
         }
     }
 
+    /// Records that a granted invocation was admitted on a hot path that
+    /// skipped the general admission check (synthesized-table hit,
+    /// seqlock snapshot read). Always paired with
+    /// [`ObjectMetrics::record_admission`].
+    pub fn record_fast_admission(&self) {
+        self.inner.stats.record_fast_admission();
+    }
+
     /// Records one block-and-retry round.
     pub fn record_block_round(&self, txn: ActivityId) {
         self.inner.stats.record_block();
