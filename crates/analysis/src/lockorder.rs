@@ -830,6 +830,8 @@ mod tests {
             root.join("crates/core/src"),
             root.join("crates/core/src/engine"),
             root.join("crates/baselines/src"),
+            root.join("crates/sim/src"),
+            root.join("crates/dist/src"),
         ];
         let dir_refs: Vec<&Path> = dirs.iter().map(|p| p.as_path()).collect();
         let sources = read_sources(&dir_refs).expect("workspace sources readable");

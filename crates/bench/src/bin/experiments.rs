@@ -1,12 +1,13 @@
 //! The experiment harness: regenerates every comparison in the paper.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 | all]
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 | all]
 //! experiments e6 [--disk]
 //! experiments e10 [--smoke] [--json=PATH]
 //! experiments e11 [--smoke] [--json=PATH]
 //! experiments e12 [--smoke] [--seeds=N] [--json=PATH] [--demo-lost-ack] [--replay=SEED]
 //! experiments e14 [--smoke] [--json=PATH] [--baseline=PATH]
+//! experiments e15 [--smoke] [--json=PATH] [--replay=SEED]
 //! experiments lint [--synth] [--json=PATH] [--demo-unsound]
 //! ```
 //!
@@ -57,6 +58,18 @@
 //! non-zero unless the sweep catches *and shrinks* it; `--replay=SEED`
 //! runs one seed twice and exits non-zero unless the replay is
 //! bit-identical (trace hash and state digest).
+//!
+//! `e15` drives the partitioned transaction service (`atomicity-dist`):
+//! an open-loop bank workload is swept over shard counts in simulated
+//! time, and per-shard intentions logs of growing sizes are recovered
+//! both by serial value replay and by dependency-graph parallel replay
+//! (footprints pruned with the synthesized commutativity relation, final
+//! states certified equal). It writes `BENCH_e15.json`; a full run exits
+//! non-zero unless the top shard count commits at least 2x the
+//! single-shard rate and parallel dependency recovery beats serial
+//! replay on the largest dependency-logged log. `--replay=SEED` instead
+//! runs one scaling point twice and exits non-zero unless the runs are
+//! bit-identical.
 
 use atomicity_bench::engines::map_commutativity;
 use atomicity_bench::engines::Engine;
@@ -178,12 +191,166 @@ fn main() {
             baseline,
         );
     }
+    if want("e15") {
+        let replay = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--replay="))
+            .and_then(|s| s.parse::<u64>().ok());
+        // --quick runs the smoke shape: the full sweep's wall-clock
+        // recovery gates belong to dedicated full runs, not the
+        // all-experiments quick lane.
+        e15_scaleout(
+            smoke || quick,
+            replay,
+            json_path.as_deref().unwrap_or("BENCH_e15.json"),
+        );
+    }
     if want("a1") {
         a1_ablation(quick);
     }
     if want("v1") {
         v1_model_check();
     }
+}
+
+/// E15: the partitioned service — shard-count scaling of the open-loop
+/// workload, and dependency-logged parallel recovery vs serial value-log
+/// replay. Full runs gate on both claims; `--replay=SEED` instead checks
+/// that one seed replays bit-identically.
+fn e15_scaleout(smoke: bool, replay: Option<u64>, json_path: &str) {
+    use atomicity_bench::workloads::e15::{run_e15, run_scaling_point, E15Params};
+
+    println!("== E15: partitioned scale-out & dependency-logged parallel recovery\n");
+    let mut params = if smoke {
+        E15Params::smoke()
+    } else {
+        E15Params::full()
+    };
+
+    if let Some(seed) = replay {
+        // Replay gate: the same seed, twice, at the largest shard count,
+        // must be bit-identical.
+        params.seed = seed;
+        let shards = params.shard_counts.iter().copied().max().unwrap_or(1);
+        let a = run_scaling_point(&params, shards);
+        let b = run_scaling_point(&params, shards);
+        println!(
+            "replay seed {seed} at {shards} shards: trace {:#018x} / {:#018x}, state {:#018x} / {:#018x}",
+            a.trace_hash, b.trace_hash, a.state_digest, b.state_digest
+        );
+        if (a.trace_hash, a.state_digest) != (b.trace_hash, b.state_digest) {
+            eprintln!("E15 FAILED: seed {seed} did not replay identically");
+            std::process::exit(1);
+        }
+        println!("replay is bit-identical\n");
+        return;
+    }
+
+    let report = run_e15(&params);
+
+    let mut table = Table::new(vec![
+        "shards",
+        "submitted",
+        "committed",
+        "aborted",
+        "decided by (ms)",
+        "commits/sec",
+    ])
+    .with_title(format!(
+        "open-loop bank transfers over {} accounts: {} clients x {} txns/tick x {} ticks",
+        params.accounts, params.clients, params.requests_per_tick, params.ticks
+    ));
+    for row in &report.scaling {
+        table.row(vec![
+            row.shards.to_string(),
+            row.submitted.to_string(),
+            row.committed.to_string(),
+            row.aborted.to_string(),
+            format!("{:.1}", row.decided_by_us as f64 / 1000.0),
+            f1(row.commits_per_sec),
+        ]);
+    }
+    println!("{table}");
+
+    let mut table = Table::new(vec![
+        "commits",
+        "log",
+        "bytes",
+        "serial (ms)",
+        "parallel (ms)",
+        "speedup",
+        "edges",
+        "pruned",
+    ])
+    .with_title(format!(
+        "recovery: serial value replay vs {}-thread dependency-graph replay (states certified equal)",
+        params.threads
+    ));
+    for row in &report.recovery {
+        table.row(vec![
+            row.commits.to_string(),
+            if row.dep_logged { "dep" } else { "value" }.into(),
+            row.log_bytes.to_string(),
+            format!("{:.2}", row.serial_ns as f64 / 1e6),
+            format!("{:.2}", row.parallel_ns as f64 / 1e6),
+            format!("{:.1}x", row.speedup),
+            row.edges.to_string(),
+            row.pruned_commuting.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    std::fs::write(json_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("report written to {json_path}\n");
+
+    if smoke {
+        return;
+    }
+
+    // Gate 1: the distinct-key workload must actually scale — the top
+    // shard count beats one shard by at least 2x commits/sec.
+    let single = report
+        .scaling
+        .iter()
+        .min_by_key(|r| r.shards)
+        .expect("scaling rows");
+    let top = report
+        .scaling
+        .iter()
+        .max_by_key(|r| r.shards)
+        .expect("scaling rows");
+    if top.commits_per_sec < 2.0 * single.commits_per_sec {
+        eprintln!(
+            "E15 FAILED: {} shards reached {:.0} commits/sec, less than 2x the single-shard {:.0}",
+            top.shards, top.commits_per_sec, single.commits_per_sec
+        );
+        std::process::exit(1);
+    }
+    // Gate 2: at the largest log, dependency-logged parallel recovery
+    // must beat the serial value replay it is certified against.
+    let largest = report
+        .recovery
+        .iter()
+        .filter(|r| r.dep_logged)
+        .max_by_key(|r| r.commits)
+        .expect("recovery rows");
+    if largest.parallel_ns >= largest.serial_ns {
+        eprintln!(
+            "E15 FAILED: parallel dependency recovery ({:.2} ms) did not beat serial value replay ({:.2} ms) at {} commits",
+            largest.parallel_ns as f64 / 1e6,
+            largest.serial_ns as f64 / 1e6,
+            largest.commits
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "gates: {}x scale-out at {} shards; {:.1}x recovery speedup at {} commits\n",
+        f1(top.commits_per_sec / single.commits_per_sec),
+        top.shards,
+        largest.speedup,
+        largest.commits
+    );
 }
 
 /// E1 (§5.1): bank-account concurrency vs. locking, swept over headroom.
@@ -1491,16 +1658,18 @@ fn all_table_audits() -> Vec<TableAudit> {
     audits
 }
 
-/// Scans the engine sources (core, engines, baselines) for the
-/// lock-order audit. Paths resolve relative to this crate's manifest, so
-/// the scan works from any working directory as long as the source tree
-/// is present.
+/// Scans the lock-holding sources (core, engines, baselines, the
+/// simulator, and the partitioned service) for the lock-order audit.
+/// Paths resolve relative to this crate's manifest, so the scan works
+/// from any working directory as long as the source tree is present.
 fn lock_order_report() -> std::io::Result<LockOrderReport> {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
     let files = read_sources(&[
         &root.join("core/src"),
         &root.join("core/src/engine"),
         &root.join("baselines/src"),
+        &root.join("sim/src"),
+        &root.join("dist/src"),
     ])?;
     Ok(audit_lock_order(&files))
 }
@@ -1518,12 +1687,21 @@ fn nondet_findings() -> std::io::Result<Vec<atomicity_lint::NondetFinding>> {
         &sim,
         &NondetConfig::deterministic_sim(),
     ));
+    // The partitioned service must be as deterministic as the simulator
+    // it is built on: same strict rules (no wall clocks, no ambient
+    // randomness). Its recovery *timings* live in the bench crate.
+    let dist = read_sources_recursive(&crates_root.join("dist/src"), "dist/")?;
+    findings.extend(scan_nondeterminism(
+        &dist,
+        &NondetConfig::deterministic_sim(),
+    ));
     for krate in [
         "adts",
         "analysis",
         "baselines",
         "bench",
         "core",
+        "dist",
         "durability",
         "sim",
         "spec",

@@ -18,7 +18,11 @@ use std::collections::BTreeMap;
 ///
 /// v3: [`ReportHeader::admission_path`] records which admission-path
 /// variant(s) produced the report's rows.
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: [`ReportHeader::topology`] records the execution topology the
+/// rows were measured on — `"single-node"` for the in-process engines,
+/// `"coordinator+Nsh"` for the partitioned service sweeps (E15).
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// The header every benchmark report (`BENCH_e10.json`, `BENCH_e14.json`)
 /// carries, so an artifact is self-identifying: which experiment produced
@@ -38,6 +42,12 @@ pub struct ReportHeader {
     /// sweeps several variants (E14). Empty in pre-v3 artifacts.
     #[serde(default)]
     pub admission_path: String,
+    /// The execution topology: `"single-node"`, or
+    /// `"coordinator+<N>sh"` with the shard count for the partitioned
+    /// service (`"+"`-joined when a report sweeps shard counts). Empty
+    /// in pre-v4 artifacts.
+    #[serde(default)]
+    pub topology: String,
 }
 
 impl ReportHeader {
@@ -49,6 +59,7 @@ impl ReportHeader {
             experiment: experiment.to_string(),
             git_commit: current_git_commit(),
             admission_path: crate::AdmissionPath::Locked.label().to_string(),
+            topology: "single-node".to_string(),
         }
     }
 
@@ -56,6 +67,13 @@ impl ReportHeader {
     /// variant list of a sweep).
     pub fn with_admission_path(mut self, path: impl Into<String>) -> Self {
         self.admission_path = path.into();
+        self
+    }
+
+    /// Overrides the recorded topology (e.g. the `"+"`-joined shard
+    /// counts of an E15 scale-out sweep).
+    pub fn with_topology(mut self, topology: impl Into<String>) -> Self {
+        self.topology = topology.into();
         self
     }
 }

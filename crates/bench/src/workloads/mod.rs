@@ -4,6 +4,7 @@ pub mod audit;
 pub mod bank;
 pub mod e12;
 pub mod e14;
+pub mod e15;
 pub mod lamport;
 pub mod queue;
 pub mod recovery;

@@ -78,7 +78,7 @@ pub use error::{AbortReason, TxnError};
 pub use log::HistoryLog;
 pub use manager::{ManagerBuilder, Protocol, TxnManager};
 pub use object::{AtomicObject, Participant};
-pub use recovery::{DurableLog, LogRecord, RecordKind, StableLog};
+pub use recovery::{DurableLog, KeyFootprint, LogRecord, RecordKind, StableLog};
 pub use stats::{ObjectStats, StatsSnapshot};
 pub use trace::{
     HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ObjectMetrics,

@@ -27,8 +27,100 @@
 
 use atomicity_spec::{ActivityId, ObjectId, OpResult, SequentialSpec};
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// The read/write key footprint a dependency-logged commit record carries.
+///
+/// This is the runtime twin of the static shapes in `atomicity-lint`'s
+/// footprint extractor (`analysis::footprint::FnFootprint`): where the
+/// static pass classifies whole functions by the operations they invoke,
+/// this records which integer keys one committed transaction actually
+/// read and wrote at one object. Recovery (à la Yao et al., "dependency
+/// logging") uses the footprints to build a transaction dependency graph
+/// — two commits depend on each other only if their footprints overlap on
+/// a key *and* the operations on that key do not commute — and replays
+/// independent chains in parallel instead of scanning the log serially.
+///
+/// Operations without an integer first argument (whole-object scans like
+/// `sum`/`size`) have no key to record; they set the `unkeyed_*` flags,
+/// which dependency analysis must treat as touching every key
+/// (conservative, like the synthesis pass's unknown-shape default).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KeyFootprint {
+    /// Keys read (sorted, deduplicated).
+    pub reads: Vec<i64>,
+    /// Keys written (sorted, deduplicated).
+    pub writes: Vec<i64>,
+    /// A read-only operation without a key (scan): reads every key.
+    pub unkeyed_reads: bool,
+    /// An updating operation without a key: conservatively writes every
+    /// key.
+    pub unkeyed_writes: bool,
+}
+
+impl KeyFootprint {
+    /// Builds a footprint from explicit key sets (sorted + deduplicated).
+    pub fn new(reads: Vec<i64>, writes: Vec<i64>) -> Self {
+        let mut fp = KeyFootprint {
+            reads,
+            writes,
+            unkeyed_reads: false,
+            unkeyed_writes: false,
+        };
+        fp.normalize();
+        fp
+    }
+
+    /// Derives the footprint of a transaction's staged operations: the
+    /// integer first argument is the key (the convention every keyed ADT
+    /// spec in the workspace follows), and `spec.is_read_only` decides
+    /// read vs write — the same classification
+    /// `analysis::footprint::classify_op` applies statically.
+    pub fn from_ops<S: SequentialSpec>(spec: &S, ops: &[OpResult]) -> Self {
+        let mut fp = KeyFootprint::default();
+        for (op, _) in ops {
+            let read_only = spec.is_read_only(op);
+            match op.int_arg(0) {
+                Some(key) if read_only => fp.reads.push(key),
+                Some(key) => fp.writes.push(key),
+                None if read_only => fp.unkeyed_reads = true,
+                None => fp.unkeyed_writes = true,
+            }
+        }
+        fp.normalize();
+        fp
+    }
+
+    fn normalize(&mut self) {
+        self.reads.sort_unstable();
+        self.reads.dedup();
+        self.writes.sort_unstable();
+        self.writes.dedup();
+    }
+
+    /// Whether the footprint records no access at all.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+            && self.writes.is_empty()
+            && !self.unkeyed_reads
+            && !self.unkeyed_writes
+    }
+
+    /// Whether this footprint writes `key` (or writes every key).
+    pub fn writes_key(&self, key: i64) -> bool {
+        self.unkeyed_writes || self.writes.binary_search(&key).is_ok()
+    }
+
+    /// Whether this footprint touches `key` at all (read or write,
+    /// including the unkeyed wildcards).
+    pub fn touches_key(&self, key: i64) -> bool {
+        self.unkeyed_reads
+            || self.unkeyed_writes
+            || self.reads.binary_search(&key).is_ok()
+            || self.writes.binary_search(&key).is_ok()
+    }
+}
 
 /// A record in the durable write-ahead log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,8 +132,24 @@ pub enum RecordKind {
     },
     /// The transaction committed (its staged intentions must be redone).
     Commit,
+    /// The transaction committed, and the record carries its read/write
+    /// footprint — the *dependency log* variant of [`RecordKind::Commit`].
+    /// Replay semantics are identical; the footprint lets recovery order
+    /// only genuinely conflicting commits instead of the whole log.
+    CommitDep {
+        /// The transaction's read/write key footprint at this object.
+        footprint: KeyFootprint,
+    },
     /// The transaction aborted (its staged intentions are discarded).
     Abort,
+}
+
+impl RecordKind {
+    /// Whether this record marks a durable commit (with or without a
+    /// dependency footprint).
+    pub fn is_commit(&self) -> bool {
+        matches!(self, RecordKind::Commit | RecordKind::CommitDep { .. })
+    }
 }
 
 /// One durable log record: which transaction, at which object, what.
@@ -86,6 +194,21 @@ pub trait DurableLog: Send + Sync + std::fmt::Debug {
 
     /// A copy of all surviving records, in append order.
     fn records(&self) -> Vec<LogRecord>;
+
+    /// A copy of the records at logical positions `from..`, in append
+    /// order. The default clones the whole sequence and discards the
+    /// prefix; implementations with random access should override it —
+    /// this is the incremental-scan path that keeps
+    /// [`IntentionsStore`]'s per-transaction index from re-reading the
+    /// log on every commit.
+    fn records_from(&self, from: usize) -> Vec<LogRecord> {
+        let mut all = self.records();
+        if from >= all.len() {
+            return Vec::new();
+        }
+        all.drain(..from);
+        all
+    }
 
     /// Number of records in the logical sequence.
     fn len(&self) -> usize;
@@ -152,6 +275,11 @@ impl DurableLog for StableLog {
         StableLog::records(self)
     }
 
+    fn records_from(&self, from: usize) -> Vec<LogRecord> {
+        let records = self.records.lock();
+        records.get(from..).map(<[_]>::to_vec).unwrap_or_default()
+    }
+
     fn len(&self) -> usize {
         StableLog::len(self)
     }
@@ -185,6 +313,40 @@ pub struct IntentionsStore<S: SequentialSpec> {
     /// Cached committed state frontier; `None` after a crash until
     /// recovery runs.
     volatile: Mutex<Option<Vec<S::State>>>,
+    /// Volatile per-transaction index over this object's slice of the
+    /// log, caught up incrementally via [`DurableLog::records_from`].
+    /// Purely an accelerator: every answer it gives is the answer a full
+    /// log scan would give, and it is discarded on crash. Without it,
+    /// every `commit`/`outcome`/`staged_ops` call re-reads the whole
+    /// shared log — quadratic over a long-lived store, which is what the
+    /// partitioned service's hot path cannot afford.
+    index: Mutex<TxnIndex>,
+}
+
+/// The incremental index: how far into the log it has looked, the last
+/// staged intentions per transaction, and the last durable outcome per
+/// transaction (both "last wins", matching the scan they replace).
+#[derive(Debug, Default)]
+struct TxnIndex {
+    seen: usize,
+    staged: BTreeMap<ActivityId, Vec<OpResult>>,
+    outcome: BTreeMap<ActivityId, bool>,
+}
+
+impl TxnIndex {
+    fn absorb(&mut self, record: &LogRecord) {
+        match &record.kind {
+            RecordKind::Prepare { ops } => {
+                self.staged.insert(record.txn, ops.clone());
+            }
+            RecordKind::Commit | RecordKind::CommitDep { .. } => {
+                self.outcome.insert(record.txn, true);
+            }
+            RecordKind::Abort => {
+                self.outcome.insert(record.txn, false);
+            }
+        }
+    }
 }
 
 impl<S: SequentialSpec> IntentionsStore<S> {
@@ -205,6 +367,7 @@ impl<S: SequentialSpec> IntentionsStore<S> {
             object,
             log,
             volatile: Mutex::new(Some(initial)),
+            index: Mutex::new(TxnIndex::default()),
         }
     }
 
@@ -231,13 +394,34 @@ impl<S: SequentialSpec> IntentionsStore<S> {
     /// is a no-op, as is a commit after an abort — the first durable
     /// outcome wins.
     pub fn commit(&self, txn: ActivityId) {
+        self.commit_kind(txn, RecordKind::Commit);
+    }
+
+    /// Durably commits with a dependency-log record: the commit record
+    /// carries the transaction's read/write key footprint so recovery can
+    /// replay non-conflicting commits in parallel. Idempotent like
+    /// [`IntentionsStore::commit`].
+    pub fn commit_with_footprint(&self, txn: ActivityId, footprint: KeyFootprint) {
+        self.commit_kind(txn, RecordKind::CommitDep { footprint });
+    }
+
+    /// Durably commits the staged footprint derived from the staged
+    /// operations themselves (the common case: the dependency record is
+    /// computed from what was prepared, not re-declared by the caller).
+    pub fn commit_dependency_logged(&self, txn: ActivityId) {
+        let footprint = KeyFootprint::from_ops(&self.spec, &self.staged_ops(txn));
+        self.commit_with_footprint(txn, footprint);
+    }
+
+    fn commit_kind(&self, txn: ActivityId, kind: RecordKind) {
+        debug_assert!(kind.is_commit());
         if self.outcome(txn).is_some() {
             return;
         }
         self.log.append(LogRecord {
             txn,
             object: self.object,
-            kind: RecordKind::Commit,
+            kind,
         });
         self.log.sync();
         let ops = self.staged_ops(txn);
@@ -277,9 +461,47 @@ impl<S: SequentialSpec> IntentionsStore<S> {
     }
 
     /// Simulates a crash: the volatile cache is lost; stable storage
-    /// survives.
+    /// survives. The per-transaction index is volatile too — it is
+    /// discarded here so a crash injector that truncated the log (losing
+    /// un-flushed records) is never answered from pre-crash memory.
     pub fn crash(&self) {
         *self.volatile.lock() = None;
+        *self.index.lock() = TxnIndex::default();
+    }
+
+    /// Brings the per-transaction index up to date with the log and runs
+    /// `f` over it. The log is read *outside* the index lock (the log has
+    /// locks of its own); overlapping catch-ups are reconciled by
+    /// re-checking `seen` before absorbing. A log that shrank underneath
+    /// us (checkpoint fold, or a crash injector truncating without
+    /// [`IntentionsStore::crash`]) resets the index and rescans.
+    fn with_index<R>(&self, f: impl FnOnce(&TxnIndex) -> R) -> R {
+        let len = self.log.len();
+        let start = {
+            let mut idx = self.index.lock();
+            if len < idx.seen {
+                *idx = TxnIndex::default();
+            }
+            if idx.seen >= len {
+                return f(&idx);
+            }
+            idx.seen
+        };
+        let fetched = self.log.records_from(start);
+        let mut idx = self.index.lock();
+        // `seen` may have moved while the lock was released: forward (a
+        // concurrent catch-up — absorb only the remainder) or back to
+        // zero (a concurrent crash reset — absorb nothing; the next call
+        // rescans from the log).
+        if idx.seen >= start && idx.seen < start + fetched.len() {
+            for r in &fetched[idx.seen - start..] {
+                if r.object == self.object {
+                    idx.absorb(r);
+                }
+            }
+            idx.seen = start + fetched.len();
+        }
+        f(&idx)
     }
 
     /// Whether the store is crashed (needs recovery).
@@ -306,7 +528,7 @@ impl<S: SequentialSpec> IntentionsStore<S> {
                         prepared.push(r.txn);
                     }
                 }
-                RecordKind::Commit => {
+                RecordKind::Commit | RecordKind::CommitDep { .. } => {
                     // Duplicate outcome records (a crash can lose the
                     // in-memory idempotency state) are applied once.
                     if redone.contains(&r.txn) || discarded.contains(&r.txn) {
@@ -350,17 +572,7 @@ impl<S: SequentialSpec> IntentionsStore<S> {
     /// commit record exists, `Some(false)` for an abort record, `None`
     /// when the transaction is unprepared or in doubt.
     pub fn outcome(&self, txn: ActivityId) -> Option<bool> {
-        let mut out = None;
-        for r in self.log.records() {
-            if r.txn == txn && r.object == self.object {
-                match r.kind {
-                    RecordKind::Commit => out = Some(true),
-                    RecordKind::Abort => out = Some(false),
-                    RecordKind::Prepare { .. } => {}
-                }
-            }
-        }
-        out
+        self.with_index(|idx| idx.outcome.get(&txn).copied())
     }
 
     /// The underlying stable storage (shared; its length is a recovery
@@ -371,9 +583,7 @@ impl<S: SequentialSpec> IntentionsStore<S> {
 
     /// Whether `txn` has a durable prepare record here.
     pub fn prepared(&self, txn: ActivityId) -> bool {
-        self.log.records().iter().any(|r| {
-            r.txn == txn && r.object == self.object && matches!(r.kind, RecordKind::Prepare { .. })
-        })
+        self.with_index(|idx| idx.staged.contains_key(&txn))
     }
 
     /// Replays, from the initial state, the staged intentions of exactly
@@ -389,7 +599,7 @@ impl<S: SequentialSpec> IntentionsStore<S> {
         let mut states = vec![self.spec.initial()];
         let mut done: Vec<ActivityId> = Vec::new();
         for r in self.log.records() {
-            if r.object != self.object || !matches!(r.kind, RecordKind::Commit) {
+            if r.object != self.object || !r.kind.is_commit() {
                 continue;
             }
             if done.contains(&r.txn) || !filter(r.txn) {
@@ -406,14 +616,7 @@ impl<S: SequentialSpec> IntentionsStore<S> {
     }
 
     fn staged_ops(&self, txn: ActivityId) -> Vec<OpResult> {
-        for r in self.log.records().iter().rev() {
-            if r.txn == txn && r.object == self.object {
-                if let RecordKind::Prepare { ops } = &r.kind {
-                    return ops.clone();
-                }
-            }
-        }
-        Vec::new()
+        self.with_index(|idx| idx.staged.get(&txn).cloned().unwrap_or_default())
     }
 }
 
@@ -616,6 +819,86 @@ mod tests {
         let outcome = store.recover();
         assert_eq!(outcome.in_doubt, vec![t(1)]);
         assert_eq!(store.committed_frontier(), vec![0]);
+    }
+
+    #[test]
+    fn dependency_logged_commit_recovers_like_value_commit() {
+        use atomicity_spec::specs::KvMapSpec;
+        let log = StableLog::new();
+        let store = IntentionsStore::new(KvMapSpec::with_initial([(1, 50), (2, 50)]), x(), log);
+        store.prepare(
+            t(1),
+            vec![
+                (op("adjust", [1, -30]), Value::ok()),
+                (op("adjust", [2, 30]), Value::ok()),
+            ],
+        );
+        store.commit_dependency_logged(t(1));
+        // The commit record carries the derived footprint.
+        let commits: Vec<_> = store
+            .stable_log()
+            .records()
+            .into_iter()
+            .filter(|r| r.kind.is_commit())
+            .collect();
+        assert_eq!(commits.len(), 1);
+        match &commits[0].kind {
+            RecordKind::CommitDep { footprint } => {
+                assert_eq!(footprint.writes, vec![1, 2]);
+                assert!(footprint.reads.is_empty());
+                assert!(!footprint.unkeyed_reads && !footprint.unkeyed_writes);
+            }
+            other => panic!("expected CommitDep, got {other:?}"),
+        }
+        // Recovery redoes it exactly like a plain commit.
+        store.crash();
+        let outcome = store.recover();
+        assert_eq!(outcome.redone, vec![t(1)]);
+        let frontier = store.committed_frontier();
+        assert_eq!(frontier[0].get(&1), Some(&20));
+        assert_eq!(frontier[0].get(&2), Some(&80));
+        assert_eq!(store.outcome(t(1)), Some(true));
+    }
+
+    #[test]
+    fn dependency_commit_is_idempotent_across_kinds() {
+        let log = StableLog::new();
+        let store = IntentionsStore::new(BankAccountSpec::new(), x(), log.clone());
+        store.prepare(t(1), vec![(op("deposit", [10]), Value::ok())]);
+        store.commit_with_footprint(t(1), KeyFootprint::new(vec![], vec![1]));
+        let len = log.len();
+        // A later plain commit (duplicated decision) is a no-op.
+        store.commit(t(1));
+        store.commit_dependency_logged(t(1));
+        assert_eq!(log.len(), len, "first durable outcome wins");
+        assert_eq!(store.committed_frontier(), vec![10]);
+    }
+
+    #[test]
+    fn footprint_from_ops_classifies_reads_writes_and_scans() {
+        use atomicity_spec::specs::KvMapSpec;
+        let spec = KvMapSpec::new();
+        let fp = KeyFootprint::from_ops(
+            &spec,
+            &[
+                (op("adjust", [3, 5]), Value::ok()),
+                (op("adjust", [3, 2]), Value::ok()),
+                (op("get", [7]), Value::Nil),
+                (op("put", [9, 1]), Value::Nil),
+            ],
+        );
+        assert_eq!(fp.reads, vec![7]);
+        assert_eq!(fp.writes, vec![3, 9]);
+        assert!(!fp.unkeyed_reads && !fp.unkeyed_writes);
+        assert!(fp.writes_key(3) && !fp.writes_key(7));
+        assert!(fp.touches_key(7) && !fp.touches_key(4));
+
+        let scan = KeyFootprint::from_ops(&spec, &[(op("sum", [] as [i64; 0]), Value::from(0))]);
+        assert!(scan.unkeyed_reads && !scan.unkeyed_writes);
+        assert!(scan.touches_key(42), "scans touch every key");
+        assert!(!scan.writes_key(42));
+        assert!(!scan.is_empty());
+        assert!(KeyFootprint::default().is_empty());
     }
 
     #[test]

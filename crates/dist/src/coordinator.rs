@@ -1,0 +1,342 @@
+//! The batching two-phase-commit coordinator.
+//!
+//! Pure protocol state — the coordinator never touches the network or
+//! the event queue directly. Methods mutate its tables and return *flush
+//! requests* telling the event loop which per-shard queue now needs a
+//! flush event (and whether immediately, because it filled, or after the
+//! batching window). This keeps the protocol unit-testable without a
+//! simulation around it.
+//!
+//! Safety follows the classical presumed-nothing argument: a decision is
+//! recorded in the durable decision table before any participant learns
+//! it, commit is decided only on a full vote set, and a vote-collection
+//! timeout decides abort. Liveness under loss and crashes is shard-driven
+//! ([`crate::message::DistEvent::ResolveNudge`]): a prepared shard that
+//! has seen no outcome re-votes, and a re-vote for an already-decided
+//! transaction is answered by re-enqueuing the decision.
+
+use crate::message::TxnPrepare;
+use atomicity_sim::NodeId;
+use atomicity_spec::{ActivityId, OpResult};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A queue the event loop must arrange to flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushReq {
+    /// The shard whose queue needs flushing.
+    pub shard: NodeId,
+    /// `true` when the queue filled and should flush now rather than at
+    /// the end of the batching window.
+    pub immediate: bool,
+}
+
+/// Counters of what the coordinator decided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordStats {
+    /// Transactions decided commit.
+    pub committed: u64,
+    /// Transactions decided abort (all causes).
+    pub aborted: u64,
+    /// Aborts decided by the vote-collection timeout.
+    pub timeout_aborts: u64,
+    /// Prepare batches handed to the network.
+    pub prepare_batches: u64,
+    /// Decision batches handed to the network.
+    pub decision_batches: u64,
+}
+
+#[derive(Debug)]
+struct PendingTxn {
+    participants: BTreeSet<NodeId>,
+    votes: BTreeSet<NodeId>,
+}
+
+/// The coordinator: per-shard prepare/decision queues, the pending-vote
+/// table, and the durable decision log.
+#[derive(Debug)]
+pub struct DistCoordinator {
+    max_batch: usize,
+    prepare_queues: BTreeMap<NodeId, Vec<TxnPrepare>>,
+    prepare_flush_armed: BTreeSet<NodeId>,
+    decision_queues: BTreeMap<NodeId, Vec<(ActivityId, bool)>>,
+    decision_flush_armed: BTreeSet<NodeId>,
+    pending: BTreeMap<ActivityId, PendingTxn>,
+    /// The durable decision table. Survives every failure in the model
+    /// (the coordinator does not crash; `atomicity-sim` explores
+    /// coordinator failure for the single-node protocol).
+    decisions: BTreeMap<ActivityId, bool>,
+    next_batch: u64,
+    stats: CoordStats,
+}
+
+impl DistCoordinator {
+    /// Creates an idle coordinator flushing batches of at most
+    /// `max_batch` transactions.
+    pub fn new(max_batch: usize) -> Self {
+        DistCoordinator {
+            max_batch: max_batch.max(1),
+            prepare_queues: BTreeMap::new(),
+            prepare_flush_armed: BTreeSet::new(),
+            decision_queues: BTreeMap::new(),
+            decision_flush_armed: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            decisions: BTreeMap::new(),
+            next_batch: 0,
+            stats: CoordStats::default(),
+        }
+    }
+
+    /// Admits a transaction split into per-shard slices: queues each
+    /// slice for its shard and registers the vote set. Returns the
+    /// prepare queues that now need a flush event.
+    pub fn admit(
+        &mut self,
+        txn: ActivityId,
+        slices: BTreeMap<NodeId, Vec<OpResult>>,
+    ) -> Vec<FlushReq> {
+        let mut reqs = Vec::new();
+        let participants: BTreeSet<NodeId> = slices.keys().copied().collect();
+        self.pending.insert(
+            txn,
+            PendingTxn {
+                participants,
+                votes: BTreeSet::new(),
+            },
+        );
+        for (shard, ops) in slices {
+            let queue = self.prepare_queues.entry(shard).or_default();
+            queue.push(TxnPrepare { txn, ops });
+            let full = queue.len() >= self.max_batch;
+            if self.prepare_flush_armed.insert(shard) || full {
+                reqs.push(FlushReq {
+                    shard,
+                    immediate: full,
+                });
+            }
+        }
+        reqs
+    }
+
+    /// Takes the next prepare batch for `shard` (at most `max_batch`
+    /// transactions). Returns the batch id and contents, plus whether
+    /// more remain queued (the caller schedules another flush).
+    pub fn drain_prepares(&mut self, shard: NodeId) -> (Option<(u64, Vec<TxnPrepare>)>, bool) {
+        let queue = self.prepare_queues.entry(shard).or_default();
+        if queue.is_empty() {
+            self.prepare_flush_armed.remove(&shard);
+            return (None, false);
+        }
+        let take = queue.len().min(self.max_batch);
+        let batch: Vec<TxnPrepare> = queue.drain(..take).collect();
+        let more = !queue.is_empty();
+        if !more {
+            self.prepare_flush_armed.remove(&shard);
+        }
+        let id = self.next_batch;
+        self.next_batch += 1;
+        self.stats.prepare_batches += 1;
+        (Some((id, batch)), more)
+    }
+
+    /// Records a shard's yes-votes. A full vote set decides commit; a
+    /// vote for an already-decided transaction re-enqueues the decision
+    /// to the voter (the retransmission path). Returns decision queues
+    /// that now need a flush event.
+    pub fn record_votes(&mut self, shard: NodeId, txns: &[ActivityId]) -> Vec<FlushReq> {
+        let mut reqs = Vec::new();
+        for &txn in txns {
+            if let Some(&decided) = self.decisions.get(&txn) {
+                self.push_decision(shard, txn, decided, &mut reqs);
+                continue;
+            }
+            let complete = match self.pending.get_mut(&txn) {
+                Some(p) => {
+                    p.votes.insert(shard);
+                    p.votes.len() == p.participants.len()
+                }
+                // Unknown transaction (e.g. a duplicated vote for one
+                // that timed out and was pruned): nothing to do; the
+                // decided branch above answers pruned-but-decided ones.
+                None => false,
+            };
+            if complete {
+                self.decide(txn, true, &mut reqs);
+            }
+        }
+        reqs
+    }
+
+    /// The vote-collection timeout fired: aborts the transaction if it
+    /// is still undecided. Returns decision queues needing a flush.
+    pub fn on_timeout(&mut self, txn: ActivityId) -> Vec<FlushReq> {
+        let mut reqs = Vec::new();
+        if self.pending.contains_key(&txn) && !self.decisions.contains_key(&txn) {
+            self.stats.timeout_aborts += 1;
+            self.decide(txn, false, &mut reqs);
+        }
+        reqs
+    }
+
+    fn decide(&mut self, txn: ActivityId, commit: bool, reqs: &mut Vec<FlushReq>) {
+        // Durable-first: the decision is in the table before any
+        // participant can learn it.
+        self.decisions.insert(txn, commit);
+        if commit {
+            self.stats.committed += 1;
+        } else {
+            self.stats.aborted += 1;
+        }
+        if let Some(p) = self.pending.remove(&txn) {
+            for shard in p.participants {
+                self.push_decision(shard, txn, commit, reqs);
+            }
+        }
+    }
+
+    fn push_decision(
+        &mut self,
+        shard: NodeId,
+        txn: ActivityId,
+        commit: bool,
+        reqs: &mut Vec<FlushReq>,
+    ) {
+        let queue = self.decision_queues.entry(shard).or_default();
+        queue.push((txn, commit));
+        let full = queue.len() >= self.max_batch;
+        if self.decision_flush_armed.insert(shard) || full {
+            reqs.push(FlushReq {
+                shard,
+                immediate: full,
+            });
+        }
+    }
+
+    /// Takes the next decision batch for `shard`; same contract as
+    /// [`DistCoordinator::drain_prepares`].
+    pub fn drain_decisions(&mut self, shard: NodeId) -> (Vec<(ActivityId, bool)>, bool) {
+        let queue = self.decision_queues.entry(shard).or_default();
+        if queue.is_empty() {
+            self.decision_flush_armed.remove(&shard);
+            return (Vec::new(), false);
+        }
+        let take = queue.len().min(self.max_batch);
+        let batch: Vec<(ActivityId, bool)> = queue.drain(..take).collect();
+        let more = !queue.is_empty();
+        if !more {
+            self.decision_flush_armed.remove(&shard);
+        }
+        self.stats.decision_batches += 1;
+        (batch, more)
+    }
+
+    /// The durable decision for `txn`, if one exists.
+    pub fn decision(&self, txn: ActivityId) -> Option<bool> {
+        self.decisions.get(&txn).copied()
+    }
+
+    /// Transactions admitted but not yet decided.
+    pub fn undecided(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Decision counters.
+    pub fn stats(&self) -> CoordStats {
+        self.stats
+    }
+
+    /// Iterates over every durable decision (transaction, commit).
+    pub fn all_decisions(&self) -> impl Iterator<Item = (ActivityId, bool)> + '_ {
+        self.decisions.iter().map(|(&t, &d)| (t, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::{op, Value};
+
+    fn slices(pairs: &[(u32, i64, i64)]) -> BTreeMap<NodeId, Vec<OpResult>> {
+        let mut m: BTreeMap<NodeId, Vec<OpResult>> = BTreeMap::new();
+        for &(shard, key, delta) in pairs {
+            m.entry(NodeId::new(shard))
+                .or_default()
+                .push((op("adjust", [key, delta]), Value::ok()));
+        }
+        m
+    }
+
+    #[test]
+    fn full_votes_decide_commit() {
+        let mut c = DistCoordinator::new(8);
+        let txn = ActivityId::new(1);
+        let reqs = c.admit(txn, slices(&[(0, 1, -5), (1, 2, 5)]));
+        assert_eq!(reqs.len(), 2, "both shard queues newly armed");
+        assert!(reqs.iter().all(|r| !r.immediate));
+
+        let (batch, more) = c.drain_prepares(NodeId::new(0));
+        assert!(batch.is_some() && !more);
+        assert!(c.record_votes(NodeId::new(0), &[txn]).is_empty());
+        assert_eq!(c.decision(txn), None, "one vote is not enough");
+        let reqs = c.record_votes(NodeId::new(1), &[txn]);
+        assert_eq!(c.decision(txn), Some(true));
+        assert_eq!(reqs.len(), 2, "decisions queued to both participants");
+        assert_eq!(c.stats().committed, 1);
+        assert_eq!(c.undecided(), 0);
+    }
+
+    #[test]
+    fn timeout_aborts_and_late_vote_gets_the_decision_resent() {
+        let mut c = DistCoordinator::new(8);
+        let txn = ActivityId::new(2);
+        c.admit(txn, slices(&[(0, 1, -5), (1, 2, 5)]));
+        c.record_votes(NodeId::new(0), &[txn]);
+        c.on_timeout(txn);
+        assert_eq!(c.decision(txn), Some(false));
+        assert_eq!(c.stats().timeout_aborts, 1);
+        // The abort flushes out (and, say, is lost in transit) …
+        let (batch, _) = c.drain_decisions(NodeId::new(1));
+        assert_eq!(batch, vec![(txn, false)]);
+        // … so the slow shard eventually re-votes. The re-vote for a
+        // decided transaction must be answered with the decision again,
+        // not ignored.
+        let reqs = c.record_votes(NodeId::new(1), &[txn]);
+        assert_eq!(
+            reqs,
+            vec![FlushReq {
+                shard: NodeId::new(1),
+                immediate: false
+            }]
+        );
+        let (batch, _) = c.drain_decisions(NodeId::new(1));
+        assert_eq!(batch, vec![(txn, false)]);
+    }
+
+    #[test]
+    fn full_queue_requests_immediate_flush_and_drains_in_chunks() {
+        let mut c = DistCoordinator::new(2);
+        let mut immediate = 0;
+        for i in 0..5 {
+            let reqs = c.admit(ActivityId::new(i), slices(&[(0, i64::from(i), 1)]));
+            immediate += reqs.iter().filter(|r| r.immediate).count();
+        }
+        assert!(immediate >= 2, "filling to max_batch demands a flush");
+        let (b1, more1) = c.drain_prepares(NodeId::new(0));
+        assert_eq!(b1.unwrap().1.len(), 2);
+        assert!(more1);
+        let (b2, _) = c.drain_prepares(NodeId::new(0));
+        assert_eq!(b2.unwrap().1.len(), 2);
+        let (b3, more3) = c.drain_prepares(NodeId::new(0));
+        assert_eq!(b3.unwrap().1.len(), 1);
+        assert!(!more3);
+    }
+
+    #[test]
+    fn duplicate_votes_are_idempotent() {
+        let mut c = DistCoordinator::new(8);
+        let txn = ActivityId::new(3);
+        c.admit(txn, slices(&[(0, 1, 1), (1, 2, 1)]));
+        c.record_votes(NodeId::new(0), &[txn]);
+        c.record_votes(NodeId::new(0), &[txn]);
+        assert_eq!(c.decision(txn), None, "same shard voting twice is one vote");
+    }
+}

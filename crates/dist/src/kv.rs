@@ -1,0 +1,100 @@
+//! The shard object's sequential specification: the workspace key/value
+//! map plus a blind overwrite.
+//!
+//! Everything the partitioned service stages must be *blind*: the
+//! coordinator records (operation, result) pairs at submission, before
+//! any shard has executed anything, so a staged result must be correct in
+//! every state. `adjust(k,d)→ok` is blind; `put(k,v)→old` is not (its
+//! result depends on the current binding). [`ShardKvSpec`] therefore
+//! extends [`KvMapSpec`] with `set(k,v)→ok` — the blind overwrite — which
+//! also gives the dependency graph its non-commutative edges: two `set`s
+//! of the same key do not commute (last writer wins), while two `adjust`s
+//! do. That contrast is exactly Weihl's data-dependent conflict relation,
+//! and the recovery experiments lean on both halves of it.
+
+use atomicity_lint::synth::map_universe;
+use atomicity_spec::specs::KvMapSpec;
+use atomicity_spec::{op, Operation, SequentialSpec, Value};
+use std::collections::BTreeMap;
+
+/// [`KvMapSpec`] extended with the blind overwrite
+/// `set(k,v) → ok`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardKvSpec {
+    inner: KvMapSpec,
+}
+
+impl ShardKvSpec {
+    /// Creates the specification with an empty initial map.
+    pub fn new() -> Self {
+        ShardKvSpec {
+            inner: KvMapSpec::new(),
+        }
+    }
+
+    /// The operation universe for conflict-table synthesis over this
+    /// spec: the map universe of `atomicity-lint` plus `set` instances in
+    /// the same-key / identical / distinct-key patterns the bucketing
+    /// needs.
+    pub fn universe() -> Vec<Operation> {
+        let mut u = map_universe();
+        u.push(op("set", [1, 5]));
+        u.push(op("set", [1, 7]));
+        u.push(op("set", [2, 9]));
+        u
+    }
+}
+
+impl SequentialSpec for ShardKvSpec {
+    type State = BTreeMap<i64, i64>;
+
+    fn initial(&self) -> Self::State {
+        self.inner.initial()
+    }
+
+    fn step(&self, state: &Self::State, op: &Operation) -> Vec<(Value, Self::State)> {
+        match op.name() {
+            "set" if op.args().len() == 2 => match (op.int_arg(0), op.int_arg(1)) {
+                (Some(k), Some(v)) => {
+                    let mut s = state.clone();
+                    s.insert(k, v);
+                    vec![(Value::ok(), s)]
+                }
+                _ => Vec::new(),
+            },
+            _ => self.inner.step(state, op),
+        }
+    }
+
+    fn is_read_only(&self, op: &Operation) -> bool {
+        self.inner.is_read_only(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_a_blind_overwrite() {
+        let m = ShardKvSpec::new();
+        assert!(m.accepts_serial(&[
+            (op("set", [1, 5]), Value::ok()),
+            (op("set", [1, 7]), Value::ok()),
+            (op("get", [1]), Value::from(7)),
+        ]));
+        // The result is `ok` in every state — blind, hence stageable.
+        assert!(!m.accepts_serial(&[(op("set", [1, 5]), Value::from(5))]));
+        assert!(!m.is_read_only(&op("set", [1, 5])));
+    }
+
+    #[test]
+    fn inherited_map_operations_still_work() {
+        let m = ShardKvSpec::new();
+        assert!(m.accepts_serial(&[
+            (op("adjust", [3, 10]), Value::ok()),
+            (op("sum", [] as [i64; 0]), Value::from(10)),
+        ]));
+        assert!(m.step(&BTreeMap::new(), &op("set", [1])).is_empty());
+    }
+}

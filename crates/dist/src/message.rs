@@ -1,0 +1,100 @@
+//! Messages and events of the partitioned service.
+//!
+//! Unlike the one-transaction-per-message protocol of `atomicity-sim`,
+//! every coordinator↔shard message here carries a *batch*: the
+//! coordinator accumulates per-shard prepare queues and decision queues
+//! and flushes them on a window or when full, so a shard absorbs one
+//! network round and one log force for many transactions — the batching
+//! that lets the service sustain open-loop load.
+
+use atomicity_sim::{Endpoint, NodeId};
+use atomicity_spec::{ActivityId, OpResult};
+
+/// One transaction's slice of work at one shard: the (operation, result)
+/// pairs whose keys the shard owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnPrepare {
+    /// The distributed transaction.
+    pub txn: ActivityId,
+    /// Its operations homed at the receiving shard, in execution order.
+    pub ops: Vec<OpResult>,
+}
+
+/// A network message of the batched two-phase-commit protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistMessage {
+    /// Coordinator → shard: durably stage each transaction's intentions
+    /// and vote for the whole batch at once.
+    PrepareBatch {
+        /// Batch sequence number (for retransmission bookkeeping).
+        batch: u64,
+        /// The transactions' per-shard slices.
+        txns: Vec<TxnPrepare>,
+    },
+    /// Shard → coordinator: the listed transactions are durably prepared
+    /// here (one yes-vote each).
+    VoteBatch {
+        /// The voting shard.
+        shard: NodeId,
+        /// The transactions voted for.
+        txns: Vec<ActivityId>,
+    },
+    /// Coordinator → shard: durable outcomes (`true` = commit).
+    DecisionBatch {
+        /// The decided transactions.
+        decisions: Vec<(ActivityId, bool)>,
+    },
+}
+
+/// An event in the service's deterministic queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistEvent {
+    /// A client wakes up and submits its next open-loop request burst.
+    ClientTick {
+        /// Index of the client stream.
+        client: usize,
+    },
+    /// The coordinator flushes one shard's pending prepare queue.
+    FlushPrepares {
+        /// The shard whose queue flushes.
+        shard: NodeId,
+    },
+    /// The coordinator flushes one shard's pending decision queue.
+    FlushDecisions {
+        /// The shard whose queue flushes.
+        shard: NodeId,
+    },
+    /// Deliver a message to an endpoint (dropped if the shard is down).
+    Deliver {
+        /// Destination endpoint.
+        dst: Endpoint,
+        /// Payload.
+        message: DistMessage,
+    },
+    /// The coordinator's vote-collection timeout for one transaction.
+    TxnTimeout {
+        /// The transaction whose votes may never complete.
+        txn: ActivityId,
+    },
+    /// A shard crashes, losing volatile state (its log survives).
+    ShardCrash {
+        /// The crashing shard.
+        shard: NodeId,
+    },
+    /// A crashed shard restarts and runs log recovery.
+    ShardRecover {
+        /// The restarting shard.
+        shard: NodeId,
+    },
+    /// A prepared shard that has seen no decision for a transaction asks
+    /// again (re-votes), bounded by an attempt counter — the liveness
+    /// path across lost decisions and crash-recovered in-doubt state.
+    ResolveNudge {
+        /// The asking shard.
+        shard: NodeId,
+        /// The undecided transaction.
+        txn: ActivityId,
+        /// Retransmission attempt number (bounded).
+        attempt: u32,
+    },
+}

@@ -1,0 +1,732 @@
+//! The deterministic event loop of the partitioned service.
+//!
+//! [`DistService`] wires the pieces together: a [`ShardMap`] routes keys,
+//! a [`DistCoordinator`] batches two-phase commit, [`ShardNode`]s stage
+//! and apply with a service-time model, and the fault-injecting
+//! [`Network`] of `atomicity-sim` plans every delivery. Time is logical,
+//! every random draw comes from split [`SimRng`] streams, and the event
+//! queue breaks ties by insertion order — a run is a pure function of
+//! [`DistConfig::seed`], checkable via [`DistService::trace_hash`] and
+//! [`DistService::state_digest`].
+
+use crate::coordinator::{DistCoordinator, FlushReq};
+use crate::message::{DistEvent, DistMessage};
+use crate::node::ShardNode;
+use crate::shard::ShardMap;
+use crate::workload::{Workload, WorkloadKind, LISTING_BASE};
+use atomicity_sim::PartitionSchedule;
+use atomicity_sim::{fnv1a, Endpoint, EventQueue, FaultConfig, Network, NodeId, SimRng};
+use atomicity_spec::ActivityId;
+use std::collections::BTreeMap;
+
+/// A planned shard outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Simulated time of the crash.
+    pub at: u64,
+    /// The shard that crashes.
+    pub shard: u32,
+    /// How long it stays down before restarting and recovering.
+    pub downtime: u64,
+}
+
+/// Configuration of one service run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Root seed; everything derives from it.
+    pub seed: u64,
+    /// Number of shards (partitions).
+    pub shards: u32,
+    /// Number of open-loop client streams.
+    pub clients: usize,
+    /// Transactions each client submits per tick.
+    pub requests_per_tick: u32,
+    /// Simulated microseconds between a client's ticks.
+    pub tick_interval: u64,
+    /// Ticks per client (bounds the run).
+    pub ticks: u64,
+    /// Batching window: a newly non-empty coordinator queue flushes after
+    /// this long (or immediately when it fills).
+    pub batch_window: u64,
+    /// Maximum transactions per batch.
+    pub max_batch: usize,
+    /// Coordinator vote-collection timeout per transaction.
+    pub txn_timeout: u64,
+    /// A prepared shard re-votes after this long without a decision.
+    pub resolve_timeout: u64,
+    /// Bound on re-vote attempts per (shard, transaction).
+    pub max_resolve_attempts: u32,
+    /// Shard service time per operation in a batch.
+    pub per_op_cost: u64,
+    /// Shard service time per batch (the amortizable part).
+    pub per_batch_cost: u64,
+    /// Commit with dependency footprints (`CommitDep`) instead of plain
+    /// value-log commits.
+    pub dep_logging: bool,
+    /// The transaction mix.
+    pub workload: WorkloadKind,
+    /// Account keyspace size ("users").
+    pub accounts: u64,
+    /// Fraction of account picks redirected to the hot set.
+    pub hot_fraction: f64,
+    /// Hot-set size.
+    pub hot_accounts: u64,
+    /// Marketplace listing slots.
+    pub listings: u64,
+    /// Network fault model (applied to every link).
+    pub faults: FaultConfig,
+    /// Planned shard outages.
+    pub crashes: Vec<CrashPlan>,
+    /// Keep the full event trace in memory (the rolling hash is always
+    /// maintained).
+    pub record_trace: bool,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            seed: 1,
+            shards: 4,
+            clients: 4,
+            requests_per_tick: 4,
+            tick_interval: 1_000,
+            ticks: 10,
+            batch_window: 200,
+            max_batch: 64,
+            txn_timeout: 60_000,
+            resolve_timeout: 25_000,
+            max_resolve_attempts: 50,
+            per_op_cost: 5,
+            per_batch_cost: 40,
+            dep_logging: true,
+            workload: WorkloadKind::Bank,
+            accounts: 1_000_000,
+            hot_fraction: 0.0,
+            hot_accounts: 64,
+            listings: 1_024,
+            faults: FaultConfig::reliable(50, 500),
+            crashes: Vec::new(),
+            record_trace: false,
+        }
+    }
+}
+
+/// Counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Transactions submitted by clients.
+    pub submitted: u64,
+    /// Transactions decided commit.
+    pub committed: u64,
+    /// Transactions decided abort.
+    pub aborted: u64,
+    /// Aborts caused by the vote-collection timeout.
+    pub timeout_aborts: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Message copies delivered (per destination endpoint).
+    pub deliveries: u64,
+    /// Shard crashes injected.
+    pub crashes: u64,
+    /// Shard recoveries completed.
+    pub recoveries: u64,
+    /// In-doubt transactions found by shard recoveries.
+    pub in_doubt: u64,
+    /// Simulated time of the last processed event (the makespan). Note
+    /// that this includes the tail of already-moot transaction-timeout
+    /// events; use [`DistStats::last_decision_at`] for throughput.
+    pub makespan: u64,
+    /// Simulated time at which the last transaction was decided — the
+    /// end of useful work, excluding the timeout tail.
+    pub last_decision_at: u64,
+}
+
+/// The partitioned service: all state of one deterministic run.
+#[derive(Debug)]
+pub struct DistService {
+    config: DistConfig,
+    map: ShardMap,
+    coordinator: DistCoordinator,
+    nodes: Vec<ShardNode>,
+    network: Network,
+    queue: EventQueue<DistEvent>,
+    now: u64,
+    next_txn: u32,
+    client_rngs: Vec<SimRng>,
+    client_ticks_left: Vec<u64>,
+    workload: Workload,
+    trace: Vec<String>,
+    trace_hash: u64,
+    decided_seen: u64,
+    stats: DistStats,
+}
+
+impl DistService {
+    /// Builds the service and schedules the client streams and planned
+    /// crashes.
+    pub fn new(config: DistConfig) -> Self {
+        assert!(config.shards > 0, "a service needs at least one shard");
+        let root = SimRng::new(config.seed);
+        let network = Network::new(
+            root.split("dist-net", 0),
+            config.faults.clone(),
+            PartitionSchedule::new(),
+        );
+        let nodes: Vec<ShardNode> = (0..config.shards)
+            .map(|i| ShardNode::new(NodeId::new(i), config.dep_logging))
+            .collect();
+        let client_rngs: Vec<SimRng> = (0..config.clients)
+            .map(|i| root.split("dist-client", i as u64))
+            .collect();
+        let workload = Workload::new(
+            config.workload,
+            config.accounts,
+            config.hot_fraction,
+            config.hot_accounts,
+            config.listings,
+        );
+        let mut queue = EventQueue::new();
+        for client in 0..config.clients {
+            // Stagger first ticks across the interval so clients do not
+            // arrive in lockstep (still fully deterministic).
+            let offset = 1 + (client as u64 * config.tick_interval) / config.clients.max(1) as u64;
+            queue.schedule(offset, DistEvent::ClientTick { client });
+        }
+        for plan in &config.crashes {
+            if plan.shard < config.shards {
+                let shard = NodeId::new(plan.shard);
+                queue.schedule(plan.at, DistEvent::ShardCrash { shard });
+                queue.schedule(
+                    plan.at + plan.downtime.max(1),
+                    DistEvent::ShardRecover { shard },
+                );
+            }
+        }
+        let ticks_left = vec![config.ticks; config.clients];
+        DistService {
+            map: ShardMap::new(config.shards),
+            coordinator: DistCoordinator::new(config.max_batch),
+            nodes,
+            network,
+            queue,
+            now: 0,
+            next_txn: 1,
+            client_rngs,
+            client_ticks_left: ticks_left,
+            workload,
+            trace: Vec::new(),
+            trace_hash: 0,
+            decided_seen: 0,
+            stats: DistStats::default(),
+            config,
+        }
+    }
+
+    fn note(&mut self, line: String) {
+        self.trace_hash = self.trace_hash.rotate_left(5) ^ fnv1a(line.as_bytes());
+        if self.config.record_trace {
+            self.trace.push(line);
+        }
+    }
+
+    /// Sends `message` over the simulated network, scheduling one
+    /// delivery event per planned copy.
+    fn send(&mut self, at: u64, src: Endpoint, dst: Endpoint, message: DistMessage) {
+        for t in self.network.plan(at, src, dst) {
+            self.queue.schedule(
+                t,
+                DistEvent::Deliver {
+                    dst,
+                    message: message.clone(),
+                },
+            );
+        }
+    }
+
+    fn schedule_prepare_flushes(&mut self, reqs: Vec<FlushReq>) {
+        for r in reqs {
+            let delay = if r.immediate {
+                0
+            } else {
+                self.config.batch_window
+            };
+            self.queue.schedule(
+                self.now + delay,
+                DistEvent::FlushPrepares { shard: r.shard },
+            );
+        }
+    }
+
+    fn schedule_decision_flushes(&mut self, reqs: Vec<FlushReq>) {
+        for r in reqs {
+            let delay = if r.immediate {
+                0
+            } else {
+                self.config.batch_window
+            };
+            self.queue.schedule(
+                self.now + delay,
+                DistEvent::FlushDecisions { shard: r.shard },
+            );
+        }
+    }
+
+    fn submit_one(&mut self, client: usize) {
+        let txn = ActivityId::new(self.next_txn);
+        let ops = self
+            .workload
+            .next_txn(&mut self.client_rngs[client], self.next_txn);
+        self.next_txn += 1;
+        self.stats.submitted += 1;
+        let slices = self.map.partition(&ops);
+        self.note(format!(
+            "t={} submit {txn} shards={}",
+            self.now,
+            slices.len()
+        ));
+        let reqs = self.coordinator.admit(txn, slices);
+        self.schedule_prepare_flushes(reqs);
+        self.queue.schedule(
+            self.now + self.config.txn_timeout,
+            DistEvent::TxnTimeout { txn },
+        );
+    }
+
+    fn deliver(&mut self, dst: Endpoint, message: DistMessage) {
+        self.stats.deliveries += 1;
+        match (dst, message) {
+            (Endpoint::Node(n), DistMessage::PrepareBatch { batch, txns }) => {
+                let node = &mut self.nodes[n.raw() as usize];
+                if !node.is_up() {
+                    return;
+                }
+                let ops: usize = txns.iter().map(|t| t.ops.len()).sum();
+                let done = node.book_work(
+                    self.now,
+                    ops,
+                    self.config.per_batch_cost,
+                    self.config.per_op_cost,
+                );
+                node.stage_batch(&txns);
+                let ids: Vec<ActivityId> = txns.iter().map(|t| t.txn).collect();
+                self.note(format!(
+                    "t={} n{} staged batch={batch} txns={}",
+                    self.now,
+                    n.raw(),
+                    ids.len()
+                ));
+                for &txn in &ids {
+                    self.queue.schedule(
+                        done + self.config.resolve_timeout,
+                        DistEvent::ResolveNudge {
+                            shard: n,
+                            txn,
+                            attempt: 0,
+                        },
+                    );
+                }
+                self.send(
+                    done,
+                    Endpoint::Node(n),
+                    Endpoint::Coordinator,
+                    DistMessage::VoteBatch {
+                        shard: n,
+                        txns: ids,
+                    },
+                );
+            }
+            (Endpoint::Node(n), DistMessage::DecisionBatch { decisions }) => {
+                let node = &mut self.nodes[n.raw() as usize];
+                if !node.is_up() {
+                    return;
+                }
+                node.book_work(
+                    self.now,
+                    decisions.len(),
+                    self.config.per_batch_cost,
+                    self.config.per_op_cost,
+                );
+                for (txn, commit) in decisions {
+                    node.learn_outcome(txn, commit);
+                }
+            }
+            (Endpoint::Coordinator, DistMessage::VoteBatch { shard, txns }) => {
+                let reqs = self.coordinator.record_votes(shard, &txns);
+                self.schedule_decision_flushes(reqs);
+            }
+            // Misrouted combinations cannot be constructed by this loop.
+            _ => {}
+        }
+    }
+
+    /// Processes one scheduled event; returns `false` when the queue is
+    /// drained.
+    pub fn step_event(&mut self) -> bool {
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(scheduled.time);
+        self.stats.events += 1;
+        self.stats.makespan = self.now;
+        match scheduled.event {
+            DistEvent::ClientTick { client } => {
+                if self.client_ticks_left[client] == 0 {
+                    return true;
+                }
+                self.client_ticks_left[client] -= 1;
+                for _ in 0..self.config.requests_per_tick {
+                    self.submit_one(client);
+                }
+                if self.client_ticks_left[client] > 0 {
+                    self.queue.schedule(
+                        self.now + self.config.tick_interval,
+                        DistEvent::ClientTick { client },
+                    );
+                }
+            }
+            DistEvent::FlushPrepares { shard } => {
+                let (batch, more) = self.coordinator.drain_prepares(shard);
+                if more {
+                    self.queue
+                        .schedule(self.now, DistEvent::FlushPrepares { shard });
+                }
+                if let Some((id, txns)) = batch {
+                    self.send(
+                        self.now,
+                        Endpoint::Coordinator,
+                        Endpoint::Node(shard),
+                        DistMessage::PrepareBatch { batch: id, txns },
+                    );
+                }
+            }
+            DistEvent::FlushDecisions { shard } => {
+                let (decisions, more) = self.coordinator.drain_decisions(shard);
+                if more {
+                    self.queue
+                        .schedule(self.now, DistEvent::FlushDecisions { shard });
+                }
+                if !decisions.is_empty() {
+                    self.send(
+                        self.now,
+                        Endpoint::Coordinator,
+                        Endpoint::Node(shard),
+                        DistMessage::DecisionBatch { decisions },
+                    );
+                }
+            }
+            DistEvent::Deliver { dst, message } => self.deliver(dst, message),
+            DistEvent::TxnTimeout { txn } => {
+                let reqs = self.coordinator.on_timeout(txn);
+                if !reqs.is_empty() {
+                    self.note(format!("t={} timeout-abort {txn}", self.now));
+                }
+                self.schedule_decision_flushes(reqs);
+            }
+            DistEvent::ShardCrash { shard } => {
+                self.stats.crashes += 1;
+                self.note(format!("t={} crash n{}", self.now, shard.raw()));
+                self.nodes[shard.raw() as usize].crash();
+            }
+            DistEvent::ShardRecover { shard } => {
+                let outcome = self.nodes[shard.raw() as usize].restart();
+                self.stats.recoveries += 1;
+                self.stats.in_doubt += outcome.in_doubt.len() as u64;
+                self.note(format!(
+                    "t={} recover n{} redone={} in_doubt={}",
+                    self.now,
+                    shard.raw(),
+                    outcome.redone.len(),
+                    outcome.in_doubt.len()
+                ));
+                if !outcome.in_doubt.is_empty() {
+                    // Re-vote for every in-doubt transaction: the
+                    // coordinator either completes the vote set or
+                    // answers with the durable decision.
+                    self.send(
+                        self.now,
+                        Endpoint::Node(shard),
+                        Endpoint::Coordinator,
+                        DistMessage::VoteBatch {
+                            shard,
+                            txns: outcome.in_doubt.clone(),
+                        },
+                    );
+                    for txn in outcome.in_doubt {
+                        self.queue.schedule(
+                            self.now + self.config.resolve_timeout,
+                            DistEvent::ResolveNudge {
+                                shard,
+                                txn,
+                                attempt: 0,
+                            },
+                        );
+                    }
+                }
+            }
+            DistEvent::ResolveNudge {
+                shard,
+                txn,
+                attempt,
+            } => {
+                let node = &self.nodes[shard.raw() as usize];
+                if !node.is_up() || node.outcome_of(txn).is_some() || !node.has_staged(txn) {
+                    return true;
+                }
+                if attempt >= self.config.max_resolve_attempts {
+                    self.note(format!(
+                        "t={} n{} gave up resolving {txn}",
+                        self.now,
+                        shard.raw()
+                    ));
+                    return true;
+                }
+                self.send(
+                    self.now,
+                    Endpoint::Node(shard),
+                    Endpoint::Coordinator,
+                    DistMessage::VoteBatch {
+                        shard,
+                        txns: vec![txn],
+                    },
+                );
+                self.queue.schedule(
+                    self.now + self.config.resolve_timeout,
+                    DistEvent::ResolveNudge {
+                        shard,
+                        txn,
+                        attempt: attempt + 1,
+                    },
+                );
+            }
+        }
+        let c = self.coordinator.stats();
+        if c.committed + c.aborted > self.decided_seen {
+            self.decided_seen = c.committed + c.aborted;
+            self.stats.last_decision_at = self.now;
+        }
+        true
+    }
+
+    /// Runs until no events remain. Terminates: client streams are
+    /// finite, retransmissions are attempt-bounded, and every admitted
+    /// transaction is decided by votes or by its timeout.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step_event() {}
+    }
+
+    /// Run counters (coordinator decisions folded in).
+    pub fn stats(&self) -> DistStats {
+        let mut s = self.stats;
+        let c = self.coordinator.stats();
+        s.committed = c.committed;
+        s.aborted = c.aborted;
+        s.timeout_aborts = c.timeout_aborts;
+        s
+    }
+
+    /// The rolling hash of the run's trace lines — equal across runs with
+    /// equal configs, the replay fingerprint.
+    pub fn trace_hash(&self) -> u64 {
+        self.trace_hash
+    }
+
+    /// The recorded trace lines (empty unless
+    /// [`DistConfig::record_trace`]).
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// A digest of the final observable state: every shard's committed
+    /// key/value state plus every durable decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard is still crashed.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = 0u64;
+        let mut mix = |bytes: &[u8]| d = d.rotate_left(7) ^ fnv1a(bytes);
+        for node in &self.nodes {
+            mix(&u64::from(node.id().raw()).to_le_bytes());
+            for (k, v) in node.state() {
+                mix(&k.to_le_bytes());
+                mix(&v.to_le_bytes());
+            }
+        }
+        for (txn, commit) in self.coordinator.all_decisions() {
+            mix(&u64::from(txn.raw()).to_le_bytes());
+            mix(&[u8::from(commit)]);
+        }
+        d
+    }
+
+    /// Checks the run's end-to-end invariants:
+    ///
+    /// 1. every shard is up and every admitted transaction is decided;
+    /// 2. every participant's durable outcome agrees with the
+    ///    coordinator's decision (atomic commitment);
+    /// 3. money is conserved — account balances (keys below
+    ///    [`LISTING_BASE`]) sum to zero across all shards, since every
+    ///    committed transfer's deltas cancel and aborted ones must leave
+    ///    no trace.
+    pub fn verify(&self) -> Result<(), String> {
+        for node in &self.nodes {
+            if !node.is_up() {
+                return Err(format!("shard n{} still crashed", node.id().raw()));
+            }
+        }
+        if self.coordinator.undecided() > 0 {
+            return Err(format!(
+                "{} transactions admitted but never decided",
+                self.coordinator.undecided()
+            ));
+        }
+        for (txn, decided) in self.coordinator.all_decisions() {
+            for node in &self.nodes {
+                if !node.has_staged(txn) {
+                    continue;
+                }
+                match node.outcome_of(txn) {
+                    Some(learned) if learned != decided => {
+                        return Err(format!(
+                            "outcome disagreement: {txn} decided {decided} but n{} applied {learned}",
+                            node.id().raw()
+                        ));
+                    }
+                    None if decided => {
+                        return Err(format!(
+                            "committed {txn} never applied at prepared shard n{}",
+                            node.id().raw()
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let total: i64 = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.state())
+            .filter(|(k, _)| *k < LISTING_BASE)
+            .map(|(_, v)| v)
+            .sum();
+        if total != 0 {
+            return Err(format!("conservation violated: balances sum to {total}"));
+        }
+        Ok(())
+    }
+
+    /// The committed key/value state of shard `i`.
+    pub fn shard_state(&self, i: u32) -> BTreeMap<i64, i64> {
+        self.nodes[i as usize].state()
+    }
+
+    /// A handle onto shard `i`'s durable log (for the offline recovery
+    /// experiments).
+    pub fn shard_log(&self, i: u32) -> atomicity_core::recovery::StableLog {
+        self.nodes[i as usize].stable_log()
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &DistConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The coordinator's durable decision for `txn`, if any.
+    pub fn decision(&self, txn: ActivityId) -> Option<bool> {
+        self.coordinator.decision(txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> DistConfig {
+        DistConfig {
+            seed: 11,
+            shards: 4,
+            clients: 3,
+            requests_per_tick: 3,
+            ticks: 8,
+            accounts: 10_000,
+            ..DistConfig::default()
+        }
+    }
+
+    #[test]
+    fn reliable_run_commits_everything_and_verifies() {
+        let mut s = DistService::new(smoke_config());
+        s.run_to_quiescence();
+        let stats = s.stats();
+        assert_eq!(stats.submitted, 3 * 3 * 8);
+        assert_eq!(stats.committed, stats.submitted);
+        assert_eq!(stats.aborted, 0);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let run = |seed: u64| {
+            let mut s = DistService::new(DistConfig {
+                seed,
+                ..smoke_config()
+            });
+            s.run_to_quiescence();
+            (s.trace_hash(), s.state_digest(), s.stats())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1, "different seeds diverge");
+    }
+
+    #[test]
+    fn lossy_network_still_reaches_agreement() {
+        let mut s = DistService::new(DistConfig {
+            faults: FaultConfig {
+                drop_probability: 0.05,
+                duplicate_probability: 0.05,
+                reorder_probability: 0.1,
+                ..FaultConfig::default()
+            },
+            ..smoke_config()
+        });
+        s.run_to_quiescence();
+        let stats = s.stats();
+        assert_eq!(stats.committed + stats.aborted, stats.submitted);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn crash_and_recovery_preserve_atomicity() {
+        let mut s = DistService::new(DistConfig {
+            crashes: vec![CrashPlan {
+                at: 2_500,
+                shard: 1,
+                downtime: 3_000,
+            }],
+            ..smoke_config()
+        });
+        s.run_to_quiescence();
+        let stats = s.stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.committed + stats.aborted, stats.submitted);
+        s.verify().unwrap();
+    }
+
+    #[test]
+    fn marketplace_mix_verifies_conservation_over_accounts_only() {
+        let mut s = DistService::new(DistConfig {
+            workload: WorkloadKind::Marketplace,
+            listings: 32,
+            ..smoke_config()
+        });
+        s.run_to_quiescence();
+        assert!(s.stats().committed > 0);
+        s.verify().unwrap();
+    }
+}

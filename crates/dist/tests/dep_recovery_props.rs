@@ -1,0 +1,144 @@
+//! Property tests: dependency-log recovery is equivalent to serial
+//! value-log replay, for arbitrary multi-shard histories with injected
+//! faults and crashes.
+//!
+//! Each case runs a full [`DistService`] — random topology, workload
+//! mix, contention, network faults, and scheduled shard crashes — to
+//! quiescence, then recovers every shard's durable log twice: in
+//! parallel from the dependency graph, and serially through the
+//! production [`IntentionsStore::recover`] path. The states must match
+//! each other *and* the shard's live state. A second property checks
+//! that dependency logging is observationally free at runtime: a run
+//! with `CommitDep` records and a run with plain value commits, same
+//! seed, end in identical states and decisions.
+//!
+//! [`IntentionsStore::recover`]: atomicity_core::recovery::IntentionsStore::recover
+
+use atomicity_dist::deplog::{certified_recovery, map_commutes};
+use atomicity_dist::{CrashPlan, DistConfig, DistService, WorkloadKind};
+use atomicity_sim::FaultConfig;
+use proptest::prelude::*;
+
+#[allow(clippy::too_many_arguments)]
+fn config(
+    seed: u64,
+    shards: u32,
+    clients: usize,
+    ticks: u64,
+    marketplace: bool,
+    accounts: u64,
+    hot_permille: u32,
+    drop_permille: u32,
+    dup_permille: u32,
+    crashes: Vec<CrashPlan>,
+    dep_logging: bool,
+) -> DistConfig {
+    DistConfig {
+        seed,
+        shards,
+        clients,
+        requests_per_tick: 2,
+        ticks,
+        accounts,
+        hot_fraction: f64::from(hot_permille) / 1000.0,
+        hot_accounts: 8,
+        listings: 16,
+        workload: if marketplace {
+            WorkloadKind::Marketplace
+        } else {
+            WorkloadKind::Bank
+        },
+        faults: FaultConfig {
+            drop_probability: f64::from(drop_permille) / 1000.0,
+            duplicate_probability: f64::from(dup_permille) / 1000.0,
+            ..FaultConfig::reliable(50, 500)
+        },
+        crashes,
+        dep_logging,
+        ..DistConfig::default()
+    }
+}
+
+fn crash_plans(raw: Vec<(u64, u32, u64)>, shards: u32) -> Vec<CrashPlan> {
+    raw.into_iter()
+        .map(|(at, shard, downtime)| CrashPlan {
+            at: 1 + at,
+            shard: shard % shards,
+            downtime: 1 + downtime,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every shard of every run — whatever the contention, faults,
+    /// and crash schedule — parallel dependency-graph recovery certifies
+    /// equal to the serial value-log baseline, and both equal the
+    /// shard's live committed state.
+    #[test]
+    fn dependency_recovery_equals_serial_value_replay(
+        seed in any::<u64>(),
+        shards in 1u32..9,
+        clients in 1usize..4,
+        ticks in 1u64..6,
+        marketplace in any::<bool>(),
+        accounts in 4u64..2_000,
+        hot_permille in 0u32..900,
+        drop_permille in 0u32..120,
+        dup_permille in 0u32..120,
+        raw_crashes in prop::collection::vec((0u64..20_000, 0u32..16, 0u64..6_000), 0..3),
+        dep_logging in any::<bool>(),
+    ) {
+        let crashes = crash_plans(raw_crashes, shards);
+        let mut service = DistService::new(config(
+            seed, shards, clients, ticks, marketplace, accounts,
+            hot_permille, drop_permille, dup_permille, crashes, dep_logging,
+        ));
+        service.run_to_quiescence();
+        prop_assert!(service.verify().is_ok(), "{:?}", service.verify());
+
+        let mut committed_seen = false;
+        for shard in 0..shards {
+            let records = service.shard_log(shard).records();
+            let cert = certified_recovery(&records, map_commutes(), 4)
+                .map_err(|e| TestCaseError::fail(format!("shard {shard}: {e}")))?;
+            // Offline recovery must agree with the shard's live state.
+            prop_assert_eq!(&cert.state, &service.shard_state(shard));
+            committed_seen |= cert.graph.nodes > 0;
+            if dep_logging {
+                // Every commit record must have carried its footprint.
+                prop_assert_eq!(cert.footprints_logged, cert.graph.nodes);
+            } else {
+                prop_assert_eq!(cert.footprints_logged, 0);
+            }
+        }
+        let stats = service.stats();
+        prop_assert_eq!(stats.committed + stats.aborted, stats.submitted);
+        prop_assert_eq!(committed_seen, stats.committed > 0);
+    }
+
+    /// Dependency logging is observationally free at runtime: same seed,
+    /// same run — identical trace, states, and decisions — whether
+    /// commits are `CommitDep` or plain value commits.
+    #[test]
+    fn dep_logging_does_not_change_the_run(
+        seed in any::<u64>(),
+        shards in 1u32..9,
+        marketplace in any::<bool>(),
+        drop_permille in 0u32..120,
+        raw_crashes in prop::collection::vec((0u64..15_000, 0u32..16, 0u64..4_000), 0..2),
+    ) {
+        let run = |dep_logging: bool| {
+            let crashes = crash_plans(raw_crashes.clone(), shards);
+            let mut service = DistService::new(config(
+                seed, shards, 2, 4, marketplace, 500, 300,
+                drop_permille, 0, crashes, dep_logging,
+            ));
+            service.run_to_quiescence();
+            prop_assert!(service.verify().is_ok(), "{:?}", service.verify());
+            Ok((service.trace_hash(), service.state_digest(), service.stats()))
+        };
+        prop_assert_eq!(run(true)?, run(false)?);
+    }
+}

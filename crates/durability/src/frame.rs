@@ -25,7 +25,7 @@
 //! of the appended record sequence, which is what intentions-list
 //! recovery requires of a [`atomicity_core::recovery::DurableLog`].
 
-use atomicity_core::recovery::{LogRecord, RecordKind};
+use atomicity_core::recovery::{KeyFootprint, LogRecord, RecordKind};
 use atomicity_spec::{ActivityId, ObjectId, OpResult, Operation, Value};
 
 /// Frame header size: u32 length + u32 CRC.
@@ -76,6 +76,14 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 const KIND_PREPARE: u8 = 0;
 const KIND_COMMIT: u8 = 1;
 const KIND_ABORT: u8 = 2;
+/// Dependency-logged commit: the commit body carries the transaction's
+/// read/write key footprint. Tags 0–2 keep their meaning, so logs written
+/// before dependency logging existed still decode.
+const KIND_COMMIT_DEP: u8 = 3;
+
+/// Bit flags of a footprint's unkeyed wildcards (byte after the tag).
+const FOOTPRINT_UNKEYED_READS: u8 = 0b01;
+const FOOTPRINT_UNKEYED_WRITES: u8 = 0b10;
 
 const VALUE_UNIT: u8 = 0;
 const VALUE_NIL: u8 = 1;
@@ -142,6 +150,23 @@ pub fn encode_payload(record: &LogRecord) -> Vec<u8> {
             }
         }
         RecordKind::Commit => out.push(KIND_COMMIT),
+        RecordKind::CommitDep { footprint } => {
+            out.push(KIND_COMMIT_DEP);
+            let mut flags = 0u8;
+            if footprint.unkeyed_reads {
+                flags |= FOOTPRINT_UNKEYED_READS;
+            }
+            if footprint.unkeyed_writes {
+                flags |= FOOTPRINT_UNKEYED_WRITES;
+            }
+            out.push(flags);
+            for keys in [&footprint.reads, &footprint.writes] {
+                put_u32(&mut out, keys.len() as u32);
+                for k in keys {
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+            }
+        }
         RecordKind::Abort => out.push(KIND_ABORT),
     }
     out
@@ -260,6 +285,30 @@ pub fn decode_payload(payload: &[u8]) -> Option<LogRecord> {
             RecordKind::Prepare { ops }
         }
         KIND_COMMIT => RecordKind::Commit,
+        KIND_COMMIT_DEP => {
+            let flags = r.u8()?;
+            if flags & !(FOOTPRINT_UNKEYED_READS | FOOTPRINT_UNKEYED_WRITES) != 0 {
+                return None; // unknown flag bits: not something we write
+            }
+            let mut key_sets = [Vec::new(), Vec::new()];
+            for set in &mut key_sets {
+                let n = r.u32()? as usize;
+                // Each key is 8 bytes; reject counts the remaining payload
+                // cannot hold before allocating.
+                if n > (payload.len() - r.pos) / 8 {
+                    return None;
+                }
+                set.reserve(n);
+                for _ in 0..n {
+                    set.push(r.i64()?);
+                }
+            }
+            let [reads, writes] = key_sets;
+            let mut footprint = KeyFootprint::new(reads, writes);
+            footprint.unkeyed_reads = flags & FOOTPRINT_UNKEYED_READS != 0;
+            footprint.unkeyed_writes = flags & FOOTPRINT_UNKEYED_WRITES != 0;
+            RecordKind::CommitDep { footprint }
+        }
         KIND_ABORT => RecordKind::Abort,
         _ => return None,
     };
@@ -342,6 +391,20 @@ mod tests {
             rec(RecordKind::Commit),
             rec(RecordKind::Abort),
             rec(RecordKind::Prepare { ops: Vec::new() }),
+            rec(RecordKind::CommitDep {
+                footprint: KeyFootprint::default(),
+            }),
+            rec(RecordKind::CommitDep {
+                footprint: KeyFootprint::new(vec![7, 9], vec![-3, 0, i64::MAX]),
+            }),
+            rec(RecordKind::CommitDep {
+                footprint: {
+                    let mut fp = KeyFootprint::new(vec![], vec![1]);
+                    fp.unkeyed_reads = true;
+                    fp.unkeyed_writes = true;
+                    fp
+                },
+            }),
             rec(RecordKind::Prepare {
                 ops: vec![
                     (op("adjust", [3i64, -4]), Value::ok()),
@@ -364,6 +427,40 @@ mod tests {
                 other => panic!("round trip failed: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn commit_dep_truncations_are_torn_or_end() {
+        // Cutting anywhere inside the footprint body must read as a torn
+        // tail, never as a shorter valid record.
+        let r = rec(RecordKind::CommitDep {
+            footprint: KeyFootprint::new(vec![1, 2], vec![3, 4, 5]),
+        });
+        let frame = encode_frame(&r);
+        for cut in 0..frame.len() {
+            match read_frame(&frame[..cut], 0) {
+                FrameRead::Torn(_) => {}
+                FrameRead::End => assert_eq!(cut, 0),
+                FrameRead::Record { .. } => panic!("cut {cut} produced a whole record"),
+            }
+        }
+    }
+
+    #[test]
+    fn commit_dep_rejects_unknown_flags_and_bogus_counts() {
+        let r = rec(RecordKind::CommitDep {
+            footprint: KeyFootprint::new(vec![1], vec![2]),
+        });
+        let payload = encode_payload(&r);
+        // Payload layout: txn(4) object(4) tag(1) flags(1) …
+        let mut bad_flags = payload.clone();
+        bad_flags[9] |= 0b100;
+        assert!(decode_payload(&bad_flags).is_none());
+        // A corrupt key count larger than the remaining bytes is rejected
+        // before any allocation.
+        let mut bad_count = payload;
+        bad_count[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_payload(&bad_count).is_none());
     }
 
     #[test]

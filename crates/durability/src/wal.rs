@@ -529,6 +529,22 @@ impl DurableLog for Wal {
         out
     }
 
+    fn records_from(&self, from: usize) -> Vec<LogRecord> {
+        let st = self.inner.state.lock();
+        let total = st.base.len() + st.tail.len();
+        if from >= total {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(total - from);
+        if from < st.base.len() {
+            out.extend_from_slice(&st.base[from..]);
+            out.extend_from_slice(&st.tail);
+        } else {
+            out.extend_from_slice(&st.tail[from - st.base.len()..]);
+        }
+        out
+    }
+
     fn len(&self) -> usize {
         let st = self.inner.state.lock();
         st.base.len() + st.tail.len()
@@ -643,6 +659,9 @@ fn fold_records<'a>(records: impl Iterator<Item = &'a LogRecord>) -> Vec<LogReco
     struct Entry {
         ops: Option<Vec<atomicity_spec::OpResult>>,
         outcome: Option<bool>,
+        /// Footprint of a dependency-logged commit, preserved through the
+        /// fold so a checkpointed log stays parallel-recoverable.
+        footprint: Option<atomicity_core::recovery::KeyFootprint>,
     }
     let mut by_key: Vec<(Key, Entry)> = Vec::new();
     let mut decided: Vec<Key> = Vec::new(); // in outcome order
@@ -658,6 +677,7 @@ fn fold_records<'a>(records: impl Iterator<Item = &'a LogRecord>) -> Vec<LogReco
                     Entry {
                         ops: None,
                         outcome: None,
+                        footprint: None,
                     },
                 ));
                 by_key.len() - 1
@@ -670,9 +690,12 @@ fn fold_records<'a>(records: impl Iterator<Item = &'a LogRecord>) -> Vec<LogReco
                     prepared.push(key);
                 }
             }
-            RecordKind::Commit | RecordKind::Abort => {
+            RecordKind::Commit | RecordKind::CommitDep { .. } | RecordKind::Abort => {
                 if by_key[idx].1.outcome.is_none() {
-                    by_key[idx].1.outcome = Some(matches!(r.kind, RecordKind::Commit));
+                    by_key[idx].1.outcome = Some(r.kind.is_commit());
+                    if let RecordKind::CommitDep { footprint } = &r.kind {
+                        by_key[idx].1.footprint = Some(footprint.clone());
+                    }
                     decided.push(key);
                     prepared.retain(|k| *k != key);
                 }
@@ -697,7 +720,10 @@ fn fold_records<'a>(records: impl Iterator<Item = &'a LogRecord>) -> Vec<LogReco
                 out.push(LogRecord {
                     txn,
                     object,
-                    kind: RecordKind::Commit,
+                    kind: match entry.footprint.take() {
+                        Some(footprint) => RecordKind::CommitDep { footprint },
+                        None => RecordKind::Commit,
+                    },
                 });
             }
             Some(false) => out.push(LogRecord {

@@ -86,4 +86,4 @@ pub use network::{FaultConfig, NetStats, Network};
 pub use node::Node;
 pub use partition::{PartitionSchedule, PartitionWindow};
 pub use queue::{EventQueue, Scheduled};
-pub use rng::SimRng;
+pub use rng::{fnv1a, SimRng};

@@ -1,4 +1,10 @@
 //! The deterministic discrete-event queue.
+//!
+//! Generic over the event payload so every deterministic event loop in
+//! the workspace shares one scheduler: the single-coordinator cluster
+//! here uses [`crate::SimEvent`] (the default type parameter), and the
+//! partitioned transaction service in `atomicity-dist` plugs in its own
+//! event enum without duplicating the tie-breaking discipline.
 
 use crate::message::SimEvent;
 use std::cmp::Ordering;
@@ -7,30 +13,30 @@ use std::collections::BinaryHeap;
 /// A scheduled event: fires at `time`; ties break by insertion sequence,
 /// so runs are fully deterministic for a given seed.
 #[derive(Debug, Clone)]
-pub struct Scheduled {
+pub struct Scheduled<E = SimEvent> {
     /// Simulated time (microseconds) at which the event fires.
     pub time: u64,
     /// Insertion sequence number (tie-breaker).
     pub seq: u64,
     /// The payload.
-    pub event: SimEvent,
+    pub event: E,
 }
 
-impl PartialEq for Scheduled {
+impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl Eq for Scheduled {}
+impl<E> Eq for Scheduled<E> {}
 
-impl PartialOrd for Scheduled {
+impl<E> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Scheduled {
+impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest first.
         (other.time, other.seq).cmp(&(self.time, self.seq))
@@ -38,13 +44,19 @@ impl Ord for Scheduled {
 }
 
 /// A time-ordered event queue with deterministic tie-breaking.
-#[derive(Debug, Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+#[derive(Debug)]
+pub struct EventQueue<E = SimEvent> {
+    heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
 }
 
-impl EventQueue {
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
@@ -54,14 +66,14 @@ impl EventQueue {
     }
 
     /// Schedules `event` at absolute `time`.
-    pub fn schedule(&mut self, time: u64, event: SimEvent) {
+    pub fn schedule(&mut self, time: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });
     }
 
     /// Removes and returns the earliest event.
-    pub fn pop(&mut self) -> Option<Scheduled> {
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
         self.heap.pop()
     }
 

@@ -28,8 +28,11 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// FNV-1a over a byte string — the label hash for stream splitting.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte string — the label hash for stream splitting, and
+/// the rolling-hash primitive behind every replay fingerprint
+/// (`Cluster::trace_hash`, and the partitioned service's digests in
+/// `atomicity-dist`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);

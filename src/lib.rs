@@ -19,6 +19,9 @@
 //!   scheduler model of Figure 5-1, and Reed's multi-version registers.
 //! - [`sim`] — the discrete-event distributed substrate (guardians,
 //!   two-phase commit, crashes).
+//! - [`dist`] — the partitioned transaction service on that substrate:
+//!   key-hash sharding, a batching 2PC coordinator, per-shard
+//!   intentions logs, and dependency-logged parallel recovery.
 //! - [`durable`] — the on-disk durability layer: segmented write-ahead
 //!   log with CRC32 framing, group commit, fuzzy checkpointing, and the
 //!   kill-based crash harness.
@@ -54,6 +57,7 @@ pub use atomicity_adts as adts;
 pub use atomicity_baselines as baselines;
 pub use atomicity_bench as bench;
 pub use atomicity_core as core;
+pub use atomicity_dist as dist;
 pub use atomicity_durable as durable;
 pub use atomicity_lint as analysis;
 pub use atomicity_sim as sim;

@@ -145,7 +145,7 @@ proptest! {
         for r in &prefix {
             match &r.kind {
                 RecordKind::Prepare { .. } => { prepared.insert(r.txn); }
-                RecordKind::Commit => {
+                RecordKind::Commit | RecordKind::CommitDep { .. } => {
                     resolved.insert(r.txn);
                     let (key, delta, _) = script[r.txn.raw() as usize - 1];
                     *expected.entry(key).or_insert(0i64) += delta;
