@@ -50,6 +50,7 @@ use atomicity_core::CommutesRel;
 use atomicity_spec::atomicity::{is_dynamic_atomic, timestamp_order};
 use atomicity_spec::serial::is_serializable_in_order;
 use atomicity_spec::{ActivityId, EventKind, History, ObjectId, OpResult, Operation, SystemSpec};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -64,7 +65,8 @@ const MAX_LOCAL_ENUM: usize = 6;
 const MAX_FALLBACK_ACTIVITIES: usize = 7;
 
 /// The atomicity property being certified.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
 pub enum Property {
     /// Dynamic atomicity (§4.1): serializable in every order consistent
     /// with `precedes(h)`.
@@ -87,8 +89,15 @@ impl Property {
     }
 }
 
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// How the verdict was reached.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
 pub enum Method {
     /// The watermark fast path (with bounded local enumeration where the
     /// induced per-object order is partial).
@@ -104,23 +113,40 @@ pub enum Method {
     TableReduction,
     /// Full fallback to the exhaustive checker (history outside the basic
     /// discipline).
+    #[serde(rename = "exhaustive-fallback")]
     Exhaustive,
+    /// The streaming vector-clock monitor (`atomicity-certify`): the
+    /// verdict was reached incrementally over the live stamp stream with
+    /// watermark retirement, instead of post hoc over a merged history.
+    /// Decisions mirror the post-hoc methods above; this tag records
+    /// *how* the history was consumed.
+    #[serde(rename = "online-monitor")]
+    Online,
 }
 
 impl Method {
-    /// Human-readable name.
+    /// Human-readable name — also the serde wire name, so BENCH JSON and
+    /// failure messages agree.
     pub fn label(self) -> &'static str {
         match self {
             Method::Watermark => "watermark",
             Method::TimestampOrder => "timestamp-order",
             Method::TableReduction => "table-reduction",
             Method::Exhaustive => "exhaustive-fallback",
+            Method::Online => "online-monitor",
         }
     }
 }
 
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The certifier's answer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
 pub enum Verdict {
     /// The history satisfies the property.
     Certified,
@@ -132,8 +158,73 @@ pub enum Verdict {
     Unknown(String),
 }
 
+impl Verdict {
+    /// Whether two verdicts agree in kind (certified / refuted /
+    /// unknown), ignoring witness message text. The online monitor and
+    /// the post-hoc certifier produce identical kinds but word their
+    /// witnesses differently (stream positions vs. merged indices).
+    pub fn agrees_with(&self, other: &Verdict) -> bool {
+        matches!(
+            (self, other),
+            (Verdict::Certified, Verdict::Certified)
+                | (Verdict::Refuted(_), Verdict::Refuted(_))
+                | (Verdict::Unknown(_), Verdict::Unknown(_))
+        )
+    }
+
+    /// Short kind name: `"certified"`, `"refuted"`, or `"unknown"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Verdict::Certified => "certified",
+            Verdict::Refuted(_) => "refuted",
+            Verdict::Unknown(_) => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Certified => f.write_str("certified"),
+            Verdict::Refuted(why) => write!(f, "refuted: {why}"),
+            Verdict::Unknown(why) => write!(f, "undecided: {why}"),
+        }
+    }
+}
+
+/// One live violation flagged by a streaming monitor mid-run: the point
+/// in the stamp stream at which atomicity became unsatisfiable.
+///
+/// Where a [`Certificate`] is the end-of-run summary, a `Violation` is
+/// the incremental artifact — `OnlineCertifier::observe` in
+/// `atomicity-certify` returns one the moment a committed serial prefix
+/// is rejected by an object's specification. Shared here so bench
+/// reports, the simulator's invariant hooks, and the monitor itself all
+/// speak the same type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Stamp (stream position) of the event that triggered the flag.
+    pub stamp: u64,
+    /// The object whose serial order became unacceptable, if one.
+    pub object: Option<ObjectId>,
+    /// The activity whose event triggered the flag, if one.
+    pub activity: Option<ActivityId>,
+    /// What the monitor saw.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[stamp {}] ", self.stamp)?;
+        if let Some(x) = self.object {
+            write!(f, "object {x:?}: ")?;
+        }
+        f.write_str(&self.detail)
+    }
+}
+
 /// The outcome of certifying one history against one property.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Certificate {
     /// The property that was checked.
     pub property: Property,
@@ -285,6 +376,12 @@ fn certify_dynamic_impl(
     };
     // Whether any object's verdict leaned on the commutativity relation.
     let mut used_table = false;
+    // An undecidable object does not end the scan: a later object may
+    // hold a definite refutation, and `Refuted` dominates `Unknown` (the
+    // history is non-atomic regardless of what the undecided object would
+    // have said). The first Unknown is reported only when no object
+    // refutes.
+    let mut pending_unknown: Option<(Method, Verdict)> = None;
 
     // `⟨a,b⟩ ∈ precedes(h)` restricted to committed activities.
     let prec = |a: ActivityId, b: ActivityId| match last_resp.get(&b) {
@@ -349,7 +446,7 @@ fn certify_dynamic_impl(
             // (acts is sorted by first commit, and `⟨a,b⟩ ∈ precedes`
             // implies `firstcommit(a) < firstcommit(b)`) decides them all.
             if let Some((a, b)) = non_commuting_concurrent_pair(&acts, by_act, &prec, rel) {
-                return done(
+                pending_unknown.get_or_insert((
                     Method::TableReduction,
                     Verdict::Unknown(format!(
                         "object {x:?}: {} committed activities with a genuinely \
@@ -358,7 +455,8 @@ fn certify_dynamic_impl(
                          {b:?} hold non-commuting operations",
                         acts.len()
                     )),
-                );
+                ));
+                continue;
             }
             used_table = true;
             if !obj_spec.accepts(&serial(&acts)) {
@@ -373,15 +471,19 @@ fn certify_dynamic_impl(
                 );
             }
         } else {
-            return done(
+            pending_unknown.get_or_insert((
                 Method::Watermark,
                 Verdict::Unknown(format!(
                     "object {x:?}: {} committed activities with a genuinely partial \
                      precedes order exceed the enumeration bound {MAX_LOCAL_ENUM}",
                     acts.len()
                 )),
-            );
+            ));
+            continue;
         }
+    }
+    if let Some((method, verdict)) = pending_unknown {
+        return done(method, verdict);
     }
     let method = if used_table {
         Method::TableReduction
@@ -664,6 +766,27 @@ mod tests {
     }
 
     #[test]
+    fn refutation_dominates_an_earlier_undecidable_object() {
+        use atomicity_spec::specs::IntSetSpec;
+        // Object Y (id 2) is undecidable (contended past the enumeration
+        // bound, no relation); object 3 holds a definite spec violation.
+        // The refutation must win even though the undecidable object is
+        // scanned first.
+        let spec = paper::bank_system().with_object(ObjectId::new(3), IntSetSpec::new());
+        let mut h = contended_deposits();
+        let liar = ActivityId::new(100);
+        let obj = ObjectId::new(3);
+        h.push(Event::invoke(liar, obj, op("member", [5])));
+        h.push(Event::respond(liar, obj, Value::from(true)));
+        h.push(Event::commit(liar, obj));
+        let cert = certify(Property::Dynamic, &h, &spec);
+        assert!(
+            matches!(&cert.verdict, Verdict::Refuted(why) if why.contains("ObjectId(3)")),
+            "{cert}"
+        );
+    }
+
+    #[test]
     fn long_serial_history_stays_on_the_fast_path() {
         // 50 committed activities in commit order: the induced order is
         // total, so no enumeration happens regardless of activity count.
@@ -681,5 +804,37 @@ mod tests {
         assert!(cert.is_certified(), "{cert}");
         assert_eq!(cert.method, Method::Watermark);
         assert_eq!(cert.committed, 50);
+    }
+
+    #[test]
+    fn methods_and_verdicts_round_trip_through_serde() {
+        for method in [
+            Method::Watermark,
+            Method::Exhaustive,
+            Method::TableReduction,
+            Method::TimestampOrder,
+            Method::Online,
+        ] {
+            let json = serde_json::to_string(&method).unwrap();
+            assert_eq!(serde_json::from_str::<Method>(&json).unwrap(), method);
+        }
+        assert_eq!(
+            serde_json::to_string(&Method::Online).unwrap(),
+            "\"online-monitor\""
+        );
+        assert_eq!(
+            serde_json::to_string(&Method::Exhaustive).unwrap(),
+            "\"exhaustive-fallback\""
+        );
+        for verdict in [
+            Verdict::Certified,
+            Verdict::Refuted("no serial order".into()),
+            Verdict::Unknown("partial order too wide".into()),
+        ] {
+            let json = serde_json::to_string(&verdict).unwrap();
+            let back: Verdict = serde_json::from_str(&json).unwrap();
+            assert!(back.agrees_with(&verdict));
+            assert_eq!(back, verdict);
+        }
     }
 }

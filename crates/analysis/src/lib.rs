@@ -68,7 +68,9 @@ pub mod nondet;
 pub mod synth;
 
 pub use audit::{audit_table, standard_audits, AuditConfig, Counterexample, PairClass, TableAudit};
-pub use certify::{certify, certify_with_relation, Certificate, Method, Property, Verdict};
+pub use certify::{
+    certify, certify_with_relation, Certificate, Method, Property, Verdict, Violation,
+};
 pub use footprint::{extract_footprints, FnFootprint, FootprintReport, OpClass};
 pub use hook::CertifierHook;
 pub use lockorder::{audit_lock_order, LockOrderReport, SourceFile};

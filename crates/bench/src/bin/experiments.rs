@@ -1,13 +1,14 @@
 //! The experiment harness: regenerates every comparison in the paper.
 //!
 //! ```text
-//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 | all]
+//! experiments [--quick] [e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 e16 | all]
 //! experiments e6 [--disk]
 //! experiments e10 [--smoke] [--json=PATH]
 //! experiments e11 [--smoke] [--json=PATH]
 //! experiments e12 [--smoke] [--seeds=N] [--json=PATH] [--demo-lost-ack] [--replay=SEED]
 //! experiments e14 [--smoke] [--json=PATH] [--baseline=PATH]
 //! experiments e15 [--smoke] [--json=PATH] [--replay=SEED]
+//! experiments e16 [--smoke] [--json=PATH] [--demo-violation]
 //! experiments lint [--synth] [--json=PATH] [--demo-unsound]
 //! ```
 //!
@@ -70,6 +71,18 @@
 //! replay on the largest dependency-logged log. `--replay=SEED` instead
 //! runs one scaling point twice and exits non-zero unless the runs are
 //! bit-identical.
+//!
+//! `e16` is the online streaming certifier (`atomicity-certify`): every
+//! property engine runs a contended bank workload with an online monitor
+//! consuming the live stamp stream, and the final online certificate
+//! must agree with the post-hoc linear certifier over the same run's
+//! snapshot; a long-horizon dynamic run (≥10x the E10 history) gates the
+//! monitor's retained-set high-water mark against the open-transaction
+//! footprint; and an A/B/C timing sweep gates the certifier's throughput
+//! cost against twice the metrics budget (full runs only). It writes
+//! `BENCH_e16.json`. `--demo-violation` forges a non-atomic pair into
+//! the live log mid-run and exits non-zero unless the monitor flags it
+//! at the offending commit.
 
 use atomicity_bench::engines::map_commutativity;
 use atomicity_bench::engines::Engine;
@@ -211,6 +224,127 @@ fn main() {
     if want("v1") {
         v1_model_check();
     }
+    if want("e16") {
+        // --quick runs the smoke shape: sub-percent timing gates belong
+        // to dedicated full runs, not the all-experiments quick lane.
+        e16_online(
+            smoke || quick,
+            args.iter().any(|a| a == "--demo-violation"),
+            json_path.as_deref().unwrap_or("BENCH_e16.json"),
+        );
+    }
+}
+
+/// E16: the online streaming certifier — verdict equality against the
+/// post-hoc certifier per property engine, the long-horizon retained-set
+/// memory gate, the throughput-overhead gate, and (with
+/// `--demo-violation`) the forged mid-stream violation demonstration.
+fn e16_online(smoke: bool, demo: bool, json_path: &str) {
+    use atomicity_bench::workloads::e16::{run_e16, E16Params};
+
+    println!("== E16: online streaming atomicity certifier\n");
+    let mut params = if smoke {
+        E16Params::smoke()
+    } else {
+        E16Params::full()
+    };
+    if demo {
+        params.demo_violation = true;
+    }
+
+    let report = run_e16(&params);
+
+    let mut table = Table::new(vec![
+        "seed",
+        "engine",
+        "mode",
+        "committed",
+        "online",
+        "post-hoc",
+        "peak",
+    ])
+    .with_title(format!(
+        "equality: online vs post-hoc verdicts, {} threads x {} txns on {} accounts",
+        params.threads, params.equality_txns, params.accounts
+    ));
+    for row in &report.equality {
+        table.row(vec![
+            row.seed.to_string(),
+            row.engine.clone(),
+            row.mode.clone(),
+            row.committed.to_string(),
+            row.online_verdict.clone(),
+            row.post_hoc_verdict.clone(),
+            row.peak_retained.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    let h = &report.horizon;
+    let mut table = Table::new(vec![
+        "committed",
+        "observed",
+        "peak retained",
+        "bound",
+        "verdict",
+        "gauge peak",
+    ])
+    .with_title(format!(
+        "long horizon: retiring monitor over {} threads x {} txns (destructive tap)",
+        params.threads, params.horizon_txns
+    ));
+    table.row(vec![
+        h.committed.to_string(),
+        h.observed.to_string(),
+        h.peak_retained.to_string(),
+        h.retained_bound.to_string(),
+        h.verdict.clone(),
+        h.metrics_retained_peak.to_string(),
+    ]);
+    println!("{table}");
+
+    let o = &report.overhead;
+    let mut table = Table::new(vec![
+        "bare tx/s",
+        "metrics tx/s",
+        "online tx/s",
+        "metrics cost",
+        "online cost",
+        "budget",
+        "gated",
+    ])
+    .with_title(format!(
+        "overhead: median of {} trials x {} txns/thread",
+        params.overhead_trials, params.overhead_txns
+    ));
+    table.row(vec![
+        f1(o.bare_tps),
+        f1(o.metrics_tps),
+        f1(o.online_tps),
+        format!("{:.2}%", o.metrics_overhead * 100.0),
+        format!("{:.2}%", o.online_overhead * 100.0),
+        format!("{:.2}%", o.budget * 100.0),
+        o.gated.to_string(),
+    ]);
+    println!("{table}");
+    if !o.headroom {
+        println!(
+            "note: no spare core for the certifier pump (available_parallelism <= {} \
+             worker threads); overhead reported ungated\n",
+            params.threads
+        );
+    }
+
+    if let Some(d) = &report.demo {
+        println!(
+            "demo: forged non-atomic pair flagged at stamp {} of {} observed events ({})\n",
+            d.flagged_at_stamp, d.observed, d.verdict
+        );
+    }
+
+    std::fs::write(json_path, report.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("report written to {json_path}\n");
 }
 
 /// E15: the partitioned service — shard-count scaling of the open-loop
@@ -1700,6 +1834,7 @@ fn nondet_findings() -> std::io::Result<Vec<atomicity_lint::NondetFinding>> {
         "analysis",
         "baselines",
         "bench",
+        "certify",
         "core",
         "dist",
         "durability",

@@ -8,16 +8,18 @@
 //! the synthesized relations against.
 
 use atomicity_baselines::{CommutativityLockedObject, TwoPhaseLockedObject};
+use atomicity_certify::{OnlineCertifier, OnlineHandle};
 use atomicity_core::{
     Admission, CommutesRel, DeadlockPolicy, HistoryLog, MetricsRegistry, Protocol, TxnManager,
 };
-use atomicity_lint::{standard_syntheses, SynthConfig, SynthSuite};
+use atomicity_lint::{standard_syntheses, Property, SynthConfig, SynthSuite};
 use atomicity_spec::specs::{
     BankAccountSpec, EscrowCounterSpec, FifoQueueSpec, IntSetSpec, KvMapSpec, SemiqueueSpec,
 };
-use atomicity_spec::{ObjectId, Operation, SequentialSpec};
+use atomicity_spec::{ObjectId, Operation, SequentialSpec, SystemSpec};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// The machine-synthesized conflict tables every typed constructor locks
 /// with, computed once per process from the sequential specifications.
@@ -97,6 +99,46 @@ fn construct<S: SequentialSpec>(
         Engine::CommutativityLocking => {
             CommutativityLockedObject::with_relation(id, spec, mgr, table) as _
         }
+    }
+}
+
+/// Whether (and how) a run attaches the online streaming certifier
+/// ([`atomicity_certify::OnlineCertifier`]) to the engine's recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CertifyMode {
+    /// No online certification (the default).
+    #[default]
+    Off,
+    /// The watermark-retiring monitor: memory bounded by the
+    /// open-transaction footprint; the production configuration.
+    /// [`EngineHandle::start_online`] consumes the recorder's shard
+    /// buffers as it certifies, keeping the log's memory bounded too.
+    Online,
+    /// The retain-all monitor: keeps a full event mirror, giving exact
+    /// post-hoc equivalence even on malformed streams. The recorder's
+    /// log is left intact for post-run snapshots.
+    OnlineRetaining,
+}
+
+impl CertifyMode {
+    /// Stable label used in JSON report headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            CertifyMode::Off => "off",
+            CertifyMode::Online => "online",
+            CertifyMode::OnlineRetaining => "online-retaining",
+        }
+    }
+
+    /// Whether an online monitor runs at all.
+    pub fn is_on(self) -> bool {
+        self != CertifyMode::Off
+    }
+}
+
+impl fmt::Display for CertifyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -271,6 +313,7 @@ pub struct EngineBuilder {
     log: Option<HistoryLog>,
     metrics: MetricsRegistry,
     fast: bool,
+    certify: CertifyMode,
 }
 
 impl EngineBuilder {
@@ -284,7 +327,17 @@ impl EngineBuilder {
             log: None,
             metrics: MetricsRegistry::disabled(),
             fast: false,
+            certify: CertifyMode::Off,
         }
+    }
+
+    /// Selects the online-certification mode for handles built from this
+    /// builder. `certify(CertifyMode::Online)` attaches the streaming
+    /// vector-clock monitor to the engine's recorder when the workload
+    /// calls [`EngineHandle::start_online`].
+    pub fn certify(mut self, mode: CertifyMode) -> Self {
+        self.certify = mode;
+        self
     }
 
     /// Installs the synthesized-table fast path into the dynamic and
@@ -335,6 +388,7 @@ impl EngineBuilder {
             engine: self.engine,
             mgr: b.build(),
             fast: self.fast,
+            certify: self.certify,
         }
     }
 }
@@ -349,6 +403,7 @@ pub struct EngineHandle {
     engine: Engine,
     mgr: TxnManager,
     fast: bool,
+    certify: CertifyMode,
 }
 
 impl EngineHandle {
@@ -361,6 +416,80 @@ impl EngineHandle {
     /// [`EngineBuilder::fast_path`]).
     pub fn fast(&self) -> bool {
         self.fast
+    }
+
+    /// The online-certification mode selected at build time.
+    pub fn certify_mode(&self) -> CertifyMode {
+        self.certify
+    }
+
+    /// The local atomicity property this engine's histories are
+    /// certified under (baselines produce dynamic-atomic histories).
+    pub fn property(&self) -> Property {
+        match self.engine {
+            Engine::Static => Property::Static,
+            Engine::Hybrid => Property::Hybrid,
+            Engine::Dynamic | Engine::TwoPhaseLocking | Engine::CommutativityLocking => {
+                Property::Dynamic
+            }
+        }
+    }
+
+    /// Starts the online streaming certifier over this engine's
+    /// recorder, per the mode selected with [`EngineBuilder::certify`]:
+    /// `Online` pumps a *retiring* tap (shard buffers are consumed as
+    /// they certify — bounded recorder memory, but no post-run
+    /// snapshot), `OnlineRetaining` a preserving one. Returns `None` in
+    /// [`CertifyMode::Off`].
+    ///
+    /// `spec` is the sequential specification the monitor certifies
+    /// against; `rel` an optional commutativity relation enabling the
+    /// streaming table reduction on genuinely partial precedes orders.
+    pub fn start_online(
+        &self,
+        spec: SystemSpec,
+        rel: Option<Arc<dyn CommutesRel>>,
+    ) -> Option<OnlineHandle> {
+        self.spawn_online(spec, rel, self.certify == CertifyMode::Online)
+    }
+
+    /// Like [`EngineHandle::start_online`] but always pumps a
+    /// *preserving* tap, leaving the recorder's log intact — the e16
+    /// equality configuration, where the same run is certified both
+    /// online and post-hoc from a final snapshot.
+    pub fn start_online_preserving(
+        &self,
+        spec: SystemSpec,
+        rel: Option<Arc<dyn CommutesRel>>,
+    ) -> Option<OnlineHandle> {
+        self.spawn_online(spec, rel, false)
+    }
+
+    fn spawn_online(
+        &self,
+        spec: SystemSpec,
+        rel: Option<Arc<dyn CommutesRel>>,
+        destructive_tap: bool,
+    ) -> Option<OnlineHandle> {
+        let cert = match self.certify {
+            CertifyMode::Off => return None,
+            CertifyMode::Online => OnlineCertifier::new(self.property(), spec, rel),
+            CertifyMode::OnlineRetaining => {
+                OnlineCertifier::new_retaining(self.property(), spec, rel)
+            }
+        };
+        let log = self.mgr.log();
+        let tap = if destructive_tap {
+            log.tap_retiring()
+        } else {
+            log.tap()
+        };
+        Some(atomicity_certify::spawn(
+            tap,
+            cert,
+            self.metrics().clone(),
+            Duration::from_micros(200),
+        ))
     }
 
     /// The transaction manager (begin/commit/abort live here).

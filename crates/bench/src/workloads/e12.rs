@@ -3,8 +3,10 @@
 //! Thousands of seeds, each a full-fault-matrix run of the simulated
 //! cluster (latency jitter, loss, bounded duplication, reordering,
 //! partition windows, MTTF crashes recovering through node recovery),
-//! with the standard invariant checkers and the hybrid-atomicity
-//! certifier running at checkpoints inside the loop. Any violating seed
+//! with the standard invariant checkers and the *streaming*
+//! hybrid-atomicity certifier running at checkpoints inside the loop
+//! (each checkpoint feeds the online monitor only the newly recorded
+//! events — no per-checkpoint re-certification). Any violating seed
 //! is **shrunk**: fault classes are greedily disabled and the workload
 //! halved while the violation persists, leaving a minimal reproducer —
 //! a seed plus a fault plan — that replays bit-identically forever.
@@ -17,8 +19,8 @@
 
 use crate::report::ReportHeader;
 use atomicity_sim::{
-    CertifierCheck, Cluster, Endpoint, MttfConfig, NodeId, PartitionWindow, SimConfig, SimRng,
-    SimStats, StandardChecker, TransferClient,
+    Cluster, Endpoint, MttfConfig, NodeId, OnlineCertifierCheck, PartitionWindow, SimConfig,
+    SimRng, SimStats, StandardChecker, TransferClient,
 };
 use serde::{Deserialize, Serialize};
 
@@ -194,7 +196,11 @@ pub fn run_seed(seed: u64, plan: &FaultPlan, params: &E12Params, checked: bool) 
     let mut cluster = Cluster::new(config_for(seed, plan, params));
     if checked {
         cluster.add_checker(Box::new(StandardChecker));
-        let certifier = CertifierCheck::hybrid(&cluster);
+        // Streaming in-loop certification: each checkpoint observes only
+        // the events recorded since the previous one, instead of
+        // re-certifying the whole history (the old merge-then-check
+        // [`CertifierCheck`] cost, quadratic over a run).
+        let certifier = OnlineCertifierCheck::hybrid(&cluster);
         cluster.add_checker(Box::new(certifier));
     }
     let rng = cluster.client_rng(0);

@@ -5,6 +5,7 @@ pub mod bank;
 pub mod e12;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod lamport;
 pub mod queue;
 pub mod recovery;

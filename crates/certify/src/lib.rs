@@ -1,0 +1,46 @@
+//! # atomicity-certify
+//!
+//! Online streaming atomicity certifier: a vector-clock monitor over the
+//! live stamp stream.
+//!
+//! The post-hoc certifiers in `atomicity-lint` decide Weihl's local
+//! atomicity properties from a *complete* merged history. This crate
+//! decides them *while the workload runs*: the [`OnlineCertifier`]
+//! consumes the sharded recorder's stamp stream event by event,
+//! maintaining per-activity first-commit/last-response clocks — the
+//! vector against which each new commit's `precedes` edges are read off —
+//! and per-object incremental replay frontiers. Memory stays bounded by
+//! watermark retirement: committed activities provably ordered before all
+//! future joiners fold into the frontier and are dropped, so retained
+//! state is proportional to the open-transaction footprint rather than
+//! the history length.
+//!
+//! Three pieces:
+//!
+//! - [`OnlineCertifier`] — the monitor itself:
+//!   [`observe`](OnlineCertifier::observe) returns a [`Violation`] the
+//!   moment atomicity becomes unsatisfiable, and
+//!   [`finish`](OnlineCertifier::finish) issues a [`Certificate`] that
+//!   agrees with the post-hoc certifier (see the `monitor` module docs for
+//!   the exact contract).
+//! - [`spawn`] / [`OnlineHandle`] — the pump thread that connects a
+//!   recorder [`LogTap`](atomicity_core::LogTap) to the monitor and
+//!   publishes progress to the engine metrics.
+//! - [`IdSet`] — interval-coalesced activity sets, the reason remembering
+//!   every committed activity forever costs `O(id runs)` rather than
+//!   `O(activities)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod idset;
+pub mod monitor;
+pub mod runner;
+
+pub use idset::IdSet;
+pub use monitor::OnlineCertifier;
+pub use runner::{spawn, OnlineHandle, OnlineOutcome};
+
+// Re-export the certificate vocabulary so downstream users of the online
+// monitor need not depend on the analysis crate directly.
+pub use atomicity_lint::{Certificate, Method, Property, Verdict, Violation};

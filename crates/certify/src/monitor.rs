@@ -1,0 +1,1480 @@
+//! The online certifier: an incremental mirror of the post-hoc watermark
+//! certifier ([`atomicity_lint::certify`]) that consumes the live stamp
+//! stream one event at a time.
+//!
+//! # What is being computed
+//!
+//! The post-hoc certifier derives, from a complete merged history, four
+//! things per committed activity: its first-commit position, its
+//! last-response position, its completed operations per object, and the
+//! objects it touched. The verdict is then a pure function of the
+//! `precedes` comparisons `firstcommit(a) < lastresp(b)` and the
+//! per-object operation lists. Stamps drawn from the sharded recorder are
+//! exactly those global positions, so the monitor can maintain the same
+//! quantities *as the events arrive* — the per-activity (last-response,
+//! first-commit) pairs are the per-thread vector clock against which each
+//! new commit is compared.
+//!
+//! # Watermark retirement
+//!
+//! Memory stays bounded because committed activities *retire*: once an
+//! activity at the front of an object's commit-ordered window is known to
+//! precede every other activity that will ever hold operations on that
+//! object, its operations are folded into an incremental
+//! [`StateReplayer`] frontier and dropped. The retirement test is the
+//! watermark argument run forward: the front activity `f` is safe when
+//! the window's induced order is (so far) total and no open activity
+//! with operations on the object last responded before `firstcommit(f)` —
+//! every later joiner must respond after `f`'s commit, which puts
+//! `⟨f, joiner⟩` in `precedes` permanently.
+//!
+//! Where the induced order is genuinely partial the monitor mirrors the
+//! post-hoc branches: bounded linear-extension enumeration from a forked
+//! frontier while the object has at most `MAX_LOCAL_ENUM` committed
+//! activities, and past that the table reduction — which streams too,
+//! because the non-commuting-concurrent-pair search only needs, per
+//! distinct operation, the *maximum first-commit stamp* among already
+//! folded activities holding it (a later activity `b` is incomparable
+//! with an earlier `a` iff `firstcommit(a) > lastresp(b)`, so the
+//! max-stamp holder witnesses any conflict).
+//!
+//! # Agreement contract
+//!
+//! With retirement off the monitor additionally mirrors every event, and
+//! delegates to the post-hoc certifier on the pathologies outside the
+//! basic discipline (responses after commit, commit after abort,
+//! timestamp regression): verdicts then agree with [`certify`] in kind on
+//! *arbitrary* event soups (proptested in `tests/equivalence.rs`). With
+//! retirement on, the pathological histories answer
+//! [`Verdict::Unknown`] instead (the mirror that would decide them is
+//! exactly what retirement gives up); on disciplined engine streams the
+//! two modes agree with each other and with the post-hoc certifier.
+
+use crate::idset::IdSet;
+use atomicity_core::CommutesRel;
+use atomicity_lint::{certify, certify_with_relation};
+use atomicity_lint::{Certificate, Method, Property, Verdict, Violation};
+use atomicity_spec::{
+    ActivityId, Event, EventKind, History, ObjectId, ObjectSpec, OpResult, Operation,
+    StateReplayer, SystemSpec, Timestamp,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Mirror of the post-hoc certifier's per-object linear-extension bound.
+const MAX_LOCAL_ENUM: usize = 6;
+
+/// Mirror of the post-hoc certifier's exhaustive-fallback bound, used only
+/// in messages (the retain-all mode delegates the fallback itself).
+const MAX_FALLBACK_ACTIVITIES: usize = 7;
+
+/// How far outside the basic discipline the stream stepped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pathology {
+    /// A response event arrived for an already-committed activity: the
+    /// post-hoc certifier resolves this with the exhaustive fallback.
+    RespondAfterCommit,
+    /// A commit event arrived for an already-aborted activity.
+    CommitAfterAbort,
+    /// A timestamp at or below the drained watermark arrived after the
+    /// timestamp-ordered replay had advanced past it.
+    TimestampRegression,
+    /// Stamps arrived out of order — a tap protocol error, not a property
+    /// of the history.
+    StampRegression,
+}
+
+impl Pathology {
+    fn describe(self) -> &'static str {
+        match self {
+            Pathology::RespondAfterCommit => "a response event followed the activity's commit",
+            Pathology::CommitAfterAbort => "a commit event followed the activity's abort",
+            Pathology::TimestampRegression => {
+                "a timestamp regressed below the drained replay watermark"
+            }
+            Pathology::StampRegression => "the stamp stream was not strictly increasing",
+        }
+    }
+}
+
+/// Live state of an activity that has neither committed nor aborted.
+#[derive(Default, Clone)]
+struct ActState {
+    /// Invocations awaiting a response, per object.
+    pending: BTreeMap<ObjectId, Operation>,
+    /// Completed operations, per object, in response order.
+    ops: BTreeMap<ObjectId, Vec<OpResult>>,
+    /// Objects participating in any of the activity's events so far.
+    touched: BTreeSet<ObjectId>,
+    /// Stamp of the latest response event, across all objects.
+    last_resp: Option<u64>,
+    /// First timestamp event (initiation or timestamped commit).
+    ts: Option<Timestamp>,
+}
+
+impl ActState {
+    fn retained(&self) -> usize {
+        self.pending.len() + self.ops.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// A committed activity held in an object's unretired window.
+#[derive(Clone)]
+struct WinAct {
+    act: ActivityId,
+    /// Stamp of the activity's first commit event.
+    fc: u64,
+    /// Stamp of the activity's last response event.
+    lr: u64,
+    ops: Vec<OpResult>,
+}
+
+/// Why an object's verdict is already pinned regardless of further events.
+#[derive(Clone)]
+enum Pinned {
+    /// Committed operations on an unspecified object.
+    NoSpec,
+    /// Genuinely partial induced order past the enumeration bound, no
+    /// commutativity relation supplied.
+    UnknownNoRel,
+    /// Genuinely partial induced order past the enumeration bound, and a
+    /// concurrent pair holds non-commuting operations.
+    UnknownNonCommuting(ActivityId, ActivityId),
+}
+
+/// The per-object streaming machine for dynamic atomicity.
+struct ObjectMonitor {
+    x: ObjectId,
+    spec: Option<Arc<dyn ObjectSpec>>,
+    /// Reachable-state frontier over everything folded so far; created on
+    /// first fold. `None` with `retired == 0` means nothing folded yet.
+    frontier: Option<Box<dyn StateReplayer>>,
+    /// Committed activities folded into the frontier (retired or
+    /// summarized).
+    folded: usize,
+    /// Committed, unfolded activities in first-commit order.
+    window: VecDeque<WinAct>,
+    /// Whether some adjacent pair of the induced order is incomparable.
+    partial: bool,
+    /// Committed activities with operations here, ever.
+    total_acts: usize,
+    /// Witness of the first frontier rejection, if any.
+    rejected: Option<String>,
+    pinned: Option<Pinned>,
+    /// Table-reduction streaming mode: operations are folded in commit
+    /// order and only per-operation max-first-commit stamps are kept.
+    summarized: bool,
+    /// Distinct operations seen on this object (interning table).
+    universe: Vec<Operation>,
+    /// Memoized `rel.commutes(universe[p], universe[q])`.
+    commute_memo: BTreeMap<(usize, usize), bool>,
+    /// Per interned operation: max first-commit stamp among folded
+    /// activities holding it (summarized mode only).
+    maxfc: BTreeMap<usize, u64>,
+}
+
+impl ObjectMonitor {
+    fn new(x: ObjectId, spec: Option<Arc<dyn ObjectSpec>>) -> Self {
+        ObjectMonitor {
+            x,
+            spec,
+            frontier: None,
+            folded: 0,
+            window: VecDeque::new(),
+            partial: false,
+            total_acts: 0,
+            rejected: None,
+            pinned: None,
+            summarized: false,
+            universe: Vec::new(),
+            commute_memo: BTreeMap::new(),
+            maxfc: BTreeMap::new(),
+        }
+    }
+
+    /// An independent copy (frontier forked) for provisional conclusion.
+    fn fork(&self) -> Self {
+        ObjectMonitor {
+            x: self.x,
+            spec: self.spec.clone(),
+            frontier: self.frontier.as_ref().map(|f| f.fork()),
+            folded: self.folded,
+            window: self.window.clone(),
+            partial: self.partial,
+            total_acts: self.total_acts,
+            rejected: self.rejected.clone(),
+            pinned: self.pinned.clone(),
+            summarized: self.summarized,
+            universe: self.universe.clone(),
+            commute_memo: self.commute_memo.clone(),
+            maxfc: self.maxfc.clone(),
+        }
+    }
+
+    /// Interns the distinct operations of `ops`.
+    fn intern(&mut self, ops: &[OpResult]) -> Vec<usize> {
+        let mut ids = Vec::new();
+        for (operation, _) in ops {
+            let id = self
+                .universe
+                .iter()
+                .position(|u| u == operation)
+                .unwrap_or_else(|| {
+                    self.universe.push(operation.clone());
+                    self.universe.len() - 1
+                });
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        ids
+    }
+
+    fn commutes(&mut self, p: usize, q: usize, rel: &dyn CommutesRel) -> bool {
+        if let Some(&c) = self.commute_memo.get(&(p, q)) {
+            return c;
+        }
+        let c = rel.commutes(&self.universe[p], &self.universe[q]);
+        self.commute_memo.insert((p, q), c);
+        c
+    }
+
+    /// Folds one activity's operations into the frontier, recording the
+    /// first rejection as both the pinned witness and a live violation.
+    fn fold(&mut self, w: &WinAct, violations: &mut Vec<Violation>) {
+        self.folded += 1;
+        if self.rejected.is_some() {
+            return; // frontier is dead; the prefix rejection decides replays
+        }
+        let spec = self.spec.as_ref().expect("fold requires a specification");
+        let frontier = self
+            .frontier
+            .get_or_insert_with(|| Arc::clone(spec).begin_replay());
+        if !frontier.apply(&w.ops) {
+            let detail = format!(
+                "object {:?}: the committed serial prefix became unacceptable at \
+                 activity {:?} (commit stamp {})",
+                self.x, w.act, w.fc
+            );
+            self.rejected = Some(detail.clone());
+            violations.push(Violation {
+                stamp: w.fc,
+                object: Some(self.x),
+                activity: Some(w.act),
+                detail,
+            });
+        }
+    }
+
+    /// Feeds one freshly committed activity with operations on this object.
+    ///
+    /// `danger_min_lr` is the minimum last-response stamp over *open*
+    /// activities currently holding operations on this object — the
+    /// retirement watermark.
+    #[allow(clippy::too_many_arguments)]
+    fn on_commit(
+        &mut self,
+        act: ActivityId,
+        fc: u64,
+        lr: u64,
+        ops: Vec<OpResult>,
+        danger_min_lr: Option<u64>,
+        rel: Option<&dyn CommutesRel>,
+        retire: bool,
+        violations: &mut Vec<Violation>,
+        retained: &mut usize,
+    ) {
+        self.total_acts += 1;
+        if self.spec.is_none() {
+            if self.pinned.is_none() {
+                self.pinned = Some(Pinned::NoSpec);
+                violations.push(Violation {
+                    stamp: fc,
+                    object: Some(self.x),
+                    activity: Some(act),
+                    detail: format!(
+                        "object {:?} has committed operations but no specification",
+                        self.x
+                    ),
+                });
+            }
+            return;
+        }
+        if self.pinned.is_some() {
+            return;
+        }
+        if self.summarized {
+            let ids = self.intern(&ops);
+            if let Some(rel) = rel {
+                if let Some((p, q)) = self.noncommuting_vs_folded(lr, &ids, rel) {
+                    self.pin_noncommuting(p, act, q, act, retained);
+                    return;
+                }
+            }
+            for &id in &ids {
+                let e = self.maxfc.entry(id).or_insert(fc);
+                *e = (*e).max(fc);
+            }
+            let w = WinAct { act, fc, lr, ops };
+            self.fold(&w, violations);
+            return;
+        }
+        if let Some(last) = self.window.back() {
+            if last.fc >= lr {
+                // `⟨last, act⟩ ∉ precedes`: the induced order is partial.
+                self.partial = true;
+            }
+        }
+        *retained += ops.len();
+        self.window.push_back(WinAct { act, fc, lr, ops });
+        if !self.partial {
+            if retire {
+                self.try_retire(danger_min_lr, violations, retained);
+                // Danger-pressure reduction: a starved open activity (one
+                // whose last response is ancient because the engine parked
+                // it in a wait queue) blocks front retirement for as long
+                // as it stays open, and a total window would balloon with
+                // every commit in between. All window pairs are comparable
+                // here (commit stamps are monotone, so adjacency totality
+                // is pairwise totality), which is exactly the trivial case
+                // of the streaming table reduction — fold the window and
+                // let `maxfc` arbitrate the straggler when it commits.
+                if self.window.len() > MAX_LOCAL_ENUM && rel.is_some() {
+                    self.enter_summarized(violations, retained);
+                }
+            }
+        } else if self.total_acts > MAX_LOCAL_ENUM {
+            match rel {
+                None => {
+                    self.pinned = Some(Pinned::UnknownNoRel);
+                    self.drop_window(retained);
+                }
+                Some(rel) => {
+                    if let Some((i, j)) = self.window_noncommuting(rel) {
+                        let (a, b) = (self.window[i].act, self.window[j].act);
+                        self.pinned = Some(Pinned::UnknownNonCommuting(a, b));
+                        self.drop_window(retained);
+                    } else {
+                        self.enter_summarized(violations, retained);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enters the streaming table reduction: folds the window in commit
+    /// order, keeping only per-op max-first-commit stamps for future
+    /// conflict checks.
+    fn enter_summarized(&mut self, violations: &mut Vec<Violation>, retained: &mut usize) {
+        self.summarized = true;
+        while let Some(w) = self.window.pop_front() {
+            let ids = self.intern(&w.ops);
+            for id in ids {
+                let e = self.maxfc.entry(id).or_insert(w.fc);
+                *e = (*e).max(w.fc);
+            }
+            *retained -= w.ops.len();
+            self.fold(&w, violations);
+        }
+    }
+
+    /// In summarized mode: does the new activity (last response `lr`,
+    /// interned ops `ids`) conflict with an incomparable folded activity?
+    /// Folded activity `a` is incomparable with the newcomer iff
+    /// `firstcommit(a) > lr`, and the max-stamp holder of each operation
+    /// witnesses any such conflict.
+    fn noncommuting_vs_folded(
+        &mut self,
+        lr: u64,
+        ids: &[usize],
+        rel: &dyn CommutesRel,
+    ) -> Option<(usize, usize)> {
+        let candidates: Vec<usize> = self
+            .maxfc
+            .iter()
+            .filter(|&(_, &fc)| fc > lr)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in candidates {
+            for &q in ids {
+                if !self.commutes(p, q, rel) {
+                    return Some((p, q));
+                }
+            }
+        }
+        None
+    }
+
+    /// The post-hoc non-commuting-concurrent-pair search restricted to the
+    /// window (folded activities are comparable with everything).
+    fn window_noncommuting(&mut self, rel: &dyn CommutesRel) -> Option<(usize, usize)> {
+        let interned: Vec<Vec<usize>> = {
+            let opses: Vec<Vec<OpResult>> = self.window.iter().map(|w| w.ops.clone()).collect();
+            opses.iter().map(|ops| self.intern(ops)).collect()
+        };
+        for i in 0..self.window.len() {
+            for j in i + 1..self.window.len() {
+                if self.window[i].fc < self.window[j].lr {
+                    continue; // comparable
+                }
+                for &p in &interned[i] {
+                    for &q in &interned[j] {
+                        if !self.commutes(p, q, rel) {
+                            return Some((i, j));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn pin_noncommuting(
+        &mut self,
+        _p: usize,
+        a: ActivityId,
+        _q: usize,
+        b: ActivityId,
+        retained: &mut usize,
+    ) {
+        self.pinned = Some(Pinned::UnknownNonCommuting(a, b));
+        self.drop_window(retained);
+    }
+
+    fn drop_window(&mut self, retained: &mut usize) {
+        for w in &self.window {
+            *retained -= w.ops.len();
+        }
+        self.window.clear();
+        self.frontier = None;
+        self.maxfc.clear();
+    }
+
+    /// Retires front-window activities whose precedence over every future
+    /// joiner is already certain.
+    fn try_retire(
+        &mut self,
+        danger_min_lr: Option<u64>,
+        violations: &mut Vec<Violation>,
+        retained: &mut usize,
+    ) {
+        debug_assert!(!self.partial);
+        while let Some(front) = self.window.front() {
+            if danger_min_lr.is_some_and(|m| m < front.fc) {
+                break; // an open activity could still commit incomparably
+            }
+            let w = self.window.pop_front().expect("front exists");
+            *retained -= w.ops.len();
+            self.fold(&w, violations);
+        }
+    }
+
+    /// Number of operations currently buffered in the window.
+    #[cfg(test)]
+    fn window_ops(&self) -> usize {
+        self.window.iter().map(|w| w.ops.len()).sum()
+    }
+
+    /// Finishes this object: the stream has ended, every activity has
+    /// resolved. Mirrors the post-hoc per-object branch structure.
+    fn conclude(mut self, violations: &mut Vec<Violation>) -> Verdict {
+        if let Some(p) = &self.pinned {
+            return match p {
+                Pinned::NoSpec => Verdict::Refuted(format!(
+                    "object {:?} has committed operations but no specification",
+                    self.x
+                )),
+                Pinned::UnknownNoRel => Verdict::Unknown(format!(
+                    "object {:?}: {} committed activities with a genuinely partial \
+                     precedes order exceed the enumeration bound {MAX_LOCAL_ENUM}",
+                    self.x, self.total_acts
+                )),
+                Pinned::UnknownNonCommuting(a, b) => Verdict::Unknown(format!(
+                    "object {:?}: {} committed activities with a genuinely partial \
+                     precedes order exceed the enumeration bound {MAX_LOCAL_ENUM}, \
+                     and concurrent activities {a:?} and {b:?} hold non-commuting \
+                     operations",
+                    self.x, self.total_acts
+                )),
+            };
+        }
+        if self.summarized || !self.partial {
+            // Single consistent order: fold the remaining window.
+            let rest: Vec<WinAct> = self.window.drain(..).collect();
+            for w in &rest {
+                self.fold(w, violations);
+            }
+            return match self.rejected {
+                Some(why) => Verdict::Refuted(why),
+                None => Verdict::Certified,
+            };
+        }
+        // Genuinely partial with at most MAX_LOCAL_ENUM activities:
+        // enumerate the window's linear extensions over forks of the
+        // retired-prefix frontier (the retired activities precede every
+        // window member in every extension).
+        debug_assert!(self.total_acts <= MAX_LOCAL_ENUM);
+        if let Some(why) = self.rejected {
+            // The forced prefix is already unacceptable: every extension is.
+            return Verdict::Refuted(why);
+        }
+        let window: Vec<WinAct> = self.window.drain(..).collect();
+        let spec = self.spec.as_ref().expect("partial window implies ops");
+        let base = match &self.frontier {
+            Some(f) => f.fork(),
+            None => Arc::clone(spec).begin_replay(),
+        };
+        let mut used = vec![false; window.len()];
+        if let Some(order) =
+            reject_some_extension(&window, &mut used, &mut Vec::new(), base.as_ref())
+        {
+            return Verdict::Refuted(format!(
+                "object {:?}: precedes-consistent order {order:?} is rejected by \
+                 the specification",
+                self.x
+            ));
+        }
+        Verdict::Certified
+    }
+}
+
+/// Depth-first search for a linear extension of the window's induced order
+/// that the specification rejects; prefix rejections decide all their
+/// completions, so each tree edge extends a forked frontier by one
+/// activity. Returns the rejecting order's activities if one exists.
+fn reject_some_extension(
+    window: &[WinAct],
+    used: &mut [bool],
+    placed: &mut Vec<ActivityId>,
+    frontier: &dyn StateReplayer,
+) -> Option<Vec<ActivityId>> {
+    if placed.len() == window.len() {
+        return None;
+    }
+    for i in 0..window.len() {
+        if used[i] {
+            continue;
+        }
+        // Ready: no unplaced j ≠ i precedes i.
+        let ready = (0..window.len()).all(|j| used[j] || j == i || window[j].fc >= window[i].lr);
+        if !ready {
+            continue;
+        }
+        let mut next = frontier.fork();
+        used[i] = true;
+        placed.push(window[i].act);
+        if !next.apply(&window[i].ops) {
+            // This prefix (hence some full extension) is rejected.
+            let order = placed.clone();
+            placed.pop();
+            used[i] = false;
+            return Some(order);
+        }
+        if let Some(order) = reject_some_extension(window, used, placed, next.as_ref()) {
+            placed.pop();
+            used[i] = false;
+            return Some(order);
+        }
+        placed.pop();
+        used[i] = false;
+    }
+    None
+}
+
+/// One object's incremental replay for the timestamp-ordered properties.
+struct TsObjectReplay {
+    spec: Option<Arc<dyn ObjectSpec>>,
+    frontier: Option<Box<dyn StateReplayer>>,
+    rejected: bool,
+}
+
+impl TsObjectReplay {
+    fn fork(&self) -> Self {
+        TsObjectReplay {
+            spec: self.spec.clone(),
+            frontier: self.frontier.as_ref().map(|f| f.fork()),
+            rejected: self.rejected,
+        }
+    }
+}
+
+/// A committed activity awaiting its timestamp-ordered drain: its first
+/// commit stamp plus its completed operations per object.
+type PendingAct = (u64, BTreeMap<ObjectId, Vec<OpResult>>);
+
+/// The streaming machine for static/hybrid atomicity: committed
+/// activities drain into per-object replayers in `(timestamp, activity)`
+/// order once no earlier key can still arrive.
+struct TsMachine {
+    /// Committed activities not yet drained, keyed by timestamp order.
+    queue: BTreeMap<(Timestamp, ActivityId), PendingAct>,
+    /// Committed activities still missing a timestamp event (post-hoc:
+    /// `timestamp_order` returns `None` → refuted).
+    parked: BTreeMap<ActivityId, PendingAct>,
+    /// Highest timestamp seen on any event.
+    max_ts_seen: Option<Timestamp>,
+    /// Key of the last drained activity.
+    last_drained: Option<(Timestamp, ActivityId)>,
+    replayers: BTreeMap<ObjectId, TsObjectReplay>,
+    /// Witness of the first rejection across objects.
+    rejected: Option<String>,
+}
+
+impl TsMachine {
+    fn new() -> Self {
+        TsMachine {
+            queue: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            max_ts_seen: None,
+            last_drained: None,
+            replayers: BTreeMap::new(),
+            rejected: None,
+        }
+    }
+
+    fn fork(&self) -> Self {
+        TsMachine {
+            queue: self.queue.clone(),
+            parked: self.parked.clone(),
+            max_ts_seen: self.max_ts_seen,
+            last_drained: self.last_drained,
+            replayers: self.replayers.iter().map(|(x, r)| (*x, r.fork())).collect(),
+            rejected: self.rejected.clone(),
+        }
+    }
+
+    fn retained_ops(map: &BTreeMap<ObjectId, Vec<OpResult>>) -> usize {
+        map.values().map(Vec::len).sum()
+    }
+
+    /// Enqueues a committed activity; returns `false` on timestamp
+    /// regression (key at or below the drained watermark).
+    #[must_use]
+    fn enqueue(
+        &mut self,
+        act: ActivityId,
+        ts: Option<Timestamp>,
+        commit_stamp: u64,
+        ops: BTreeMap<ObjectId, Vec<OpResult>>,
+    ) -> bool {
+        match ts {
+            None => {
+                self.parked.insert(act, (commit_stamp, ops));
+                true
+            }
+            Some(t) => {
+                let key = (t, act);
+                if self.last_drained.is_some_and(|ld| key <= ld) {
+                    return false;
+                }
+                self.queue.insert(key, (commit_stamp, ops));
+                true
+            }
+        }
+    }
+
+    /// Resolves a late timestamp event for a parked committed activity.
+    #[must_use]
+    fn resolve_parked(&mut self, act: ActivityId, t: Timestamp) -> bool {
+        if let Some((stamp, ops)) = self.parked.remove(&act) {
+            return self.enqueue(act, Some(t), stamp, ops);
+        }
+        true
+    }
+
+    /// Drains every queue entry provably final in timestamp order:
+    /// strictly below the highest timestamp seen (later events cannot go
+    /// below it on a monotone clock; regressions are caught by
+    /// [`TsMachine::enqueue`]) and below every open activity's assigned
+    /// timestamp.
+    fn drain(
+        &mut self,
+        open_min: Option<(Timestamp, ActivityId)>,
+        spec: &SystemSpec,
+        violations: &mut Vec<Violation>,
+        retained: &mut usize,
+        drain_all: bool,
+    ) {
+        while let Some((&key, _)) = self.queue.iter().next() {
+            if !drain_all {
+                let below_new = self.max_ts_seen.is_some_and(|m| key.0 < m);
+                let below_open = open_min.is_none_or(|m| key < m);
+                if !(below_new && below_open) {
+                    break;
+                }
+            }
+            let (key, (stamp, ops)) = self.queue.pop_first().expect("peeked");
+            *retained -= Self::retained_ops(&ops);
+            self.last_drained = Some(key);
+            self.apply(key.1, stamp, ops, spec, violations);
+        }
+    }
+
+    fn apply(
+        &mut self,
+        act: ActivityId,
+        stamp: u64,
+        ops: BTreeMap<ObjectId, Vec<OpResult>>,
+        spec: &SystemSpec,
+        violations: &mut Vec<Violation>,
+    ) {
+        for (x, ops) in ops {
+            if ops.is_empty() {
+                continue;
+            }
+            let replay = self.replayers.entry(x).or_insert_with(|| TsObjectReplay {
+                spec: spec.get(x).cloned(),
+                frontier: None,
+                rejected: false,
+            });
+            if replay.rejected {
+                continue;
+            }
+            let ok = match &replay.spec {
+                None => false,
+                Some(s) => replay
+                    .frontier
+                    .get_or_insert_with(|| Arc::clone(s).begin_replay())
+                    .apply(&ops),
+            };
+            if !ok {
+                replay.rejected = true;
+                let detail = format!(
+                    "object {x:?}: the timestamp-ordered serial sequence became \
+                     unacceptable at activity {act:?}"
+                );
+                if self.rejected.is_none() {
+                    self.rejected = Some(detail.clone());
+                }
+                violations.push(Violation {
+                    stamp,
+                    object: Some(x),
+                    activity: Some(act),
+                    detail,
+                });
+            }
+        }
+    }
+
+    fn conclude(
+        mut self,
+        spec: &SystemSpec,
+        violations: &mut Vec<Violation>,
+        retained: &mut usize,
+    ) -> Verdict {
+        self.drain(None, spec, violations, retained, true);
+        if !self.parked.is_empty() {
+            return Verdict::Refuted("a committed activity has no timestamp event".to_string());
+        }
+        match self.rejected {
+            Some(why) => Verdict::Refuted(format!(
+                "perm(h) is not serializable in timestamp order: {why}"
+            )),
+            None => Verdict::Certified,
+        }
+    }
+}
+
+/// The online streaming certifier.
+///
+/// Feed it the recorder's stamp stream via
+/// [`observe`](OnlineCertifier::observe); each call returns a
+/// [`Violation`] the moment atomicity becomes unsatisfiable mid-run, and
+/// [`finish`](OnlineCertifier::finish) produces a [`Certificate`] whose
+/// verdict agrees with the post-hoc certifier's (see the module docs for
+/// the exact contract). Construct with retirement on
+/// ([`OnlineCertifier::new`]) for bounded memory over unbounded streams,
+/// or off ([`OnlineCertifier::new_retaining`]) for exact post-hoc
+/// equivalence on arbitrary event soups.
+pub struct OnlineCertifier {
+    property: Property,
+    spec: SystemSpec,
+    rel: Option<Arc<dyn CommutesRel>>,
+    retire: bool,
+
+    last_stamp: Option<u64>,
+    observed: u64,
+    open: BTreeMap<ActivityId, ActState>,
+    committed: IdSet,
+    aborted: IdSet,
+    /// Objects participating in any event of a committed activity.
+    committed_objects: BTreeSet<ObjectId>,
+    /// Objects participating in any event at all.
+    all_objects: BTreeSet<ObjectId>,
+    pathology: Option<Pathology>,
+    /// Full event mirror (retain-all mode only), for post-hoc delegation.
+    mirror: Vec<Event>,
+    dynamic: BTreeMap<ObjectId, ObjectMonitor>,
+    tsm: Option<TsMachine>,
+    violations: Vec<Violation>,
+    retained: usize,
+    peak_retained: usize,
+}
+
+impl OnlineCertifier {
+    /// Creates a monitor with watermark retirement on: memory stays
+    /// bounded by the open-transaction footprint, and histories outside
+    /// the basic discipline answer [`Verdict::Unknown`].
+    pub fn new(property: Property, spec: SystemSpec, rel: Option<Arc<dyn CommutesRel>>) -> Self {
+        Self::with_retirement(property, spec, rel, true)
+    }
+
+    /// Creates a monitor that retains the full stream: verdicts agree
+    /// with the post-hoc certifier in kind on arbitrary histories, at the
+    /// memory cost of a complete event mirror.
+    pub fn new_retaining(
+        property: Property,
+        spec: SystemSpec,
+        rel: Option<Arc<dyn CommutesRel>>,
+    ) -> Self {
+        Self::with_retirement(property, spec, rel, false)
+    }
+
+    fn with_retirement(
+        property: Property,
+        spec: SystemSpec,
+        rel: Option<Arc<dyn CommutesRel>>,
+        retire: bool,
+    ) -> Self {
+        let tsm = match property {
+            Property::Dynamic => None,
+            Property::Static | Property::Hybrid => Some(TsMachine::new()),
+        };
+        OnlineCertifier {
+            property,
+            spec,
+            rel,
+            retire,
+            last_stamp: None,
+            observed: 0,
+            open: BTreeMap::new(),
+            committed: IdSet::new(),
+            aborted: IdSet::new(),
+            committed_objects: BTreeSet::new(),
+            all_objects: BTreeSet::new(),
+            pathology: None,
+            mirror: Vec::new(),
+            dynamic: BTreeMap::new(),
+            tsm,
+            violations: Vec::new(),
+            retained: 0,
+            peak_retained: 0,
+        }
+    }
+
+    /// The property being monitored.
+    pub fn property(&self) -> Property {
+        self.property
+    }
+
+    /// Whether watermark retirement is active.
+    pub fn is_retiring(&self) -> bool {
+        self.retire
+    }
+
+    /// Events observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Operations and events currently retained (windows, open-activity
+    /// buffers, undrained timestamp queues, and — with retirement off —
+    /// the event mirror).
+    pub fn retained(&self) -> usize {
+        self.retained
+    }
+
+    /// High-water mark of [`retained`](OnlineCertifier::retained).
+    pub fn peak_retained(&self) -> usize {
+        self.peak_retained
+    }
+
+    /// Violations flagged so far, in stream order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Committed activities observed so far.
+    pub fn committed_count(&self) -> usize {
+        self.committed.len()
+    }
+
+    fn flag_pathology(&mut self, kind: Pathology) {
+        if self.pathology.is_none() {
+            self.pathology = Some(kind);
+            if self.retire {
+                // The machines will not be consulted again; free them.
+                let mut retained = self.retained;
+                for (_, mon) in std::mem::take(&mut self.dynamic) {
+                    let mut m = mon;
+                    m.drop_window(&mut retained);
+                }
+                self.retained = retained;
+                if let Some(tsm) = &mut self.tsm {
+                    for (_, (_, ops)) in std::mem::take(&mut tsm.queue) {
+                        self.retained -= TsMachine::retained_ops(&ops);
+                    }
+                    for (_, (_, ops)) in std::mem::take(&mut tsm.parked) {
+                        self.retained -= TsMachine::retained_ops(&ops);
+                    }
+                    tsm.replayers.clear();
+                }
+                for st in self.open.values_mut() {
+                    self.retained -= st.retained();
+                    st.pending.clear();
+                    st.ops.clear();
+                }
+            }
+        }
+    }
+
+    /// Minimum last-response stamp over open activities holding completed
+    /// operations on `x` — the dynamic retirement watermark.
+    fn danger_min_lr(&self, x: ObjectId) -> Option<u64> {
+        self.open
+            .values()
+            .filter(|st| st.ops.get(&x).is_some_and(|ops| !ops.is_empty()))
+            .filter_map(|st| st.last_resp)
+            .min()
+    }
+
+    /// Minimum `(timestamp, activity)` key over open activities that have
+    /// already been assigned a timestamp — the drain watermark.
+    fn open_min_ts(&self) -> Option<(Timestamp, ActivityId)> {
+        self.open
+            .iter()
+            .filter_map(|(&a, st)| st.ts.map(|t| (t, a)))
+            .min()
+    }
+
+    /// Observes one event from the stamp stream. Stamps must be strictly
+    /// increasing (the recorder's global sequencer guarantees this; a
+    /// regression is reported as a protocol violation). Returns a
+    /// [`Violation`] if this event made atomicity unsatisfiable.
+    pub fn observe(&mut self, stamp: u64, event: &Event) -> Option<Violation> {
+        let first_new = self.violations.len();
+        self.observed += 1;
+        if self.last_stamp.is_some_and(|last| stamp <= last) {
+            self.flag_pathology(Pathology::StampRegression);
+        }
+        self.last_stamp = Some(stamp);
+        if !self.retire {
+            self.mirror.push(event.clone());
+            self.retained += 1;
+        }
+        let act = event.activity;
+        let x = event.object;
+        self.all_objects.insert(x);
+        let already_committed = self.committed.contains(act.raw());
+        if already_committed {
+            self.committed_objects.insert(x);
+        }
+        if let Some(t) = event.kind.timestamp() {
+            if let Some(tsm) = &mut self.tsm {
+                tsm.max_ts_seen = Some(tsm.max_ts_seen.map_or(t, |m| m.max(t)));
+            }
+        }
+        match &event.kind {
+            EventKind::Invoke(op) => {
+                if !already_committed && self.pathology.is_none() {
+                    let st = self.open.entry(act).or_default();
+                    st.touched.insert(x);
+                    if st.pending.insert(x, op.clone()).is_none() {
+                        self.retained += 1;
+                    }
+                } else if !already_committed {
+                    self.open.entry(act).or_default().touched.insert(x);
+                }
+            }
+            EventKind::Respond(v) => {
+                if already_committed {
+                    self.flag_pathology(Pathology::RespondAfterCommit);
+                } else {
+                    let st = self.open.entry(act).or_default();
+                    st.touched.insert(x);
+                    st.last_resp = Some(stamp);
+                    if self.pathology.is_none() {
+                        if let Some(op) = st.pending.remove(&x) {
+                            st.ops.entry(x).or_default().push((op, v.clone()));
+                        }
+                    }
+                }
+            }
+            EventKind::Abort => {
+                if !already_committed {
+                    if let Some(st) = self.open.remove(&act) {
+                        self.retained -= st.retained();
+                    }
+                    self.aborted.insert(act.raw());
+                }
+            }
+            EventKind::Initiate(t) => {
+                if !already_committed {
+                    let st = self.open.entry(act).or_default();
+                    st.touched.insert(x);
+                    st.ts.get_or_insert(*t);
+                } else if self.pathology.is_none() {
+                    // Late timestamp for a committed activity: resolves a
+                    // parked timestamp-order entry if one exists.
+                    if let Some(tsm) = &mut self.tsm {
+                        if !tsm.resolve_parked(act, *t) {
+                            self.flag_pathology(Pathology::TimestampRegression);
+                        }
+                    }
+                }
+            }
+            EventKind::Commit | EventKind::CommitTs(_) => {
+                if !already_committed {
+                    if self.aborted.contains(act.raw()) {
+                        self.flag_pathology(Pathology::CommitAfterAbort);
+                    } else {
+                        self.commit(stamp, act, x, event.kind.timestamp());
+                    }
+                } else if self.pathology.is_none() {
+                    // A duplicate timestamped commit can carry the
+                    // activity's first timestamp event.
+                    if let Some(t) = event.kind.timestamp() {
+                        if let Some(tsm) = &mut self.tsm {
+                            if !tsm.resolve_parked(act, t) {
+                                self.flag_pathology(Pathology::TimestampRegression);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Timestamp-order drains are attempted on every event: new
+        // timestamps and resolved opens both move the watermark.
+        if self.pathology.is_none() {
+            if let Some(mut tsm) = self.tsm.take() {
+                let open_min = self.open_min_ts();
+                tsm.drain(
+                    open_min,
+                    &self.spec,
+                    &mut self.violations,
+                    &mut self.retained,
+                    false,
+                );
+                self.tsm = Some(tsm);
+            }
+        }
+        self.peak_retained = self.peak_retained.max(self.retained);
+        self.violations.get(first_new).cloned()
+    }
+
+    /// Handles the first commit event of `act`.
+    fn commit(&mut self, stamp: u64, act: ActivityId, x: ObjectId, event_ts: Option<Timestamp>) {
+        self.committed.insert(act.raw());
+        let st = self.open.remove(&act).unwrap_or_default();
+        self.retained -= st.pending.len();
+        self.committed_objects.insert(x);
+        self.committed_objects.extend(st.touched.iter().copied());
+        if self.pathology.is_some() {
+            self.retained -= st.ops.values().map(Vec::len).sum::<usize>();
+            return;
+        }
+        match self.property {
+            Property::Dynamic => {
+                let lr = st.last_resp;
+                let ops_total: usize = st.ops.values().map(Vec::len).sum();
+                self.retained -= ops_total;
+                for (obj, ops) in st.ops {
+                    if ops.is_empty() {
+                        continue;
+                    }
+                    let danger = self.danger_min_lr(obj);
+                    let mon = self
+                        .dynamic
+                        .entry(obj)
+                        .or_insert_with(|| ObjectMonitor::new(obj, self.spec.get(obj).cloned()));
+                    mon.on_commit(
+                        act,
+                        stamp,
+                        lr.expect("an activity with completed operations has responded"),
+                        ops,
+                        danger,
+                        self.rel.as_deref(),
+                        self.retire,
+                        &mut self.violations,
+                        &mut self.retained,
+                    );
+                }
+            }
+            Property::Static | Property::Hybrid => {
+                let ts = st.ts.or(event_ts);
+                let tsm = self.tsm.as_mut().expect("timestamp machine exists");
+                // Ops stay retained until drained.
+                if !tsm.enqueue(act, ts, stamp, st.ops) {
+                    self.flag_pathology(Pathology::TimestampRegression);
+                }
+            }
+        }
+    }
+
+    /// The certificate the monitor would issue if the stream ended now,
+    /// without disturbing the live state (frontiers are forked).
+    pub fn provisional_certificate(&self) -> Certificate {
+        self.fork().conclude().0
+    }
+
+    /// Finishes the stream: resolves every remaining window and queue and
+    /// issues the certificate, together with all violations flagged
+    /// (including any found only at finish time).
+    pub fn finish(self) -> (Certificate, Vec<Violation>) {
+        self.conclude()
+    }
+
+    fn fork(&self) -> Self {
+        OnlineCertifier {
+            property: self.property,
+            spec: self.spec.clone(),
+            rel: self.rel.clone(),
+            retire: self.retire,
+            last_stamp: self.last_stamp,
+            observed: self.observed,
+            open: self.open.clone(),
+            committed: self.committed.clone(),
+            aborted: self.aborted.clone(),
+            committed_objects: self.committed_objects.clone(),
+            all_objects: self.all_objects.clone(),
+            pathology: self.pathology,
+            mirror: self.mirror.clone(),
+            dynamic: self.dynamic.iter().map(|(x, m)| (*x, m.fork())).collect(),
+            tsm: self.tsm.as_ref().map(TsMachine::fork),
+            violations: self.violations.clone(),
+            retained: self.retained,
+            peak_retained: self.peak_retained,
+        }
+    }
+
+    fn conclude(mut self) -> (Certificate, Vec<Violation>) {
+        let committed = self.committed.len();
+        let cert = if let Some(kind) = self.pathology {
+            if !self.retire {
+                // Delegate to the post-hoc certifier over the mirror: the
+                // retained stream decides pathological histories exactly.
+                let h = History::from_events(self.mirror.iter().cloned());
+                let mut c = match &self.rel {
+                    Some(rel) => certify_with_relation(self.property, &h, &self.spec, rel.as_ref()),
+                    None => certify(self.property, &h, &self.spec),
+                };
+                c.method = Method::Online;
+                c
+            } else {
+                Certificate {
+                    property: self.property,
+                    method: Method::Online,
+                    verdict: Verdict::Unknown(format!(
+                        "{} — outside the basic discipline; the retiring monitor \
+                         cannot replay the full history (the post-hoc certifier \
+                         decides such histories up to {MAX_FALLBACK_ACTIVITIES} \
+                         committed activities)",
+                        kind.describe()
+                    )),
+                    committed,
+                    objects: match self.property {
+                        Property::Dynamic => self.committed_objects.len(),
+                        _ => self.all_objects.len(),
+                    },
+                }
+            }
+        } else {
+            match self.property {
+                Property::Dynamic => {
+                    let objects = self.committed_objects.len();
+                    // `Refuted` dominates `Unknown` across objects: one
+                    // object the streaming reduction could not decide
+                    // does not soften a definite violation on another
+                    // (mirrors the post-hoc certifier's precedence).
+                    let mut verdict = Verdict::Certified;
+                    for x in &self.committed_objects {
+                        if let Some(mon) = self.dynamic.remove(x) {
+                            let v = mon.conclude(&mut self.violations);
+                            match v {
+                                Verdict::Refuted(_) => {
+                                    verdict = v;
+                                    break;
+                                }
+                                Verdict::Unknown(_) => {
+                                    if matches!(verdict, Verdict::Certified) {
+                                        verdict = v;
+                                    }
+                                }
+                                Verdict::Certified => {}
+                            }
+                        }
+                    }
+                    Certificate {
+                        property: self.property,
+                        method: Method::Online,
+                        verdict,
+                        committed,
+                        objects,
+                    }
+                }
+                Property::Static | Property::Hybrid => {
+                    let tsm = self.tsm.take().expect("timestamp machine exists");
+                    let verdict =
+                        tsm.conclude(&self.spec, &mut self.violations, &mut self.retained);
+                    Certificate {
+                        property: self.property,
+                        method: Method::Online,
+                        verdict,
+                        committed,
+                        objects: self.all_objects.len(),
+                    }
+                }
+            }
+        };
+        (cert, self.violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atomicity_spec::paper;
+    use atomicity_spec::{op, Value};
+
+    fn feed(cert: &mut OnlineCertifier, events: &[Event]) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            if let Some(v) = cert.observe(i as u64, e) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn serial_inserts_certify_online() {
+        let spec = paper::set_system();
+        let x = paper::X;
+        let mut events = Vec::new();
+        for i in 1..=50u32 {
+            let a = ActivityId::new(i);
+            events.push(Event::invoke(a, x, op("insert", [i64::from(i)])));
+            events.push(Event::respond(a, x, Value::ok()));
+            events.push(Event::commit(a, x));
+        }
+        let mut cert = OnlineCertifier::new(Property::Dynamic, spec, None);
+        let viols = feed(&mut cert, &events);
+        assert!(viols.is_empty());
+        // Retirement keeps the window flat on a serial stream.
+        assert!(
+            cert.dynamic[&x].window_ops() <= 1,
+            "serial stream should retire continuously"
+        );
+        let (c, _) = cert.finish();
+        assert_eq!(c.verdict, Verdict::Certified, "{c}");
+        assert_eq!(c.committed, 50);
+        assert_eq!(c.objects, 1);
+        assert_eq!(c.method, Method::Online);
+    }
+
+    #[test]
+    fn mid_run_violation_is_flagged_at_the_offending_commit() {
+        let spec = paper::set_system();
+        let x = paper::X;
+        let (a, b) = (ActivityId::new(1), ActivityId::new(2));
+        // b observes a's insert as absent after a committed: the only
+        // precedes-consistent order is rejected.
+        let events = vec![
+            Event::invoke(a, x, op("insert", [3])),
+            Event::respond(a, x, Value::ok()),
+            Event::commit(a, x),
+            Event::invoke(b, x, op("member", [3])),
+            Event::respond(b, x, Value::from(false)),
+            Event::commit(b, x),
+        ];
+        let mut cert = OnlineCertifier::new(Property::Dynamic, spec.clone(), None);
+        let viols = feed(&mut cert, &events);
+        assert_eq!(viols.len(), 1, "flagged exactly at b's commit");
+        assert_eq!(viols[0].stamp, 5);
+        assert_eq!(viols[0].object, Some(x));
+        let (c, _) = cert.finish();
+        assert!(matches!(c.verdict, Verdict::Refuted(_)), "{c}");
+        // Agrees with the post-hoc certifier.
+        let h = History::from_events(events);
+        let post = certify(Property::Dynamic, &h, &spec);
+        assert!(c.verdict.agrees_with(&post.verdict));
+    }
+
+    #[test]
+    fn timestamped_stream_certifies_and_refutes() {
+        let spec = paper::set_system();
+        let x = paper::X;
+        let (a, b) = (ActivityId::new(1), ActivityId::new(2));
+        let good = vec![
+            Event::initiate(a, x, 1),
+            Event::initiate(b, x, 2),
+            Event::invoke(a, x, op("insert", [3])),
+            Event::respond(a, x, Value::ok()),
+            Event::invoke(b, x, op("member", [3])),
+            Event::respond(b, x, Value::from(true)),
+            Event::commit(a, x),
+            Event::commit(b, x),
+        ];
+        let mut cert = OnlineCertifier::new(Property::Static, spec.clone(), None);
+        feed(&mut cert, &good);
+        let (c, _) = cert.finish();
+        assert_eq!(c.verdict, Verdict::Certified, "{c}");
+        let post = certify(Property::Static, &History::from_events(good), &spec);
+        assert!(c.verdict.agrees_with(&post.verdict));
+        assert_eq!(c.committed, post.committed);
+        assert_eq!(c.objects, post.objects);
+
+        // Timestamp order b < a contradicts the observed values.
+        let bad = vec![
+            Event::initiate(a, x, 2),
+            Event::initiate(b, x, 1),
+            Event::invoke(a, x, op("insert", [3])),
+            Event::respond(a, x, Value::ok()),
+            Event::invoke(b, x, op("member", [3])),
+            Event::respond(b, x, Value::from(true)),
+            Event::commit(a, x),
+            Event::commit(b, x),
+        ];
+        let mut cert = OnlineCertifier::new(Property::Static, spec.clone(), None);
+        feed(&mut cert, &bad);
+        let (c, _) = cert.finish();
+        assert!(matches!(c.verdict, Verdict::Refuted(_)), "{c}");
+        let post = certify(Property::Static, &History::from_events(bad), &spec);
+        assert!(c.verdict.agrees_with(&post.verdict));
+    }
+
+    #[test]
+    fn missing_timestamp_refutes_like_post_hoc() {
+        let spec = paper::set_system();
+        let x = paper::X;
+        let a = ActivityId::new(1);
+        let events = vec![
+            Event::invoke(a, x, op("insert", [3])),
+            Event::respond(a, x, Value::ok()),
+            Event::commit(a, x), // no timestamp event anywhere
+        ];
+        let mut cert = OnlineCertifier::new(Property::Static, spec.clone(), None);
+        feed(&mut cert, &events);
+        let (c, _) = cert.finish();
+        assert!(matches!(c.verdict, Verdict::Refuted(_)), "{c}");
+        let post = certify(Property::Static, &History::from_events(events), &spec);
+        assert!(c.verdict.agrees_with(&post.verdict));
+    }
+
+    #[test]
+    fn contended_commuting_stream_uses_streaming_table_reduction() {
+        let spec = paper::bank_system();
+        let y = paper::Y;
+        let mut events = Vec::new();
+        // 20 deposits, all responses before all commits: every pair is
+        // incomparable (post-hoc: table reduction).
+        for i in 1..=20u32 {
+            let a = ActivityId::new(i);
+            events.push(Event::invoke(a, y, op("deposit", [5])));
+            events.push(Event::respond(a, y, Value::ok()));
+        }
+        for i in 1..=20u32 {
+            events.push(Event::commit(ActivityId::new(i), y));
+        }
+        let deposits =
+            |p: &Operation, q: &Operation| p.name() == "deposit" && q.name() == "deposit";
+        let rel: Arc<dyn CommutesRel> = Arc::new(deposits);
+        let mut cert = OnlineCertifier::new(Property::Dynamic, spec.clone(), Some(rel.clone()));
+        feed(&mut cert, &events);
+        // Summarized mode keeps no per-activity operations.
+        assert!(cert.dynamic[&y].summarized);
+        let (c, _) = cert.finish();
+        assert_eq!(c.verdict, Verdict::Certified, "{c}");
+        let h = History::from_events(events.clone());
+        let post = certify_with_relation(Property::Dynamic, &h, &spec, &deposits);
+        assert!(c.verdict.agrees_with(&post.verdict));
+        assert_eq!(c.committed, post.committed);
+
+        // Without the relation: unknown, both post-hoc and online.
+        let mut cert = OnlineCertifier::new(Property::Dynamic, spec.clone(), None);
+        feed(&mut cert, &events);
+        let (c, _) = cert.finish();
+        assert!(matches!(c.verdict, Verdict::Unknown(_)), "{c}");
+        let post = certify(Property::Dynamic, &h, &spec);
+        assert!(c.verdict.agrees_with(&post.verdict));
+    }
+
+    #[test]
+    fn respond_after_commit_is_unknown_retiring_and_exact_retaining() {
+        let spec = paper::set_system();
+        let x = paper::X;
+        let a = ActivityId::new(1);
+        let events = vec![
+            Event::invoke(a, x, op("insert", [1])),
+            Event::commit(a, x),
+            Event::respond(a, x, Value::ok()),
+        ];
+        let h = History::from_events(events.clone());
+        let post = certify(Property::Dynamic, &h, &spec);
+
+        let mut retiring = OnlineCertifier::new(Property::Dynamic, spec.clone(), None);
+        feed(&mut retiring, &events);
+        let (c, _) = retiring.finish();
+        assert!(matches!(c.verdict, Verdict::Unknown(_)), "{c}");
+
+        let mut retaining = OnlineCertifier::new_retaining(Property::Dynamic, spec.clone(), None);
+        feed(&mut retaining, &events);
+        let (c, _) = retaining.finish();
+        assert!(c.verdict.agrees_with(&post.verdict), "{c} vs {post}");
+        assert_eq!(c.committed, post.committed);
+        assert_eq!(c.objects, post.objects);
+    }
+
+    #[test]
+    fn provisional_certificate_does_not_disturb_the_stream() {
+        let spec = paper::set_system();
+        let x = paper::X;
+        let mut cert = OnlineCertifier::new(Property::Dynamic, spec.clone(), None);
+        let mut stamp = 0u64;
+        for i in 1..=10u32 {
+            let a = ActivityId::new(i);
+            for e in [
+                Event::invoke(a, x, op("insert", [i64::from(i)])),
+                Event::respond(a, x, Value::ok()),
+                Event::commit(a, x),
+            ] {
+                cert.observe(stamp, &e);
+                stamp += 1;
+            }
+            let p = cert.provisional_certificate();
+            assert_eq!(p.verdict, Verdict::Certified, "{p}");
+            assert_eq!(p.committed, i as usize);
+        }
+        let (c, _) = cert.finish();
+        assert_eq!(c.verdict, Verdict::Certified);
+        assert_eq!(c.committed, 10);
+    }
+
+    #[test]
+    fn refutation_on_one_object_dominates_an_undecidable_other() {
+        use atomicity_spec::specs::IntSetSpec;
+        use atomicity_spec::ObjectId;
+        // Object Y is contended past the enumeration bound with no
+        // relation (undecidable, scanned first); object 3 carries a
+        // definite spec violation. The combined verdict must refute.
+        let spec = paper::bank_system().with_object(ObjectId::new(3), IntSetSpec::new());
+        let mut mon = OnlineCertifier::new(Property::Dynamic, spec, None);
+        let mut events = Vec::new();
+        for i in 1..=20u32 {
+            let a = ActivityId::new(i);
+            events.push(Event::invoke(a, paper::Y, op("deposit", [5])));
+            events.push(Event::respond(a, paper::Y, Value::ok()));
+        }
+        for i in 1..=20u32 {
+            events.push(Event::commit(ActivityId::new(i), paper::Y));
+        }
+        let liar = ActivityId::new(100);
+        let obj = ObjectId::new(3);
+        events.push(Event::invoke(liar, obj, op("member", [5])));
+        events.push(Event::respond(liar, obj, Value::from(true)));
+        events.push(Event::commit(liar, obj));
+        feed(&mut mon, &events);
+        let (c, _) = mon.finish();
+        assert!(matches!(&c.verdict, Verdict::Refuted(_)), "{c}");
+    }
+}

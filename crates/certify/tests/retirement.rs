@@ -1,0 +1,161 @@
+//! Watermark-retirement memory bounds: the retained set is proportional
+//! to the open-transaction footprint (threads × open transactions), not
+//! to the history length.
+
+use std::sync::Arc;
+
+use atomicity_certify::OnlineCertifier;
+use atomicity_core::CommutesRel;
+use atomicity_lint::{certify_with_relation, Property, Verdict};
+use atomicity_spec::specs::{BankAccountSpec, IntSetSpec};
+use atomicity_spec::{op, ActivityId, Event, History, ObjectId, Operation, SystemSpec, Value};
+
+fn set_system_with(objects: u32) -> SystemSpec {
+    let mut spec = SystemSpec::new();
+    for o in 1..=objects {
+        spec = spec.with_object(ObjectId::new(o), IntSetSpec::new());
+    }
+    spec
+}
+
+/// A single sequential lane: retained state never exceeds one
+/// transaction's footprint no matter how long the stream runs.
+#[test]
+fn sequential_stream_retains_o_of_one() {
+    let mut mon = OnlineCertifier::new(Property::Dynamic, set_system_with(1), None);
+    let x = ObjectId::new(1);
+    let mut stamp = 0u64;
+    const TXNS: u32 = 5_000;
+    for i in 1..=TXNS {
+        let a = ActivityId::new(i);
+        for e in [
+            Event::invoke(a, x, op("insert", [i64::from(i)])),
+            Event::respond(a, x, Value::ok()),
+            Event::commit(a, x),
+        ] {
+            mon.observe(stamp, &e);
+            stamp += 1;
+        }
+    }
+    let peak = mon.peak_retained();
+    assert!(
+        peak <= 4,
+        "sequential stream must retire continuously: peak {peak} after {TXNS} txns"
+    );
+    let (cert, _) = mon.finish();
+    assert_eq!(cert.verdict, Verdict::Certified, "{cert}");
+    assert_eq!(cert.committed, TXNS as usize);
+}
+
+/// `T` pipelined lanes over `T` objects, each lane with at most one open
+/// transaction: the peak retained set is `O(T)`, while the retain-all
+/// mirror grows with the history.
+#[test]
+fn pipelined_lanes_retain_o_of_threads() {
+    const T: u32 = 8;
+    const ROUNDS: u32 = 1_000;
+    let spec = set_system_with(T);
+    let mut retiring = OnlineCertifier::new(Property::Dynamic, spec.clone(), None);
+    let mut retaining = OnlineCertifier::new_retaining(Property::Dynamic, spec, None);
+    let mut stamp = 0u64;
+    let feed = |e: &Event, stamp: &mut u64, a: &mut OnlineCertifier, b: &mut OnlineCertifier| {
+        a.observe(*stamp, e);
+        b.observe(*stamp, e);
+        *stamp += 1;
+    };
+    for r in 0..ROUNDS {
+        // Every lane works its own object…
+        for t in 0..T {
+            let a = ActivityId::new(1 + r * T + t);
+            let x = ObjectId::new(1 + t);
+            feed(
+                &Event::invoke(a, x, op("insert", [i64::from(r)])),
+                &mut stamp,
+                &mut retiring,
+                &mut retaining,
+            );
+            feed(
+                &Event::respond(a, x, Value::ok()),
+                &mut stamp,
+                &mut retiring,
+                &mut retaining,
+            );
+        }
+        // …then the round's transactions commit.
+        for t in 0..T {
+            let a = ActivityId::new(1 + r * T + t);
+            let x = ObjectId::new(1 + t);
+            feed(
+                &Event::commit(a, x),
+                &mut stamp,
+                &mut retiring,
+                &mut retaining,
+            );
+        }
+    }
+    let peak = retiring.peak_retained();
+    let bound = 4 * T as usize;
+    assert!(
+        peak <= bound,
+        "retained set must be O(threads × open txns): peak {peak} > {bound}"
+    );
+    assert!(
+        retaining.peak_retained() as u32 >= ROUNDS * T,
+        "the retain-all mirror grows with the history (peak {})",
+        retaining.peak_retained()
+    );
+    let (r_cert, _) = retiring.finish();
+    let (m_cert, _) = retaining.finish();
+    assert_eq!(r_cert.verdict, Verdict::Certified, "{r_cert}");
+    assert!(r_cert.verdict.agrees_with(&m_cert.verdict));
+    assert_eq!(r_cert.committed, (ROUNDS * T) as usize);
+    assert_eq!(r_cert.objects, T as usize);
+}
+
+/// A starved transaction — parked by an engine wait queue with a stale
+/// last response while hundreds of others commit on the same object —
+/// must not balloon the retained set. Its stale response stamp blocks
+/// watermark retirement for its whole lifetime, so under a commutativity
+/// relation the monitor folds the total window into the streaming table
+/// reduction instead of buffering every commit until the straggler
+/// resolves.
+#[test]
+fn starved_open_transaction_keeps_window_bounded() {
+    const N: u32 = 2_000;
+    let x = ObjectId::new(1);
+    let spec = SystemSpec::new().with_object(x, BankAccountSpec::new());
+    let rel: Arc<dyn CommutesRel> =
+        Arc::new(|p: &Operation, q: &Operation| p.name() == "deposit" && q.name() == "deposit");
+    let mut mon = OnlineCertifier::new(Property::Dynamic, spec.clone(), Some(Arc::clone(&rel)));
+    let straggler = ActivityId::new(N + 1);
+    let mut events: Vec<Event> = vec![
+        Event::invoke(straggler, x, op("deposit", [1])),
+        Event::respond(straggler, x, Value::ok()),
+    ];
+    for i in 1..=N {
+        let a = ActivityId::new(i);
+        events.push(Event::invoke(a, x, op("deposit", [2])));
+        events.push(Event::respond(a, x, Value::ok()));
+        events.push(Event::commit(a, x));
+    }
+    events.push(Event::commit(straggler, x));
+    for (i, e) in events.iter().enumerate() {
+        mon.observe(i as u64 + 1, e);
+    }
+    let peak = mon.peak_retained();
+    assert!(
+        peak <= 40,
+        "a single starved transaction must not make retention O(history): peak {peak}"
+    );
+    let (cert, _) = mon.finish();
+    let h = History::from_events(events.iter().cloned());
+    let post = certify_with_relation(Property::Dynamic, &h, &spec, rel.as_ref());
+    assert!(
+        cert.verdict.agrees_with(&post.verdict),
+        "online {:?} vs post-hoc {:?}",
+        cert.verdict,
+        post.verdict
+    );
+    assert_eq!(cert.verdict, Verdict::Certified, "{:?}", cert.verdict);
+    assert_eq!(cert.committed, N as usize + 1);
+}

@@ -75,7 +75,7 @@ pub use engine::dynamic::DynamicObject;
 pub use engine::hybrid::HybridObject;
 pub use engine::static_ts::StaticObject;
 pub use error::{AbortReason, TxnError};
-pub use log::HistoryLog;
+pub use log::{HistoryLog, LogTap, MergedEvents};
 pub use manager::{ManagerBuilder, Protocol, TxnManager};
 pub use object::{AtomicObject, Participant};
 pub use recovery::{DurableLog, KeyFootprint, LogRecord, RecordKind, StableLog};

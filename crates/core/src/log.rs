@@ -22,6 +22,8 @@
 
 use atomicity_spec::{Event, History};
 use parking_lot::Mutex;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -157,15 +159,70 @@ impl HistoryLog {
     /// recorder stalled every recorder for the whole O(n) clone). At
     /// quiescence the result is exactly the linearization the engines
     /// enforced; while recorders are still running it is a faithful-order
-    /// subset.
+    /// subset. Built on [`HistoryLog::merged_events`], so no intermediate
+    /// flat `(stamp, event)` vector is materialized.
     pub fn snapshot(&self) -> History {
-        let mut stamped: Vec<(u64, Event)> = Vec::new();
+        History::from_events(self.merged_events().map(|(_, event)| event))
+    }
+
+    /// A streaming iterator over the recorded events in stamp order.
+    ///
+    /// Each shard is copied under its own lock and sorted individually;
+    /// the shard runs are then k-way merged lazily as the iterator is
+    /// consumed. Compared to the old snapshot path this skips both the
+    /// single O(n) flat `(stamp, event)` vector and the global
+    /// O(n log n) sort — the dominant allocation on the verify path —
+    /// replacing them with per-shard runs and an O(n log k) merge.
+    /// Certifier call sites that only need one in-order pass can consume
+    /// events without ever materializing a [`History`].
+    pub fn merged_events(&self) -> MergedEvents {
+        let mut runs: Vec<std::vec::IntoIter<(u64, Event)>> = Vec::new();
         for shard in self.inner.shards.iter() {
-            let buf = shard.lock();
-            stamped.extend_from_slice(&buf);
+            let mut run = shard.lock().clone();
+            if run.is_empty() {
+                continue;
+            }
+            // Within a shard two threads can publish slightly out of
+            // stamp order (the stamp draw and the push are not one
+            // atomic step), so each run is sorted individually — cheap,
+            // because runs are nearly sorted already.
+            run.sort_unstable_by_key(|(seq, _)| *seq);
+            runs.push(run.into_iter());
         }
-        stamped.sort_unstable_by_key(|(seq, _)| *seq);
-        History::from_events(stamped.into_iter().map(|(_, event)| event))
+        let mut heads = BinaryHeap::with_capacity(runs.len());
+        for (idx, run) in runs.iter_mut().enumerate() {
+            if let Some((stamp, event)) = run.next() {
+                heads.push(MergeHead { stamp, event, idx });
+            }
+        }
+        MergedEvents { runs, heads }
+    }
+
+    /// Opens a live, lock-light tap on the stamp stream: a cursor that
+    /// [`LogTap::poll`]s newly recorded events out of the shards in exact
+    /// stamp order while recorders keep running. See [`LogTap`].
+    pub fn tap(&self) -> LogTap {
+        LogTap {
+            inner: self.inner.clone(),
+            cursors: vec![0; self.inner.shards.len()],
+            pending: BinaryHeap::new(),
+            next: 0,
+            retire: false,
+        }
+    }
+
+    /// Like [`HistoryLog::tap`], but the tap **retires** consumed shard
+    /// prefixes: once every event below the tap's frontier has been
+    /// copied out, the shard buffers drop them, so the log's resident
+    /// memory stays proportional to the unconsumed suffix instead of the
+    /// whole history. A retired log's [`HistoryLog::snapshot`] only sees
+    /// the suffix — retirement trades post-hoc replay for bounded memory.
+    /// At most one retiring tap may consume a log, and the log must not
+    /// be [`HistoryLog::clear`]ed while tapped.
+    pub fn tap_retiring(&self) -> LogTap {
+        let mut tap = self.tap();
+        tap.retire = true;
+        tap
     }
 
     /// The number of events recorded so far.
@@ -180,11 +237,155 @@ impl HistoryLog {
 
     /// Discards all recorded events (benchmarks reuse managers between
     /// iterations). Stamps keep increasing across a clear; only relative
-    /// order matters.
+    /// order matters. Must not be called while a [`LogTap`] is consuming
+    /// the log (the tap's cursors would go stale).
     pub fn clear(&self) {
         for shard in self.inner.shards.iter() {
             shard.lock().clear();
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming merge
+
+/// One run's current head inside the [`MergedEvents`] k-way merge.
+#[derive(Debug)]
+struct MergeHead {
+    stamp: u64,
+    event: Event,
+    idx: usize,
+}
+
+// Ordered by stamp alone (stamps are unique), reversed so the
+// std max-heap pops the smallest stamp first.
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.stamp == other.stamp
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other.stamp.cmp(&self.stamp)
+    }
+}
+
+/// Lazy k-way merge of the per-shard runs in stamp order
+/// (see [`HistoryLog::merged_events`]).
+#[derive(Debug)]
+pub struct MergedEvents {
+    runs: Vec<std::vec::IntoIter<(u64, Event)>>,
+    heads: BinaryHeap<MergeHead>,
+}
+
+impl Iterator for MergedEvents {
+    type Item = (u64, Event);
+
+    fn next(&mut self) -> Option<(u64, Event)> {
+        let head = self.heads.pop()?;
+        if let Some((stamp, event)) = self.runs[head.idx].next() {
+            self.heads.push(MergeHead {
+                stamp,
+                event,
+                idx: head.idx,
+            });
+        }
+        Some((head.stamp, head.event))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.runs.iter().map(|r| r.len()).sum::<usize>() + self.heads.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for MergedEvents {}
+
+// ---------------------------------------------------------------------------
+// Live tap
+
+/// A live cursor over the stamp stream of a [`HistoryLog`].
+///
+/// A tap repeatedly [`LogTap::poll`]s the shards for newly recorded
+/// events and emits them in **exact stamp order**: out-of-order arrivals
+/// (a thread that drew a stamp but has not pushed yet) are held back in a
+/// small pending heap until every smaller stamp has been published —
+/// stamps are dense, so emission resumes as soon as the gap fills. The
+/// pending heap is bounded by the number of in-flight recorders, not by
+/// history length.
+///
+/// Each `poll` takes each shard lock only long enough to copy the new
+/// suffix, so recorders are never blocked behind an O(n) merge — this is
+/// what lets an online certifier run against the live stream instead of
+/// cloning the history (see `atomicity-certify`).
+#[derive(Debug)]
+pub struct LogTap {
+    inner: Arc<LogInner>,
+    /// Per-shard count of entries already copied out.
+    cursors: Vec<usize>,
+    /// Copied events above the contiguous frontier, keyed by stamp.
+    pending: BinaryHeap<MergeHead>,
+    /// The next stamp to emit: everything below has been emitted.
+    next: u64,
+    /// Whether consumed shard prefixes are dropped from the log.
+    retire: bool,
+}
+
+impl LogTap {
+    /// Drains every newly published event whose stamp is ready, in stamp
+    /// order, into `sink`; returns how many events were emitted.
+    ///
+    /// Non-blocking: events recorded but still unreachable (a smaller
+    /// stamp is drawn but unpublished) stay pending until a later poll.
+    pub fn poll(&mut self, mut sink: impl FnMut(u64, Event)) -> usize {
+        for (idx, shard) in self.inner.shards.iter().enumerate() {
+            let mut buf = shard.lock();
+            let cursor = self.cursors[idx].min(buf.len());
+            if cursor < buf.len() {
+                for (stamp, event) in buf[cursor..].iter().cloned() {
+                    self.pending.push(MergeHead { stamp, event, idx });
+                }
+            }
+            if self.retire {
+                buf.clear();
+                self.cursors[idx] = 0;
+            } else {
+                self.cursors[idx] = buf.len();
+            }
+        }
+        let mut emitted = 0;
+        while self.pending.peek().is_some_and(|h| h.stamp == self.next) {
+            let head = self.pending.pop().expect("peeked");
+            sink(head.stamp, head.event);
+            self.next += 1;
+            emitted += 1;
+        }
+        emitted
+    }
+
+    /// The emission frontier: every event with stamp `< frontier()` has
+    /// been handed to a sink. This is the tap's collapsed vector clock —
+    /// the per-shard publication clocks folded through the dense global
+    /// stamp order into a single watermark.
+    pub fn frontier(&self) -> u64 {
+        self.next
+    }
+
+    /// Events copied out of the shards but held back because a smaller
+    /// stamp is still unpublished. Bounded by in-flight recorders.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether this tap retires consumed events from the log.
+    pub fn is_retiring(&self) -> bool {
+        self.retire
     }
 }
 
@@ -288,6 +489,83 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(ids, sorted, "thread {t}'s events out of order");
         }
+    }
+
+    #[test]
+    fn merged_events_streams_in_stamp_order() {
+        let log = HistoryLog::with_shards(4);
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    log.record(Event::commit((t * 1000 + i).into(), 1.into()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stamped: Vec<(u64, Event)> = log.merged_events().collect();
+        assert_eq!(stamped.len(), 400);
+        let stamps: Vec<u64> = stamped.iter().map(|(s, _)| *s).collect();
+        assert_eq!(stamps, (0..400).collect::<Vec<u64>>());
+        // And the snapshot built on top agrees event for event.
+        let h = log.snapshot();
+        for (i, e) in h.events().iter().enumerate() {
+            assert_eq!(e.activity, stamped[i].1.activity);
+        }
+    }
+
+    #[test]
+    fn tap_emits_exact_stamp_order_while_recording() {
+        let log = HistoryLog::with_shards(4);
+        let mut tap = log.tap();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let log = log.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    log.record(Event::commit((t * 1000 + i).into(), 1.into()));
+                }
+            }));
+        }
+        // Poll concurrently with the recorders: emission must be the
+        // dense stamp sequence regardless of arrival interleaving.
+        let mut seen = Vec::new();
+        while seen.len() < 800 {
+            tap.poll(|stamp, _| seen.push(stamp));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seen, (0..800).collect::<Vec<u64>>());
+        assert_eq!(tap.frontier(), 800);
+        assert_eq!(tap.pending_len(), 0);
+        // Non-retiring tap leaves the log intact.
+        assert_eq!(log.len(), 800);
+    }
+
+    #[test]
+    fn retiring_tap_bounds_log_memory() {
+        let log = HistoryLog::with_shards(2);
+        let mut tap = log.tap_retiring();
+        assert!(tap.is_retiring());
+        for i in 0..100u32 {
+            log.record(Event::commit(i.into(), 1.into()));
+        }
+        let mut n = 0;
+        tap.poll(|_, _| n += 1);
+        assert_eq!(n, 100);
+        // Consumed events are gone from the log...
+        assert_eq!(log.len(), 0);
+        assert!(log.snapshot().is_empty());
+        // ...but the stream continues seamlessly.
+        log.record(Event::commit(100.into(), 1.into()));
+        let mut last = None;
+        tap.poll(|s, _| last = Some(s));
+        assert_eq!(last, Some(100));
+        assert_eq!(tap.frontier(), 101);
     }
 
     #[test]

@@ -427,6 +427,12 @@ struct RegistryInner {
     /// Aborts by [`AbortReason::index`]; unattributed aborts are the
     /// difference between `txns_aborted` and this array's sum.
     abort_reasons: [AtomicU64; 8],
+    /// Events ingested by an online certifier tapping the stamp stream.
+    certifier_observed: AtomicU64,
+    /// High-water mark of the online certifier's retained-event set
+    /// (open-activity state + held-back windows) — the bounded-memory
+    /// gauge for watermark retirement.
+    certifier_retained_peak: AtomicU64,
     /// Every object handle registered, for aggregate views.
     objects: Mutex<Vec<ObjectMetrics>>,
 }
@@ -474,6 +480,8 @@ impl MetricsRegistry {
                 wal_flush_ns: LatencyHistogram::default(),
                 wal_batch: LatencyHistogram::default(),
                 abort_reasons: std::array::from_fn(|_| AtomicU64::new(0)),
+                certifier_observed: AtomicU64::new(0),
+                certifier_retained_peak: AtomicU64::new(0),
                 objects: Mutex::new(Vec::new()),
             })),
         }
@@ -617,6 +625,23 @@ impl MetricsRegistry {
         }
     }
 
+    /// Reports online-certifier progress: `observed` newly ingested
+    /// events and the certifier's current retained-event count. The
+    /// retained count feeds a high-water-mark gauge
+    /// ([`MetricsSnapshot::certifier_retained_peak`]) — the witness that
+    /// watermark retirement keeps monitor memory bounded while the
+    /// history grows. No-op on a disabled registry.
+    pub fn certifier_progress(&self, observed: u64, retained_now: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .certifier_observed
+                .fetch_add(observed, Ordering::Relaxed);
+            inner
+                .certifier_retained_peak
+                .fetch_max(retained_now, Ordering::Relaxed);
+        }
+    }
+
     /// Drains the trace ring (empty on a disabled registry).
     pub fn trace_events(&self) -> TraceCollection {
         match &self.inner {
@@ -659,6 +684,8 @@ impl MetricsRegistry {
                     commit_ns: inner.commit_ns.snapshot(),
                     wal_flush_ns: inner.wal_flush_ns.snapshot(),
                     wal_batch: inner.wal_batch.snapshot(),
+                    certifier_observed: inner.certifier_observed.load(Ordering::Relaxed),
+                    certifier_retained_peak: inner.certifier_retained_peak.load(Ordering::Relaxed),
                     trace_written: inner.trace.written(),
                     objects,
                 }
@@ -878,6 +905,13 @@ pub struct MetricsSnapshot {
     /// Durable-log batch-size distribution: records per flush
     /// (`count` = flushes performed, `sum_nanos` = records flushed).
     pub wal_batch: HistogramSnapshot,
+    /// Events ingested by an online certifier (0 when no monitor ran).
+    #[serde(default)]
+    pub certifier_observed: u64,
+    /// Peak retained-event count of the online certifier — the
+    /// watermark-retirement memory bound witness.
+    #[serde(default)]
+    pub certifier_retained_peak: u64,
     /// Trace records written (≥ the count retained by the ring).
     pub trace_written: u64,
     /// Per-object detail.

@@ -9,7 +9,7 @@
 //! invariant first broke; the seed plus that index is a complete
 //! reproducer.
 //!
-//! Two checkers ship with the crate:
+//! Three checkers ship with the crate:
 //!
 //! - [`StandardChecker`] — the mid-run-safe all-or-nothing check (a
 //!   participant may still be *undecided* about a decided transaction,
@@ -20,9 +20,15 @@
 //! - [`CertifierCheck`] — the linear-time hybrid-atomicity certifier from
 //!   `atomicity-lint` run over the history the cluster records (requires
 //!   [`crate::SimConfig::record_history`]).
+//! - [`OnlineCertifierCheck`] — the streaming monitor from
+//!   `atomicity-certify` fed incrementally: each checkpoint observes only
+//!   the events recorded since the previous one, replacing
+//!   [`CertifierCheck`]'s merge-then-check re-certification (linear per
+//!   checkpoint, quadratic over the run) with constant amortized work.
 
 use crate::cluster::Cluster;
-use atomicity_lint::{CertifierHook, Property};
+use atomicity_certify::OnlineCertifier;
+use atomicity_lint::{CertifierHook, Property, Verdict};
 use std::fmt;
 
 /// One invariant failure observed at a checkpoint.
@@ -141,5 +147,117 @@ impl InvariantChecker for CertifierCheck {
             Some(h) => self.hook.check(h),
             None => Ok(()),
         }
+    }
+}
+
+/// The streaming certifier as a checkpoint invariant.
+///
+/// Where [`CertifierCheck`] re-certifies the *entire* recorded history at
+/// every checkpoint (merge-then-check: linear per checkpoint, quadratic
+/// over the run), this feeds only the events recorded since the previous
+/// checkpoint into an [`OnlineCertifier`] and fails the moment the
+/// monitor flags a violation or the provisional certificate refutes the
+/// prefix. Verdict mapping follows [`CertifierHook::check`]: `Refuted`
+/// is a violation, `Certified` and `Unknown` pass.
+pub struct OnlineCertifierCheck {
+    monitor: OnlineCertifier,
+    cursor: usize,
+}
+
+impl fmt::Debug for OnlineCertifierCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OnlineCertifierCheck")
+            .field("property", &self.monitor.property())
+            .field("cursor", &self.cursor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OnlineCertifierCheck {
+    /// Builds the checker for `cluster` (captures its system spec). The
+    /// cluster must have been configured with
+    /// [`crate::SimConfig::record_history`], otherwise the check passes
+    /// vacuously.
+    pub fn hybrid(cluster: &Cluster) -> Self {
+        OnlineCertifierCheck {
+            monitor: OnlineCertifier::new(Property::Hybrid, cluster.system_spec(), None),
+            cursor: 0,
+        }
+    }
+
+    /// Events fed to the monitor so far.
+    pub fn observed(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl InvariantChecker for OnlineCertifierCheck {
+    fn name(&self) -> &'static str {
+        "online-certifier"
+    }
+
+    fn check(&mut self, cluster: &Cluster) -> Result<(), String> {
+        let Some(history) = cluster.history() else {
+            return Ok(());
+        };
+        let events = history.events();
+        for (i, event) in events.iter().enumerate().skip(self.cursor) {
+            let flagged = self.monitor.observe(i as u64 + 1, event);
+            self.cursor = i + 1;
+            if let Some(v) = flagged {
+                return Err(format!("online certifier flagged: {v}"));
+            }
+        }
+        // Open transactions keep the monitor's verdict provisional;
+        // refutation of the committed prefix is already final.
+        if let Verdict::Refuted(reason) = self.monitor.provisional_certificate().verdict {
+            return Err(format!("online certifier refuted prefix: {reason}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::SimConfig;
+
+    #[test]
+    fn online_checker_feeds_the_history_incrementally_and_agrees_with_post_hoc() {
+        let mut cluster = Cluster::new(SimConfig {
+            record_history: true,
+            ..SimConfig::default()
+        });
+        let mut online = OnlineCertifierCheck::hybrid(&cluster);
+        let mut post_hoc = CertifierCheck::hybrid(&cluster);
+        let t1 = cluster.submit_transfer(0, 5, 25);
+        let t2 = cluster.submit_transfer(2, 3, 10);
+        cluster.run_to_quiescence();
+        cluster.heal();
+        assert_eq!(cluster.decision(t1), Some(true));
+        assert_eq!(cluster.decision(t2), Some(true));
+        let recorded = cluster.history().expect("history recorded").events().len();
+        assert!(recorded > 0, "the run must record events");
+
+        // First checkpoint consumes the whole backlog…
+        assert_eq!(online.check(&cluster), Ok(()));
+        assert_eq!(online.observed(), recorded);
+        // …and a second checkpoint with no new events observes nothing new.
+        assert_eq!(online.check(&cluster), Ok(()));
+        assert_eq!(online.observed(), recorded);
+
+        // The streaming verdict maps onto the same pass/violation shape
+        // as the post-hoc hook.
+        assert_eq!(post_hoc.check(&cluster), Ok(()));
+    }
+
+    #[test]
+    fn online_checker_passes_vacuously_without_recorded_history() {
+        let mut cluster = Cluster::new(SimConfig::default());
+        let mut online = OnlineCertifierCheck::hybrid(&cluster);
+        cluster.submit_transfer(0, 1, 5);
+        cluster.run_to_quiescence();
+        assert_eq!(online.check(&cluster), Ok(()));
+        assert_eq!(online.observed(), 0);
     }
 }

@@ -20,7 +20,10 @@
 //! make the determinism checkable; a failing seed is a complete
 //! reproducer. Invariants ([`InvariantChecker`]) run at configurable
 //! checkpoints inside the loop, including the linear-time hybrid
-//! atomicity certifier from `atomicity-lint` ([`CertifierCheck`]).
+//! atomicity certifier from `atomicity-lint` ([`CertifierCheck`]) and its
+//! streaming replacement from `atomicity-certify`
+//! ([`OnlineCertifierCheck`]), which observes only the events recorded
+//! since the previous checkpoint instead of re-certifying from scratch.
 //!
 //! Experiment E6 sweeps a crash over every event of a transfer and checks
 //! that the all-or-nothing guarantee — `perm(h)` containing only whole
@@ -76,7 +79,9 @@ mod queue;
 mod rng;
 
 pub use cluster::{Cluster, MttfConfig, SimConfig, SimStats};
-pub use invariant::{CertifierCheck, InvariantChecker, StandardChecker, Violation};
+pub use invariant::{
+    CertifierCheck, InvariantChecker, OnlineCertifierCheck, StandardChecker, Violation,
+};
 pub use message::{Endpoint, Message, NodeId, SimEvent};
 pub use model::{
     Action, ClientRequest, ClientTurn, DeterministicClient, DeterministicNode, NodeTimer,

@@ -12,7 +12,9 @@
 
 use atomicity_core::DurableLog;
 use atomicity_durable::{RestartableWal, SyncPolicy, WalOptions};
-use atomicity_sim::{CertifierCheck, Cluster, NodeId, SimConfig, StandardChecker};
+use atomicity_sim::{
+    CertifierCheck, Cluster, NodeId, OnlineCertifierCheck, SimConfig, StandardChecker,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -70,8 +72,14 @@ fn node_killed_at_arbitrary_event_recovers_through_the_wal() {
         let victim = NodeId::new((i as u32) % cfg.nodes);
         let (mut cluster, wals) = wal_backed_cluster(cfg, &dir);
         cluster.add_checker(Box::new(StandardChecker));
+        // Post-hoc and streaming certifiers run side by side: each
+        // checkpoint both re-certifies the whole recorded history and
+        // feeds the incremental monitor the new events, so a disagreement
+        // between the two shows up as exactly one of them violating.
         let certifier = CertifierCheck::hybrid(&cluster);
         cluster.add_checker(Box::new(certifier));
+        let online = OnlineCertifierCheck::hybrid(&cluster);
+        cluster.add_checker(Box::new(online));
         let t1 = cluster.submit_transfer(0, 5, 25);
         let t2 = cluster.submit_transfer(2, 3, 10);
         cluster.schedule_crash(crash_at, victim, 20_000);

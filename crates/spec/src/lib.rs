@@ -68,6 +68,6 @@ pub mod well_formed;
 
 pub use event::{ActivityId, Event, EventKind, ObjectId, Timestamp};
 pub use history::History;
-pub use spec::{op, ObjectSpec, OpResult, Operation, SequentialSpec, SystemSpec};
+pub use spec::{op, ObjectSpec, OpResult, Operation, SequentialSpec, StateReplayer, SystemSpec};
 pub use value::Value;
 pub use well_formed::{WellFormedError, WellFormedness};

@@ -176,6 +176,67 @@ pub trait ObjectSpec: Send + Sync {
 
     /// Whether `op` can never change the object's state (§4.3).
     fn op_is_read_only(&self, op: &Operation) -> bool;
+
+    /// Starts an incremental acceptance check from the initial state.
+    ///
+    /// Streaming consumers (the online certifier) feed a serial sequence
+    /// chunk by chunk instead of re-replaying a growing prefix:
+    /// `accepts(a ++ b)` equals `r.apply(a) && r.apply(b)` for a fresh
+    /// replayer `r`, because [`SequentialSpec::replay`] is a fold over the
+    /// reachable-state frontier.
+    fn begin_replay(self: Arc<Self>) -> Box<dyn StateReplayer>;
+}
+
+/// An in-progress incremental replay of a serial sequence against one
+/// object's specification (see [`ObjectSpec::begin_replay`]).
+///
+/// Holds the frontier of states reachable by everything applied so far;
+/// the sequence is accepted while the frontier stays non-empty. Once
+/// `apply` has returned `false` the replayer is dead — every further
+/// `apply` returns `false` too.
+pub trait StateReplayer: Send {
+    /// Extends the replayed sequence by `ops`; returns whether the whole
+    /// sequence so far is still accepted.
+    fn apply(&mut self, ops: &[OpResult]) -> bool;
+
+    /// An independent copy of the replay at its current frontier, for
+    /// exploring alternative continuations (linear-extension enumeration).
+    fn fork(&self) -> Box<dyn StateReplayer>;
+}
+
+/// The blanket [`StateReplayer`]: a reachable-state frontier over a
+/// concrete [`SequentialSpec`].
+struct FrontierReplayer<S: SequentialSpec> {
+    spec: Arc<S>,
+    /// States reachable by the sequence applied so far; empty = rejected.
+    frontier: Vec<S::State>,
+}
+
+impl<S: SequentialSpec> StateReplayer for FrontierReplayer<S> {
+    fn apply(&mut self, ops: &[OpResult]) -> bool {
+        for (op, expected) in ops {
+            let mut next: Vec<S::State> = Vec::new();
+            for s in &self.frontier {
+                for (result, s2) in self.spec.step(s, op) {
+                    if &result == expected && !next.contains(&s2) {
+                        next.push(s2);
+                    }
+                }
+            }
+            self.frontier = next;
+            if self.frontier.is_empty() {
+                return false;
+            }
+        }
+        !self.frontier.is_empty()
+    }
+
+    fn fork(&self) -> Box<dyn StateReplayer> {
+        Box::new(FrontierReplayer {
+            spec: self.spec.clone(),
+            frontier: self.frontier.clone(),
+        })
+    }
 }
 
 impl<S: SequentialSpec> ObjectSpec for S {
@@ -185,6 +246,14 @@ impl<S: SequentialSpec> ObjectSpec for S {
 
     fn op_is_read_only(&self, op: &Operation) -> bool {
         self.is_read_only(op)
+    }
+
+    fn begin_replay(self: Arc<Self>) -> Box<dyn StateReplayer> {
+        let frontier = vec![self.initial()];
+        Box::new(FrontierReplayer {
+            spec: self,
+            frontier,
+        })
     }
 }
 

@@ -7,7 +7,8 @@
 //! the companion `serde` stand-in's content-tree model.
 //!
 //! Supported attributes (the only ones the workspace uses):
-//! `#[serde(rename_all = "snake_case")]` on enums and
+//! `#[serde(rename_all = "snake_case")]` / `"kebab-case"` on enums,
+//! `#[serde(rename = "...")]` on enum variants, and
 //! `#[serde(default)]` on named fields. The token stream is parsed by
 //! hand (no `syn`/`quote`, which are unavailable offline); generated code
 //! is assembled as a string and reparsed.
@@ -39,8 +40,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 struct Item {
     name: String,
-    rename_all_snake: bool,
+    rename_all: RenameRule,
     kind: ItemKind,
+}
+
+/// Container-level `rename_all` rule (the two this workspace uses).
+#[derive(Clone, Copy, Default, PartialEq)]
+enum RenameRule {
+    #[default]
+    None,
+    Snake,
+    Kebab,
 }
 
 enum ItemKind {
@@ -56,6 +66,8 @@ struct Field {
 
 struct Variant {
     name: String,
+    /// Explicit `#[serde(rename = "...")]` wire name, if any.
+    rename: Option<String>,
     shape: Shape,
 }
 
@@ -68,7 +80,8 @@ enum Shape {
 
 #[derive(Default)]
 struct SerdeAttrs {
-    rename_all_snake: bool,
+    rename_all: RenameRule,
+    rename: Option<String>,
     default: bool,
 }
 
@@ -184,11 +197,23 @@ fn merge_serde_attr(attr_body: &Group, attrs: &mut SerdeAttrs) {
                 i += 1;
             }
             TokenTree::Ident(word) if word.to_string() == "rename_all" => {
-                // Expect `= "snake_case"` — the only rule the workspace uses.
+                // Expect `= "snake_case"` or `= "kebab-case"`.
                 let value = inner.get(i + 2).map(|t| t.to_string());
                 match value.as_deref() {
-                    Some("\"snake_case\"") => attrs.rename_all_snake = true,
+                    Some("\"snake_case\"") => attrs.rename_all = RenameRule::Snake,
+                    Some("\"kebab-case\"") => attrs.rename_all = RenameRule::Kebab,
                     other => panic!("serde derive: unsupported rename_all rule {other:?}"),
+                }
+                i += 3;
+            }
+            TokenTree::Ident(word) if word.to_string() == "rename" => {
+                // `rename = "literal-wire-name"` on a variant or field.
+                let value = inner.get(i + 2).map(|t| t.to_string());
+                match value.as_deref() {
+                    Some(quoted) if quoted.starts_with('"') && quoted.ends_with('"') => {
+                        attrs.rename = Some(quoted[1..quoted.len() - 1].to_string());
+                    }
+                    other => panic!("serde derive: unsupported rename value {other:?}"),
                 }
                 i += 3;
             }
@@ -238,7 +263,7 @@ fn parse_item(input: TokenStream) -> Item {
     };
     Item {
         name,
-        rename_all_snake: container_attrs.rename_all_snake,
+        rename_all: container_attrs.rename_all,
         kind,
     }
 }
@@ -267,7 +292,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     let mut cur = Cursor::new(stream);
     let mut variants = Vec::new();
     while !cur.at_end() {
-        let _attrs = cur.take_attrs();
+        let attrs = cur.take_attrs();
         let name = cur.expect_ident("variant name");
         let shape = match cur.peek() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
@@ -288,7 +313,11 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         if cur.peek_is_punct(',') {
             cur.bump();
         }
-        variants.push(Variant { name, shape });
+        variants.push(Variant {
+            name,
+            rename: attrs.rename,
+            shape,
+        });
     }
     variants
 }
@@ -338,11 +367,14 @@ fn snake_case(name: &str) -> String {
     out
 }
 
-fn variant_tag(item: &Item, variant: &str) -> String {
-    if item.rename_all_snake {
-        snake_case(variant)
-    } else {
-        variant.to_string()
+fn variant_tag(item: &Item, variant: &Variant) -> String {
+    if let Some(rename) = &variant.rename {
+        return rename.clone();
+    }
+    match item.rename_all {
+        RenameRule::Snake => snake_case(&variant.name),
+        RenameRule::Kebab => snake_case(&variant.name).replace('_', "-"),
+        RenameRule::None => variant.name.clone(),
     }
 }
 
@@ -372,7 +404,7 @@ fn gen_serialize(item: &Item) -> String {
         ItemKind::Enum(variants) => {
             let mut arms = String::new();
             for v in variants {
-                let tag = variant_tag(item, &v.name);
+                let tag = variant_tag(item, v);
                 let vname = &v.name;
                 match &v.shape {
                     Shape::Unit => {
@@ -491,7 +523,7 @@ fn gen_deserialize(item: &Item) -> String {
             let mut unit_arms = String::new();
             let mut tagged_arms = String::new();
             for v in variants {
-                let tag = variant_tag(item, &v.name);
+                let tag = variant_tag(item, v);
                 let vname = &v.name;
                 match &v.shape {
                     Shape::Unit => {
